@@ -1,0 +1,57 @@
+"""A6 — extension: multiplier vs accumulator approximation.
+
+The paper approximates multipliers and leaves the accumulation exact.
+This ablation quantifies that design choice: for each LOA accumulator
+depth, compare its accuracy cost against the multiplier-library entry
+with the closest area saving, and report the total area headroom of
+each lever.
+
+Expected shape: at matched (small) area savings the accumulator costs
+several times more accuracy than the multiplier; and the multiplier
+lever's total headroom is an order of magnitude larger — together,
+approximating the multiplier first is simply the better trade.
+"""
+
+from __future__ import annotations
+
+from repro.accuracy.accumulator import iso_area_comparison
+from repro.experiments.report import render_table
+
+
+def bench_ablation_accumulator_vs_multiplier(benchmark, library, predictor):
+    def sweep():
+        return [
+            iso_area_comparison("vgg16", bits, library, predictor)
+            for bits in (2, 4, 6)
+        ]
+
+    comparisons = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            c["approx_bits"],
+            round(c["area_saving_ge"], 1),
+            round(c["accumulator_drop_percent"], 3),
+            c["multiplier_name"][:20],
+            round(c["multiplier_area_saving_ge"], 1),
+            round(c["multiplier_drop_percent"], 3),
+        ]
+        for c in comparisons
+    ]
+    print()
+    print(
+        render_table(
+            ["acc_bits", "acc_save_GE", "acc_drop_%",
+             "mult_entry", "mult_save_GE", "mult_drop_%"],
+            rows,
+            title="A6 — accumulator vs multiplier approximation (vgg16)",
+        )
+    )
+
+    for c in comparisons:
+        assert (
+            c["multiplier_drop_percent"] <= c["accumulator_drop_percent"]
+        ), c
+    # total headroom: the multiplier library spans far more area
+    max_mult_saving = library.exact.area_ge - min(m.area_ge for m in library)
+    assert max_mult_saving > 5 * max(c["area_saving_ge"] for c in comparisons)

@@ -1,0 +1,54 @@
+"""A5 — extension: monolithic vs chiplet embodied carbon.
+
+The paper models monolithic dies; its cited ECO-CHIP work shows
+chipletisation changes the embodied-carbon calculus for large designs.
+This bench sweeps design sizes and reports the carbon-optimal chiplet
+count, locating the monolithic->chiplet crossover.
+
+Expected shape: small edge accelerators stay monolithic (packaging
+overhead dominates); the crossover appears for dies large enough that
+yield loss outweighs packaging (hundreds of mm^2 at 7 nm).
+"""
+
+from __future__ import annotations
+
+from repro.carbon.chiplet import best_chiplet_count, chiplet_embodied_carbon
+from repro.experiments.report import render_table
+
+AREAS_MM2 = (5.0, 25.0, 100.0, 300.0, 600.0)
+
+
+def bench_ablation_chiplet_crossover(benchmark):
+    def sweep():
+        rows = []
+        for area in AREAS_MM2:
+            mono = chiplet_embodied_carbon(area, 1, 7).total_g
+            count, carbon = best_chiplet_count(area, 7)
+            rows.append(
+                [
+                    area,
+                    round(mono, 2),
+                    count,
+                    round(carbon, 2),
+                    round(100.0 * (1.0 - carbon / mono), 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["die_mm2", "monolithic_g", "best_n_chiplets", "best_g", "saving_%"],
+            rows,
+            title="A5 — monolithic vs chiplet embodied carbon (7 nm)",
+        )
+    )
+
+    by_area = {row[0]: row for row in rows}
+    # edge-scale accelerators stay monolithic
+    assert by_area[5.0][2] == 1
+    assert by_area[25.0][2] == 1
+    # reticle-scale dies prefer chiplets
+    assert by_area[600.0][2] > 1
+    assert by_area[600.0][3] < by_area[600.0][1]

@@ -1,0 +1,44 @@
+"""E1 — Fig. 2 scatter: embodied carbon vs performance (VGG16 @ 7 nm).
+
+Regenerates all four series of the paper's Fig. 2 plot: the exact NVDLA
+sweep, the approximate-only sweeps at the three accuracy tiers, and the
+GA-CDP points at the 30/40/50 FPS thresholds, then prints the (FPS,
+gCO2) pairs the figure plots.
+
+Expected shape (paper): exact carbon rises steeply with performance;
+Appx curves sit a few percent below exact at the same FPS; GA-CDP
+points sit far below the exact curve at the threshold FPS values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import fig2_scatter
+
+
+def bench_fig2_scatter(benchmark, settings, library):
+    result = benchmark.pedantic(
+        lambda: fig2_scatter(settings=settings, network="vgg16", node_nm=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    series = result.series()
+    # exact carbon grows monotonically with FPS
+    exact = series["exact"]
+    assert [c for _, c in exact] == sorted(c for _, c in exact)
+    # every approximate series sits at-or-below exact for the same arch
+    for tier in settings.drop_tiers_percent:
+        appx = series[f"appx_{tier:g}"]
+        for (_, exact_c), (_, appx_c) in zip(exact, appx):
+            assert appx_c <= exact_c
+    # GA-CDP meets each threshold and beats the cheapest exact design
+    # that does the same
+    for (min_fps, point) in zip(
+        settings.fps_thresholds, result.points["ga_cdp"]
+    ):
+        assert point.fps >= min_fps
+        exact_meeting = [c for f, c in exact if f >= min_fps]
+        assert exact_meeting, "exact family cannot meet threshold"
+        assert point.carbon_g < min(exact_meeting)

@@ -1,0 +1,44 @@
+"""E3 — Fig. 3: normalised embodied carbon across DNNs and nodes.
+
+Regenerates the paper's Fig. 3 bar chart data: for every workload
+(VGG16, VGG19, ResNet50, ResNet152) and node (7/14/28 nm), the embodied
+carbon of the exact 30-FPS baseline, the approximate-only variant and
+the proposed GA-CDP design, normalised to the exact implementation.
+
+Expected shape (paper): approximate-only slightly below 1.0; GA-CDP
+substantially below — up to ~65% savings for VGG16 and 30-70% across
+the other networks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import fig3_comparison
+
+
+def bench_fig3_comparison(benchmark, settings, library):
+    result = benchmark.pedantic(
+        lambda: fig3_comparison(settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    for (network, node), cell in result.cells.items():
+        exact_n, approx_n, ga_n = cell.normalised
+        assert exact_n == 1.0
+        # approximation alone helps, a little
+        assert approx_n < 1.0, (network, node)
+        # the full methodology helps a lot
+        assert ga_n < approx_n, (network, node)
+        # all three satisfy the 30 FPS threshold
+        assert cell.exact.fps >= 30.0
+        assert cell.approximate_only.fps >= 30.0
+        assert cell.ga_cdp.fps >= 30.0
+        # and the GA design respects the accuracy budget
+        assert cell.ga_cdp.accuracy_drop_percent <= 2.0
+
+    # headline claim: savings in the 30-70% band for every network
+    best = result.max_savings_percent()
+    for network, saving in best.items():
+        assert 25.0 <= saving <= 75.0, (network, saving)

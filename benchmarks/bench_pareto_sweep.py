@@ -1,0 +1,61 @@
+"""P1 — extension: the full constraint-space carbon surface.
+
+Runs GA-CDP on every (FPS threshold x accuracy tier) combination for
+VGG16 at 7 nm and prints the resulting embodied-carbon surface plus the
+non-dominated (carbon, FPS, drop) frontier.
+
+Expected shape: carbon rises with the FPS requirement and falls with
+the allowed accuracy drop; every surface cell meets its constraints.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.pareto_sweep import pareto_sweep
+from repro.experiments.report import render_table
+
+
+def bench_pareto_sweep(benchmark, settings, library):
+    result = benchmark.pedantic(
+        lambda: pareto_sweep(settings=settings, network="vgg16", node_nm=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    frontier = result.frontier()
+    rows = [
+        [
+            round(p.fps, 1),
+            round(p.accuracy_drop_percent, 2),
+            round(p.carbon_g, 3),
+            p.config.describe()[:46],
+        ]
+        for p in sorted(frontier, key=lambda p: p.carbon_g)
+    ]
+    print()
+    print(
+        render_table(
+            ["fps", "drop_%", "gCO2", "design"],
+            rows,
+            title="P1 — (carbon, FPS, drop) frontier",
+        )
+    )
+
+    # constraints hold everywhere
+    for (min_fps, max_drop), point in result.cells.items():
+        assert point.fps >= min_fps
+        assert point.accuracy_drop_percent <= max_drop
+
+    # carbon grows with the FPS requirement at fixed drop
+    drops = sorted({d for _, d in result.cells})
+    fps_levels = sorted({f for f, _ in result.cells})
+    for drop in drops:
+        series = [result.cells[(fps, drop)].carbon_g for fps in fps_levels]
+        assert series[0] <= series[-1] * 1.05  # monotone up to GA noise
+
+    # looser accuracy budgets never cost more carbon (up to GA noise)
+    for fps in fps_levels:
+        tight = result.cells[(fps, drops[0])].carbon_g
+        loose = result.cells[(fps, drops[-1])].carbon_g
+        assert loose <= tight * 1.05

@@ -1,0 +1,59 @@
+"""S1-S3 — extension: sensitivity of the headline result.
+
+Sweeps the three largest exogenous unknowns — fab grid intensity,
+defect density, and DRAM bandwidth — and checks that the paper's
+conclusion (GA-CDP cuts embodied carbon substantially at the 30 FPS /
+2% drop operating point) is robust to all of them.
+
+Expected shape: absolute gCO2 scales with grid intensity and defect
+density, but the *relative* GA-CDP saving stays within a broad band;
+bandwidth moves the FPS frontier yet the saving persists.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import (
+    bandwidth_sensitivity,
+    grid_sensitivity,
+    yield_sensitivity,
+)
+
+
+def bench_sensitivity_grid(benchmark, settings, library):
+    result = benchmark.pedantic(
+        lambda: grid_sensitivity(settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    savings = result.savings()
+    assert all(s > 20.0 for s in savings), savings
+    # absolute exact carbon rises with grid intensity
+    exacts = [row[1] for row in result.rows]
+    assert exacts == sorted(exacts)
+
+
+def bench_sensitivity_yield(benchmark, settings, library):
+    result = benchmark.pedantic(
+        lambda: yield_sensitivity(settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert all(s > 20.0 for s in result.savings())
+    # worse defectivity -> more carbon for the (large) exact baseline
+    exacts = [row[1] for row in result.rows]
+    assert exacts == sorted(exacts)
+
+
+def bench_sensitivity_bandwidth(benchmark, settings, library):
+    result = benchmark.pedantic(
+        lambda: bandwidth_sensitivity(settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert all(s > 15.0 for s in result.savings())

@@ -1,0 +1,66 @@
+"""Microbenchmarks of the substrates the experiments lean on.
+
+Not a paper artefact — these measure the building blocks so regressions
+in the hot paths (exhaustive netlist simulation, mapping evaluation,
+carbon pricing, LUT inference) are caught before they stretch the
+experiment harnesses.  These use normal pytest-benchmark timing (many
+rounds) since each operation is fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.nvdla import nvdla_config
+from repro.approx.metrics import compute_error_metrics
+from repro.carbon.act import embodied_carbon
+from repro.circuits.synthesis import make_multiplier
+from repro.dataflow.performance import evaluate_network
+from repro.nn.zoo import workload
+
+
+def bench_exhaustive_truth_table(benchmark):
+    """65536-case packed simulation of an 8x8 multiplier."""
+    circuit = make_multiplier(8, 8, kind="wallace")
+    table = benchmark(circuit.truth_table)
+    assert table.shape == (65536,)
+
+
+def bench_error_metrics(benchmark, library):
+    """Exhaustive error metrics over a fixed product table."""
+    table = library.multipliers[-1].lut.table
+    metrics = benchmark(lambda: compute_error_metrics(table, 8, 8))
+    assert metrics.nmed > 0
+
+
+def bench_network_performance_eval(benchmark, library):
+    """Uncached VGG16 evaluation on one architecture."""
+    config = nvdla_config(512, library.exact, 7)
+    net = workload("vgg16")
+    perf = benchmark(
+        lambda: evaluate_network(net, config, use_cache=False)
+    )
+    assert perf.fps > 0
+
+
+def bench_embodied_carbon_eval(benchmark):
+    """One Eq. 1 evaluation (wafer geometry + yield + CFPA)."""
+    result = benchmark(lambda: embodied_carbon(5.0, 7))
+    assert result.total_g > 0
+
+
+def bench_lut_inference_batch(benchmark, library):
+    """Behavioural int8 matmul through an approximate LUT."""
+    lut = library.multipliers[-1].lut
+    rng = np.random.default_rng(0)
+    a = rng.integers(-127, 128, size=(64, 256))
+    b = rng.integers(-127, 128, size=(256, 32))
+
+    def run():
+        products = lut.signed_product(
+            a[:, :, np.newaxis], b[np.newaxis, :, :]
+        )
+        return products.sum(axis=1)
+
+    out = benchmark(run)
+    assert out.shape == (64, 32)

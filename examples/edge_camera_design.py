@@ -1,0 +1,132 @@
+"""Domain scenario: a smart-camera inference accelerator.
+
+An edge camera runs ResNet50 person/object detection at 30 FPS — the
+paper's motivating deployment.  This example sizes an accelerator for
+that job at each technology node, comparing three design flows:
+
+1. the catalogue approach — pick the smallest NVDLA family member fast
+   enough;
+2. approximate-only — same silicon, approximate multipliers;
+3. the paper's GA-CDP flow.
+
+It then prints a schedule digest of the winning design (bottleneck
+layer, utilisation, DRAM traffic) and the operational-carbon break-even
+point, connecting embodied savings to deployment reality.
+
+Usage::
+
+    python examples/edge_camera_design.py
+"""
+
+from __future__ import annotations
+
+from repro.accuracy import AccuracyPredictor
+from repro.approx import build_library
+from repro.carbon import OperationalModel, operational_carbon
+from repro.carbon.operational import break_even_inferences
+from repro.core import (
+    CarbonAwareDesigner,
+    design_point_for,
+    smallest_exact_meeting_fps,
+)
+from repro.dataflow import evaluate_network, schedule_network
+from repro.experiments.report import render_table
+from repro.ga import GaConfig
+from repro.nn.zoo import workload
+
+NETWORK = "resnet50"
+MIN_FPS = 30.0
+MAX_DROP_PERCENT = 1.0
+
+
+def main() -> None:
+    library = build_library()
+    predictor = AccuracyPredictor()
+    net = workload(NETWORK)
+
+    print(
+        f"Scenario: {NETWORK} at {MIN_FPS:g} FPS, "
+        f"<= {MAX_DROP_PERCENT:g}% accuracy drop\n"
+    )
+
+    rows = []
+    winners = {}
+    for node_nm in (7, 14, 28):
+        exact = smallest_exact_meeting_fps(
+            NETWORK, library, node_nm, predictor, MIN_FPS
+        )
+        approx_mult = predictor.smallest_feasible(
+            NETWORK, library, MAX_DROP_PERCENT
+        )
+        approx = design_point_for(
+            exact.config.with_multiplier(approx_mult),
+            NETWORK,
+            "approx_only",
+            predictor,
+        )
+        ga = CarbonAwareDesigner(
+            network=NETWORK,
+            node_nm=node_nm,
+            min_fps=MIN_FPS,
+            max_drop_percent=MAX_DROP_PERCENT,
+            library=library,
+            predictor=predictor,
+            ga_config=GaConfig(population_size=24, generations=30, seed=node_nm),
+        ).run().best
+        winners[node_nm] = ga
+        for point in (exact, approx, ga):
+            rows.append(
+                [
+                    node_nm,
+                    point.label,
+                    f"{point.config.pe_rows}x{point.config.pe_cols}",
+                    point.config.global_buffer_bytes // 1024,
+                    point.config.multiplier.name[:22],
+                    round(point.fps, 1),
+                    round(point.carbon_g, 2),
+                    round(point.accuracy_drop_percent, 2),
+                ]
+            )
+    print(
+        render_table(
+            ["node", "flow", "array", "GB_KiB", "multiplier", "FPS",
+             "gCO2", "drop_%"],
+            rows,
+        )
+    )
+
+    best_node = min(winners, key=lambda n: winners[n].carbon_g)
+    best = winners[best_node]
+    print(f"\nLowest-carbon winner: {best_node} nm — {best.config.describe()}")
+
+    report = schedule_network(net, best.config)
+    print("\nSchedule digest:")
+    print(report.summary())
+
+    perf = evaluate_network(net, best.config)
+    model = OperationalModel(
+        node_nm=best_node,
+        macs_per_inference=net.total_macs,
+        sram_bytes_per_inference=2.0 * perf.total_dram_bytes,
+        dram_bytes_per_inference=perf.total_dram_bytes,
+    )
+    per_year_always_on = MIN_FPS * 3600 * 24 * 365
+    breakeven = break_even_inferences(model, best.carbon_g)
+    print("\nOperational context:")
+    for duty, label in ((1.0, "always-on"), (0.05, "5% duty"), (0.01, "1% duty")):
+        per_year = per_year_always_on * duty
+        use_phase = operational_carbon(model, per_year)
+        days = 365.0 * breakeven / per_year
+        print(
+            f"  {label:10s} use-phase {use_phase:8.1f} gCO2/year, "
+            f"embodied amortised after {days:6.1f} days"
+        )
+    print(
+        "  (embodied carbon dominates for duty-cycled edge deployments "
+        "and at manufacturing scale,\n   which is the regime the paper "
+        "targets; an always-on accelerator die is use-dominated)"
+    )
+
+
+if __name__ == "__main__":
+    main()

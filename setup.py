@@ -1,0 +1,9 @@
+"""Legacy shim so ``pip install -e . --no-use-pep517`` works offline.
+
+The environment ships setuptools without the ``wheel`` package, which
+modern PEP 517 editable installs require.  All real metadata lives in
+pyproject.toml; this file only enables the legacy develop-mode path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Carbon-aware approximate DNN accelerator design-space exploration.
+
+Reproduction of "Late Breaking Results: Leveraging Approximate
+Computing for Carbon-Aware DNN Accelerators" (DATE 2025).
+
+Top-level convenience re-exports cover the common workflow::
+
+    from repro import build_library, AccuracyPredictor, CarbonAwareDesigner
+
+    library = build_library()
+    designer = CarbonAwareDesigner(
+        network="vgg16", node_nm=7, min_fps=30.0, max_drop_percent=1.0,
+        library=library,
+    )
+    best = designer.run().best
+
+See the package docstrings for the full substrate inventory:
+:mod:`repro.circuits`, :mod:`repro.approx`, :mod:`repro.carbon`,
+:mod:`repro.accel`, :mod:`repro.dataflow`, :mod:`repro.nn`,
+:mod:`repro.accuracy`, :mod:`repro.ga`, :mod:`repro.core`,
+:mod:`repro.experiments`.
+"""
+
+from repro.accuracy import AccuracyPredictor
+from repro.approx import ApproxLibrary, build_library
+from repro.core import (
+    CarbonAwareDesigner,
+    DesignPoint,
+    carbon_delay_product,
+    exact_sweep,
+    smallest_exact_meeting_fps,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyPredictor",
+    "ApproxLibrary",
+    "build_library",
+    "CarbonAwareDesigner",
+    "DesignPoint",
+    "carbon_delay_product",
+    "exact_sweep",
+    "smallest_exact_meeting_fps",
+    "ReproError",
+    "__version__",
+]

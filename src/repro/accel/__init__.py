@@ -1,0 +1,29 @@
+"""Accelerator architecture model (NVDLA-style).
+
+Turns an architectural configuration — PE array dimensions, buffer
+sizes, multiplier choice — into die areas the carbon model can price:
+
+* :mod:`repro.accel.pe` — processing-element area model;
+* :mod:`repro.accel.memory` — SRAM macro area model;
+* :mod:`repro.accel.arch` — :class:`AcceleratorConfig` and die-area
+  aggregation;
+* :mod:`repro.accel.nvdla` — the NVDLA-like baseline family (64..2048
+  MACs, buffers scaled with array dimension).
+"""
+
+from repro.accel.pe import PEAreaModel, pe_area_ge, pe_area_um2
+from repro.accel.memory import sram_area_mm2, sram_bits_for_bytes
+from repro.accel.arch import AcceleratorConfig
+from repro.accel.nvdla import nvdla_family, nvdla_config, NVDLA_MAC_COUNTS
+
+__all__ = [
+    "PEAreaModel",
+    "pe_area_ge",
+    "pe_area_um2",
+    "sram_area_mm2",
+    "sram_bits_for_bytes",
+    "AcceleratorConfig",
+    "nvdla_family",
+    "nvdla_config",
+    "NVDLA_MAC_COUNTS",
+]

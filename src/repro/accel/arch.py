@@ -1,0 +1,175 @@
+"""Accelerator configuration and die-area aggregation.
+
+:class:`AcceleratorConfig` is the central design-point type: the GA
+mutates it, the performance model simulates it, the carbon model prices
+it.  It mirrors the paper's chromosome exactly — PE-array width and
+height, local (per-PE) buffer size, global buffer size — plus the
+selected multiplier and the technology node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.accel.memory import sram_area_mm2
+from repro.accel.pe import DEFAULT_PE_MODEL, PEAreaModel, pe_area_um2
+from repro.approx.library import ApproxMultiplier
+from repro.carbon.accelerator_carbon import (
+    AcceleratorCarbon,
+    DieAreaBreakdown,
+    accelerator_embodied_carbon,
+)
+from repro.carbon.nodes import technology_node
+from repro.errors import ArchitectureError
+from repro.units import ghz_to_hz
+
+#: Wiring overhead of stitching PEs into a 2-D array.
+PE_ARRAY_WIRING_OVERHEAD = 1.10
+
+#: NoC, sequencers, DMA engines, IO as a fraction of core area.
+OTHER_LOGIC_FRACTION = 0.12
+
+#: Fixed area floor: pads, PLL, test logic (mm^2).
+FIXED_OTHER_MM2 = 0.02
+
+#: Sanity bounds on the searchable space.
+MAX_ARRAY_DIM = 256
+MAX_LOCAL_BUFFER_BYTES = 4096
+MIN_GLOBAL_BUFFER_BYTES = 4 * 1024
+MAX_GLOBAL_BUFFER_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One accelerator design point.
+
+    Attributes:
+        pe_rows: PE-array height (the paper's ``#PE height``).
+        pe_cols: PE-array width (the paper's ``#PE width``).
+        local_buffer_bytes: per-PE register-file capacity.
+        global_buffer_bytes: shared convolution buffer capacity.
+        multiplier: the (possibly approximate) multiplier in every PE.
+        node_nm: technology node (7/14/28).
+        pe_model: non-multiplier PE composition.
+        clock_ghz_override: clock frequency override; defaults to the
+            node's nominal accelerator clock.
+    """
+
+    pe_rows: int
+    pe_cols: int
+    local_buffer_bytes: int
+    global_buffer_bytes: int
+    multiplier: ApproxMultiplier
+    node_nm: int
+    pe_model: PEAreaModel = field(default=DEFAULT_PE_MODEL)
+    clock_ghz_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.pe_rows <= MAX_ARRAY_DIM:
+            raise ArchitectureError(
+                f"pe_rows must be in [1, {MAX_ARRAY_DIM}], got {self.pe_rows}"
+            )
+        if not 1 <= self.pe_cols <= MAX_ARRAY_DIM:
+            raise ArchitectureError(
+                f"pe_cols must be in [1, {MAX_ARRAY_DIM}], got {self.pe_cols}"
+            )
+        if not 0 <= self.local_buffer_bytes <= MAX_LOCAL_BUFFER_BYTES:
+            raise ArchitectureError(
+                "local_buffer_bytes must be in "
+                f"[0, {MAX_LOCAL_BUFFER_BYTES}], got {self.local_buffer_bytes}"
+            )
+        if not (
+            MIN_GLOBAL_BUFFER_BYTES
+            <= self.global_buffer_bytes
+            <= MAX_GLOBAL_BUFFER_BYTES
+        ):
+            raise ArchitectureError(
+                "global_buffer_bytes must be in "
+                f"[{MIN_GLOBAL_BUFFER_BYTES}, {MAX_GLOBAL_BUFFER_BYTES}], "
+                f"got {self.global_buffer_bytes}"
+            )
+        technology_node(self.node_nm)  # validates the node
+        if self.clock_ghz_override is not None and self.clock_ghz_override <= 0:
+            raise ArchitectureError("clock override must be positive")
+
+    # --- basic properties ---------------------------------------------
+
+    @property
+    def n_pes(self) -> int:
+        """Total MAC units in the array."""
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def clock_hz(self) -> float:
+        """Operating clock frequency in Hz."""
+        ghz = (
+            self.clock_ghz_override
+            if self.clock_ghz_override is not None
+            else technology_node(self.node_nm).clock_ghz
+        )
+        return ghz_to_hz(ghz)
+
+    @property
+    def total_local_buffer_bytes(self) -> int:
+        return self.n_pes * self.local_buffer_bytes
+
+    def geometry_key(self) -> Tuple[int, int, int, int, int, float]:
+        """Performance-relevant identity (multiplier excluded).
+
+        Two configs with the same geometry have identical timing, so
+        per-layer latencies are cached under this key.
+        """
+        return (
+            self.pe_rows,
+            self.pe_cols,
+            self.local_buffer_bytes,
+            self.global_buffer_bytes,
+            self.node_nm,
+            self.clock_hz,
+        )
+
+    # --- area / carbon ---------------------------------------------------
+
+    def pe_array_area_mm2(self) -> float:
+        """Placed area of the MAC array (multiplier-dependent)."""
+        single_pe_um2 = pe_area_um2(
+            self.multiplier.area_ge, self.node_nm, self.pe_model
+        )
+        return self.n_pes * single_pe_um2 * PE_ARRAY_WIRING_OVERHEAD / 1e6
+
+    def sram_area_mm2(self) -> float:
+        """Placed area of all on-chip buffers."""
+        local = sram_area_mm2(self.total_local_buffer_bytes, self.node_nm)
+        global_ = sram_area_mm2(self.global_buffer_bytes, self.node_nm)
+        return local + global_
+
+    def die_area(self) -> DieAreaBreakdown:
+        """Full-die area breakdown for the carbon model."""
+        pe_mm2 = self.pe_array_area_mm2()
+        sram_mm2 = self.sram_area_mm2()
+        other = OTHER_LOGIC_FRACTION * (pe_mm2 + sram_mm2) + FIXED_OTHER_MM2
+        return DieAreaBreakdown(
+            pe_array_mm2=pe_mm2, sram_mm2=sram_mm2, other_mm2=other
+        )
+
+    def embodied_carbon(self, grid: str | float = "taiwan") -> AcceleratorCarbon:
+        """Embodied carbon of this design (Eq. 1)."""
+        return accelerator_embodied_carbon(
+            self.die_area(), self.node_nm, grid=grid
+        )
+
+    # --- derivation -------------------------------------------------------
+
+    def with_multiplier(self, multiplier: ApproxMultiplier) -> "AcceleratorConfig":
+        """Same geometry, different multiplier."""
+        return replace(self, multiplier=multiplier)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return (
+            f"{self.pe_rows}x{self.pe_cols} PEs, "
+            f"LB {self.local_buffer_bytes} B/PE, "
+            f"GB {self.global_buffer_bytes // 1024} KiB, "
+            f"mult {self.multiplier.name}, {self.node_nm} nm"
+        )

@@ -1,0 +1,39 @@
+"""On-chip SRAM macro area model.
+
+Buffer capacity -> silicon area, per technology node.  Bit-cell sizes
+and array efficiencies live in :mod:`repro.carbon.nodes` so carbon and
+architecture stay consistent; this module adds ECC overhead and macro
+granularity.
+"""
+
+from __future__ import annotations
+
+from repro.carbon.nodes import technology_node
+from repro.errors import ArchitectureError
+from repro.units import um2_to_mm2
+
+#: Extra bits stored per data byte (8 data bits + parity/ECC share).
+ECC_BITS_PER_BYTE = 1.0
+
+
+def sram_bits_for_bytes(capacity_bytes: int) -> float:
+    """Physical bits required for a logical byte capacity (with ECC)."""
+    if capacity_bytes < 0:
+        raise ArchitectureError(
+            f"SRAM capacity cannot be negative: {capacity_bytes}"
+        )
+    return capacity_bytes * (8.0 + ECC_BITS_PER_BYTE)
+
+
+def sram_area_mm2(capacity_bytes: int, node_nm: int) -> float:
+    """Macro area of an SRAM of ``capacity_bytes`` at ``node_nm``.
+
+    Bit-cell area divided by array efficiency accounts for periphery
+    (decoders, sense amplifiers, redundancy).
+    """
+    if capacity_bytes == 0:
+        return 0.0
+    node = technology_node(node_nm)
+    bits = sram_bits_for_bytes(capacity_bytes)
+    raw_um2 = bits * node.sram_bitcell_um2 / node.sram_array_efficiency
+    return um2_to_mm2(raw_um2)

@@ -1,0 +1,80 @@
+"""NVDLA-like baseline family.
+
+The paper's baseline sweep: "MAC arrays ranging from 64 to 2048 PEs in
+powers of 2.  The sizes of the local and global convolution buffers
+scale proportionally with the dimensions of the MAC arrays, as specified
+by NVIDIA."
+
+We anchor the nv_full corner (2048 MACs, 512 KiB CBUF) and scale the
+global convolution buffer *linearly with the MAC count* (512 KiB x
+MACs / 2048, floored at 16 KiB), matching NVIDIA's published
+configuration spreadsheet where CBUF banks scale with the MAC
+resources.  The per-PE operand staging registers are fixed at 32 B —
+in real NVDLA the per-MAC storage does not grow with the array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.accel.arch import AcceleratorConfig
+from repro.approx.library import ApproxMultiplier
+from repro.errors import ArchitectureError
+
+#: The paper's baseline MAC-array sizes.
+NVDLA_MAC_COUNTS: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
+
+#: nv_full corner: 2048 MACs, 512 KiB convolution buffer.
+_FULL_MACS = 2048
+_FULL_GLOBAL_KIB = 512.0
+_MIN_GLOBAL_KIB = 16.0
+
+#: Per-PE operand staging registers (bytes).
+_LOCAL_BYTES = 32
+
+
+def nvdla_dimensions(macs: int) -> Tuple[int, int]:
+    """Near-square power-of-two array shape for a MAC count."""
+    if macs < 1 or macs & (macs - 1):
+        raise ArchitectureError(
+            f"NVDLA MAC count must be a power of two, got {macs}"
+        )
+    log2 = macs.bit_length() - 1
+    rows = 1 << (log2 // 2)
+    cols = 1 << (log2 - log2 // 2)
+    return rows, cols
+
+
+def nvdla_buffer_bytes(macs: int) -> Tuple[int, int]:
+    """(local_bytes_per_pe, global_bytes) per NVIDIA's scaling rule."""
+    global_kib = max(_FULL_GLOBAL_KIB * macs / _FULL_MACS, _MIN_GLOBAL_KIB)
+    return _LOCAL_BYTES, int(round(global_kib)) * 1024
+
+
+def nvdla_config(
+    macs: int,
+    multiplier: ApproxMultiplier,
+    node_nm: int,
+    clock_ghz_override: Optional[float] = None,
+) -> AcceleratorConfig:
+    """One member of the NVDLA-like family."""
+    rows, cols = nvdla_dimensions(macs)
+    local_bytes, global_bytes = nvdla_buffer_bytes(macs)
+    return AcceleratorConfig(
+        pe_rows=rows,
+        pe_cols=cols,
+        local_buffer_bytes=local_bytes,
+        global_buffer_bytes=global_bytes,
+        multiplier=multiplier,
+        node_nm=node_nm,
+        clock_ghz_override=clock_ghz_override,
+    )
+
+
+def nvdla_family(
+    multiplier: ApproxMultiplier,
+    node_nm: int,
+    mac_counts: Tuple[int, ...] = NVDLA_MAC_COUNTS,
+) -> List[AcceleratorConfig]:
+    """The full baseline sweep used in Fig. 2."""
+    return [nvdla_config(macs, multiplier, node_nm) for macs in mac_counts]

@@ -1,0 +1,96 @@
+"""Processing-element (MAC unit) area model.
+
+A PE in the NVDLA-style array contains:
+
+* the 8x8 multiplier — **the part the paper approximates**;
+* a wide accumulator adder (products are summed over many MACs);
+* operand / accumulator / pipeline registers;
+* a slice of local control.
+
+Everything except the multiplier is fixed overhead, which is why
+multiplier-area savings translate sub-linearly into PE savings and the
+paper's approximate-only carbon gains sit in the single-digit-percent
+range: the model makes that dilution explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.area import gate_area_model
+from repro.errors import ArchitectureError
+
+#: NAND2-equivalents of one D flip-flop (approx. 22 transistors).
+DFF_GE = 5.5
+
+#: NAND2-equivalents of one full-adder bit (approx. 26 transistors).
+FA_GE = 6.5
+
+
+@dataclass(frozen=True)
+class PEAreaModel:
+    """Fixed (non-multiplier) PE composition.
+
+    Attributes:
+        accumulator_bits: accumulator adder and register width.  24 bits
+            is enough for 8x8 products summed over the deepest VGG/ResNet
+            reduction (16-bit product + 8 guard bits).
+        operand_register_bits: input operand staging registers.
+        pipeline_register_bits: inter-stage pipeline registers.
+        control_ge: per-PE control / multiplexing logic.
+    """
+
+    accumulator_bits: int = 24
+    operand_register_bits: int = 8
+    pipeline_register_bits: int = 8
+    control_ge: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.accumulator_bits < 16:
+            raise ArchitectureError(
+                "accumulator must be at least 16 bits for 8x8 products, "
+                f"got {self.accumulator_bits}"
+            )
+        if self.operand_register_bits < 0 or self.pipeline_register_bits < 0:
+            raise ArchitectureError("register widths cannot be negative")
+        if self.control_ge < 0:
+            raise ArchitectureError("control area cannot be negative")
+
+    @property
+    def overhead_ge(self) -> float:
+        """Non-multiplier PE area in NAND2-equivalents."""
+        adder = self.accumulator_bits * FA_GE
+        registers = (
+            self.accumulator_bits
+            + self.operand_register_bits
+            + self.pipeline_register_bits
+        ) * DFF_GE
+        return adder + registers + self.control_ge
+
+
+DEFAULT_PE_MODEL = PEAreaModel()
+
+
+def pe_area_ge(
+    multiplier_area_ge: float, model: PEAreaModel = DEFAULT_PE_MODEL
+) -> float:
+    """Total PE area in NAND2-equivalents for a given multiplier."""
+    if multiplier_area_ge <= 0:
+        raise ArchitectureError(
+            f"multiplier area must be positive, got {multiplier_area_ge}"
+        )
+    return multiplier_area_ge + model.overhead_ge
+
+
+def pe_area_um2(
+    multiplier_area_ge: float,
+    node_nm: int,
+    model: PEAreaModel = DEFAULT_PE_MODEL,
+) -> float:
+    """Placed PE area in um^2 at a technology node."""
+    gate_model = gate_area_model(node_nm)
+    return (
+        pe_area_ge(multiplier_area_ge, model)
+        * gate_model.nand2_area_um2
+        * gate_model.routing_overhead
+    )

@@ -1,0 +1,30 @@
+"""Accuracy-impact models (ApproxTrain substitute).
+
+Two complementary paths:
+
+* :mod:`repro.accuracy.analytical` — closed-form error propagation:
+  multiplier error moments (under a DNN-like operand distribution) are
+  propagated through the network depth to a relative logit-noise level,
+  then mapped to a top-1 accuracy drop.  Fast enough to sit inside the
+  GA fitness function.
+* :mod:`repro.accuracy.behavioral` — actually runs a small quantised
+  CNN with the approximate multiplier's LUT (exactly ApproxTrain's
+  mechanism) on the synthetic task, to validate that the analytical
+  model ranks multipliers correctly.
+
+:mod:`repro.accuracy.predictor` packages both behind one interface.
+"""
+
+from repro.accuracy.analytical import (
+    AnalyticalAccuracyModel,
+    multiplier_relative_rmse,
+)
+from repro.accuracy.behavioral import BehavioralValidator
+from repro.accuracy.predictor import AccuracyPredictor
+
+__all__ = [
+    "AnalyticalAccuracyModel",
+    "multiplier_relative_rmse",
+    "BehavioralValidator",
+    "AccuracyPredictor",
+]

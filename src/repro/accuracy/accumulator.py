@@ -1,0 +1,177 @@
+"""Accumulator-approximation accuracy analysis (extension).
+
+Why does the paper approximate multipliers but not accumulators?  This
+module quantifies the asymmetry:
+
+* A **multiplier** error is drawn once per product; summing ``C*R*S``
+  products averages independent errors, so output noise grows like
+  ``sqrt(CRS)`` while the signal grows the same way — the relative
+  noise per layer is roughly reduction-independent.
+* An **accumulator** error is injected on *every* addition in the
+  running sum.  Dropped low-order carries are systematically one-signed
+  per operand pattern, so the error accumulates ~linearly in ``CRS``
+  while the signal still grows like ``sqrt(CRS)`` for zero-centred
+  operands: relative noise *grows* with the reduction length.
+
+The analysis plugs exhaustive adder error moments into the same
+propagation/logistic machinery as the multiplier model, so the two are
+directly comparable at iso-area-savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Union
+
+import numpy as np
+
+from repro.accuracy.analytical import AnalyticalAccuracyModel
+from repro.approx.adders import loa_adder
+from repro.approx.metrics import compute_error_metrics, exact_sums
+from repro.circuits.area import netlist_ge
+from repro.circuits.simulate import bus_to_uint, exhaustive_table
+from repro.circuits.synthesis import ripple_carry_adder
+from repro.dataflow.network import Network
+from repro.errors import AccuracyModelError
+from repro.nn.zoo import workload
+
+#: Adder width analysed (a slice of the PE's accumulator critical band:
+#: the low bits where approximation is applied).
+ANALYSIS_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class AccumulatorApproximation:
+    """Area/error figures for one approximate-accumulator choice.
+
+    Attributes:
+        approx_bits: OR-folded low bits of the accumulator adder.
+        area_saving_ge: adder cells saved vs the exact ripple adder.
+        per_add_bias: mean signed error of one addition.
+        per_add_std: standard deviation of one addition's error.
+    """
+
+    approx_bits: int
+    area_saving_ge: float
+    per_add_bias: float
+    per_add_std: float
+
+
+@lru_cache(maxsize=None)
+def characterize_loa_accumulator(approx_bits: int) -> AccumulatorApproximation:
+    """Exhaustive error moments of a LOA accumulator slice."""
+    if not 0 < approx_bits < ANALYSIS_WIDTH:
+        raise AccuracyModelError(
+            f"approx_bits must be in (0, {ANALYSIS_WIDTH}), got {approx_bits}"
+        )
+    exact = ripple_carry_adder(ANALYSIS_WIDTH)
+    approx = loa_adder(ANALYSIS_WIDTH, approx_bits)
+
+    outputs = exhaustive_table(approx.netlist, [approx.a_wires, approx.b_wires])
+    table = bus_to_uint(outputs, list(approx.result_wires)).astype(np.int64)
+    metrics = compute_error_metrics(
+        table,
+        ANALYSIS_WIDTH,
+        ANALYSIS_WIDTH,
+        reference=exact_sums(ANALYSIS_WIDTH, ANALYSIS_WIDTH),
+    )
+    return AccumulatorApproximation(
+        approx_bits=approx_bits,
+        area_saving_ge=netlist_ge(exact.netlist) - netlist_ge(approx.netlist),
+        per_add_bias=metrics.bias,
+        per_add_std=float(np.sqrt(metrics.variance)),
+    )
+
+
+def accumulator_drop_percent(
+    network: Union[str, Network],
+    approx_bits: int,
+    model: AnalyticalAccuracyModel | None = None,
+) -> float:
+    """Predicted accuracy drop from approximating the accumulator.
+
+    Propagation: over a reduction of length ``CRS`` the bias term adds
+    coherently (``CRS * bias``) and the random term adds in quadrature
+    (``sqrt(CRS) * std``).  Both are normalised by the accumulated
+    signal magnitude (~``sqrt(CRS) * rms_product``), then fed through
+    the same depth/logistic mapping as the multiplier model so numbers
+    are directly comparable.
+    """
+    model = model or AnalyticalAccuracyModel()
+    net = workload(network) if isinstance(network, str) else network
+    depth = len(net.compute_layers())
+    if depth < 1:
+        raise AccuracyModelError(f"network {net.name!r} has no MAC layers")
+
+    character = characterize_loa_accumulator(approx_bits)
+
+    # representative reduction length: MACs per output element,
+    # averaged over compute layers
+    from repro.dataflow.layers import ConvLayer, FCLayer
+
+    reductions = []
+    for layer in net.compute_layers():
+        if isinstance(layer, ConvLayer):
+            reductions.append(float(layer.macs_per_output))
+        elif isinstance(layer, FCLayer):
+            reductions.append(float(layer.in_features))
+    crs = max(float(np.mean(reductions)) if reductions else 1.0, 1.0)
+
+    from repro.accuracy.analytical import _rms_exact_product
+
+    rms_signal = _rms_exact_product(8, 0.25) * np.sqrt(crs)
+    coherent = abs(character.per_add_bias) * crs
+    random = character.per_add_std * np.sqrt(crs)
+    rel = float(np.sqrt(coherent**2 + random**2) / rms_signal)
+
+    logit_noise = model.noise_gain * np.sqrt(depth) * rel
+    return float(
+        model.max_drop_percent * (1.0 - np.exp(-(logit_noise**model.exponent)))
+    )
+
+
+def iso_area_comparison(
+    network: Union[str, Network],
+    approx_bits: int,
+    library,
+    predictor,
+) -> dict:
+    """Accuracy cost of accumulator vs multiplier approximation at
+    matched area savings.
+
+    The multiplier side is represented by the *lowest-drop* library
+    entry whose area saving is at least the accumulator's (i.e. "what
+    does it cost the multiplier lever to save the same area?").  If no
+    entry saves that much, the largest-saving entry is used.
+
+    Returns a dictionary with both drops and both area savings.
+    """
+    character = characterize_loa_accumulator(approx_bits)
+    accumulator_drop = accumulator_drop_percent(network, approx_bits)
+
+    exact_area = library.exact.area_ge
+    approximates = [m for m in library if not m.is_exact]
+    if not approximates:
+        raise AccuracyModelError("library has no approximate entries")
+    matching = [
+        m
+        for m in approximates
+        if exact_area - m.area_ge >= character.area_saving_ge
+    ]
+    if matching:
+        closest = min(
+            matching, key=lambda m: predictor.drop_percent(network, m)
+        )
+    else:
+        closest = min(approximates, key=lambda m: m.area_ge)
+    multiplier_drop = predictor.drop_percent(network, closest)
+
+    return {
+        "approx_bits": approx_bits,
+        "area_saving_ge": character.area_saving_ge,
+        "accumulator_drop_percent": accumulator_drop,
+        "multiplier_name": closest.name,
+        "multiplier_area_saving_ge": exact_area - closest.area_ge,
+        "multiplier_drop_percent": multiplier_drop,
+    }

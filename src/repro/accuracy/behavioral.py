@@ -1,0 +1,97 @@
+"""Behavioural accuracy validation via LUT-based inference.
+
+Runs the synthetic task's quantised CNN with each multiplier's LUT —
+the identical mechanism ApproxTrain uses on real GPUs — and compares
+the resulting accuracy drops against the analytical model's ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.approx.library import ApproxMultiplier
+from repro.errors import AccuracyModelError
+from repro.nn.synthetic import SyntheticTask, make_task
+
+
+@dataclass
+class BehavioralValidator:
+    """Evaluate multipliers by actually running a quantised CNN.
+
+    Attributes:
+        task: the synthetic classification task (built lazily with the
+            default seed when not supplied).
+    """
+
+    task: Optional[SyntheticTask] = None
+    _cache: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    def _ensure_task(self) -> SyntheticTask:
+        if self.task is None:
+            self.task = make_task()
+        return self.task
+
+    def exact_accuracy(self) -> float:
+        """Reference accuracy with exact arithmetic."""
+        return self._ensure_task().accuracy()
+
+    def drop_percent(self, multiplier: ApproxMultiplier) -> float:
+        """Measured accuracy drop (percentage points) for a multiplier."""
+        cached = self._cache.get(multiplier.name)
+        if cached is not None:
+            return cached
+        task = self._ensure_task()
+        exact = task.accuracy()
+        approx = task.accuracy(multiplier.lut)
+        drop = 100.0 * (exact - approx)
+        self._cache[multiplier.name] = drop
+        return drop
+
+    def ranking_agreement(
+        self,
+        multipliers: Sequence[ApproxMultiplier],
+        analytical_drops: Sequence[float],
+    ) -> float:
+        """Spearman rank correlation between model and measurement.
+
+        Measured behavioural drops are noisy (finite test set), so the
+        validation criterion is rank agreement, not absolute agreement.
+        """
+        if len(multipliers) != len(analytical_drops):
+            raise AccuracyModelError(
+                "multipliers and analytical_drops must align"
+            )
+        if len(multipliers) < 3:
+            raise AccuracyModelError(
+                "need at least 3 multipliers for a meaningful correlation"
+            )
+        measured = [self.drop_percent(m) for m in multipliers]
+        return _spearman(np.asarray(analytical_drops), np.asarray(measured))
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (average ranks for ties)."""
+    ra = _ranks(a)
+    rb = _ranks(b)
+    ra_c = ra - ra.mean()
+    rb_c = rb - rb.mean()
+    denom = np.sqrt((ra_c**2).sum() * (rb_c**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra_c * rb_c).sum() / denom)
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks with ties assigned their average rank."""
+    unique, inverse, counts = np.unique(
+        values, return_inverse=True, return_counts=True
+    )
+    cumulative = np.concatenate([[0], np.cumsum(counts)])
+    tie_rank = {
+        i: (cumulative[i] + cumulative[i + 1] - 1) / 2.0
+        for i in range(len(unique))
+    }
+    return np.array([tie_rank[i] for i in inverse], dtype=np.float64)

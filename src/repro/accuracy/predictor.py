@@ -1,0 +1,96 @@
+"""Unified accuracy interface for the design-space exploration.
+
+The GA asks one question thousands of times: *"what accuracy drop does
+multiplier m cause on network n?"*.  :class:`AccuracyPredictor` answers
+it from the analytical model with memoisation, and exposes the helpers
+the experiment harnesses need (feasible multiplier sets per threshold,
+behavioural cross-checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.accuracy.analytical import AnalyticalAccuracyModel
+from repro.accuracy.behavioral import BehavioralValidator
+from repro.approx.library import ApproxLibrary, ApproxMultiplier
+from repro.dataflow.network import Network
+from repro.errors import AccuracyModelError
+
+
+@dataclass
+class AccuracyPredictor:
+    """Memoised accuracy-drop oracle over (network, multiplier).
+
+    Attributes:
+        model: the analytical error-propagation model.
+        validator: behavioural cross-check engine (built lazily).
+    """
+
+    model: AnalyticalAccuracyModel = field(default_factory=AnalyticalAccuracyModel)
+    validator: Optional[BehavioralValidator] = None
+    _cache: Dict[Tuple[str, str], float] = field(default_factory=dict, repr=False)
+
+    def drop_percent(
+        self,
+        network: Union[str, Network],
+        multiplier: ApproxMultiplier,
+    ) -> float:
+        """Predicted top-1 accuracy drop in percentage points."""
+        net_name = network if isinstance(network, str) else network.name
+        key = (net_name, multiplier.name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        drop = self.model.drop_percent(network, multiplier)
+        self._cache[key] = drop
+        return drop
+
+    def feasible_multipliers(
+        self,
+        network: Union[str, Network],
+        library: ApproxLibrary,
+        max_drop_percent: float,
+    ) -> List[ApproxMultiplier]:
+        """Library entries meeting an accuracy constraint, any area."""
+        if max_drop_percent < 0:
+            raise AccuracyModelError(
+                f"accuracy threshold cannot be negative: {max_drop_percent}"
+            )
+        return [
+            m
+            for m in library
+            if self.drop_percent(network, m) <= max_drop_percent
+        ]
+
+    def smallest_feasible(
+        self,
+        network: Union[str, Network],
+        library: ApproxLibrary,
+        max_drop_percent: float,
+    ) -> ApproxMultiplier:
+        """Smallest-area entry meeting an accuracy constraint."""
+        feasible = self.feasible_multipliers(network, library, max_drop_percent)
+        if not feasible:
+            raise AccuracyModelError(
+                f"no multiplier meets a {max_drop_percent}% drop budget"
+            )
+        return min(feasible, key=lambda m: (m.area_ge, m.metrics.nmed))
+
+    # --- behavioural cross-check ------------------------------------------
+
+    def behavioral_agreement(self, library: ApproxLibrary) -> float:
+        """Spearman correlation of analytical vs behavioural ranking.
+
+        Uses a small synthetic network as the behavioural workload; the
+        analytical drops are computed for the same shallow depth so both
+        sides describe the same setting.
+        """
+        if self.validator is None:
+            self.validator = BehavioralValidator()
+        multipliers = list(library)
+        analytical = [
+            self.model.drop_percent("vgg16", m) for m in multipliers
+        ]
+        return self.validator.ranking_agreement(multipliers, analytical)

@@ -1,0 +1,35 @@
+"""Approximate multiplier generation (the paper's step 1).
+
+Produces an area/error Pareto library of 8x8 multipliers via:
+
+* **precision scaling** (:mod:`repro.approx.precision`) — operand LSB
+  truncation, and
+* **gate-level pruning** (:mod:`repro.approx.pruning`) — tying internal
+  wires to constants, searched by NSGA-II (:mod:`repro.approx.nsga2`).
+
+Error metrics are exhaustive (:mod:`repro.approx.metrics`), functional
+models are plain LUTs (:mod:`repro.approx.lut`), and
+:mod:`repro.approx.library` assembles everything into the deterministic
+:class:`~repro.approx.library.ApproxLibrary` the accelerator DSE consumes.
+"""
+
+from repro.approx.metrics import ErrorMetrics, compute_error_metrics
+from repro.approx.lut import LutMultiplier
+from repro.approx.precision import precision_scaled_multiplier
+from repro.approx.pruning import PruningSpace
+from repro.approx.nsga2 import Nsga2, Nsga2Config, pareto_front
+from repro.approx.library import ApproxLibrary, ApproxMultiplier, build_library
+
+__all__ = [
+    "ErrorMetrics",
+    "compute_error_metrics",
+    "LutMultiplier",
+    "precision_scaled_multiplier",
+    "PruningSpace",
+    "Nsga2",
+    "Nsga2Config",
+    "pareto_front",
+    "ApproxLibrary",
+    "ApproxMultiplier",
+    "build_library",
+]

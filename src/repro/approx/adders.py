@@ -1,0 +1,103 @@
+"""Approximate adders — the accumulator-side counterpart of step 1.
+
+The paper approximates only the *multipliers*.  A natural question is
+whether approximating the PE's accumulator adder would pay too; these
+generators provide the circuits, and
+:mod:`repro.accuracy.accumulator` provides the analysis showing why the
+answer is "far less than the multiplier" (errors injected into the
+accumulation loop compound linearly with the reduction length, while
+multiplier errors average out).
+
+* :func:`loa_adder` — lower-part-OR adder: the low ``k`` bits are OR-ed
+  (no carries), the high part is exact with a single AND-carry bridging
+  the halves (Mahdiani et al.'s LOA).
+* :func:`truncated_adder` — the low ``k`` result bits are forced to 1
+  (midpoint bias) and no carry enters the high part.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist, declare_input_bus
+from repro.circuits.synthesis import ArithmeticCircuit, full_adder, half_adder
+from repro.errors import SynthesisError
+
+
+def _check(width: int, approx_bits: int) -> None:
+    if width < 1:
+        raise SynthesisError(f"adder width must be >= 1, got {width}")
+    if not 0 < approx_bits < width:
+        raise SynthesisError(
+            f"approx_bits must be in (0, {width}), got {approx_bits}"
+        )
+
+
+def loa_adder(
+    width: int, approx_bits: int, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Lower-part-OR adder.
+
+    Low ``approx_bits`` positions: ``s_i = a_i | b_i`` (carry-free).
+    The carry into the exact upper part is ``a_{k-1} & b_{k-1}`` — the
+    one carry the OR approximation most often misses.
+    """
+    _check(width, approx_bits)
+    nl = Netlist(name or f"loa_add{width}k{approx_bits}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+
+    sums: List[str] = []
+    for i in range(approx_bits):
+        sums.append(
+            nl.add_gate(GateKind.OR, (a[i], b[i]), nl.fresh_wire(f"lo{i}_"))
+        )
+    carry: Optional[str] = nl.add_gate(
+        GateKind.AND,
+        (a[approx_bits - 1], b[approx_bits - 1]),
+        nl.fresh_wire("bridge_"),
+    )
+    for i in range(approx_bits, width):
+        if carry is None:
+            s, carry = half_adder(nl, a[i], b[i])
+        else:
+            s, carry = full_adder(nl, a[i], b[i], carry)
+        sums.append(s)
+    assert carry is not None
+    sums.append(carry)
+    for wire in sums:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(sums))
+
+
+def truncated_adder(
+    width: int, approx_bits: int, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Truncated adder: low result bits tied to 1, no low-part carries.
+
+    Forcing the dropped bits to 1 (rather than 0) halves the worst-case
+    error by centring it — the standard trick.
+    """
+    _check(width, approx_bits)
+    nl = Netlist(name or f"trunc_add{width}k{approx_bits}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+
+    sums: List[str] = []
+    for i in range(approx_bits):
+        one = nl.fresh_wire(f"kone{i}_")
+        nl.tie_constant(one, 1)
+        sums.append(one)
+    carry: Optional[str] = None
+    for i in range(approx_bits, width):
+        if carry is None:
+            s, carry = half_adder(nl, a[i], b[i])
+        else:
+            s, carry = full_adder(nl, a[i], b[i], carry)
+        sums.append(s)
+    assert carry is not None
+    sums.append(carry)
+    for wire in sums:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(sums))

@@ -1,0 +1,104 @@
+"""LUT-based functional models of (approximate) multipliers.
+
+This is the same trick ApproxTrain uses: once a multiplier's exhaustive
+truth table is known, DNN inference never needs the netlist again — a
+table lookup per MAC reproduces the approximate arithmetic bit-exactly.
+
+DNN tensors are signed int8 while the hardware multipliers are unsigned
+8x8 magnitude multipliers (the standard arrangement: sign-magnitude
+handling lives outside the array).  :meth:`LutMultiplier.signed_product`
+implements that convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LutMultiplier:
+    """Vectorised lookup-table multiplier.
+
+    Attributes:
+        table: products indexed by ``a + (b << a_width)`` for unsigned
+            operands.
+        a_width: bit width of operand A.
+        b_width: bit width of operand B.
+        name: label for reports.
+    """
+
+    table: np.ndarray
+    a_width: int
+    b_width: int
+    name: str = "lut"
+
+    def __post_init__(self) -> None:
+        expected = 1 << (self.a_width + self.b_width)
+        if self.table.shape != (expected,):
+            raise SimulationError(
+                f"LUT for {self.a_width}x{self.b_width} needs {expected} "
+                f"entries, got shape {self.table.shape}"
+            )
+
+    @classmethod
+    def exact(cls, a_width: int = 8, b_width: int = 8) -> "LutMultiplier":
+        """Exact multiplier LUT (reference behaviour)."""
+        cases = np.arange(1 << (a_width + b_width), dtype=np.int64)
+        a = cases & ((1 << a_width) - 1)
+        b = cases >> a_width
+        return cls(a * b, a_width, b_width, name="exact")
+
+    # ------------------------------------------------------------------
+
+    def product(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Unsigned product lookup.
+
+        Args:
+            a: unsigned operand array, values in ``[0, 2**a_width)``.
+            b: unsigned operand array, broadcast-compatible with ``a``.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        try:
+            np.broadcast_shapes(a.shape, b.shape)
+        except ValueError:
+            raise SimulationError(
+                f"operand shapes differ: {a.shape} vs {b.shape}"
+            ) from None
+        a64 = a.astype(np.int64)
+        b64 = b.astype(np.int64)
+        if (
+            np.any(a64 < 0)
+            or np.any(b64 < 0)
+            or np.any(a64 >= 1 << self.a_width)
+            or np.any(b64 >= 1 << self.b_width)
+        ):
+            raise SimulationError(
+                f"operands out of range for {self.a_width}x{self.b_width} LUT"
+            )
+        return self.table[a64 + (b64 << self.a_width)]
+
+    def signed_product(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Sign-magnitude product of signed operands.
+
+        The hardware convention: magnitudes go through the (approximate)
+        unsigned array; signs are XOR-ed outside it.  Magnitude
+        ``2**(width-1)`` (from the asymmetric two's-complement minimum)
+        is saturated to ``2**(width-1) - 1`` as a quantiser would.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        max_a = (1 << (self.a_width - 1)) - 1
+        max_b = (1 << (self.b_width - 1)) - 1
+        mag_a = np.minimum(np.abs(a), max_a)
+        mag_b = np.minimum(np.abs(b), max_b)
+        sign = np.sign(a) * np.sign(b)
+        return sign * self.product(mag_a, mag_b)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Alias for :meth:`signed_product` (the common DNN use)."""
+        return self.signed_product(a, b)

@@ -1,0 +1,194 @@
+"""Exhaustive error metrics for approximate multipliers.
+
+For 8x8 multipliers the full input space is 65536 cases, so every metric
+here is *exact* — no sampling noise anywhere in the flow.  Definitions
+follow the approximate-arithmetic literature (e.g. EvoApprox8b):
+
+========  ==================================================================
+ER        error rate: fraction of inputs with a wrong result
+MED       mean error distance: E[|approx - exact|]
+NMED      MED normalised by the maximum exact product
+MRED      mean relative error distance: E[|err| / max(exact, 1)]
+WCE       worst-case error distance
+MSE       mean squared error
+bias      mean signed error E[approx - exact]
+========  ==================================================================
+
+Metrics can be weighted by an operand distribution.  DNN operands are not
+uniform (weights cluster near zero), and the paper's flow selects
+multipliers by their *DNN* impact; the accuracy model uses the weighted
+moments for its error-propagation estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ErrorMetrics:
+    """Exhaustive error statistics of an approximate multiplier.
+
+    All statistics are computed over the full input cross-product,
+    optionally weighted by an operand probability distribution.
+    """
+
+    error_rate: float
+    med: float
+    nmed: float
+    mred: float
+    wce: int
+    mse: float
+    bias: float
+    variance: float
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the circuit matches the exact multiplier everywhere."""
+        return self.wce == 0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"ER={self.error_rate:.3f} NMED={self.nmed:.2e} "
+            f"MRED={self.mred:.2e} WCE={self.wce}"
+        )
+
+
+def exact_products(a_width: int, b_width: int) -> np.ndarray:
+    """Exact product table indexed by ``a + (b << a_width)``."""
+    cases = np.arange(1 << (a_width + b_width), dtype=np.int64)
+    a = cases & ((1 << a_width) - 1)
+    b = cases >> a_width
+    return a * b
+
+
+def exact_sums(a_width: int, b_width: int) -> np.ndarray:
+    """Exact sum table indexed by ``a + (b << a_width)``."""
+    cases = np.arange(1 << (a_width + b_width), dtype=np.int64)
+    a = cases & ((1 << a_width) - 1)
+    b = cases >> a_width
+    return a + b
+
+
+def compute_error_metrics(
+    table: np.ndarray,
+    a_width: int,
+    b_width: int,
+    a_probabilities: Optional[np.ndarray] = None,
+    b_probabilities: Optional[np.ndarray] = None,
+    reference: Optional[np.ndarray] = None,
+) -> ErrorMetrics:
+    """Compute :class:`ErrorMetrics` for an approximate result table.
+
+    Args:
+        table: approximate results indexed by ``a + (b << a_width)``.
+        a_width: bit width of operand A.
+        b_width: bit width of operand B.
+        a_probabilities: optional probability of each A value
+            (length ``2**a_width``; normalised internally).
+        b_probabilities: optional probability of each B value.
+        reference: exact results per case; defaults to the exact
+            product table (pass :func:`exact_sums` output for adders).
+
+    Returns:
+        Exhaustive (optionally operand-weighted) error statistics.
+    """
+    n_cases = 1 << (a_width + b_width)
+    if table.shape != (n_cases,):
+        raise SimulationError(
+            f"table has shape {table.shape}, expected ({n_cases},) for "
+            f"{a_width}x{b_width} operands"
+        )
+
+    if reference is None:
+        exact = exact_products(a_width, b_width)
+    else:
+        exact = np.asarray(reference, dtype=np.int64)
+        if exact.shape != (n_cases,):
+            raise SimulationError(
+                f"reference has shape {exact.shape}, expected ({n_cases},)"
+            )
+    signed_error = table.astype(np.int64) - exact
+    abs_error = np.abs(signed_error)
+
+    weights = _case_weights(a_width, b_width, a_probabilities, b_probabilities)
+
+    max_product = float(exact.max()) if exact.max() > 0 else 1.0
+    relative = abs_error / np.maximum(exact, 1)
+
+    error_rate = float(np.sum((abs_error > 0) * weights))
+    med = float(np.sum(abs_error * weights))
+    mred = float(np.sum(relative * weights))
+    mse = float(np.sum((signed_error.astype(np.float64) ** 2) * weights))
+    bias = float(np.sum(signed_error * weights))
+
+    return ErrorMetrics(
+        error_rate=error_rate,
+        med=med,
+        nmed=med / max_product,
+        mred=mred,
+        wce=int(abs_error.max()),
+        mse=mse,
+        bias=bias,
+        variance=mse - bias * bias,
+    )
+
+
+def _case_weights(
+    a_width: int,
+    b_width: int,
+    a_probabilities: Optional[np.ndarray],
+    b_probabilities: Optional[np.ndarray],
+) -> np.ndarray:
+    """Per-case probability weights over the exhaustive input space."""
+    n_a = 1 << a_width
+    n_b = 1 << b_width
+
+    a_p = _normalised(a_probabilities, n_a, "a_probabilities")
+    b_p = _normalised(b_probabilities, n_b, "b_probabilities")
+    # case index = a + (b << a_width): A varies fastest
+    return np.tile(a_p, n_b) * np.repeat(b_p, n_a)
+
+
+def _normalised(
+    probabilities: Optional[np.ndarray], expected_len: int, name: str
+) -> np.ndarray:
+    if probabilities is None:
+        return np.full(expected_len, 1.0 / expected_len)
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.shape != (expected_len,):
+        raise SimulationError(
+            f"{name} has shape {p.shape}, expected ({expected_len},)"
+        )
+    if np.any(p < 0):
+        raise SimulationError(f"{name} contains negative probabilities")
+    total = p.sum()
+    if total <= 0:
+        raise SimulationError(f"{name} sums to {total}; must be positive")
+    return p / total
+
+
+def gaussian_operand_distribution(
+    width: int, sigma_fraction: float = 0.25
+) -> np.ndarray:
+    """Zero-centred magnitude distribution typical of DNN tensors.
+
+    Quantised DNN weights/activations concentrate near zero; this helper
+    returns a half-Gaussian over operand magnitudes used as the default
+    DNN-aware weighting in the accuracy model.
+
+    Args:
+        width: operand bit width.
+        sigma_fraction: standard deviation as a fraction of full scale.
+    """
+    n = 1 << width
+    values = np.arange(n, dtype=np.float64)
+    sigma = max(sigma_fraction * (n - 1), 1e-9)
+    p = np.exp(-0.5 * (values / sigma) ** 2)
+    return p / p.sum()

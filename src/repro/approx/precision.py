@@ -1,0 +1,81 @@
+"""Precision scaling: operand LSB truncation at the netlist level.
+
+Truncating the ``k`` least-significant bits of an operand removes every
+partial product that depends on them; after constant propagation the
+multiplier physically shrinks (fewer AND gates, shorter compressor
+columns), which is exactly the area-saving mechanism the paper pairs
+with gate-level pruning.
+
+The circuit interface is preserved: the truncated input pins still
+exist, they are simply ignored internally — the netlist consumes a
+constant 0 in their place.  This keeps the PE datapath unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
+from repro.circuits.transform import simplify
+from repro.errors import SynthesisError
+
+
+def truncate_inputs(circuit: ArithmeticCircuit, trunc_a: int, trunc_b: int) -> ArithmeticCircuit:
+    """Rewire the lowest operand bits to constant 0 and simplify.
+
+    Args:
+        circuit: exact (or already approximate) multiplier circuit.
+        trunc_a: number of LSBs of operand A to drop.
+        trunc_b: number of LSBs of operand B to drop.
+
+    Returns:
+        A new circuit with identical interface whose function is
+        ``(a & ~mask_a) * (b & ~mask_b)``.
+    """
+    if trunc_a < 0 or trunc_b < 0:
+        raise SynthesisError(
+            f"truncation counts must be non-negative, got {trunc_a}, {trunc_b}"
+        )
+    if trunc_a >= circuit.a_width or trunc_b >= circuit.b_width:
+        raise SynthesisError(
+            f"cannot truncate {trunc_a}/{trunc_b} bits of a "
+            f"{circuit.a_width}x{circuit.b_width} multiplier"
+        )
+    if trunc_a == 0 and trunc_b == 0:
+        return circuit
+
+    victims = set(circuit.a_wires[:trunc_a]) | set(circuit.b_wires[:trunc_b])
+    source = circuit.netlist
+    rewired = Netlist(
+        name=f"{source.name}_t{trunc_a}{trunc_b}",
+        inputs=list(source.inputs),
+        outputs=list(source.outputs),
+        gates={},
+        constants=dict(source.constants),
+    )
+    zero = rewired.fresh_wire("tz")
+    rewired.tie_constant(zero, 0)
+    for out_wire, gate in source.gates.items():
+        new_inputs = tuple(zero if w in victims else w for w in gate.inputs)
+        rewired.gates[out_wire] = gate.with_inputs(new_inputs)
+    # outputs that directly alias a truncated input become constant 0
+    rewired.outputs = [zero if w in victims else w for w in rewired.outputs]
+
+    return circuit.with_netlist(simplify(rewired))
+
+
+def precision_scaled_multiplier(
+    width: int = 8,
+    trunc_a: int = 0,
+    trunc_b: int = 0,
+    kind: str = "wallace",
+) -> ArithmeticCircuit:
+    """Generate an operand-truncated multiplier from scratch.
+
+    Args:
+        width: operand width of the base multiplier.
+        trunc_a: LSBs of operand A ignored by the hardware.
+        trunc_b: LSBs of operand B ignored by the hardware.
+        kind: base multiplier family (``array``/``wallace``/``dadda``).
+    """
+    base = make_multiplier(width, width, kind=kind)
+    return truncate_inputs(base, trunc_a, trunc_b)

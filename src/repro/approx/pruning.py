@@ -1,0 +1,124 @@
+"""Gate-level pruning search space.
+
+Following the variability-aware approximate-synthesis flow the paper
+cites (Balaskas et al., TCAS-I 2022), pruning candidates are internal
+wires ranked by how cheaply they can be tied to a constant:
+
+* each gate-output wire gets a **preferred constant** — its more likely
+  logic value under uniform inputs (so the tie agrees with the wire most
+  of the time), and
+* a **disagreement score** ``min(p1, 1 - p1)`` — the fraction of input
+  cases where the tie is wrong.  Wires that are almost always 0 or 1
+  are nearly free to prune.
+
+An NSGA-II genome is a bitmask over the lowest-disagreement candidates;
+decoding a genome prunes the selected wires and simplifies the netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.simulate import signal_probabilities
+from repro.circuits.synthesis import ArithmeticCircuit
+from repro.circuits.transform import prune_wires
+from repro.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class PruningCandidate:
+    """One prunable wire with its preferred constant and cost score."""
+
+    wire: str
+    constant: int
+    disagreement: float
+
+
+class PruningSpace:
+    """Ranked pruning candidates of one arithmetic circuit.
+
+    Args:
+        circuit: the exact multiplier to approximate.
+        max_candidates: genome length; only the ``max_candidates``
+            cheapest wires are searchable.  64 covers everything the
+            8x8 search ever selects while keeping genomes compact.
+        protect_outputs: exclude wires that directly drive primary
+            outputs (pruning those produces gross, never-Pareto errors).
+    """
+
+    def __init__(
+        self,
+        circuit: ArithmeticCircuit,
+        max_candidates: int = 64,
+        protect_outputs: bool = True,
+    ):
+        if max_candidates < 1:
+            raise OptimizationError(
+                f"max_candidates must be >= 1, got {max_candidates}"
+            )
+        self.circuit = circuit
+        probabilities = signal_probabilities(
+            circuit.netlist, [circuit.a_wires, circuit.b_wires]
+        )
+        protected = set(circuit.netlist.outputs) if protect_outputs else set()
+        candidates: List[PruningCandidate] = []
+        for wire in circuit.netlist.gates:
+            if wire in protected:
+                continue
+            p1 = probabilities[wire]
+            constant = 1 if p1 >= 0.5 else 0
+            candidates.append(
+                PruningCandidate(wire, constant, min(p1, 1.0 - p1))
+            )
+        candidates.sort(key=lambda c: (c.disagreement, c.wire))
+        self.candidates: Tuple[PruningCandidate, ...] = tuple(
+            candidates[:max_candidates]
+        )
+        if not self.candidates:
+            raise OptimizationError(
+                f"no prunable wires in circuit {circuit.netlist.name}"
+            )
+
+    @property
+    def genome_length(self) -> int:
+        """Number of bits in a pruning genome."""
+        return len(self.candidates)
+
+    def assignments_for(self, genome: Sequence[int]) -> Dict[str, int]:
+        """Wire -> constant assignments selected by a genome bitmask."""
+        if len(genome) != self.genome_length:
+            raise OptimizationError(
+                f"genome length {len(genome)} != {self.genome_length}"
+            )
+        return {
+            c.wire: c.constant
+            for bit, c in zip(genome, self.candidates)
+            if bit
+        }
+
+    def apply(self, genome: Sequence[int]) -> ArithmeticCircuit:
+        """Prune the circuit according to ``genome`` and simplify."""
+        assignments = self.assignments_for(genome)
+        if not assignments:
+            return self.circuit
+        pruned = prune_wires(self.circuit.netlist, assignments)
+        return self.circuit.with_netlist(pruned)
+
+    def random_genome(
+        self, rng: np.random.Generator, density: float | None = None
+    ) -> Tuple[int, ...]:
+        """A random genome with approximately ``density`` bits set.
+
+        When ``density`` is None a fresh density is drawn log-uniformly
+        in [1/length, 0.3] per call, so initial populations mix
+        near-exact candidates (one or two pruned wires — the fine-grained
+        low-error end the accuracy tiers need) with aggressive ones.
+        """
+        if density is None:
+            low = 1.0 / self.genome_length
+            density = float(np.exp(rng.uniform(np.log(low), np.log(0.3))))
+        bits = (rng.random(self.genome_length) < density).astype(int)
+        return tuple(int(b) for b in bits)

@@ -1,0 +1,159 @@
+"""Structural approximate multipliers (design-time, search-free).
+
+Beyond searched gate-level pruning and operand truncation, the
+approximate-arithmetic literature uses fixed *structural* schemes; two
+classics are implemented as additional library candidates:
+
+* **partial-product truncation** (:func:`truncated_pp_multiplier`) —
+  drop every partial product below a cut column; optionally compensate
+  with the dropped columns' expected value as a constant correction
+  (a "constant-correction truncated multiplier");
+* **lower-part OR approximation** (:func:`loa_multiplier`) — keep all
+  partial products but replace carry-propagating compression in the low
+  columns with a simple per-column OR fold (no carries leave the
+  approximate region), in the spirit of the lower-part-OR adder (LOA).
+
+Both shrink area deterministically without any search, giving the
+library fine-grained low-error points the NSGA-II run can compete
+against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist, declare_input_bus
+from repro.circuits.synthesis import (
+    ArithmeticCircuit,
+    carry_propagate,
+    compress_columns,
+    partial_product_columns,
+)
+from repro.circuits.transform import simplify
+from repro.errors import SynthesisError
+
+
+def _check_cut(width: int, cut: int, max_cut_fraction: float = 1.0) -> None:
+    if cut < 1:
+        raise SynthesisError(f"cut must be >= 1, got {cut}")
+    limit = int(2 * width * max_cut_fraction)
+    if cut >= limit:
+        raise SynthesisError(
+            f"cut {cut} removes every useful column of a {width}x{width} "
+            f"multiplier (limit {limit})"
+        )
+
+
+def _dropped_expectation(width: int, cut: int) -> int:
+    """Rounded expected value of the dropped partial-product columns.
+
+    Each AND partial product is 1 with probability 1/4 under uniform
+    inputs; column ``c`` (c < width) holds ``c + 1`` products.
+    """
+    expectation = 0.0
+    for column in range(cut):
+        height = min(column, width - 1, 2 * width - 2 - column) + 1
+        expectation += height * 0.25 * (1 << column)
+    return int(round(expectation))
+
+
+def truncated_pp_multiplier(
+    width: int = 8,
+    cut: int = 4,
+    correction: bool = True,
+    name: Optional[str] = None,
+) -> ArithmeticCircuit:
+    """Multiplier with partial-product columns below ``cut`` removed.
+
+    Args:
+        width: operand width.
+        cut: first kept column; products at positions < cut are never
+            generated (their AND gates disappear too).
+        correction: add the dropped columns' expected value as a
+            constant, which centres the error distribution (classic
+            constant-correction truncation).
+    """
+    _check_cut(width, cut)
+    out_width = 2 * width
+    nl = Netlist(name or f"mul{width}x{width}_tpp{cut}{'c' if correction else ''}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+
+    columns: List[List[str]] = [[] for _ in range(out_width)]
+    for j in range(width):
+        for i in range(width):
+            position = i + j
+            if position < cut:
+                continue
+            pp = nl.add_gate(
+                GateKind.AND, (a[i], b[j]), nl.fresh_wire(f"pp{j}_{i}_")
+            )
+            columns[position].append(pp)
+
+    if correction:
+        constant = _dropped_expectation(width, cut)
+        for position in range(out_width):
+            if (constant >> position) & 1:
+                one = nl.fresh_wire(f"corr{position}_")
+                nl.tie_constant(one, 1)
+                columns[position].append(one)
+
+    columns = compress_columns(nl, columns, cap=out_width)
+    outputs = carry_propagate(nl, columns, cap=out_width)[:out_width]
+    while len(outputs) < out_width:  # fully-empty low columns
+        zero = nl.fresh_wire("zero")
+        nl.tie_constant(zero, 0)
+        outputs.append(zero)
+    for wire in outputs:
+        nl.add_output(wire)
+    circuit = ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(outputs))
+    return circuit.with_netlist(simplify(nl))
+
+
+def loa_multiplier(
+    width: int = 8,
+    approx_columns: int = 4,
+    name: Optional[str] = None,
+) -> ArithmeticCircuit:
+    """Multiplier with OR-folded (carry-free) low columns.
+
+    Args:
+        width: operand width.
+        approx_columns: number of least-significant product columns
+            compressed by OR folding instead of adders.  Carries that
+            would leave the approximate region are dropped.
+    """
+    _check_cut(width, approx_columns)
+    out_width = 2 * width
+    nl = Netlist(name or f"mul{width}x{width}_loa{approx_columns}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+
+    columns = partial_product_columns(nl, list(a), list(b))
+
+    outputs_low: List[str] = []
+    for position in range(min(approx_columns, out_width)):
+        wires = columns[position]
+        if not wires:
+            zero = nl.fresh_wire("zero")
+            nl.tie_constant(zero, 0)
+            outputs_low.append(zero)
+            continue
+        acc = wires[0]
+        for wire in wires[1:]:
+            acc = nl.add_gate(
+                GateKind.OR, (acc, wire), nl.fresh_wire(f"or{position}_")
+            )
+        outputs_low.append(acc)
+
+    exact_columns = [[] for _ in range(approx_columns)] + [
+        list(col) for col in columns[approx_columns:]
+    ]
+    exact_columns = compress_columns(nl, exact_columns, cap=out_width)
+    outputs_high = carry_propagate(nl, exact_columns, cap=out_width)
+    outputs = outputs_low + outputs_high[approx_columns:out_width]
+    for wire in outputs:
+        nl.add_output(wire)
+    circuit = ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(outputs))
+    return circuit.with_netlist(simplify(nl))

@@ -1,0 +1,57 @@
+"""Embodied-carbon substrate (ACT / ECO-CHIP style).
+
+Implements the paper's Eq. 1 and Eq. 2:
+
+.. math::
+
+    C_{embodied} = CFPA \\cdot A_{die} + CFPA_{Si} \\cdot A_{wasted}
+
+    CFPA = \\frac{CI_{fab} \\cdot EPA + C_{gas} + C_{material}}{Y}
+
+with a per-node fab parameter database (:mod:`repro.carbon.nodes`),
+wafer geometry and yield models (:mod:`repro.carbon.wafer`), the carbon
+equations themselves (:mod:`repro.carbon.act`), an accelerator-level
+aggregator (:mod:`repro.carbon.accelerator_carbon`) and an operational
+carbon extension (:mod:`repro.carbon.operational`).
+"""
+
+from repro.carbon.nodes import TechnologyNode, technology_node, SUPPORTED_NODES
+from repro.carbon.wafer import (
+    WaferSpec,
+    dies_per_wafer,
+    poisson_yield,
+    murphy_yield,
+    wasted_area_per_die_mm2,
+)
+from repro.carbon.act import (
+    CarbonBreakdown,
+    GRID_PROFILES,
+    cfpa_g_per_mm2,
+    embodied_carbon,
+)
+from repro.carbon.accelerator_carbon import (
+    DieAreaBreakdown,
+    AcceleratorCarbon,
+    accelerator_embodied_carbon,
+)
+from repro.carbon.operational import OperationalModel, operational_carbon
+
+__all__ = [
+    "TechnologyNode",
+    "technology_node",
+    "SUPPORTED_NODES",
+    "WaferSpec",
+    "dies_per_wafer",
+    "poisson_yield",
+    "murphy_yield",
+    "wasted_area_per_die_mm2",
+    "CarbonBreakdown",
+    "GRID_PROFILES",
+    "cfpa_g_per_mm2",
+    "embodied_carbon",
+    "DieAreaBreakdown",
+    "AcceleratorCarbon",
+    "accelerator_embodied_carbon",
+    "OperationalModel",
+    "operational_carbon",
+]

@@ -1,0 +1,84 @@
+"""Accelerator-level embodied-carbon aggregation.
+
+Bridges the architecture model (which knows die areas per component)
+and the ACT equations (which turn area into gCO2).  Kept separate from
+:mod:`repro.accel` so the carbon package stays usable for any die, not
+just DNN accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.act import DEFAULT_GRID, CarbonBreakdown, embodied_carbon
+from repro.carbon.wafer import DEFAULT_WAFER, WaferSpec
+from repro.errors import CarbonModelError
+
+
+@dataclass(frozen=True)
+class DieAreaBreakdown:
+    """Die area split by component class.
+
+    Attributes:
+        pe_array_mm2: MAC/PE array logic area.
+        sram_mm2: on-chip buffer macros (local + global).
+        other_mm2: NoC, control, IO ring, PLLs — everything else.
+    """
+
+    pe_array_mm2: float
+    sram_mm2: float
+    other_mm2: float
+
+    def __post_init__(self) -> None:
+        for name in ("pe_array_mm2", "sram_mm2", "other_mm2"):
+            if getattr(self, name) < 0:
+                raise CarbonModelError(f"{name} cannot be negative")
+        if self.total_mm2 <= 0:
+            raise CarbonModelError("die area must be positive")
+
+    @property
+    def total_mm2(self) -> float:
+        return self.pe_array_mm2 + self.sram_mm2 + self.other_mm2
+
+
+@dataclass(frozen=True)
+class AcceleratorCarbon:
+    """Embodied carbon of an accelerator die, with per-component split.
+
+    The per-component figures allocate the *die* term of Eq. 1
+    proportionally to area; the wasted-wafer term is reported once
+    (it is a property of the die outline, not of any one component).
+    """
+
+    areas: DieAreaBreakdown
+    breakdown: CarbonBreakdown
+    pe_array_g: float
+    sram_g: float
+    other_g: float
+
+    @property
+    def total_g(self) -> float:
+        return self.breakdown.total_g
+
+    @property
+    def wasted_g(self) -> float:
+        return self.breakdown.wasted_carbon_g
+
+
+def accelerator_embodied_carbon(
+    areas: DieAreaBreakdown,
+    node_nm: int,
+    grid: str | float = DEFAULT_GRID,
+    wafer: WaferSpec = DEFAULT_WAFER,
+) -> AcceleratorCarbon:
+    """Eq. 1 applied to an accelerator die area breakdown."""
+    breakdown = embodied_carbon(areas.total_mm2, node_nm, grid=grid, wafer=wafer)
+    die_g = breakdown.die_carbon_g
+    total_area = areas.total_mm2
+    return AcceleratorCarbon(
+        areas=areas,
+        breakdown=breakdown,
+        pe_array_g=die_g * areas.pe_array_mm2 / total_area,
+        sram_g=die_g * areas.sram_mm2 / total_area,
+        other_g=die_g * areas.other_mm2 / total_area,
+    )

@@ -1,0 +1,176 @@
+"""Embodied-carbon equations (the paper's Eq. 1 and Eq. 2).
+
+.. math::
+
+    CFPA = (CI_{fab} \\cdot EPA + C_{gas} + C_{material}) / Y
+
+    C_{embodied} = CFPA \\cdot A_{die} + CFPA_{Si} \\cdot A_{wasted}
+
+``CFPA_Si`` covers the wasted wafer area: that silicon is fully
+processed (it consumes fab energy and gases like any other area) but is
+never tested or binned, so no yield division applies to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.carbon.nodes import TechnologyNode, technology_node
+from repro.carbon.wafer import (
+    DEFAULT_WAFER,
+    WaferSpec,
+    dies_per_wafer,
+    murphy_yield,
+    wasted_area_per_die_mm2,
+)
+from repro.errors import CarbonModelError
+from repro.units import kg_per_cm2_to_g_per_mm2
+
+#: Grid carbon intensity profiles in gCO2 per kWh.
+GRID_PROFILES: Dict[str, float] = {
+    "coal": 820.0,
+    "world_average": 475.0,
+    "taiwan": 560.0,
+    "south_korea": 415.0,
+    "renewable": 50.0,
+}
+
+DEFAULT_GRID = "taiwan"
+
+YieldModel = Callable[[float, float], float]
+
+#: Yield model used when callers do not pass one explicitly.  A module
+#: attribute (not a function default) so sensitivity sweeps can swap it
+#: under try/finally without touching every call site.
+DEFAULT_YIELD_MODEL: YieldModel = murphy_yield
+
+
+@dataclass(frozen=True)
+class CarbonBreakdown:
+    """Embodied carbon of one die with all intermediate quantities.
+
+    Attributes:
+        node_nm: technology node.
+        die_area_mm2: logic+memory die area.
+        cfpa_g_per_mm2: yielded carbon footprint per die area (Eq. 2).
+        cfpa_si_g_per_mm2: un-yielded footprint of wasted wafer area.
+        yield_fraction: die yield used in Eq. 2.
+        dies_per_wafer: gross dies on the wafer.
+        wasted_area_mm2: wafer waste amortised to this die.
+        die_carbon_g: ``CFPA * A_die``.
+        wasted_carbon_g: ``CFPA_Si * A_wasted``.
+    """
+
+    node_nm: int
+    die_area_mm2: float
+    cfpa_g_per_mm2: float
+    cfpa_si_g_per_mm2: float
+    yield_fraction: float
+    dies_per_wafer: int
+    wasted_area_mm2: float
+    die_carbon_g: float
+    wasted_carbon_g: float
+
+    @property
+    def total_g(self) -> float:
+        """Total embodied carbon in gCO2 (Eq. 1)."""
+        return self.die_carbon_g + self.wasted_carbon_g
+
+
+def cfpa_g_per_mm2(
+    node: TechnologyNode,
+    grid_gco2_per_kwh: float,
+    yield_fraction: float,
+) -> float:
+    """Eq. 2: carbon footprint per unit die area, in gCO2/mm^2.
+
+    Args:
+        node: fab parameter set.
+        grid_gco2_per_kwh: carbon intensity of the fab's electricity.
+        yield_fraction: die yield in (0, 1].
+    """
+    if grid_gco2_per_kwh <= 0:
+        raise CarbonModelError(
+            f"grid carbon intensity must be positive, got {grid_gco2_per_kwh}"
+        )
+    if not 0.0 < yield_fraction <= 1.0:
+        raise CarbonModelError(
+            f"yield must be in (0, 1], got {yield_fraction}"
+        )
+    energy_kg_per_cm2 = grid_gco2_per_kwh * node.epa_kwh_per_cm2 / 1000.0
+    unyielded_kg_per_cm2 = (
+        energy_kg_per_cm2 + node.gpa_kg_per_cm2 + node.mpa_kg_per_cm2
+    )
+    return kg_per_cm2_to_g_per_mm2(unyielded_kg_per_cm2) / yield_fraction
+
+
+def _cfpa_si_g_per_mm2(node: TechnologyNode, grid_gco2_per_kwh: float) -> float:
+    """Footprint of processed-but-wasted wafer area (no yield division)."""
+    energy_kg_per_cm2 = grid_gco2_per_kwh * node.epa_kwh_per_cm2 / 1000.0
+    return kg_per_cm2_to_g_per_mm2(
+        energy_kg_per_cm2 + node.gpa_kg_per_cm2 + node.mpa_kg_per_cm2
+    )
+
+
+def embodied_carbon(
+    die_area_mm2: float,
+    node_nm: int,
+    grid: str | float = DEFAULT_GRID,
+    wafer: WaferSpec = DEFAULT_WAFER,
+    yield_model: YieldModel | None = None,
+) -> CarbonBreakdown:
+    """Eq. 1 for a monolithic die.
+
+    Args:
+        die_area_mm2: total die area.
+        node_nm: technology node (7/14/28).
+        grid: profile name from :data:`GRID_PROFILES` or a numeric
+            gCO2/kWh intensity.
+        wafer: wafer geometry.
+        yield_model: die-yield model ``f(area_mm2, defect_density)``;
+            defaults to :data:`DEFAULT_YIELD_MODEL` (Murphy).
+
+    Returns:
+        Full carbon breakdown; ``total_g`` is Eq. 1's left-hand side.
+    """
+    if die_area_mm2 <= 0:
+        raise CarbonModelError(f"die area must be positive, got {die_area_mm2}")
+    node = technology_node(node_nm)
+    intensity = _resolve_grid(grid)
+
+    if yield_model is None:
+        yield_model = DEFAULT_YIELD_MODEL
+    yield_fraction = yield_model(die_area_mm2, node.defect_density_per_cm2)
+    if not 0.0 < yield_fraction <= 1.0:
+        raise CarbonModelError(
+            f"yield model returned {yield_fraction}; expected (0, 1]"
+        )
+
+    cfpa = cfpa_g_per_mm2(node, intensity, yield_fraction)
+    cfpa_si = _cfpa_si_g_per_mm2(node, intensity)
+    wasted = wasted_area_per_die_mm2(die_area_mm2, wafer)
+
+    return CarbonBreakdown(
+        node_nm=node_nm,
+        die_area_mm2=die_area_mm2,
+        cfpa_g_per_mm2=cfpa,
+        cfpa_si_g_per_mm2=cfpa_si,
+        yield_fraction=yield_fraction,
+        dies_per_wafer=dies_per_wafer(die_area_mm2, wafer),
+        wasted_area_mm2=wasted,
+        die_carbon_g=cfpa * die_area_mm2,
+        wasted_carbon_g=cfpa_si * wasted,
+    )
+
+
+def _resolve_grid(grid: str | float) -> float:
+    if isinstance(grid, str):
+        try:
+            return GRID_PROFILES[grid]
+        except KeyError:
+            raise CarbonModelError(
+                f"unknown grid profile {grid!r}; "
+                f"known: {sorted(GRID_PROFILES)}"
+            ) from None
+    return float(grid)

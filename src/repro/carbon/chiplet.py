@@ -1,0 +1,165 @@
+"""Chiplet (multi-die) embodied-carbon model, after ECO-CHIP.
+
+The paper cites ECO-CHIP [Sudarshan et al., HPCA'24], which shows that
+disaggregating a large die into chiplets changes embodied carbon in two
+opposing ways:
+
+* **yield gain** — smaller dies yield better, cutting the per-die CFPA
+  denominator (Eq. 2);
+* **packaging cost** — dies must be reassembled on an interposer or
+  substrate, whose manufacturing adds its own footprint, plus a die
+  area overhead for die-to-die PHYs.
+
+This module extends the monolithic Eq. 1 model to that trade-off so
+the ablation benchmarks can ask: *at what accelerator size does
+chipletisation pay off in carbon?* — a natural "future work" direction
+for the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.carbon.act import DEFAULT_GRID, CarbonBreakdown, embodied_carbon
+from repro.carbon.wafer import DEFAULT_WAFER, WaferSpec
+from repro.errors import CarbonModelError
+
+
+@dataclass(frozen=True)
+class PackagingModel:
+    """Packaging/assembly carbon parameters.
+
+    Attributes:
+        interposer_g_per_mm2: footprint of interposer/substrate area
+            (organic substrates ~0.3, silicon interposers ~1.5 gCO2/mm2
+            — far below an active die's CFPA but not free).
+        interposer_area_factor: interposer area relative to the summed
+            chiplet area (routing margin between dies).
+        d2d_phy_overhead: active-area overhead per chiplet for
+            die-to-die links (fraction of chiplet area).
+        bonding_g_per_chiplet: per-die assembly/bonding footprint.
+        assembly_yield: probability the multi-die assembly survives
+            packaging (known-good-die testing keeps this high).
+    """
+
+    interposer_g_per_mm2: float = 0.8
+    interposer_area_factor: float = 1.3
+    d2d_phy_overhead: float = 0.08
+    bonding_g_per_chiplet: float = 0.5
+    assembly_yield: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.interposer_g_per_mm2 < 0 or self.bonding_g_per_chiplet < 0:
+            raise CarbonModelError("packaging footprints cannot be negative")
+        if self.interposer_area_factor < 1.0:
+            raise CarbonModelError(
+                "interposer must at least cover the chiplets"
+            )
+        if not 0.0 <= self.d2d_phy_overhead < 1.0:
+            raise CarbonModelError("d2d_phy_overhead must be in [0, 1)")
+        if not 0.0 < self.assembly_yield <= 1.0:
+            raise CarbonModelError("assembly_yield must be in (0, 1]")
+
+
+DEFAULT_PACKAGING = PackagingModel()
+
+
+@dataclass(frozen=True)
+class ChipletCarbon:
+    """Embodied carbon of a chipletised system.
+
+    Attributes:
+        n_chiplets: number of equal-area dies.
+        per_chiplet: Eq. 1 breakdown of one chiplet.
+        silicon_g: all chiplet dies together (yield included).
+        packaging_g: interposer + bonding + assembly-yield surcharge.
+    """
+
+    n_chiplets: int
+    per_chiplet: CarbonBreakdown
+    silicon_g: float
+    packaging_g: float
+
+    @property
+    def total_g(self) -> float:
+        return self.silicon_g + self.packaging_g
+
+
+def chiplet_embodied_carbon(
+    total_active_mm2: float,
+    n_chiplets: int,
+    node_nm: int,
+    grid: str | float = DEFAULT_GRID,
+    wafer: WaferSpec = DEFAULT_WAFER,
+    packaging: PackagingModel = DEFAULT_PACKAGING,
+) -> ChipletCarbon:
+    """Embodied carbon of splitting a design into equal chiplets.
+
+    Args:
+        total_active_mm2: active logic+memory area before splitting.
+        n_chiplets: number of equal dies (1 = monolithic + packaging-free).
+        node_nm: technology node for every chiplet.
+        grid: fab grid profile.
+        wafer: wafer geometry.
+        packaging: assembly model.
+    """
+    if total_active_mm2 <= 0:
+        raise CarbonModelError("active area must be positive")
+    if n_chiplets < 1:
+        raise CarbonModelError(f"need at least one chiplet, got {n_chiplets}")
+
+    if n_chiplets == 1:
+        breakdown = embodied_carbon(total_active_mm2, node_nm, grid, wafer)
+        return ChipletCarbon(
+            n_chiplets=1,
+            per_chiplet=breakdown,
+            silicon_g=breakdown.total_g,
+            packaging_g=0.0,
+        )
+
+    per_die_mm2 = (
+        total_active_mm2 / n_chiplets
+    ) * (1.0 + packaging.d2d_phy_overhead)
+    breakdown = embodied_carbon(per_die_mm2, node_nm, grid, wafer)
+    silicon = breakdown.total_g * n_chiplets
+
+    interposer_mm2 = (
+        per_die_mm2 * n_chiplets * packaging.interposer_area_factor
+    )
+    packaging_g = (
+        interposer_mm2 * packaging.interposer_g_per_mm2
+        + n_chiplets * packaging.bonding_g_per_chiplet
+    )
+    total_before_assembly = silicon + packaging_g
+    # assembly loss surcharge: 1/Y_assembly - 1 extra systems' worth
+    surcharge = total_before_assembly * (1.0 / packaging.assembly_yield - 1.0)
+
+    return ChipletCarbon(
+        n_chiplets=n_chiplets,
+        per_chiplet=breakdown,
+        silicon_g=silicon,
+        packaging_g=packaging_g + surcharge,
+    )
+
+
+def best_chiplet_count(
+    total_active_mm2: float,
+    node_nm: int,
+    max_chiplets: int = 8,
+    grid: str | float = DEFAULT_GRID,
+    packaging: PackagingModel = DEFAULT_PACKAGING,
+) -> Tuple[int, float]:
+    """(carbon-optimal chiplet count, its total gCO2) for a design."""
+    if max_chiplets < 1:
+        raise CarbonModelError("max_chiplets must be >= 1")
+    best_count = 1
+    best_carbon = math.inf
+    for count in range(1, max_chiplets + 1):
+        total = chiplet_embodied_carbon(
+            total_active_mm2, count, node_nm, grid=grid, packaging=packaging
+        ).total_g
+        if total < best_carbon:
+            best_count, best_carbon = count, total
+    return best_count, best_carbon

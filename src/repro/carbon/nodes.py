@@ -1,0 +1,127 @@
+"""Technology-node fab parameter database.
+
+Values are representative of the published ACT (Gupta et al., ISCA'22)
+and imec sustainable-semiconductor datasets.  Each parameter is
+documented with its role in Eq. 2; absolute gCO2 results depend on these
+assumptions, but the cross-node *trends* the paper reports (carbon per
+area rising steeply towards advanced nodes, yield dropping, SRAM density
+improving more slowly than logic density) are all encoded here.
+
+==================  =======================================================
+``epa_kwh_per_cm2`` fab energy consumed per processed wafer area (EPA)
+``gpa_kg_per_cm2``  direct greenhouse-gas emissions per area (C_gas)
+``mpa_kg_per_cm2``  upstream material procurement footprint (C_material)
+``defect_density``  defects per cm^2, drives die yield
+``logic_density``   NAND2-equivalent gates per mm^2 (layout density)
+``sram_bitcell``    6T SRAM bit-cell area in um^2
+==================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import CarbonModelError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Fab and layout parameters of one technology node.
+
+    Attributes:
+        node_nm: feature size label in nanometres.
+        epa_kwh_per_cm2: manufacturing energy per unit processed area.
+        gpa_kg_per_cm2: direct process greenhouse-gas footprint per area.
+        mpa_kg_per_cm2: raw-material procurement footprint per area.
+        defect_density_per_cm2: random defect density for yield models.
+        sram_bitcell_um2: 6T SRAM bit-cell layout area.
+        sram_array_efficiency: useful-bit fraction of an SRAM macro
+            (periphery, sense amps, redundancy take the rest).
+        clock_ghz: nominal accelerator clock at this node (used by the
+            performance model).
+    """
+
+    node_nm: int
+    epa_kwh_per_cm2: float
+    gpa_kg_per_cm2: float
+    mpa_kg_per_cm2: float
+    defect_density_per_cm2: float
+    sram_bitcell_um2: float
+    sram_array_efficiency: float
+    clock_ghz: float
+
+    def __post_init__(self) -> None:
+        positive = {
+            "epa_kwh_per_cm2": self.epa_kwh_per_cm2,
+            "gpa_kg_per_cm2": self.gpa_kg_per_cm2,
+            "mpa_kg_per_cm2": self.mpa_kg_per_cm2,
+            "sram_bitcell_um2": self.sram_bitcell_um2,
+            "clock_ghz": self.clock_ghz,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise CarbonModelError(
+                    f"{name} must be positive for {self.node_nm} nm, got {value}"
+                )
+        if self.defect_density_per_cm2 < 0:
+            raise CarbonModelError("defect density cannot be negative")
+        if not 0.0 < self.sram_array_efficiency <= 1.0:
+            raise CarbonModelError(
+                "sram_array_efficiency must be in (0, 1], got "
+                f"{self.sram_array_efficiency}"
+            )
+
+
+# Representative parameters per node.  EPA rises sharply towards advanced
+# nodes (more EUV/multi-patterning passes); defect density is higher for
+# younger processes; SRAM bit cells shrink slower than logic.
+_NODES: Dict[int, TechnologyNode] = {
+    7: TechnologyNode(
+        node_nm=7,
+        epa_kwh_per_cm2=1.52,
+        gpa_kg_per_cm2=0.28,
+        mpa_kg_per_cm2=0.50,
+        defect_density_per_cm2=0.20,
+        sram_bitcell_um2=0.027,
+        sram_array_efficiency=0.60,
+        clock_ghz=1.2,
+    ),
+    14: TechnologyNode(
+        node_nm=14,
+        epa_kwh_per_cm2=1.20,
+        gpa_kg_per_cm2=0.20,
+        mpa_kg_per_cm2=0.50,
+        defect_density_per_cm2=0.10,
+        sram_bitcell_um2=0.064,
+        sram_array_efficiency=0.65,
+        clock_ghz=1.0,
+    ),
+    28: TechnologyNode(
+        node_nm=28,
+        epa_kwh_per_cm2=0.90,
+        gpa_kg_per_cm2=0.14,
+        mpa_kg_per_cm2=0.50,
+        defect_density_per_cm2=0.05,
+        sram_bitcell_um2=0.120,
+        sram_array_efficiency=0.70,
+        clock_ghz=0.8,
+    ),
+}
+
+SUPPORTED_NODES: Tuple[int, ...] = tuple(sorted(_NODES))
+
+
+def technology_node(node_nm: int) -> TechnologyNode:
+    """Look up the parameter set of a supported node.
+
+    Raises:
+        CarbonModelError: for nodes outside the paper's 7/14/28 nm set.
+    """
+    try:
+        return _NODES[node_nm]
+    except KeyError:
+        raise CarbonModelError(
+            f"unsupported technology node {node_nm} nm; "
+            f"supported: {list(SUPPORTED_NODES)}"
+        ) from None

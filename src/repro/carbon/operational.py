@@ -1,0 +1,112 @@
+"""Operational (use-phase) carbon model.
+
+The paper optimises *embodied* carbon — its motivation is that embodied
+emissions dominate for edge inference [Gupta et al., HPCA'21].  This
+module provides the complementary use-phase model so the ablation
+benchmarks can test that claim inside our reproduction: given a design's
+energy per inference and a deployment scenario, how many inferences does
+it take before operational carbon catches up with embodied carbon?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.nodes import TechnologyNode, technology_node
+from repro.errors import CarbonModelError
+
+#: Energy per 8-bit MAC operation, in picojoules, per node.  Representative
+#: of published accelerator surveys (Horowitz-style scaling).
+_MAC_ENERGY_PJ = {7: 0.20, 14: 0.45, 28: 1.10}
+
+#: Energy per byte of on-chip SRAM access (pJ/byte).
+_SRAM_ENERGY_PJ_PER_BYTE = {7: 0.8, 14: 1.5, 28: 2.8}
+
+#: Energy per byte of off-chip DRAM access (pJ/byte); node independent
+#: to first order (dominated by the interface, not the core).
+_DRAM_ENERGY_PJ_PER_BYTE = 20.0
+
+
+@dataclass(frozen=True)
+class OperationalModel:
+    """Per-inference energy accounting for one accelerator design.
+
+    Attributes:
+        node_nm: technology node.
+        macs_per_inference: MAC operations executed per inference.
+        sram_bytes_per_inference: on-chip buffer traffic per inference.
+        dram_bytes_per_inference: off-chip traffic per inference.
+        static_power_w: leakage + clocking power while active.
+        latency_s: time per inference (for static energy integration).
+    """
+
+    node_nm: int
+    macs_per_inference: float
+    sram_bytes_per_inference: float
+    dram_bytes_per_inference: float
+    static_power_w: float = 0.0
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "macs_per_inference",
+            "sram_bytes_per_inference",
+            "dram_bytes_per_inference",
+            "static_power_w",
+            "latency_s",
+        ):
+            if getattr(self, name) < 0:
+                raise CarbonModelError(f"{name} cannot be negative")
+
+    @property
+    def node(self) -> TechnologyNode:
+        return technology_node(self.node_nm)
+
+    def energy_per_inference_j(self) -> float:
+        """Dynamic + static energy per inference in joules."""
+        if self.node_nm not in _MAC_ENERGY_PJ:
+            raise CarbonModelError(
+                f"no energy data for node {self.node_nm} nm"
+            )
+        dynamic_pj = (
+            self.macs_per_inference * _MAC_ENERGY_PJ[self.node_nm]
+            + self.sram_bytes_per_inference
+            * _SRAM_ENERGY_PJ_PER_BYTE[self.node_nm]
+            + self.dram_bytes_per_inference * _DRAM_ENERGY_PJ_PER_BYTE
+        )
+        static_j = self.static_power_w * self.latency_s
+        return dynamic_pj * 1e-12 + static_j
+
+
+def operational_carbon(
+    model: OperationalModel,
+    inferences: float,
+    grid_gco2_per_kwh: float = 475.0,
+) -> float:
+    """Use-phase carbon (gCO2) of running ``inferences`` inferences.
+
+    Args:
+        model: per-inference energy model.
+        inferences: lifetime inference count.
+        grid_gco2_per_kwh: deployment-site grid intensity.
+    """
+    if inferences < 0:
+        raise CarbonModelError(f"inference count cannot be negative: {inferences}")
+    if grid_gco2_per_kwh <= 0:
+        raise CarbonModelError("grid intensity must be positive")
+    energy_kwh = model.energy_per_inference_j() * inferences / 3.6e6
+    return energy_kwh * grid_gco2_per_kwh
+
+
+def break_even_inferences(
+    model: OperationalModel,
+    embodied_g: float,
+    grid_gco2_per_kwh: float = 475.0,
+) -> float:
+    """Inferences needed for use-phase carbon to equal embodied carbon."""
+    if embodied_g < 0:
+        raise CarbonModelError("embodied carbon cannot be negative")
+    per_inference_g = operational_carbon(model, 1.0, grid_gco2_per_kwh)
+    if per_inference_g == 0.0:
+        return float("inf")
+    return embodied_g / per_inference_g

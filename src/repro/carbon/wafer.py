@@ -1,0 +1,107 @@
+"""Wafer geometry, dies-per-wafer and yield models.
+
+The wasted-area term of Eq. 1 comes from here: a 300 mm wafer cannot be
+tiled perfectly by rectangular dies, and the unusable edge area is
+amortised over the good dies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CarbonModelError
+
+
+@dataclass(frozen=True)
+class WaferSpec:
+    """Physical wafer parameters.
+
+    Attributes:
+        diameter_mm: wafer diameter (industry standard: 300 mm).
+        edge_exclusion_mm: unusable ring at the wafer edge.
+        saw_street_mm: kerf between adjacent dies.
+    """
+
+    diameter_mm: float = 300.0
+    edge_exclusion_mm: float = 3.0
+    saw_street_mm: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.diameter_mm <= 0:
+            raise CarbonModelError("wafer diameter must be positive")
+        if self.edge_exclusion_mm < 0 or self.saw_street_mm < 0:
+            raise CarbonModelError("wafer margins cannot be negative")
+        if 2 * self.edge_exclusion_mm >= self.diameter_mm:
+            raise CarbonModelError("edge exclusion consumes the whole wafer")
+
+    @property
+    def usable_radius_mm(self) -> float:
+        return self.diameter_mm / 2.0 - self.edge_exclusion_mm
+
+    @property
+    def usable_area_mm2(self) -> float:
+        return math.pi * self.usable_radius_mm**2
+
+
+DEFAULT_WAFER = WaferSpec()
+
+
+def dies_per_wafer(die_area_mm2: float, wafer: WaferSpec = DEFAULT_WAFER) -> int:
+    """Gross dies per wafer (standard industry estimate).
+
+    Uses the familiar correction ``pi*r^2/A - pi*d / sqrt(2*A)`` that
+    subtracts partial dies on the wafer rim.
+    """
+    if die_area_mm2 <= 0:
+        raise CarbonModelError(f"die area must be positive, got {die_area_mm2}")
+    street = wafer.saw_street_mm
+    effective_area = (math.sqrt(die_area_mm2) + street) ** 2
+    diameter = 2.0 * wafer.usable_radius_mm
+    wafer_area = math.pi * (diameter / 2.0) ** 2
+    count = wafer_area / effective_area - (
+        math.pi * diameter / math.sqrt(2.0 * effective_area)
+    )
+    if count < 1.0:
+        raise CarbonModelError(
+            f"die of {die_area_mm2:.1f} mm^2 does not fit the usable wafer"
+        )
+    return int(count)
+
+
+def wasted_area_per_die_mm2(
+    die_area_mm2: float, wafer: WaferSpec = DEFAULT_WAFER
+) -> float:
+    """Unusable wafer area amortised per gross die (Eq. 1's A_wasted)."""
+    count = dies_per_wafer(die_area_mm2, wafer)
+    total_die_area = count * die_area_mm2
+    full_wafer_area = math.pi * (wafer.diameter_mm / 2.0) ** 2
+    return max(full_wafer_area - total_die_area, 0.0) / count
+
+
+def poisson_yield(die_area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Poisson die-yield model: ``Y = exp(-D * A)``."""
+    _check_yield_inputs(die_area_mm2, defect_density_per_cm2)
+    area_cm2 = die_area_mm2 / 100.0
+    return math.exp(-defect_density_per_cm2 * area_cm2)
+
+
+def murphy_yield(die_area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Murphy die-yield model: ``Y = ((1 - exp(-D*A)) / (D*A))^2``.
+
+    Less pessimistic than Poisson for large dies; the default in ACT.
+    """
+    _check_yield_inputs(die_area_mm2, defect_density_per_cm2)
+    d_times_a = defect_density_per_cm2 * die_area_mm2 / 100.0
+    if d_times_a == 0.0:
+        return 1.0
+    return ((1.0 - math.exp(-d_times_a)) / d_times_a) ** 2
+
+
+def _check_yield_inputs(die_area_mm2: float, defect_density: float) -> None:
+    if die_area_mm2 <= 0:
+        raise CarbonModelError(f"die area must be positive, got {die_area_mm2}")
+    if defect_density < 0:
+        raise CarbonModelError(
+            f"defect density cannot be negative, got {defect_density}"
+        )

@@ -1,0 +1,59 @@
+"""Gate-level circuit substrate.
+
+This package provides everything the approximate-multiplier flow needs
+from a logic-synthesis tool, implemented from scratch:
+
+* a small combinational netlist IR (:mod:`repro.circuits.netlist`),
+* generators for exact adders and multipliers
+  (:mod:`repro.circuits.synthesis`),
+* a vectorised simulator able to evaluate an 8x8 multiplier on all
+  65536 input pairs in milliseconds (:mod:`repro.circuits.simulate`),
+* netlist rewrites used by gate-level pruning
+  (:mod:`repro.circuits.transform`),
+* area / delay estimation per technology node
+  (:mod:`repro.circuits.area`), and
+* verification helpers (:mod:`repro.circuits.verify`).
+"""
+
+from repro.circuits.gates import Gate, GateKind, GATE_LIBRARY
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulate import CompiledNetlist, simulate, exhaustive_table
+from repro.circuits.synthesis import (
+    ripple_carry_adder,
+    array_multiplier,
+    wallace_multiplier,
+    dadda_multiplier,
+    make_multiplier,
+)
+from repro.circuits.area import GateAreaModel, netlist_area_um2, netlist_delay_ps
+from repro.circuits.transform import (
+    propagate_constants,
+    remove_dead_gates,
+    prune_wires,
+    simplify,
+)
+from repro.circuits.verify import equivalent, validate_netlist
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "GATE_LIBRARY",
+    "Netlist",
+    "CompiledNetlist",
+    "simulate",
+    "exhaustive_table",
+    "ripple_carry_adder",
+    "array_multiplier",
+    "wallace_multiplier",
+    "dadda_multiplier",
+    "make_multiplier",
+    "GateAreaModel",
+    "netlist_area_um2",
+    "netlist_delay_ps",
+    "propagate_constants",
+    "remove_dead_gates",
+    "prune_wires",
+    "simplify",
+    "equivalent",
+    "validate_netlist",
+]

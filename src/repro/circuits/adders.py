@@ -1,0 +1,260 @@
+"""Fast adder families: carry-lookahead, Kogge-Stone, carry-select.
+
+The ripple-carry adder in :mod:`repro.circuits.synthesis` is the area
+floor; these families trade area for logarithmic or block-parallel
+carry depth.  They matter to the carbon study in two ways: the PE
+accumulator's adder choice shifts the area/clock trade-off, and the
+approximate-adder extension (:mod:`repro.approx.adders`) needs exact
+baselines to approximate.
+
+All generators return :class:`ArithmeticCircuit` with a
+``width + 1``-bit sum (carry-out included) and are exhaustively
+verified by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist, declare_input_bus
+from repro.circuits.synthesis import ArithmeticCircuit, full_adder, half_adder
+from repro.errors import SynthesisError
+
+
+def _propagate_generate(
+    nl: Netlist, a: List[str], b: List[str]
+) -> Tuple[List[str], List[str]]:
+    """Bitwise propagate (XOR) and generate (AND) signals."""
+    p = [
+        nl.add_gate(GateKind.XOR, (a[i], b[i]), nl.fresh_wire(f"p{i}_"))
+        for i in range(len(a))
+    ]
+    g = [
+        nl.add_gate(GateKind.AND, (a[i], b[i]), nl.fresh_wire(f"g{i}_"))
+        for i in range(len(a))
+    ]
+    return p, g
+
+
+def _and_chain(nl: Netlist, wires: List[str], tag: str) -> str:
+    """AND-fold a non-empty wire list."""
+    acc = wires[0]
+    for index, wire in enumerate(wires[1:], start=1):
+        acc = nl.add_gate(
+            GateKind.AND, (acc, wire), nl.fresh_wire(f"{tag}a{index}_")
+        )
+    return acc
+
+
+def _or_chain(nl: Netlist, wires: List[str], tag: str) -> str:
+    """OR-fold a non-empty wire list."""
+    acc = wires[0]
+    for index, wire in enumerate(wires[1:], start=1):
+        acc = nl.add_gate(
+            GateKind.OR, (acc, wire), nl.fresh_wire(f"{tag}o{index}_")
+        )
+    return acc
+
+
+def carry_lookahead_adder(
+    width: int, block: int = 4, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Block carry-lookahead adder (74x283-style groups).
+
+    Within each ``block``-bit group every carry is a two-level AND-OR
+    over the group's p/g terms and its carry-in:
+
+    ``c_{i+1} = g_i | p_i g_{i-1} | ... | (p_i ... p_start) c_in``
+
+    Groups chain through their carry-out, so depth is
+    O(width / block) group hops instead of O(width) bit hops.
+
+    Args:
+        width: operand width.
+        block: lookahead group size (>= 1).
+    """
+    if width < 1:
+        raise SynthesisError(f"adder width must be >= 1, got {width}")
+    if block < 1:
+        raise SynthesisError(f"lookahead block must be >= 1, got {block}")
+    nl = Netlist(name or f"cla{width}b{block}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+    p, g = _propagate_generate(nl, a, b)
+
+    sums: List[str] = []
+    group_cin: Optional[str] = None  # carry into the current group
+    for start in range(0, width, block):
+        end = min(start + block, width)
+        carry_in: Optional[str] = group_cin  # carry into bit `start`
+        for i in range(start, end):
+            if carry_in is None:
+                sums.append(p[i])
+            else:
+                sums.append(
+                    nl.add_gate(
+                        GateKind.XOR, (p[i], carry_in), nl.fresh_wire(f"s{i}_")
+                    )
+                )
+            # lookahead carry into bit i+1, flat AND-OR from the group base
+            tag = f"la{i}_"
+            terms: List[str] = []
+            for j in range(start, i + 1):
+                # term: g_j & p_{j+1} & ... & p_i
+                factors = [g[j]] + p[j + 1 : i + 1]
+                terms.append(
+                    _and_chain(nl, factors, f"{tag}g{j}_")
+                    if len(factors) > 1
+                    else factors[0]
+                )
+            if group_cin is not None:
+                factors = p[start : i + 1] + [group_cin]
+                terms.append(_and_chain(nl, factors, f"{tag}c_"))
+            carry_in = _or_chain(nl, terms, tag) if len(terms) > 1 else terms[0]
+        group_cin = carry_in
+    assert group_cin is not None
+    sums.append(group_cin)
+    for wire in sums:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(sums))
+
+
+def kogge_stone_adder(width: int, name: Optional[str] = None) -> ArithmeticCircuit:
+    """Kogge-Stone parallel-prefix adder (log-depth carries)."""
+    if width < 1:
+        raise SynthesisError(f"adder width must be >= 1, got {width}")
+    nl = Netlist(name or f"ks{width}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+    p, g = _propagate_generate(nl, a, b)
+
+    # prefix tree over (g, p): after the tree, g_i = carry out of bit i
+    level_g = list(g)
+    level_p = list(p)
+    distance = 1
+    while distance < width:
+        next_g = list(level_g)
+        next_p = list(level_p)
+        for i in range(distance, width):
+            through = nl.add_gate(
+                GateKind.AND,
+                (level_p[i], level_g[i - distance]),
+                nl.fresh_wire(f"kg{distance}_{i}_"),
+            )
+            next_g[i] = nl.add_gate(
+                GateKind.OR, (level_g[i], through), nl.fresh_wire(f"gg{distance}_{i}_")
+            )
+            next_p[i] = nl.add_gate(
+                GateKind.AND,
+                (level_p[i], level_p[i - distance]),
+                nl.fresh_wire(f"pp{distance}_{i}_"),
+            )
+        level_g, level_p = next_g, next_p
+        distance *= 2
+
+    sums: List[str] = [p[0]]
+    for i in range(1, width):
+        sums.append(
+            nl.add_gate(
+                GateKind.XOR, (p[i], level_g[i - 1]), nl.fresh_wire(f"s{i}_")
+            )
+        )
+    sums.append(level_g[width - 1])
+    for wire in sums:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(sums))
+
+
+def _ripple_block(
+    nl: Netlist,
+    a: List[str],
+    b: List[str],
+    cin: Optional[str],
+) -> Tuple[List[str], str]:
+    """Ripple-add a block; cin None means 0. Returns (sums, carry)."""
+    sums: List[str] = []
+    carry = cin
+    for i in range(len(a)):
+        if carry is None:
+            s, carry = half_adder(nl, a[i], b[i])
+        else:
+            s, carry = full_adder(nl, a[i], b[i], carry)
+        sums.append(s)
+    assert carry is not None
+    return sums, carry
+
+
+def _constant_one(nl: Netlist) -> str:
+    one = nl.fresh_wire("kone")
+    nl.tie_constant(one, 1)
+    return one
+
+
+def carry_select_adder(
+    width: int, block: int = 4, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Carry-select adder: each block computed for cin=0/1, muxed.
+
+    Args:
+        width: operand width.
+        block: block size; the first block is plain ripple.
+    """
+    if width < 1:
+        raise SynthesisError(f"adder width must be >= 1, got {width}")
+    if block < 1:
+        raise SynthesisError(f"select block must be >= 1, got {block}")
+    nl = Netlist(name or f"csel{width}b{block}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+
+    sums: List[str] = []
+    first_end = min(block, width)
+    block_sums, carry = _ripple_block(nl, a[:first_end], b[:first_end], None)
+    sums.extend(block_sums)
+
+    start = first_end
+    while start < width:
+        end = min(start + block, width)
+        a_blk, b_blk = a[start:end], b[start:end]
+        zero_sums, zero_carry = _ripple_block(nl, a_blk, b_blk, None)
+        one_sums, one_carry = _ripple_block(
+            nl, a_blk, b_blk, _constant_one(nl)
+        )
+        for i, (s0, s1) in enumerate(zip(zero_sums, one_sums)):
+            sums.append(
+                nl.add_gate(
+                    GateKind.MUX, (s0, s1, carry), nl.fresh_wire(f"ms{start + i}_")
+                )
+            )
+        carry = nl.add_gate(
+            GateKind.MUX, (zero_carry, one_carry, carry), nl.fresh_wire(f"mc{end}_")
+        )
+        start = end
+
+    sums.append(carry)
+    for wire in sums:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(sums))
+
+
+ADDER_KINDS = ("ripple", "cla", "kogge_stone", "carry_select")
+
+
+def make_adder(
+    width: int, kind: str = "ripple", name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Dispatch to an adder generator by ``kind``."""
+    if kind == "ripple":
+        from repro.circuits.synthesis import ripple_carry_adder
+
+        return ripple_carry_adder(width, name)
+    if kind == "cla":
+        return carry_lookahead_adder(width, name=name)
+    if kind == "kogge_stone":
+        return kogge_stone_adder(width, name=name)
+    if kind == "carry_select":
+        return carry_select_adder(width, name=name)
+    raise SynthesisError(
+        f"unknown adder kind {kind!r}; expected one of {ADDER_KINDS}"
+    )

@@ -1,0 +1,150 @@
+"""Radix-4 (modified) Booth multiplier for signed operands.
+
+The paper's flow runs unsigned magnitude multipliers with external sign
+handling (NVDLA's arrangement).  Real accelerators also use signed
+Booth arrays, so the library provides one as an additional base family
+for the approximation flow and for signed-arithmetic experiments.
+
+Implementation: classic radix-4 recoding of the multiplier ``B`` into
+``n/2`` digits in {-2, -1, 0, +1, +2}.  Each digit selects 0 / A / 2A,
+conditionally inverted for negative digits with the +1 correction
+injected into the digit's column; partial products are sign-extended to
+the full product width and compressed with the shared Wallace
+machinery.  The product is exact two's-complement, truncated to
+``2 * width`` bits (which holds every signed 8x8 product).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist, declare_input_bus
+from repro.circuits.synthesis import (
+    ArithmeticCircuit,
+    carry_propagate,
+    compress_columns,
+)
+from repro.errors import SynthesisError
+
+
+def _booth_digit_controls(
+    nl: Netlist, b1: str, b0: str, bm1: Optional[str], tag: str
+) -> Tuple[str, str, str]:
+    """(one, two, neg) control signals of one radix-4 digit.
+
+    ``bm1`` is None for the first group (b_{-1} = 0), which collapses
+    the recoding logic.
+    """
+    if bm1 is None:
+        # b_{-1} = 0: one = b0, two = b1 & !b0, neg = b1
+        one = nl.add_gate(GateKind.BUF, (b0,), nl.fresh_wire(f"one{tag}_"))
+        not_b0 = nl.add_gate(GateKind.NOT, (b0,), nl.fresh_wire(f"nb0{tag}_"))
+        two = nl.add_gate(
+            GateKind.AND, (b1, not_b0), nl.fresh_wire(f"two{tag}_")
+        )
+        neg = nl.add_gate(GateKind.BUF, (b1,), nl.fresh_wire(f"neg{tag}_"))
+        return one, two, neg
+
+    one = nl.add_gate(GateKind.XOR, (b0, bm1), nl.fresh_wire(f"one{tag}_"))
+    # two: digit is +-2 <=> (b1, b0, bm1) in {(1,0,0), (0,1,1)}
+    b0_and_bm1 = nl.add_gate(
+        GateKind.AND, (b0, bm1), nl.fresh_wire(f"band{tag}_")
+    )
+    not_b1 = nl.add_gate(GateKind.NOT, (b1,), nl.fresh_wire(f"nb1{tag}_"))
+    pos_two = nl.add_gate(
+        GateKind.AND, (not_b1, b0_and_bm1), nl.fresh_wire(f"ptwo{tag}_")
+    )
+    neither = nl.add_gate(
+        GateKind.NOR, (b0, bm1), nl.fresh_wire(f"nor{tag}_")
+    )
+    neg_two = nl.add_gate(
+        GateKind.AND, (b1, neither), nl.fresh_wire(f"ntwo{tag}_")
+    )
+    two = nl.add_gate(
+        GateKind.OR, (pos_two, neg_two), nl.fresh_wire(f"two{tag}_")
+    )
+    # neg: digit < 0 <=> b1 & !(b0 & bm1)
+    not_both = nl.add_gate(
+        GateKind.NOT, (b0_and_bm1,), nl.fresh_wire(f"nboth{tag}_")
+    )
+    neg = nl.add_gate(
+        GateKind.AND, (b1, not_both), nl.fresh_wire(f"neg{tag}_")
+    )
+    return one, two, neg
+
+
+def booth_multiplier(
+    width: int = 8, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Signed radix-4 Booth multiplier, ``width`` x ``width`` bits.
+
+    Args:
+        width: operand width; must be even (radix-4 digit pairs).
+
+    Returns:
+        Circuit whose result bus holds the two's-complement product
+        truncated to ``2 * width`` bits.
+    """
+    if width < 2 or width % 2:
+        raise SynthesisError(
+            f"Booth radix-4 needs an even width >= 2, got {width}"
+        )
+    if 2 * width > 26:
+        raise SynthesisError(
+            f"{width}x{width} Booth would need 2^{2 * width} exhaustive "
+            "cases; refusing"
+        )
+    n = width
+    out_width = 2 * n
+    nl = Netlist(name or f"mul{n}x{n}_booth")
+    a = declare_input_bus(nl, "a", n)
+    b = declare_input_bus(nl, "b", n)
+
+    columns: List[List[str]] = [[] for _ in range(out_width)]
+    for j in range(n // 2):
+        tag = f"g{j}"
+        b1 = b[2 * j + 1]
+        b0 = b[2 * j]
+        bm1 = b[2 * j - 1] if j > 0 else None
+        one, two, neg = _booth_digit_controls(nl, b1, b0, bm1, tag)
+
+        # 9-bit magnitude row: (one ? A : two ? 2A : 0), then XOR neg
+        pp_bits: List[str] = []
+        for i in range(n + 1):
+            a_for_one = a[i] if i < n else a[n - 1]  # sign-extend A
+            sel_one = nl.add_gate(
+                GateKind.AND, (one, a_for_one), nl.fresh_wire(f"s1{tag}_{i}_")
+            )
+            if i == 0:
+                pre = sel_one  # 2A has a zero LSB
+            else:
+                sel_two = nl.add_gate(
+                    GateKind.AND, (two, a[i - 1]), nl.fresh_wire(f"s2{tag}_{i}_")
+                )
+                pre = nl.add_gate(
+                    GateKind.OR, (sel_one, sel_two), nl.fresh_wire(f"pre{tag}_{i}_")
+                )
+            pp = nl.add_gate(
+                GateKind.XOR, (pre, neg), nl.fresh_wire(f"pp{tag}_{i}_")
+            )
+            pp_bits.append(pp)
+
+        base = 2 * j
+        for i, wire in enumerate(pp_bits):
+            position = base + i
+            if position < out_width:
+                columns[position].append(wire)
+        # sign-extend the row's MSB across the remaining product bits
+        sign = pp_bits[-1]
+        for position in range(base + n + 1, out_width):
+            columns[position].append(sign)
+        # +1 correction for negative digits (two's-complement negate)
+        columns[base].append(neg)
+
+    columns = compress_columns(nl, columns, cap=out_width)
+    outputs = carry_propagate(nl, columns, cap=out_width)
+    outputs = outputs[:out_width]
+    for wire in outputs:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(outputs))

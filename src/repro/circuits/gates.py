@@ -1,0 +1,158 @@
+"""Combinational gate library.
+
+Each gate kind carries:
+
+* its logic function, expressed over numpy arrays so the simulator can
+  evaluate a whole input batch with one vectorised operation;
+* a static-CMOS transistor count, the basis of the area model (we report
+  areas in NAND2-equivalents, the unit synthesis tools use);
+* an intrinsic delay weight used for critical-path estimation.
+
+The library is intentionally small — INV/BUF plus the standard two-input
+cells and a 2:1 MUX — matching what the multiplier generators emit.
+Constants (logic 0/1) are represented at the netlist level, not as gates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class GateKind(enum.Enum):
+    """Supported combinational cell types."""
+
+    NOT = "not"
+    BUF = "buf"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # inputs (a, b, sel): output = b if sel else a
+
+
+def _eval_not(ins: Tuple[Array, ...]) -> Array:
+    return ~ins[0]
+
+
+def _eval_buf(ins: Tuple[Array, ...]) -> Array:
+    return ins[0].copy()
+
+
+def _eval_and(ins: Tuple[Array, ...]) -> Array:
+    return ins[0] & ins[1]
+
+
+def _eval_or(ins: Tuple[Array, ...]) -> Array:
+    return ins[0] | ins[1]
+
+
+def _eval_nand(ins: Tuple[Array, ...]) -> Array:
+    return ~(ins[0] & ins[1])
+
+
+def _eval_nor(ins: Tuple[Array, ...]) -> Array:
+    return ~(ins[0] | ins[1])
+
+
+def _eval_xor(ins: Tuple[Array, ...]) -> Array:
+    return ins[0] ^ ins[1]
+
+
+def _eval_xnor(ins: Tuple[Array, ...]) -> Array:
+    return ~(ins[0] ^ ins[1])
+
+
+def _eval_mux(ins: Tuple[Array, ...]) -> Array:
+    a, b, sel = ins
+    return (a & ~sel) | (b & sel)
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static properties of a gate kind.
+
+    Attributes:
+        kind: the gate type this spec describes.
+        n_inputs: number of input pins.
+        transistors: static-CMOS transistor count of the cell.
+        delay_weight: relative intrinsic delay (NAND2 == 1.0); multiplied
+            by the per-node gate delay to obtain picoseconds.
+        evaluate: bitwise evaluation over packed-uint64 or boolean arrays.
+    """
+
+    kind: GateKind
+    n_inputs: int
+    transistors: int
+    delay_weight: float
+    evaluate: Callable[[Tuple[Array, ...]], Array]
+
+    @property
+    def nand2_equivalents(self) -> float:
+        """Cell size in NAND2-equivalents (4 transistors == 1 GE)."""
+        return self.transistors / 4.0
+
+
+GATE_LIBRARY: Dict[GateKind, GateSpec] = {
+    GateKind.NOT: GateSpec(GateKind.NOT, 1, 2, 0.6, _eval_not),
+    GateKind.BUF: GateSpec(GateKind.BUF, 1, 4, 0.8, _eval_buf),
+    GateKind.AND: GateSpec(GateKind.AND, 2, 6, 1.2, _eval_and),
+    GateKind.OR: GateSpec(GateKind.OR, 2, 6, 1.2, _eval_or),
+    GateKind.NAND: GateSpec(GateKind.NAND, 2, 4, 1.0, _eval_nand),
+    GateKind.NOR: GateSpec(GateKind.NOR, 2, 4, 1.0, _eval_nor),
+    GateKind.XOR: GateSpec(GateKind.XOR, 2, 10, 1.8, _eval_xor),
+    GateKind.XNOR: GateSpec(GateKind.XNOR, 2, 10, 1.8, _eval_xnor),
+    GateKind.MUX: GateSpec(GateKind.MUX, 3, 12, 1.6, _eval_mux),
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance in a netlist.
+
+    Attributes:
+        kind: gate type, a :class:`GateKind`.
+        inputs: names of the wires feeding the input pins, in pin order.
+        output: name of the single output wire this gate drives.
+    """
+
+    kind: GateKind
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        spec = GATE_LIBRARY[self.kind]
+        if len(self.inputs) != spec.n_inputs:
+            raise ValueError(
+                f"{self.kind.value} gate expects {spec.n_inputs} inputs, "
+                f"got {len(self.inputs)} driving '{self.output}'"
+            )
+
+    @property
+    def spec(self) -> GateSpec:
+        """Static cell properties for this gate's kind."""
+        return GATE_LIBRARY[self.kind]
+
+    def with_inputs(self, inputs: Tuple[str, ...]) -> "Gate":
+        """Return a copy of this gate with rewired input pins."""
+        return Gate(self.kind, inputs, self.output)
+
+
+# Truth-table helpers used by constant propagation ---------------------------
+
+def gate_output_for_constants(kind: GateKind, values: Tuple[int, ...]) -> int:
+    """Evaluate a gate on scalar 0/1 inputs.
+
+    Used by :mod:`repro.circuits.transform` when every input of a gate is
+    a known constant.
+    """
+    arrays = tuple(np.array([v], dtype=bool) for v in values)
+    result = GATE_LIBRARY[kind].evaluate(arrays)
+    return int(bool(result[0]))

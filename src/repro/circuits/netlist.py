@@ -1,0 +1,252 @@
+"""Combinational netlist intermediate representation.
+
+A :class:`Netlist` is a named DAG of gates:
+
+* **inputs** — ordered primary input wires;
+* **outputs** — ordered primary output wires;
+* **gates** — one gate per driven wire (single-driver invariant);
+* **constants** — wires tied to logic 0/1 (produced by pruning).
+
+Wires are plain strings.  An output wire may also be an alias of an
+input or constant (common after simplification), which is modelled with
+a BUF gate so the single-driver invariant always holds for non-input,
+non-constant wires.
+
+The IR is deliberately minimal: enough to synthesise exact multipliers,
+apply gate-level pruning rewrites, and measure area — the three things
+the paper's step-1 flow needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.circuits.gates import Gate, GateKind
+from repro.errors import NetlistError
+
+
+@dataclass
+class Netlist:
+    """A combinational netlist.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"mul8x8_wallace"``).
+        inputs: ordered primary-input wire names.
+        outputs: ordered primary-output wire names.
+        gates: mapping from driven wire name to the driving :class:`Gate`.
+        constants: wires tied off to 0 or 1.
+    """
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    gates: Dict[str, Gate] = field(default_factory=dict)
+    constants: Dict[str, int] = field(default_factory=dict)
+
+    # --- construction helpers ---------------------------------------------
+
+    def add_input(self, wire: str) -> str:
+        """Declare a primary input wire and return its name."""
+        if wire in self.inputs:
+            raise NetlistError(f"duplicate input wire '{wire}'")
+        if wire in self.gates or wire in self.constants:
+            raise NetlistError(f"wire '{wire}' is already driven")
+        self.inputs.append(wire)
+        return wire
+
+    def add_output(self, wire: str) -> str:
+        """Declare a primary output wire and return its name."""
+        self.outputs.append(wire)
+        return wire
+
+    def add_gate(self, kind: GateKind, inputs: Sequence[str], output: str) -> str:
+        """Add a gate driving ``output``; returns the output wire name."""
+        if output in self.gates:
+            raise NetlistError(f"wire '{output}' already driven by a gate")
+        if output in self.inputs:
+            raise NetlistError(f"wire '{output}' is a primary input")
+        if output in self.constants:
+            raise NetlistError(f"wire '{output}' is a constant")
+        self.gates[output] = Gate(kind, tuple(inputs), output)
+        return output
+
+    def tie_constant(self, wire: str, value: int) -> str:
+        """Tie ``wire`` to constant ``value`` (0 or 1)."""
+        if value not in (0, 1):
+            raise NetlistError(f"constant must be 0 or 1, got {value!r}")
+        if wire in self.gates:
+            raise NetlistError(f"wire '{wire}' already driven by a gate")
+        if wire in self.inputs:
+            raise NetlistError(f"wire '{wire}' is a primary input")
+        self.constants[wire] = value
+        return wire
+
+    def fresh_wire(self, prefix: str = "w") -> str:
+        """Return a wire name not yet used anywhere in the netlist."""
+        index = len(self.gates) + len(self.constants)
+        wire = f"{prefix}{index}"
+        while self.is_known(wire):
+            index += 1
+            wire = f"{prefix}{index}"
+        return wire
+
+    # --- queries ------------------------------------------------------------
+
+    def is_known(self, wire: str) -> bool:
+        """True if ``wire`` is an input, constant, or gate output."""
+        return wire in self.gates or wire in self.constants or wire in self.inputs
+
+    def driver_of(self, wire: str) -> Gate | None:
+        """The gate driving ``wire``, or ``None`` for inputs/constants."""
+        return self.gates.get(wire)
+
+    def all_wires(self) -> Set[str]:
+        """Every wire name referenced by the netlist."""
+        wires: Set[str] = set(self.inputs) | set(self.constants) | set(self.gates)
+        for gate in self.gates.values():
+            wires.update(gate.inputs)
+        wires.update(self.outputs)
+        return wires
+
+    def fanout(self) -> Dict[str, List[str]]:
+        """Map each wire to the list of gate-output wires it feeds."""
+        result: Dict[str, List[str]] = {}
+        for out_wire, gate in self.gates.items():
+            for in_wire in gate.inputs:
+                result.setdefault(in_wire, []).append(out_wire)
+        return result
+
+    @property
+    def gate_count(self) -> int:
+        """Number of gate instances (constants and inputs excluded)."""
+        return len(self.gates)
+
+    def transistor_count(self) -> int:
+        """Total static-CMOS transistor count over all gates."""
+        return sum(gate.spec.transistors for gate in self.gates.values())
+
+    def kind_histogram(self) -> Dict[GateKind, int]:
+        """Count of gate instances per :class:`GateKind`."""
+        histogram: Dict[GateKind, int] = {}
+        for gate in self.gates.values():
+            histogram[gate.kind] = histogram.get(gate.kind, 0) + 1
+        return histogram
+
+    # --- ordering -------------------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Gate-output wires in dependency order.
+
+        Raises:
+            NetlistError: if the netlist contains a combinational cycle or
+                a gate reads a wire that nothing drives.
+        """
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 = unvisited, 1 = on stack, 2 = done
+        sources = set(self.inputs) | set(self.constants)
+
+        for root in self.gates:
+            if state.get(root, 0) == 2:
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            while stack:
+                wire, pin = stack[-1]
+                if pin == 0:
+                    if state.get(wire, 0) == 1:
+                        raise NetlistError(
+                            f"combinational cycle through wire '{wire}'"
+                        )
+                    state[wire] = 1
+                gate = self.gates[wire]
+                advanced = False
+                for next_pin in range(pin, len(gate.inputs)):
+                    dep = gate.inputs[next_pin]
+                    if dep in sources:
+                        continue
+                    if dep not in self.gates:
+                        raise NetlistError(
+                            f"gate '{wire}' reads undriven wire '{dep}'"
+                        )
+                    if state.get(dep, 0) == 2:
+                        continue
+                    if state.get(dep, 0) == 1:
+                        raise NetlistError(
+                            f"combinational cycle through wire '{dep}'"
+                        )
+                    stack[-1] = (wire, next_pin + 1)
+                    stack.append((dep, 0))
+                    advanced = True
+                    break
+                if advanced:
+                    continue
+                state[wire] = 2
+                order.append(wire)
+                stack.pop()
+        return order
+
+    # --- housekeeping ----------------------------------------------------------
+
+    def check_outputs_driven(self) -> None:
+        """Raise if any declared output has no driver."""
+        for wire in self.outputs:
+            if not self.is_known(wire):
+                raise NetlistError(f"output wire '{wire}' is undriven")
+
+    def copy(self, name: str | None = None) -> "Netlist":
+        """Deep-enough copy (gates are immutable; containers are fresh)."""
+        return Netlist(
+            name=name or self.name,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            gates=dict(self.gates),
+            constants=dict(self.constants),
+        )
+
+    def stats(self) -> Mapping[str, float]:
+        """Summary statistics used in reports and tests."""
+        return {
+            "gates": self.gate_count,
+            "transistors": self.transistor_count(),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "constants": len(self.constants),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"Netlist({self.name!r}, {len(self.inputs)} in, "
+            f"{len(self.outputs)} out, {self.gate_count} gates)"
+        )
+
+
+def bus(prefix: str, width: int) -> List[str]:
+    """Wire names for a ``width``-bit bus: ``prefix0 .. prefix{width-1}``.
+
+    Bit 0 is the least-significant bit throughout the library.
+    """
+    if width <= 0:
+        raise NetlistError(f"bus width must be positive, got {width}")
+    return [f"{prefix}{i}" for i in range(width)]
+
+
+def declare_input_bus(netlist: Netlist, prefix: str, width: int) -> List[str]:
+    """Declare ``width`` input wires named ``prefix0..``; returns them."""
+    wires = bus(prefix, width)
+    for wire in wires:
+        netlist.add_input(wire)
+    return wires
+
+
+def declare_output_bus(netlist: Netlist, prefix: str, width: int) -> List[str]:
+    """Declare ``width`` output wires named ``prefix0..``; returns them."""
+    wires = bus(prefix, width)
+    for wire in wires:
+        netlist.add_output(wire)
+    return wires
+
+
+def iter_gates_in_order(netlist: Netlist) -> Iterable[Gate]:
+    """Yield gates in topological order (inputs before consumers)."""
+    for wire in netlist.topological_order():
+        yield netlist.gates[wire]

@@ -1,0 +1,428 @@
+"""Exact arithmetic circuit generators.
+
+Produces gate-level netlists for the unsigned multipliers the paper's
+step-1 flow approximates:
+
+* ``array``   — row-by-row ripple accumulation (textbook array multiplier);
+* ``wallace`` — aggressive column compression with 3:2 / 2:2 counters;
+* ``dadda``   — Dadda's minimal-counter column reduction.
+
+All generators return an :class:`ArithmeticCircuit`, which pairs the
+netlist with the operand/result buses so later transforms never have to
+guess wire names.  Bit 0 is the least-significant bit everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist, declare_input_bus
+from repro.circuits.simulate import multiplier_truth_table
+from repro.errors import SynthesisError
+
+MULTIPLIER_KINDS = ("array", "wallace", "dadda")
+
+
+@dataclass(frozen=True)
+class ArithmeticCircuit:
+    """A netlist plus its operand and result buses.
+
+    Attributes:
+        netlist: the gate-level implementation.
+        a_wires: operand-A input wires, LSB first.
+        b_wires: operand-B input wires, LSB first (empty for unary ops).
+        result_wires: result wires, LSB first.
+    """
+
+    netlist: Netlist
+    a_wires: Tuple[str, ...]
+    b_wires: Tuple[str, ...]
+    result_wires: Tuple[str, ...]
+
+    @property
+    def a_width(self) -> int:
+        return len(self.a_wires)
+
+    @property
+    def b_width(self) -> int:
+        return len(self.b_wires)
+
+    @property
+    def result_width(self) -> int:
+        return len(self.result_wires)
+
+    def truth_table(self) -> np.ndarray:
+        """Exhaustive result table indexed by ``a + (b << a_width)``."""
+        return multiplier_truth_table(
+            self.netlist, self.a_wires, self.b_wires, self.result_wires
+        )
+
+    def with_netlist(self, netlist: Netlist) -> "ArithmeticCircuit":
+        """Rebind to a transformed netlist, refreshing result wires.
+
+        Transforms keep ``netlist.outputs`` positionally aligned with the
+        original result bus, so the new result wires are simply the new
+        output list.
+        """
+        return replace(
+            self, netlist=netlist, result_wires=tuple(netlist.outputs)
+        )
+
+
+# --- adder/counter building blocks -----------------------------------------
+
+
+def _half_adder(nl: Netlist, a: str, b: str) -> Tuple[str, str]:
+    """Append a half adder; returns (sum, carry)."""
+    s = nl.add_gate(GateKind.XOR, (a, b), nl.fresh_wire("has"))
+    c = nl.add_gate(GateKind.AND, (a, b), nl.fresh_wire("hac"))
+    return s, c
+
+
+def _full_adder(nl: Netlist, a: str, b: str, cin: str) -> Tuple[str, str]:
+    """Append a full adder; returns (sum, carry)."""
+    t = nl.add_gate(GateKind.XOR, (a, b), nl.fresh_wire("fat"))
+    s = nl.add_gate(GateKind.XOR, (t, cin), nl.fresh_wire("fas"))
+    c1 = nl.add_gate(GateKind.AND, (a, b), nl.fresh_wire("fac1"))
+    c2 = nl.add_gate(GateKind.AND, (t, cin), nl.fresh_wire("fac2"))
+    c = nl.add_gate(GateKind.OR, (c1, c2), nl.fresh_wire("fac"))
+    return s, c
+
+
+def ripple_carry_adder(width: int, name: Optional[str] = None) -> ArithmeticCircuit:
+    """Unsigned ripple-carry adder: ``width``-bit a + b -> (width+1)-bit sum."""
+    if width < 1:
+        raise SynthesisError(f"adder width must be >= 1, got {width}")
+    nl = Netlist(name or f"rca{width}")
+    a = declare_input_bus(nl, "a", width)
+    b = declare_input_bus(nl, "b", width)
+    sums: List[str] = []
+    carry: Optional[str] = None
+    for i in range(width):
+        if carry is None:
+            s, carry = _half_adder(nl, a[i], b[i])
+        else:
+            s, carry = _full_adder(nl, a[i], b[i], carry)
+        sums.append(s)
+    assert carry is not None
+    sums.append(carry)
+    for wire in sums:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(sums))
+
+
+# --- partial products --------------------------------------------------------
+
+
+def _partial_products(
+    nl: Netlist, a: List[str], b: List[str]
+) -> List[List[str]]:
+    """AND-gate partial products grouped by column (bit position)."""
+    n, m = len(a), len(b)
+    columns: List[List[str]] = [[] for _ in range(n + m)]
+    for j in range(m):
+        for i in range(n):
+            pp = nl.add_gate(
+                GateKind.AND, (a[i], b[j]), nl.fresh_wire(f"pp{j}_{i}_")
+            )
+            columns[i + j].append(pp)
+    return columns
+
+
+# --- array multiplier ---------------------------------------------------------
+
+
+def array_multiplier(
+    a_width: int, b_width: Optional[int] = None, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Textbook array multiplier: one ripple-adder row per multiplier bit."""
+    n = a_width
+    m = b_width if b_width is not None else a_width
+    _check_widths(n, m)
+    nl = Netlist(name or f"mul{n}x{m}_array")
+    a = declare_input_bus(nl, "a", n)
+    b = declare_input_bus(nl, "b", m)
+
+    rows = [
+        [
+            nl.add_gate(GateKind.AND, (a[i], b[j]), nl.fresh_wire(f"pp{j}_{i}_"))
+            for i in range(n)
+        ]
+        for j in range(m)
+    ]
+
+    outputs: List[str] = []
+    acc = rows[0]  # bits of positions 0 .. n-1
+    outputs.append(acc[0])
+    carry: Optional[str] = None
+    for j in range(1, m):
+        row = rows[j]  # positions j .. j+n-1
+        addend = acc[1:] + ([carry] if carry is not None else [])
+        new_acc: List[str] = []
+        c: Optional[str] = None
+        for i in range(n):
+            x = row[i]
+            y = addend[i] if i < len(addend) else None
+            if y is None and c is None:
+                new_acc.append(x)
+            elif y is None:
+                s, c = _half_adder(nl, x, c)  # type: ignore[arg-type]
+                new_acc.append(s)
+            elif c is None:
+                s, c = _half_adder(nl, x, y)
+                new_acc.append(s)
+            else:
+                s, c = _full_adder(nl, x, y, c)
+                new_acc.append(s)
+        acc = new_acc
+        carry = c
+        outputs.append(acc[0])
+
+    outputs.extend(acc[1:])
+    if carry is not None:
+        outputs.append(carry)
+    _pad_outputs(nl, outputs, n + m)
+    for wire in outputs:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(outputs))
+
+
+# --- column-compression multipliers -------------------------------------------
+
+
+def _wallace_reduce(
+    nl: Netlist, columns: List[List[str]], cap: int
+) -> List[List[str]]:
+    """One Wallace stage: compress columns with FAs then HAs.
+
+    Columns of height <= 2 pass through unchanged (compressing them
+    would only shuffle bits upward), and the top column (``cap - 1``)
+    is never compressed — its carry would exceed the result width and
+    is provably zero for a non-overflowing multiplier.
+    """
+    new_columns: List[List[str]] = [[] for _ in range(cap)]
+    for i, col in enumerate(columns):
+        if len(col) <= 2 or i >= cap - 1:
+            new_columns[i].extend(col)
+            continue
+        idx = 0
+        while len(col) - idx >= 3:
+            s, c = _full_adder(nl, col[idx], col[idx + 1], col[idx + 2])
+            idx += 3
+            new_columns[i].append(s)
+            new_columns[i + 1].append(c)
+        if len(col) - idx == 2:
+            s, c = _half_adder(nl, col[idx], col[idx + 1])
+            idx += 2
+            new_columns[i].append(s)
+            new_columns[i + 1].append(c)
+        new_columns[i].extend(col[idx:])
+    return new_columns
+
+
+def _dadda_targets(max_height: int) -> List[int]:
+    """Dadda height sequence 2, 3, 4, 6, 9, ... below ``max_height``."""
+    targets = [2]
+    while targets[-1] * 3 // 2 < max_height:
+        targets.append(targets[-1] * 3 // 2)
+    return targets
+
+
+def _dadda_reduce_to(
+    nl: Netlist, columns: List[List[str]], target: int, cap: int
+) -> List[List[str]]:
+    """Reduce every column to at most ``target`` wires (one Dadda stage).
+
+    The top column (``cap - 1``) is exempt: compressing it would push a
+    provably-zero carry past the result width.
+    """
+    cols = [list(col) for col in columns]
+    while len(cols) < cap:
+        cols.append([])
+    for i in range(cap - 1):
+        while len(cols[i]) > target:
+            if len(cols[i]) == target + 1:
+                s, c = _half_adder(nl, cols[i][0], cols[i][1])
+                cols[i] = cols[i][2:] + [s]
+            else:
+                s, c = _full_adder(nl, cols[i][0], cols[i][1], cols[i][2])
+                cols[i] = cols[i][3:] + [s]
+            cols[i + 1].append(c)
+    return cols
+
+
+def _xor_fold(nl: Netlist, wires: List[str]) -> str:
+    """XOR-reduce wires; correct for a top column whose carry is provably 0."""
+    acc = wires[0]
+    for wire in wires[1:]:
+        acc = nl.add_gate(GateKind.XOR, (acc, wire), nl.fresh_wire("xf"))
+    return acc
+
+
+def _final_carry_propagate(
+    nl: Netlist, columns: List[List[str]], cap: int
+) -> List[str]:
+    """Ripple-add the final <=2-high columns into a flat result bus.
+
+    The top column (``cap - 1``) is XOR-folded: any carry out of it
+    would overflow the result, so for a correct multiplier that carry is
+    identically zero and the bit equals the parity of the column.
+    """
+    result: List[str] = []
+    carry: Optional[str] = None
+    for i, col in enumerate(columns):
+        wires = list(col)
+        if carry is not None:
+            wires.append(carry)
+            carry = None
+        if len(wires) == 0:
+            zero = nl.fresh_wire("zero")
+            nl.tie_constant(zero, 0)
+            result.append(zero)
+        elif len(wires) == 1:
+            result.append(wires[0])
+        elif i >= cap - 1:
+            result.append(_xor_fold(nl, wires))
+        elif len(wires) == 2:
+            s, carry = _half_adder(nl, wires[0], wires[1])
+            result.append(s)
+        elif len(wires) == 3:
+            s, carry = _full_adder(nl, wires[0], wires[1], wires[2])
+            result.append(s)
+        else:  # pragma: no cover - reduction guarantees <=2 + carry
+            raise SynthesisError(f"column of height {len(wires)} after reduction")
+    if carry is not None:
+        result.append(carry)
+    return result
+
+
+def wallace_multiplier(
+    a_width: int, b_width: Optional[int] = None, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Wallace-tree multiplier (aggressive column compression)."""
+    n = a_width
+    m = b_width if b_width is not None else a_width
+    _check_widths(n, m)
+    nl = Netlist(name or f"mul{n}x{m}_wallace")
+    a = declare_input_bus(nl, "a", n)
+    b = declare_input_bus(nl, "b", m)
+    columns = _partial_products(nl, a, b)
+    while max(len(col) for col in columns[: n + m - 1]) > 2:
+        columns = _wallace_reduce(nl, columns, cap=n + m)
+    outputs = _final_carry_propagate(nl, columns, cap=n + m)
+    _pad_outputs(nl, outputs, n + m)
+    for wire in outputs:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(outputs))
+
+
+def dadda_multiplier(
+    a_width: int, b_width: Optional[int] = None, name: Optional[str] = None
+) -> ArithmeticCircuit:
+    """Dadda multiplier (minimal counters per stage)."""
+    n = a_width
+    m = b_width if b_width is not None else a_width
+    _check_widths(n, m)
+    nl = Netlist(name or f"mul{n}x{m}_dadda")
+    a = declare_input_bus(nl, "a", n)
+    b = declare_input_bus(nl, "b", m)
+    columns = _partial_products(nl, a, b)
+    max_height = max(len(col) for col in columns)
+    for target in reversed(_dadda_targets(max_height)):
+        columns = _dadda_reduce_to(nl, columns, target, cap=n + m)
+    outputs = _final_carry_propagate(nl, columns, cap=n + m)
+    _pad_outputs(nl, outputs, n + m)
+    for wire in outputs:
+        nl.add_output(wire)
+    return ArithmeticCircuit(nl, tuple(a), tuple(b), tuple(outputs))
+
+
+def make_multiplier(
+    a_width: int,
+    b_width: Optional[int] = None,
+    kind: str = "wallace",
+    name: Optional[str] = None,
+) -> ArithmeticCircuit:
+    """Dispatch to a multiplier generator by ``kind``."""
+    if kind == "array":
+        return array_multiplier(a_width, b_width, name)
+    if kind == "wallace":
+        return wallace_multiplier(a_width, b_width, name)
+    if kind == "dadda":
+        return dadda_multiplier(a_width, b_width, name)
+    raise SynthesisError(
+        f"unknown multiplier kind {kind!r}; expected one of {MULTIPLIER_KINDS}"
+    )
+
+
+# --- public column-arithmetic helpers -----------------------------------------
+
+
+def partial_product_columns(
+    nl: Netlist, a: List[str], b: List[str]
+) -> List[List[str]]:
+    """AND-gate partial products grouped by bit position (public)."""
+    return _partial_products(nl, a, b)
+
+
+def compress_columns(
+    nl: Netlist, columns: List[List[str]], cap: int
+) -> List[List[str]]:
+    """Wallace-compress columns until every height is <= 2.
+
+    Public building block for custom (e.g. approximate) multiplier
+    structures: takes per-position wire lists, returns the compressed
+    columns; the top column (``cap - 1``) is never compressed.
+    """
+    current = [list(col) for col in columns]
+    while len(current) < cap:
+        current.append([])
+    while max((len(col) for col in current[: cap - 1]), default=0) > 2:
+        current = _wallace_reduce(nl, current, cap)
+    return current
+
+
+def carry_propagate(
+    nl: Netlist, columns: List[List[str]], cap: int
+) -> List[str]:
+    """Final carry-propagate stage over <=2-high columns (public)."""
+    return _final_carry_propagate(nl, columns, cap)
+
+
+def half_adder(nl: Netlist, a: str, b: str) -> Tuple[str, str]:
+    """Append a half adder to ``nl``; returns (sum, carry)."""
+    return _half_adder(nl, a, b)
+
+
+def full_adder(nl: Netlist, a: str, b: str, cin: str) -> Tuple[str, str]:
+    """Append a full adder to ``nl``; returns (sum, carry)."""
+    return _full_adder(nl, a, b, cin)
+
+
+# --- helpers ------------------------------------------------------------------
+
+
+def _check_widths(n: int, m: int) -> None:
+    if n < 1 or m < 1:
+        raise SynthesisError(f"multiplier widths must be >= 1, got {n}x{m}")
+    if n + m > 26:
+        raise SynthesisError(
+            f"{n}x{m} multiplier would need exhaustive tables of 2^{n + m} "
+            "entries; refusing (>2^26)"
+        )
+
+
+def _pad_outputs(nl: Netlist, outputs: List[str], width: int) -> None:
+    """Pad a result bus to ``width`` bits with constant-0 wires."""
+    while len(outputs) < width:
+        zero = nl.fresh_wire("zero")
+        nl.tie_constant(zero, 0)
+        outputs.append(zero)
+    if len(outputs) > width:
+        raise SynthesisError(
+            f"result bus has {len(outputs)} bits, expected at most {width}"
+        )

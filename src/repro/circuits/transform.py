@@ -1,0 +1,234 @@
+"""Netlist rewrites used by gate-level pruning.
+
+Gate-level pruning (Balaskas et al., TCAS-I 2022) approximates a circuit
+by tying selected internal wires to constants.  The area win comes from
+the clean-up that follows: constants propagate through downstream gates,
+gates collapse to simpler ones or disappear, and cones of logic that no
+longer reach an output are deleted.  This module implements exactly that
+clean-up pipeline:
+
+* :func:`propagate_constants` — one simplification pass (gate algebra);
+* :func:`remove_dead_gates` — drop logic unreachable from the outputs;
+* :func:`prune_wires` — tie wires to constants, then fully simplify;
+* :func:`simplify` — propagate to fixpoint + dead-gate removal.
+
+All functions are pure: they return new netlists and never mutate their
+argument.  Output buses stay positionally aligned: ``result.outputs[i]``
+always corresponds to ``original.outputs[i]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.circuits.gates import Gate, GateKind, gate_output_for_constants
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+# Result of simplifying one gate: exactly one of the fields is not None.
+_Simplified = Tuple[Optional[int], Optional[str], Optional[Tuple[GateKind, Tuple[str, ...]]]]
+
+_CONST = lambda v: (v, None, None)  # noqa: E731 - tiny local constructors
+_ALIAS = lambda w: (None, w, None)  # noqa: E731
+_GATE = lambda k, ins: (None, None, (k, ins))  # noqa: E731
+
+
+def _simplify_gate(
+    kind: GateKind,
+    ins: Tuple[str, ...],
+    vals: Tuple[Optional[int], ...],
+) -> _Simplified:
+    """Apply local gate algebra given resolved inputs.
+
+    ``vals[i]`` is the constant value of ``ins[i]`` if known, else None.
+    Complement tracking (x AND NOT x) is deliberately out of scope: the
+    pruning flow only ever introduces constants, which these rules fully
+    absorb.
+    """
+    if all(v is not None for v in vals):
+        return _CONST(gate_output_for_constants(kind, tuple(vals)))  # type: ignore[arg-type]
+
+    if kind == GateKind.NOT:
+        return _GATE(kind, ins)
+    if kind == GateKind.BUF:
+        return _ALIAS(ins[0])
+
+    if kind == GateKind.MUX:
+        a, b, sel = ins
+        va, vb, vsel = vals
+        if vsel == 0:
+            return _CONST(va) if va is not None else _ALIAS(a)
+        if vsel == 1:
+            return _CONST(vb) if vb is not None else _ALIAS(b)
+        if a == b:
+            return _CONST(va) if va is not None else _ALIAS(a)
+        if va == 0 and vb == 1:
+            return _ALIAS(sel)
+        if va == 1 and vb == 0:
+            return _GATE(GateKind.NOT, (sel,))
+        if va == 0:
+            return _GATE(GateKind.AND, (b, sel))  # sel ? b : 0
+        if vb == 1:
+            return _GATE(GateKind.OR, (a, sel))  # sel ? 1 : a
+        # va == 1 or vb == 0 would need two gates; keep the MUX.
+        return _GATE(kind, ins)
+
+    # Two-input commutative gates: normalise so a constant (if any) is first.
+    x, y = ins
+    vx, vy = vals
+    if vy is not None and vx is None:
+        x, y, vx, vy = y, x, vy, vx
+
+    if kind == GateKind.AND:
+        if vx == 0:
+            return _CONST(0)
+        if vx == 1:
+            return _ALIAS(y)
+        if x == y:
+            return _ALIAS(x)
+    elif kind == GateKind.OR:
+        if vx == 1:
+            return _CONST(1)
+        if vx == 0:
+            return _ALIAS(y)
+        if x == y:
+            return _ALIAS(x)
+    elif kind == GateKind.NAND:
+        if vx == 0:
+            return _CONST(1)
+        if vx == 1:
+            return _GATE(GateKind.NOT, (y,))
+        if x == y:
+            return _GATE(GateKind.NOT, (x,))
+    elif kind == GateKind.NOR:
+        if vx == 1:
+            return _CONST(0)
+        if vx == 0:
+            return _GATE(GateKind.NOT, (y,))
+        if x == y:
+            return _GATE(GateKind.NOT, (x,))
+    elif kind == GateKind.XOR:
+        if vx == 0:
+            return _ALIAS(y)
+        if vx == 1:
+            return _GATE(GateKind.NOT, (y,))
+        if x == y:
+            return _CONST(0)
+    elif kind == GateKind.XNOR:
+        if vx == 0:
+            return _GATE(GateKind.NOT, (y,))
+        if vx == 1:
+            return _ALIAS(y)
+        if x == y:
+            return _CONST(1)
+    return _GATE(kind, (x, y))
+
+
+def propagate_constants(netlist: Netlist) -> Netlist:
+    """One constant-propagation / gate-algebra pass.
+
+    Returns a new netlist in which every gate whose inputs allow a local
+    simplification has been rewritten.  Outputs are re-pointed through
+    alias chains so positional correspondence is preserved.
+    """
+    values: Dict[str, int] = dict(netlist.constants)
+    alias: Dict[str, str] = {}
+
+    def resolve(wire: str) -> str:
+        seen: List[str] = []
+        while wire in alias:
+            seen.append(wire)
+            wire = alias[wire]
+        for w in seen:  # path compression
+            alias[w] = wire
+        return wire
+
+    new_gates: Dict[str, Gate] = {}
+    for wire in netlist.topological_order():
+        gate = netlist.gates[wire]
+        ins = tuple(resolve(w) for w in gate.inputs)
+        vals = tuple(values.get(w) for w in ins)
+        const, target, rewritten = _simplify_gate(gate.kind, ins, vals)
+        if const is not None:
+            values[wire] = const
+        elif target is not None:
+            alias[wire] = target
+        else:
+            assert rewritten is not None
+            kind, new_ins = rewritten
+            new_gates[wire] = Gate(kind, new_ins, wire)
+
+    result = Netlist(
+        name=netlist.name,
+        inputs=list(netlist.inputs),
+        outputs=[resolve(w) for w in netlist.outputs],
+        gates=new_gates,
+        constants=values,
+    )
+    return result
+
+
+def remove_dead_gates(netlist: Netlist) -> Netlist:
+    """Drop gates and constants that no output transitively reads."""
+    needed: set[str] = set()
+    stack = [w for w in netlist.outputs]
+    while stack:
+        wire = stack.pop()
+        if wire in needed:
+            continue
+        needed.add(wire)
+        gate = netlist.gates.get(wire)
+        if gate is not None:
+            stack.extend(gate.inputs)
+
+    return Netlist(
+        name=netlist.name,
+        inputs=list(netlist.inputs),  # primary inputs always kept
+        outputs=list(netlist.outputs),
+        gates={w: g for w, g in netlist.gates.items() if w in needed},
+        constants={w: v for w, v in netlist.constants.items() if w in needed},
+    )
+
+
+def simplify(netlist: Netlist, max_passes: int = 16) -> Netlist:
+    """Propagate constants to fixpoint, then remove dead logic."""
+    current = netlist
+    for _ in range(max_passes):
+        simplified = propagate_constants(current)
+        if (
+            simplified.gate_count == current.gate_count
+            and simplified.gates == current.gates
+            and simplified.outputs == current.outputs
+        ):
+            current = simplified
+            break
+        current = simplified
+    return remove_dead_gates(current)
+
+
+def prune_wires(netlist: Netlist, assignments: Mapping[str, int]) -> Netlist:
+    """Gate-level pruning: tie internal wires to constants and simplify.
+
+    Args:
+        netlist: circuit to approximate (not modified).
+        assignments: wire name -> 0/1.  Every wire must be driven by a
+            gate (pruning a primary input would change the interface;
+            pruning a constant is meaningless).
+
+    Returns:
+        The pruned and fully simplified netlist.
+
+    Raises:
+        NetlistError: if a wire is unknown or not a gate output.
+    """
+    pruned = netlist.copy(name=f"{netlist.name}_pruned")
+    for wire, value in assignments.items():
+        if wire not in pruned.gates:
+            raise NetlistError(
+                f"cannot prune '{wire}': not a gate output in {netlist.name}"
+            )
+        if value not in (0, 1):
+            raise NetlistError(f"prune value for '{wire}' must be 0/1, got {value!r}")
+        del pruned.gates[wire]
+        pruned.constants[wire] = value
+    return simplify(pruned)

@@ -1,0 +1,63 @@
+"""Netlist verification helpers.
+
+Exhaustive equivalence checking is feasible for everything this library
+synthesises (at most 16 input bits for an 8x8 multiplier), so formal
+methods are unnecessary: we simply compare truth tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulate import bus_to_uint, exhaustive_table
+from repro.errors import NetlistError
+
+
+def validate_netlist(netlist: Netlist) -> None:
+    """Raise :class:`NetlistError` on any structural problem.
+
+    Checks: outputs driven, no combinational cycles, every gate input
+    known (input, constant, or gate output), and no wire driven twice
+    (guaranteed by construction but re-checked for transformed netlists).
+    """
+    netlist.check_outputs_driven()
+    netlist.topological_order()  # raises on cycles / undriven gate inputs
+
+    driven = set(netlist.inputs) | set(netlist.constants) | set(netlist.gates)
+    for out_wire, gate in netlist.gates.items():
+        if gate.output != out_wire:
+            raise NetlistError(
+                f"gate keyed as '{out_wire}' claims to drive '{gate.output}'"
+            )
+        for in_wire in gate.inputs:
+            if in_wire not in driven:
+                raise NetlistError(
+                    f"gate '{out_wire}' reads unknown wire '{in_wire}'"
+                )
+    overlap = set(netlist.inputs) & set(netlist.constants)
+    if overlap:
+        raise NetlistError(f"wires both input and constant: {sorted(overlap)}")
+
+
+def equivalent(
+    left: Netlist,
+    right: Netlist,
+    input_buses: Sequence[Sequence[str]],
+) -> bool:
+    """Exhaustive functional equivalence over shared input buses.
+
+    Both netlists must expose the same primary inputs; outputs are
+    compared positionally as unsigned integers, so netlists with
+    differently-named (but positionally aligned) output buses compare
+    equal when they compute the same function.
+    """
+    if len(left.outputs) != len(right.outputs):
+        return False
+    left_table = exhaustive_table(left, input_buses)
+    right_table = exhaustive_table(right, input_buses)
+    left_value = bus_to_uint(left_table, left.outputs)
+    right_value = bus_to_uint(right_table, right.outputs)
+    return bool(np.array_equal(left_value, right_value))

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Exposes the headline flows without writing Python::
+
+    python -m repro library                      # step-1 Pareto library
+    python -m repro design --network vgg16 --node 7 --fps 30 --drop 1
+    python -m repro fig2-scatter [--fast]
+    python -m repro fig2-table   [--fast] [--json out.json]
+    python -m repro fig3         [--fast] [--json out.json]
+    python -m repro sensitivity --which grid
+
+``--fast`` shrinks every search for smoke runs; omit it for the
+paper-scale settings used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _settings(fast: bool):
+    from repro.experiments.common import DEFAULT_SETTINGS, fast_settings
+
+    return fast_settings() if fast else DEFAULT_SETTINGS
+
+
+def _write(path: Optional[str], text: str) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"[written to {path}]")
+
+
+def _cmd_library(args: argparse.Namespace) -> int:
+    from repro.accuracy import AccuracyPredictor
+    from repro.experiments.report import render_table
+
+    settings = _settings(args.fast)
+    library = settings.library()
+    predictor = AccuracyPredictor()
+    rows = [
+        [
+            entry.name[:30],
+            entry.origin,
+            round(entry.area_ge, 1),
+            f"{entry.metrics.nmed:.2e}",
+            round(predictor.drop_percent("vgg16", entry), 2),
+        ]
+        for entry in library
+    ]
+    print(
+        render_table(
+            ["name", "origin", "area_GE", "NMED", "vgg16_drop_%"],
+            rows,
+            title=f"Approximate-multiplier library ({len(library)} entries)",
+        )
+    )
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.accuracy import AccuracyPredictor
+    from repro.core import CarbonAwareDesigner, smallest_exact_meeting_fps
+    from repro.core.io import design_points_to_json
+    from repro.ga import GaConfig
+
+    settings = _settings(args.fast)
+    library = settings.library()
+    predictor = AccuracyPredictor()
+
+    baseline = smallest_exact_meeting_fps(
+        args.network, library, args.node, predictor, args.fps
+    )
+    designer = CarbonAwareDesigner(
+        network=args.network,
+        node_nm=args.node,
+        min_fps=args.fps,
+        max_drop_percent=args.drop,
+        library=library,
+        predictor=predictor,
+        ga_config=GaConfig(
+            population_size=settings.ga_population,
+            generations=settings.ga_generations,
+            seed=args.seed,
+        ),
+    )
+    best = designer.run().best
+    saving = 100.0 * (1.0 - best.carbon_g / baseline.carbon_g)
+
+    print(f"baseline: {baseline.config.describe()}")
+    print(f"          {baseline.fps:.1f} FPS, {baseline.carbon_g:.2f} gCO2")
+    print(f"GA-CDP:   {best.config.describe()}")
+    print(
+        f"          {best.fps:.1f} FPS, {best.carbon_g:.2f} gCO2, "
+        f"drop {best.accuracy_drop_percent:.2f}%"
+    )
+    print(f"embodied-carbon saving: {saving:.1f}%")
+    _write(args.json, design_points_to_json([baseline, best]))
+    return 0
+
+
+def _cmd_fig2_scatter(args: argparse.Namespace) -> int:
+    from repro.experiments.fig2 import fig2_scatter
+
+    result = fig2_scatter(settings=_settings(args.fast))
+    print(result.render())
+    if args.json:
+        from repro.core.io import design_points_to_json
+
+        points = [p for pts in result.points.values() for p in pts]
+        _write(args.json, design_points_to_json(points))
+    return 0
+
+
+def _cmd_fig2_table(args: argparse.Namespace) -> int:
+    from repro.core.io import fig2_table_to_json
+    from repro.experiments.fig2 import fig2_reduction_table
+
+    result = fig2_reduction_table(settings=_settings(args.fast))
+    print(result.render())
+    _write(args.json, fig2_table_to_json(result.reductions, result.network))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.core.io import fig3_cells_to_json
+    from repro.experiments.fig3 import fig3_comparison
+
+    result = fig3_comparison(settings=_settings(args.fast))
+    print(result.render())
+    _write(args.json, fig3_cells_to_json(result.cells))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments import sensitivity
+
+    runners = {
+        "grid": sensitivity.grid_sensitivity,
+        "yield": sensitivity.yield_sensitivity,
+        "bandwidth": sensitivity.bandwidth_sensitivity,
+    }
+    result = runners[args.which](settings=_settings(args.fast))
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Carbon-aware approximate DNN accelerator DSE "
+        "(DATE 2025 LBR reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, json_out: bool = True) -> None:
+        p.add_argument(
+            "--fast", action="store_true",
+            help="reduced search sizes for smoke runs",
+        )
+        if json_out:
+            p.add_argument("--json", default=None, help="write results JSON")
+
+    p = sub.add_parser("library", help="print the step-1 multiplier library")
+    common(p, json_out=False)
+    p.set_defaults(handler=_cmd_library)
+
+    p = sub.add_parser("design", help="run GA-CDP for one design problem")
+    common(p)
+    p.add_argument("--network", default="vgg16",
+                   choices=["vgg16", "vgg19", "resnet50", "resnet152"])
+    p.add_argument("--node", type=int, default=7, choices=[7, 14, 28])
+    p.add_argument("--fps", type=float, default=30.0)
+    p.add_argument("--drop", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_design)
+
+    p = sub.add_parser("fig2-scatter", help="regenerate Fig. 2 scatter")
+    common(p)
+    p.set_defaults(handler=_cmd_fig2_scatter)
+
+    p = sub.add_parser("fig2-table", help="regenerate Fig. 2 table")
+    common(p)
+    p.set_defaults(handler=_cmd_fig2_table)
+
+    p = sub.add_parser("fig3", help="regenerate Fig. 3 comparison")
+    common(p)
+    p.set_defaults(handler=_cmd_fig3)
+
+    p = sub.add_parser("sensitivity", help="extension sensitivity sweeps")
+    common(p, json_out=False)
+    p.add_argument("--which", default="grid",
+                   choices=["grid", "yield", "bandwidth"])
+    p.set_defaults(handler=_cmd_sensitivity)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

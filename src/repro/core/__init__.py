@@ -1,0 +1,32 @@
+"""The paper's methodology, end to end.
+
+* :mod:`repro.core.cdp` — the Carbon Delay Product metric;
+* :mod:`repro.core.results` — design-point records shared by baselines,
+  the GA flow and the experiment harnesses;
+* :mod:`repro.core.baselines` — the exact NVDLA sweep and the
+  approximate-only designs the paper compares against;
+* :mod:`repro.core.designer` — :class:`CarbonAwareDesigner`, the
+  two-step flow (approximate multiplier library + GA-CDP architecture
+  search).
+"""
+
+from repro.core.cdp import carbon_delay_product
+from repro.core.results import DesignPoint
+from repro.core.baselines import (
+    exact_sweep,
+    approximate_only_sweep,
+    smallest_exact_meeting_fps,
+    design_point_for,
+)
+from repro.core.designer import CarbonAwareDesigner, DesignerResult
+
+__all__ = [
+    "carbon_delay_product",
+    "DesignPoint",
+    "exact_sweep",
+    "approximate_only_sweep",
+    "smallest_exact_meeting_fps",
+    "design_point_for",
+    "CarbonAwareDesigner",
+    "DesignerResult",
+]

@@ -1,0 +1,119 @@
+"""Baseline design flows the paper compares against.
+
+* **Exact sweep** — the NVDLA-like family with exact multipliers
+  (Fig. 2's ``Exact`` series).
+* **Approximate-only sweep** — identical architectures, multiplier
+  swapped for the smallest one meeting an accuracy budget (Fig. 2's
+  ``Appx`` series; the paper stresses the architecture is *unchanged*).
+* **Smallest exact meeting FPS** — the baseline designer without carbon
+  awareness: pick the smallest family member that satisfies the
+  performance threshold (Fig. 3's ``Exact`` bars).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.accel.arch import AcceleratorConfig
+from repro.accel.nvdla import NVDLA_MAC_COUNTS, nvdla_family
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.library import ApproxLibrary
+from repro.core.cdp import carbon_delay_product
+from repro.core.results import DesignPoint
+from repro.dataflow.network import Network
+from repro.dataflow.performance import evaluate_network
+from repro.errors import ConstraintError
+from repro.nn.zoo import workload
+
+
+def design_point_for(
+    config: AcceleratorConfig,
+    network: Union[str, Network],
+    label: str,
+    predictor: AccuracyPredictor,
+    grid: Union[str, float] = "taiwan",
+) -> DesignPoint:
+    """Fully evaluate one architecture on one workload."""
+    net = workload(network) if isinstance(network, str) else network
+    performance = evaluate_network(net, config)
+    carbon = config.embodied_carbon(grid=grid).total_g
+    drop = predictor.drop_percent(net, config.multiplier)
+    return DesignPoint(
+        label=label,
+        config=config,
+        network_name=net.name,
+        fps=performance.fps,
+        carbon_g=carbon,
+        cdp=carbon_delay_product(carbon, performance.latency_s),
+        accuracy_drop_percent=drop,
+    )
+
+
+def exact_sweep(
+    network: Union[str, Network],
+    library: ApproxLibrary,
+    node_nm: int,
+    predictor: AccuracyPredictor,
+    mac_counts: Sequence[int] = NVDLA_MAC_COUNTS,
+    grid: Union[str, float] = "taiwan",
+) -> List[DesignPoint]:
+    """The exact-multiplier NVDLA family (Fig. 2 baseline curve)."""
+    return [
+        design_point_for(config, network, "exact", predictor, grid)
+        for config in nvdla_family(
+            library.exact, node_nm, mac_counts=tuple(mac_counts)
+        )
+    ]
+
+
+def approximate_only_sweep(
+    network: Union[str, Network],
+    library: ApproxLibrary,
+    node_nm: int,
+    predictor: AccuracyPredictor,
+    max_drop_percent: float,
+    mac_counts: Sequence[int] = NVDLA_MAC_COUNTS,
+    grid: Union[str, float] = "taiwan",
+) -> List[DesignPoint]:
+    """Same architectures, approximate multipliers only (Fig. 2 ``Appx``).
+
+    The multiplier is the smallest library entry whose predicted drop on
+    this network stays within ``max_drop_percent``.
+    """
+    net = workload(network) if isinstance(network, str) else network
+    multiplier = predictor.smallest_feasible(net, library, max_drop_percent)
+    label = f"appx_{max_drop_percent:g}"
+    return [
+        design_point_for(
+            config.with_multiplier(multiplier), net, label, predictor, grid
+        )
+        for config in nvdla_family(
+            library.exact, node_nm, mac_counts=tuple(mac_counts)
+        )
+    ]
+
+
+def smallest_exact_meeting_fps(
+    network: Union[str, Network],
+    library: ApproxLibrary,
+    node_nm: int,
+    predictor: AccuracyPredictor,
+    min_fps: float,
+    mac_counts: Sequence[int] = NVDLA_MAC_COUNTS,
+    grid: Union[str, float] = "taiwan",
+) -> DesignPoint:
+    """The non-carbon-aware designer's choice (Fig. 3 ``Exact`` bars).
+
+    Raises:
+        ConstraintError: if even the largest family member misses the
+            FPS threshold.
+    """
+    sweep = exact_sweep(network, library, node_nm, predictor, mac_counts, grid)
+    feasible = [point for point in sweep if point.fps >= min_fps]
+    if not feasible:
+        raise ConstraintError(
+            f"no NVDLA family member reaches {min_fps} FPS on "
+            f"{sweep[0].network_name} at {node_nm} nm "
+            f"(best: {max(p.fps for p in sweep):.1f} FPS)"
+        )
+    return min(feasible, key=lambda point: point.config.n_pes)

@@ -1,0 +1,36 @@
+"""Carbon Delay Product (CDP).
+
+The paper's optimisation metric: the product of embodied carbon and
+inference delay.
+
+* Embodied carbon (gCO2) captures the sustainability cost of
+  *manufacturing* the accelerator (Eq. 1).
+* Delay (seconds per inference) captures how much performance the
+  design actually delivers.
+
+Minimising the product rewards designs that are simultaneously small
+(low carbon) and fast enough — an accelerator twice as clean but three
+times slower loses, which is exactly the overdesign/underdesign balance
+the paper targets.  Units: gCO2 x seconds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConstraintError
+
+
+def carbon_delay_product(carbon_g: float, delay_s: float) -> float:
+    """CDP = embodied carbon x inference delay.
+
+    Args:
+        carbon_g: embodied carbon in gCO2 (Eq. 1 output).
+        delay_s: single-inference latency in seconds (1 / FPS).
+
+    Returns:
+        CDP in gCO2-seconds.
+    """
+    if carbon_g < 0:
+        raise ConstraintError(f"carbon cannot be negative: {carbon_g}")
+    if delay_s <= 0:
+        raise ConstraintError(f"delay must be positive: {delay_s}")
+    return carbon_g * delay_s

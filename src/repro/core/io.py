@@ -1,0 +1,84 @@
+"""Result serialisation: design points and experiment outputs.
+
+JSON for archival/comparison, CSV for spreadsheets — the formats a
+user reproducing the paper actually wants on disk.  Deserialisation of
+full configs is intentionally out of scope (a design point references
+a multiplier netlist; results files are for *analysis*, not round-
+tripping), but every quantitative field round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.core.results import DesignPoint
+from repro.errors import ExperimentError
+
+
+def design_points_to_json(points: Sequence[DesignPoint], indent: int = 2) -> str:
+    """Serialise design points to a JSON array string."""
+    return json.dumps([point.as_row() for point in points], indent=indent)
+
+
+def design_points_to_csv(points: Sequence[DesignPoint]) -> str:
+    """Serialise design points to CSV text (header + one row each)."""
+    if not points:
+        raise ExperimentError("no design points to serialise")
+    rows = [point.as_row() for point in points]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def load_design_rows(json_text: str) -> List[Dict[str, Any]]:
+    """Parse a JSON results file back into plain row dictionaries."""
+    data = json.loads(json_text)
+    if not isinstance(data, list):
+        raise ExperimentError("results JSON must be an array of rows")
+    for row in data:
+        if not isinstance(row, dict) or "label" not in row:
+            raise ExperimentError(f"malformed results row: {row!r}")
+    return data
+
+
+def fig2_table_to_json(reductions: Mapping, network: str, indent: int = 2) -> str:
+    """Serialise a Fig. 2 reduction table to JSON."""
+    payload = {
+        "network": network,
+        "reductions": [
+            {
+                "node_nm": node,
+                "drop_percent": tier,
+                "avg_reduction_percent": avg,
+                "peak_reduction_percent": peak,
+            }
+            for (node, tier), (avg, peak) in sorted(reductions.items())
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def fig3_cells_to_json(cells: Mapping, indent: int = 2) -> str:
+    """Serialise Fig. 3 comparison cells to JSON."""
+    payload = []
+    for (network, node), cell in sorted(cells.items()):
+        exact_n, approx_n, ga_n = cell.normalised
+        payload.append(
+            {
+                "network": network,
+                "node_nm": node,
+                "exact_normalised": exact_n,
+                "approx_only_normalised": approx_n,
+                "ga_cdp_normalised": ga_n,
+                "ga_saving_percent": cell.ga_savings_percent,
+                "exact": cell.exact.as_row(),
+                "approx_only": cell.approximate_only.as_row(),
+                "ga_cdp": cell.ga_cdp.as_row(),
+            }
+        )
+    return json.dumps(payload, indent=indent)

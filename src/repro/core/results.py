@@ -1,0 +1,53 @@
+"""Design-point records shared across baselines, GA and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.accel.arch import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully-evaluated accelerator design.
+
+    Attributes:
+        label: series name (``exact``, ``appx_0.5`` ... ``ga_cdp``).
+        config: the architecture.
+        network_name: workload it was evaluated on.
+        fps: inferences per second.
+        carbon_g: embodied carbon (Eq. 1).
+        cdp: carbon-delay product (gCO2-seconds).
+        accuracy_drop_percent: predicted top-1 drop of its multiplier.
+    """
+
+    label: str
+    config: AcceleratorConfig
+    network_name: str
+    fps: float
+    carbon_g: float
+    cdp: float
+    accuracy_drop_percent: float
+
+    def meets(self, min_fps: float, max_drop_percent: float) -> bool:
+        """Constraint check used by the experiment harnesses."""
+        return self.fps >= min_fps and self.accuracy_drop_percent <= max_drop_percent
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dictionary for table rendering / serialisation."""
+        return {
+            "label": self.label,
+            "network": self.network_name,
+            "node_nm": self.config.node_nm,
+            "pes": self.config.n_pes,
+            "pe_rows": self.config.pe_rows,
+            "pe_cols": self.config.pe_cols,
+            "local_buffer_B": self.config.local_buffer_bytes,
+            "global_buffer_KiB": self.config.global_buffer_bytes // 1024,
+            "multiplier": self.config.multiplier.name,
+            "fps": round(self.fps, 2),
+            "carbon_g": round(self.carbon_g, 3),
+            "cdp_gs": round(self.cdp, 5),
+            "accuracy_drop_pct": round(self.accuracy_drop_percent, 3),
+        }

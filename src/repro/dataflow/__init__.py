@@ -1,0 +1,40 @@
+"""DNN-accelerator performance model (nn-dataflow substitute).
+
+Analytical loop-nest model of an output-stationary 2-D PE array with a
+per-PE register file, a shared global buffer and DRAM:
+
+* :mod:`repro.dataflow.layers` — layer shape algebra;
+* :mod:`repro.dataflow.network` — whole-network container;
+* :mod:`repro.dataflow.mapping` — tiling / loop-order selection;
+* :mod:`repro.dataflow.performance` — per-layer latency and network FPS;
+* :mod:`repro.dataflow.scheduler` — whole-network schedule analysis.
+"""
+
+from repro.dataflow.layers import ConvLayer, FCLayer, PoolLayer, Layer
+from repro.dataflow.network import Network
+from repro.dataflow.mapping import Mapping, best_mapping
+from repro.dataflow.performance import (
+    DRAM_BANDWIDTH_GB_S,
+    LayerPerformance,
+    NetworkPerformance,
+    evaluate_layer,
+    evaluate_network,
+)
+from repro.dataflow.scheduler import ScheduleReport, schedule_network
+
+__all__ = [
+    "ConvLayer",
+    "FCLayer",
+    "PoolLayer",
+    "Layer",
+    "Network",
+    "Mapping",
+    "best_mapping",
+    "DRAM_BANDWIDTH_GB_S",
+    "LayerPerformance",
+    "NetworkPerformance",
+    "evaluate_layer",
+    "evaluate_network",
+    "ScheduleReport",
+    "schedule_network",
+]

@@ -1,0 +1,134 @@
+"""Per-inference energy accounting from the dataflow model.
+
+Bridges the performance model (which knows MAC counts and traffic) to
+the operational-carbon model (which prices joules): evaluating a
+network on an architecture yields a fully-populated
+:class:`~repro.carbon.operational.OperationalModel` without hand-fed
+numbers.
+
+The on-chip traffic estimate uses each layer's mapping: every pass
+streams its weight and input tiles from the global buffer, so SRAM
+traffic is the pass count times the pass working set — consistent with
+the latency model's streaming term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple, Union
+
+from repro.carbon.operational import OperationalModel
+from repro.dataflow.network import Network
+from repro.dataflow.performance import (
+    DRAM_BANDWIDTH_GB_S,
+    NetworkPerformance,
+    evaluate_network,
+)
+from repro.nn.zoo import workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.accel.arch import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Traffic and energy totals of one inference.
+
+    Attributes:
+        macs: multiply-accumulates executed.
+        sram_bytes: global-buffer bytes streamed to the array.
+        dram_bytes: external-memory traffic.
+        performance: the underlying latency evaluation.
+        model: ready-to-use operational energy model.
+    """
+
+    macs: float
+    sram_bytes: float
+    dram_bytes: float
+    performance: NetworkPerformance
+    model: OperationalModel
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        return self.model.energy_per_inference_j()
+
+
+def _sram_traffic_bytes(performance: NetworkPerformance) -> float:
+    """Global-buffer bytes streamed across all layers' passes."""
+    total = 0.0
+    for record in performance.layer_performances:
+        mapping = record.mapping
+        if record.macs == 0:
+            continue
+        crs = record.macs / max(mapping.k * mapping.p, 1)
+        pass_bytes = mapping.ks * crs + mapping.ps * crs
+        total += mapping.passes * pass_bytes
+    return total
+
+
+def network_energy(
+    network: Union[str, Network],
+    config: "AcceleratorConfig",
+    static_power_w: float = 0.0,
+    dram_gb_s: float = DRAM_BANDWIDTH_GB_S,
+) -> EnergyBreakdown:
+    """Per-inference energy of a network on an architecture.
+
+    Args:
+        network: workload name or object.
+        config: accelerator configuration.
+        static_power_w: leakage/clock power integrated over latency.
+        dram_gb_s: external bandwidth used by the latency model.
+    """
+    net = workload(network) if isinstance(network, str) else network
+    performance = evaluate_network(net, config, dram_gb_s)
+    sram_bytes = _sram_traffic_bytes(performance)
+    model = OperationalModel(
+        node_nm=config.node_nm,
+        macs_per_inference=float(performance.total_macs),
+        sram_bytes_per_inference=sram_bytes,
+        dram_bytes_per_inference=performance.total_dram_bytes,
+        static_power_w=static_power_w,
+        latency_s=performance.latency_s,
+    )
+    return EnergyBreakdown(
+        macs=float(performance.total_macs),
+        sram_bytes=sram_bytes,
+        dram_bytes=performance.total_dram_bytes,
+        performance=performance,
+        model=model,
+    )
+
+
+def energy_per_mac_pj(breakdown: EnergyBreakdown) -> float:
+    """Amortised energy per MAC in picojoules (efficiency headline)."""
+    if breakdown.macs == 0:
+        return 0.0
+    return breakdown.energy_per_inference_j * 1e12 / breakdown.macs
+
+
+def total_carbon_per_inference(
+    breakdown: EnergyBreakdown,
+    embodied_g: float,
+    lifetime_inferences: float,
+    grid_gco2_per_kwh: float = 475.0,
+) -> Tuple[float, float]:
+    """(embodied share, operational share) in gCO2 per inference.
+
+    Args:
+        breakdown: energy accounting of one inference.
+        embodied_g: manufacturing carbon of the accelerator.
+        lifetime_inferences: inferences over the device lifetime, used
+            to amortise the embodied term.
+        grid_gco2_per_kwh: deployment-site grid intensity.
+    """
+    from repro.carbon.operational import operational_carbon
+    from repro.errors import CarbonModelError
+
+    if lifetime_inferences <= 0:
+        raise CarbonModelError("lifetime_inferences must be positive")
+    embodied_share = embodied_g / lifetime_inferences
+    operational_share = operational_carbon(
+        breakdown.model, 1.0, grid_gco2_per_kwh
+    )
+    return embodied_share, operational_share

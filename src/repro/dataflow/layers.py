@@ -1,0 +1,208 @@
+"""DNN layer shape algebra.
+
+Three layer kinds cover the paper's workloads (VGG and ResNet families):
+
+* :class:`ConvLayer` — 2-D convolution (square kernels, int8 tensors);
+* :class:`FCLayer` — fully connected, treated as a 1x1 convolution on a
+  1x1 feature map (that is exactly how NVDLA executes it);
+* :class:`PoolLayer` — max/average pooling; contributes data movement
+  but no MACs.
+
+All byte counts assume int8 activations and weights, which is the
+quantisation the approximate multipliers operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer.
+
+    Attributes:
+        name: unique layer label within its network.
+        in_channels: input channel count (C).
+        out_channels: output channel / filter count (K).
+        in_height: input feature-map height.
+        in_width: input feature-map width.
+        kernel: square kernel size (R = S).
+        stride: convolution stride.
+        padding: symmetric zero padding.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_height: int
+    in_width: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        for attr in ("in_channels", "out_channels", "in_height", "in_width", "kernel", "stride"):
+            if getattr(self, attr) < 1:
+                raise WorkloadError(
+                    f"layer {self.name!r}: {attr} must be >= 1, got {getattr(self, attr)}"
+                )
+        if self.padding < 0:
+            raise WorkloadError(f"layer {self.name!r}: padding cannot be negative")
+        if self.out_height < 1 or self.out_width < 1:
+            raise WorkloadError(
+                f"layer {self.name!r}: kernel {self.kernel} stride {self.stride} "
+                f"does not fit input {self.in_height}x{self.in_width}"
+            )
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_pixels(self) -> int:
+        """Output spatial positions (P)."""
+        return self.out_height * self.out_width
+
+    @property
+    def macs_per_output(self) -> int:
+        """MACs to produce one output element (C * R * S)."""
+        return self.in_channels * self.kernel * self.kernel
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates in the layer."""
+        return self.macs_per_output * self.out_channels * self.out_pixels
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.out_channels * self.in_channels * self.kernel * self.kernel
+
+    @property
+    def input_bytes(self) -> int:
+        return self.in_channels * self.in_height * self.in_width
+
+    @property
+    def output_bytes(self) -> int:
+        return self.out_channels * self.out_pixels
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """Fully connected layer (matrix-vector for batch 1).
+
+    Attributes:
+        name: unique layer label.
+        in_features: input vector length.
+        out_features: output vector length.
+    """
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise WorkloadError(
+                f"layer {self.name!r}: feature counts must be >= 1"
+            )
+
+    def as_conv(self) -> ConvLayer:
+        """The equivalent 1x1 convolution on a 1x1 map."""
+        return ConvLayer(
+            name=self.name,
+            in_channels=self.in_features,
+            out_channels=self.out_features,
+            in_height=1,
+            in_width=1,
+            kernel=1,
+        )
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def input_bytes(self) -> int:
+        return self.in_features
+
+    @property
+    def output_bytes(self) -> int:
+        return self.out_features
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """Pooling layer: pure data movement for our purposes.
+
+    Attributes:
+        name: unique layer label.
+        channels: channel count (unchanged by pooling).
+        in_height: input height.
+        in_width: input width.
+        kernel: pooling window.
+        stride: pooling stride (defaults to the window size).
+        padding: symmetric zero padding.
+    """
+
+    name: str
+    channels: int
+    in_height: int
+    in_width: int
+    kernel: int
+    stride: int = 0  # 0 means "same as kernel"
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.kernel < 1:
+            raise WorkloadError(f"layer {self.name!r}: bad pool geometry")
+        if self.effective_stride < 1 or self.padding < 0:
+            raise WorkloadError(f"layer {self.name!r}: bad pool stride/padding")
+        if self.out_height < 1 or self.out_width < 1:
+            raise WorkloadError(f"layer {self.name!r}: pool window exceeds input")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride if self.stride else self.kernel
+
+    @property
+    def out_height(self) -> int:
+        return (
+            self.in_height + 2 * self.padding - self.kernel
+        ) // self.effective_stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (
+            self.in_width + 2 * self.padding - self.kernel
+        ) // self.effective_stride + 1
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def weight_bytes(self) -> int:
+        return 0
+
+    @property
+    def input_bytes(self) -> int:
+        return self.channels * self.in_height * self.in_width
+
+    @property
+    def output_bytes(self) -> int:
+        return self.channels * self.out_height * self.out_width
+
+
+Layer = Union[ConvLayer, FCLayer, PoolLayer]

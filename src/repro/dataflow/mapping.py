@@ -1,0 +1,209 @@
+"""Tiling and loop-order selection for one layer on one architecture.
+
+The dataflow is output-stationary on a ``pe_rows x pe_cols`` array:
+
+* output channels (K) map across columns, output pixels (P) across rows;
+* each *pass* computes a ``ks x ps`` tile of outputs to completion,
+  accumulating over C*R*S terms inside the PEs;
+* when the global buffer cannot hold a pass's weight working set, the
+  reduction (C) is chunked and partial sums spill (``nc`` > 1);
+* the temporal loop order is either ``k_outer`` (weights stream once,
+  inputs may re-load) or ``p_outer`` (inputs stream once, weights may
+  re-load) — :func:`best_mapping` evaluates both and keeps the faster.
+
+This is the same modelling altitude as nn-dataflow: analytic loop-nest
+cost, buffer-capacity-aware tiling, bandwidth-bound DRAM phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.dataflow.layers import ConvLayer, FCLayer, Layer, PoolLayer
+from repro.errors import MappingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.accel.arch import AcceleratorConfig
+
+#: Fraction of the global buffer available to hold a resident tensor
+#: (the rest double-buffers streaming tiles).
+RESIDENT_BUDGET_FRACTION = 0.5
+
+#: Fraction of the global buffer a single pass's weight tile may occupy.
+PASS_WEIGHT_BUDGET_FRACTION = 0.25
+
+#: Pipeline fill/drain overhead per pass chunk, in cycles, beyond the
+#: array dimensions themselves.
+PIPELINE_DEPTH = 4
+
+#: Partial-sum word size in bytes (32-bit accumulators spill wide).
+PSUM_BYTES = 4
+
+LOOP_ORDERS: Tuple[str, str] = ("k_outer", "p_outer")
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A concrete mapping of one conv-like layer onto the array.
+
+    Attributes:
+        layer_name: which layer this mapping executes.
+        ks: output channels computed in parallel (columns used).
+        ps: output pixels computed in parallel (rows used).
+        rp: reduction parallelism — spare rows used to split the C*R*S
+            accumulation (NVDLA's atomic-C behaviour); > 1 only when the
+            layer has fewer output pixels than the array has rows (FC
+            layers, tiny feature maps).
+        nk: temporal iterations over output-channel tiles.
+        np_: temporal iterations over output-pixel tiles.
+        nc: reduction (input-channel) chunks; > 1 means psum spilling.
+        loop_order: ``k_outer`` or ``p_outer``.
+        dram_weight_bytes: weights fetched from DRAM (with re-loads).
+        dram_input_bytes: input activations fetched from DRAM.
+        dram_output_bytes: outputs written + partial-sum spill traffic.
+    """
+
+    layer_name: str
+    k: int
+    p: int
+    ks: int
+    ps: int
+    rp: int
+    nk: int
+    np_: int
+    nc: int
+    loop_order: str
+    dram_weight_bytes: float
+    dram_input_bytes: float
+    dram_output_bytes: float
+
+    @property
+    def passes(self) -> int:
+        """Temporal output tiles executed."""
+        return self.nk * self.np_
+
+    @property
+    def dram_total_bytes(self) -> float:
+        return (
+            self.dram_weight_bytes
+            + self.dram_input_bytes
+            + self.dram_output_bytes
+        )
+
+    @property
+    def spatial_utilization(self) -> float:
+        """Average fraction of PE output slots doing useful work.
+
+        Accounts for ragged edges: the last k-tile / p-tile may not fill
+        the array.
+        """
+        total_slots = self.ks * self.ps * self.passes
+        return min(1.0, (self.k * self.p) / total_slots)
+
+
+def _conv_view(layer: Layer) -> ConvLayer:
+    if isinstance(layer, ConvLayer):
+        return layer
+    if isinstance(layer, FCLayer):
+        return layer.as_conv()
+    raise MappingError(
+        f"layer {layer.name!r} of type {type(layer).__name__} does not map "
+        "onto the MAC array"
+    )
+
+
+def _input_halo_reuse(conv: ConvLayer) -> float:
+    """How many times each input byte is reused across output pixels."""
+    reuse = (conv.kernel * conv.kernel) / (conv.stride * conv.stride)
+    return max(reuse, 1.0)
+
+
+def build_mapping(
+    layer: Layer,
+    config: "AcceleratorConfig",
+    loop_order: str,
+) -> Mapping:
+    """Construct the mapping for one loop order (no search).
+
+    Raises:
+        MappingError: if the layer cannot legally execute on ``config``
+            (e.g. the global buffer cannot hold even one weight chunk).
+    """
+    if loop_order not in LOOP_ORDERS:
+        raise MappingError(f"unknown loop order {loop_order!r}")
+    conv = _conv_view(layer)
+
+    k = conv.out_channels
+    p = conv.out_pixels
+    crs = conv.macs_per_output
+
+    ks = min(k, config.pe_cols)
+    ps = min(p, config.pe_rows)
+    nk = math.ceil(k / ks)
+    np_ = math.ceil(p / ps)
+    # spare rows split the reduction (NVDLA atomic-C): an FC layer with a
+    # single output pixel still keeps the whole column of MACs busy
+    rp = min(max(config.pe_rows // ps, 1), crs) if np_ == 1 else 1
+
+    # reduction chunking: one pass's weight tile must fit its GB budget
+    pass_weight_bytes = ks * crs
+    weight_budget = PASS_WEIGHT_BUDGET_FRACTION * config.global_buffer_bytes
+    nc = max(1, math.ceil(pass_weight_bytes / weight_budget))
+    if nc > crs:
+        raise MappingError(
+            f"layer {conv.name!r}: global buffer of "
+            f"{config.global_buffer_bytes} B cannot hold a single "
+            f"reduction slice ({pass_weight_bytes} B pass weights)"
+        )
+
+    resident_budget = RESIDENT_BUDGET_FRACTION * config.global_buffer_bytes
+    weights_fit = conv.weight_bytes <= resident_budget
+    inputs_fit = conv.input_bytes <= resident_budget
+
+    if loop_order == "k_outer":
+        # weights stream exactly once; inputs re-read per k-tile unless
+        # the feature map stays resident in the global buffer
+        weight_traffic = float(conv.weight_bytes)
+        input_traffic = float(conv.input_bytes) * (1 if inputs_fit else nk)
+    else:
+        # inputs stream exactly once; weights re-read per p-tile unless
+        # the layer's weights stay resident
+        input_traffic = float(conv.input_bytes)
+        weight_traffic = float(conv.weight_bytes) * (1 if weights_fit else np_)
+
+    spill_traffic = 2.0 * PSUM_BYTES * k * p * (nc - 1)
+    output_traffic = float(conv.output_bytes) + spill_traffic
+
+    return Mapping(
+        layer_name=conv.name,
+        k=k,
+        p=p,
+        ks=ks,
+        ps=ps,
+        rp=rp,
+        nk=nk,
+        np_=np_,
+        nc=nc,
+        loop_order=loop_order,
+        dram_weight_bytes=weight_traffic,
+        dram_input_bytes=input_traffic,
+        dram_output_bytes=output_traffic,
+    )
+
+
+def best_mapping(layer: Layer, config: "AcceleratorConfig") -> Mapping:
+    """The latency-optimal mapping over the loop-order space.
+
+    Latency evaluation lives in :mod:`repro.dataflow.performance`; to
+    avoid an import cycle the comparison is done there and re-exported —
+    this function simply delegates.
+    """
+    from repro.dataflow.performance import select_best_mapping
+
+    if isinstance(layer, PoolLayer):
+        raise MappingError(
+            f"pool layer {layer.name!r} does not occupy the MAC array"
+        )
+    return select_best_mapping(layer, config)

@@ -1,0 +1,83 @@
+"""Whole-network workload container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.dataflow.layers import ConvLayer, FCLayer, Layer, PoolLayer
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Network:
+    """An ordered DNN workload.
+
+    Attributes:
+        name: workload label (e.g. ``"vgg16"``).
+        layers: layers in execution order.
+    """
+
+    name: str
+    layers: Tuple[Layer, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise WorkloadError(f"network {self.name!r} has no layers")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise WorkloadError(
+                f"network {self.name!r} has duplicate layer names: {duplicates}"
+            )
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    # --- aggregate statistics ------------------------------------------
+
+    @property
+    def total_macs(self) -> int:
+        """MACs per inference (batch 1)."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Model size in int8 bytes."""
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    @property
+    def max_activation_bytes(self) -> int:
+        """Largest single activation tensor (input or output) in bytes."""
+        footprint = 0
+        for layer in self.layers:
+            footprint = max(footprint, layer.input_bytes, layer.output_bytes)
+        return footprint
+
+    def compute_layers(self) -> List[Layer]:
+        """Layers that execute MACs on the array (conv + fc)."""
+        return [
+            layer
+            for layer in self.layers
+            if isinstance(layer, (ConvLayer, FCLayer))
+        ]
+
+    def pool_layers(self) -> List[PoolLayer]:
+        return [layer for layer in self.layers if isinstance(layer, PoolLayer)]
+
+    def describe(self) -> str:
+        """Multi-line summary used by examples and reports."""
+        lines = [
+            f"{self.name}: {len(self.layers)} layers, "
+            f"{self.total_macs / 1e9:.2f} GMACs, "
+            f"{self.total_weight_bytes / 1e6:.1f} MB int8 weights"
+        ]
+        for layer in self.layers:
+            lines.append(
+                f"  {layer.name:20s} {type(layer).__name__:10s} "
+                f"macs={layer.macs / 1e6:9.2f}M weights={layer.weight_bytes / 1e3:8.1f}KB"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,314 @@
+"""Per-layer latency and whole-network FPS.
+
+Cost model (first-order, deliberately at nn-dataflow's altitude):
+
+* **compute** — each pass runs ``C*R*S`` MAC cycles per reduction chunk
+  plus pipeline fill (array dimensions + depth);
+* **global-buffer streaming** — per pass, weights (``ks*crs`` bytes) and
+  inputs (``ps*crs / halo-reuse`` bytes) cross the array ports, whose
+  bandwidth scales with the array perimeter; the per-PE register file
+  sets how well streaming overlaps compute (double buffering needs
+  somewhere to stage operands);
+* **DRAM** — the mapping's traffic over a fixed external bandwidth,
+  overlapped with compute (double-buffered DMA), so layer latency is the
+  max of the on-chip time and the DRAM time.
+
+Latencies are cached per (network-layer, architecture-geometry) because
+the GA revisits geometries constantly and the multiplier choice does not
+affect timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.dataflow.layers import ConvLayer, FCLayer, Layer, PoolLayer
+from repro.dataflow.mapping import (
+    LOOP_ORDERS,
+    Mapping,
+    PIPELINE_DEPTH,
+    _input_halo_reuse,
+    build_mapping,
+)
+from repro.dataflow.network import Network
+from repro.errors import MappingError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.accel.arch import AcceleratorConfig
+
+#: External memory bandwidth (LPDDR5-class edge SoC).
+DRAM_BANDWIDTH_GB_S = 25.6
+
+#: Local-buffer size at which operand staging fully double-buffers.
+FULL_OVERLAP_LOCAL_BYTES = 64
+
+
+@dataclass(frozen=True)
+class LayerPerformance:
+    """Latency breakdown of one layer.
+
+    Attributes:
+        layer_name: the layer evaluated.
+        mapping: chosen mapping (None-equivalent for pool layers is a
+            zero-pass mapping).
+        compute_cycles: MAC-array busy cycles.
+        stream_cycles: global-buffer streaming cycles.
+        onchip_cycles: compute/stream combined under the overlap model.
+        dram_cycles: external-memory cycles for the mapping's traffic.
+        total_cycles: layer latency in cycles.
+        dram_bytes: external traffic in bytes.
+        macs: useful MACs executed.
+    """
+
+    layer_name: str
+    mapping: Mapping
+    compute_cycles: float
+    stream_cycles: float
+    onchip_cycles: float
+    dram_cycles: float
+    total_cycles: float
+    dram_bytes: float
+    macs: int
+
+    def utilization(self, n_pes: int) -> float:
+        """Achieved MACs / peak MACs over the layer's latency."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.macs / (n_pes * self.total_cycles)
+
+
+@dataclass(frozen=True)
+class NetworkPerformance:
+    """Whole-network inference performance on one architecture.
+
+    Attributes:
+        network_name: workload label.
+        layer_performances: per-layer records, in execution order.
+        clock_hz: operating frequency used for the time conversion.
+        n_pes: array size used for utilisation.
+    """
+
+    network_name: str
+    layer_performances: Tuple[LayerPerformance, ...]
+    clock_hz: float
+    n_pes: int
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(lp.total_cycles for lp in self.layer_performances)
+
+    @property
+    def latency_s(self) -> float:
+        """Single-inference latency in seconds."""
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def fps(self) -> float:
+        """Inferences per second (the paper's performance metric)."""
+        return 1.0 / self.latency_s
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return sum(lp.dram_bytes for lp in self.layer_performances)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(lp.macs for lp in self.layer_performances)
+
+    @property
+    def average_utilization(self) -> float:
+        """MAC-array utilisation over the whole inference."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.total_macs / (self.n_pes * self.total_cycles)
+
+    def bottleneck_layer(self) -> LayerPerformance:
+        """The layer contributing the most latency."""
+        return max(self.layer_performances, key=lambda lp: lp.total_cycles)
+
+
+# --- single-layer evaluation -------------------------------------------------
+
+
+def _dram_bytes_per_cycle(config: "AcceleratorConfig", dram_gb_s: float) -> float:
+    return dram_gb_s * 1e9 / config.clock_hz
+
+
+def _array_port_bytes_per_cycle(config: "AcceleratorConfig") -> float:
+    """Global-buffer to array bandwidth: one byte per edge port."""
+    return float(config.pe_rows + config.pe_cols)
+
+
+def _overlap_fraction(config: "AcceleratorConfig") -> float:
+    """0 = no compute/stream overlap, 1 = perfect double buffering."""
+    return min(1.0, config.local_buffer_bytes / FULL_OVERLAP_LOCAL_BYTES)
+
+
+def _evaluate_mapping(
+    layer: Layer,
+    mapping: Mapping,
+    config: "AcceleratorConfig",
+    dram_gb_s: float,
+) -> LayerPerformance:
+    conv = layer.as_conv() if isinstance(layer, FCLayer) else layer
+    assert isinstance(conv, ConvLayer)
+    crs = conv.macs_per_output
+
+    fill = config.pe_rows + config.pe_cols + PIPELINE_DEPTH
+    # spare rows split the reduction (mapping.rp); a log-depth adder tree
+    # folds the partial results, already inside the fill allowance
+    reduction_cycles = -(-crs // mapping.rp)  # ceil division
+    compute_per_pass = reduction_cycles + mapping.nc * fill
+    compute_cycles = float(mapping.passes * compute_per_pass)
+
+    halo_reuse = _input_halo_reuse(conv)
+    pass_bytes = mapping.ks * crs + mapping.ps * crs / halo_reuse
+    stream_cycles = float(
+        mapping.passes * pass_bytes / _array_port_bytes_per_cycle(config)
+    )
+
+    overlap = _overlap_fraction(config)
+    onchip_cycles = (
+        overlap * max(compute_cycles, stream_cycles)
+        + (1.0 - overlap) * (compute_cycles + stream_cycles)
+    )
+
+    dram_cycles = mapping.dram_total_bytes / _dram_bytes_per_cycle(
+        config, dram_gb_s
+    )
+    total_cycles = max(onchip_cycles, dram_cycles)
+
+    return LayerPerformance(
+        layer_name=conv.name,
+        mapping=mapping,
+        compute_cycles=compute_cycles,
+        stream_cycles=stream_cycles,
+        onchip_cycles=onchip_cycles,
+        dram_cycles=dram_cycles,
+        total_cycles=total_cycles,
+        dram_bytes=mapping.dram_total_bytes,
+        macs=conv.macs,
+    )
+
+
+def select_best_mapping(layer: Layer, config: "AcceleratorConfig") -> Mapping:
+    """Evaluate every loop order and return the fastest mapping."""
+    best: Tuple[float, Mapping] | None = None
+    errors = []
+    for order in LOOP_ORDERS:
+        try:
+            mapping = build_mapping(layer, config, order)
+        except MappingError as exc:
+            errors.append(str(exc))
+            continue
+        perf = _evaluate_mapping(layer, mapping, config, DRAM_BANDWIDTH_GB_S)
+        if best is None or perf.total_cycles < best[0]:
+            best = (perf.total_cycles, mapping)
+    if best is None:
+        raise MappingError(
+            f"no legal mapping for layer {layer.name!r}: {'; '.join(errors)}"
+        )
+    return best[1]
+
+
+def _pool_performance(
+    layer: PoolLayer, config: "AcceleratorConfig", dram_gb_s: float
+) -> LayerPerformance:
+    """Pooling: pure data movement through DRAM at full bandwidth."""
+    traffic = float(layer.input_bytes + layer.output_bytes)
+    dram_cycles = traffic / _dram_bytes_per_cycle(config, dram_gb_s)
+    mapping = Mapping(
+        layer_name=layer.name,
+        k=layer.channels,
+        p=layer.out_height * layer.out_width,
+        ks=1,
+        ps=1,
+        rp=1,
+        nk=1,
+        np_=1,
+        nc=1,
+        loop_order="k_outer",
+        dram_weight_bytes=0.0,
+        dram_input_bytes=float(layer.input_bytes),
+        dram_output_bytes=float(layer.output_bytes),
+    )
+    return LayerPerformance(
+        layer_name=layer.name,
+        mapping=mapping,
+        compute_cycles=0.0,
+        stream_cycles=0.0,
+        onchip_cycles=0.0,
+        dram_cycles=dram_cycles,
+        total_cycles=dram_cycles,
+        dram_bytes=traffic,
+        macs=0,
+    )
+
+
+def evaluate_layer(
+    layer: Layer,
+    config: "AcceleratorConfig",
+    dram_gb_s: float = DRAM_BANDWIDTH_GB_S,
+) -> LayerPerformance:
+    """Latency of one layer on one architecture."""
+    if isinstance(layer, PoolLayer):
+        return _pool_performance(layer, config, dram_gb_s)
+    best: LayerPerformance | None = None
+    errors = []
+    for order in LOOP_ORDERS:
+        try:
+            mapping = build_mapping(layer, config, order)
+        except MappingError as exc:
+            errors.append(str(exc))
+            continue
+        perf = _evaluate_mapping(layer, mapping, config, dram_gb_s)
+        if best is None or perf.total_cycles < best.total_cycles:
+            best = perf
+    if best is None:
+        raise MappingError(
+            f"no legal mapping for layer {layer.name!r}: {'; '.join(errors)}"
+        )
+    return best
+
+
+# --- whole-network evaluation with caching ------------------------------------
+
+_LayerKey = Tuple[str, str, Tuple, float]
+_LAYER_CACHE: Dict[_LayerKey, LayerPerformance] = {}
+
+
+def evaluate_network(
+    network: Network,
+    config: "AcceleratorConfig",
+    dram_gb_s: float = DRAM_BANDWIDTH_GB_S,
+    use_cache: bool = True,
+) -> NetworkPerformance:
+    """FPS and per-layer latency of a network on an architecture.
+
+    Results are cached by (network name, layer name, architecture
+    geometry): the multiplier choice never affects timing, so the GA's
+    many multiplier variants hit the cache.
+    """
+    geometry = config.geometry_key()
+    records = []
+    for layer in network.layers:
+        key = (network.name, layer.name, geometry, dram_gb_s)
+        if use_cache and key in _LAYER_CACHE:
+            records.append(_LAYER_CACHE[key])
+            continue
+        record = evaluate_layer(layer, config, dram_gb_s)
+        if use_cache:
+            _LAYER_CACHE[key] = record
+        records.append(record)
+    return NetworkPerformance(
+        network_name=network.name,
+        layer_performances=tuple(records),
+        clock_hz=config.clock_hz,
+        n_pes=config.n_pes,
+    )
+
+
+def clear_performance_cache() -> None:
+    """Drop all cached layer latencies (used by tests)."""
+    _LAYER_CACHE.clear()

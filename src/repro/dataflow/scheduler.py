@@ -1,0 +1,108 @@
+"""Whole-network schedule analysis.
+
+On top of raw per-layer latencies, the scheduler answers the questions a
+designer (or an example script) asks about a candidate accelerator:
+
+* which layers are compute-bound vs. memory-bound,
+* whether the global buffer ever has to spill partial sums,
+* how much of the inference time each layer class consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.dataflow.network import Network
+from repro.dataflow.performance import (
+    DRAM_BANDWIDTH_GB_S,
+    LayerPerformance,
+    NetworkPerformance,
+    evaluate_network,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.accel.arch import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Digest of a network schedule on one architecture.
+
+    Attributes:
+        performance: the underlying per-layer evaluation.
+        compute_bound_layers: layers limited by the MAC array/streaming.
+        memory_bound_layers: layers limited by DRAM bandwidth.
+        spilling_layers: layers whose reduction chunks spill partial sums.
+        time_share: fraction of total latency per layer name.
+    """
+
+    performance: NetworkPerformance
+    compute_bound_layers: Tuple[str, ...]
+    memory_bound_layers: Tuple[str, ...]
+    spilling_layers: Tuple[str, ...]
+    time_share: Dict[str, float]
+
+    @property
+    def fps(self) -> float:
+        return self.performance.fps
+
+    def summary(self) -> str:
+        """Multi-line human-readable schedule digest."""
+        perf = self.performance
+        lines = [
+            f"{perf.network_name}: {perf.fps:.1f} FPS "
+            f"({perf.latency_s * 1e3:.2f} ms/inference) on "
+            f"{perf.n_pes} PEs @ {perf.clock_hz / 1e9:.2f} GHz",
+            f"  utilization {perf.average_utilization * 100:.1f}%, "
+            f"DRAM {perf.total_dram_bytes / 1e6:.1f} MB/inference",
+            f"  memory-bound layers: {len(self.memory_bound_layers)}/"
+            f"{len(perf.layer_performances)}",
+        ]
+        worst = perf.bottleneck_layer()
+        lines.append(
+            f"  bottleneck: {worst.layer_name} "
+            f"({self.time_share[worst.layer_name] * 100:.1f}% of latency)"
+        )
+        if self.spilling_layers:
+            lines.append(
+                f"  partial-sum spilling in: {', '.join(self.spilling_layers)}"
+            )
+        return "\n".join(lines)
+
+
+def _is_memory_bound(record: LayerPerformance) -> bool:
+    return record.dram_cycles > record.onchip_cycles
+
+
+def schedule_network(
+    network: Network,
+    config: "AcceleratorConfig",
+    dram_gb_s: float = DRAM_BANDWIDTH_GB_S,
+) -> ScheduleReport:
+    """Evaluate and classify a full network schedule."""
+    performance = evaluate_network(network, config, dram_gb_s)
+
+    compute_bound: List[str] = []
+    memory_bound: List[str] = []
+    spilling: List[str] = []
+    for record in performance.layer_performances:
+        if _is_memory_bound(record):
+            memory_bound.append(record.layer_name)
+        else:
+            compute_bound.append(record.layer_name)
+        if record.mapping.nc > 1:
+            spilling.append(record.layer_name)
+
+    total = performance.total_cycles
+    share = {
+        record.layer_name: (record.total_cycles / total if total else 0.0)
+        for record in performance.layer_performances
+    }
+    return ScheduleReport(
+        performance=performance,
+        compute_bound_layers=tuple(compute_bound),
+        memory_bound_layers=tuple(memory_bound),
+        spilling_layers=tuple(spilling),
+        time_share=share,
+    )

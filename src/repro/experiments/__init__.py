@@ -1,0 +1,34 @@
+"""Paper figure/table regeneration harnesses.
+
+One module per paper artefact:
+
+* :mod:`repro.experiments.fig2` — Fig. 2's carbon-vs-FPS scatter and
+  its carbon-footprint-reduction table;
+* :mod:`repro.experiments.fig3` — Fig. 3's normalised embodied-carbon
+  comparison across networks and nodes;
+* :mod:`repro.experiments.common` — shared settings and caches;
+* :mod:`repro.experiments.report` — ASCII rendering of series/tables.
+"""
+
+from repro.experiments.common import ExperimentSettings, DEFAULT_SETTINGS
+from repro.experiments.fig2 import (
+    Fig2Scatter,
+    Fig2Table,
+    fig2_scatter,
+    fig2_reduction_table,
+)
+from repro.experiments.fig3 import Fig3Bars, fig3_comparison
+from repro.experiments.report import render_table, render_series
+
+__all__ = [
+    "ExperimentSettings",
+    "DEFAULT_SETTINGS",
+    "Fig2Scatter",
+    "Fig2Table",
+    "fig2_scatter",
+    "fig2_reduction_table",
+    "Fig3Bars",
+    "fig3_comparison",
+    "render_table",
+    "render_series",
+]

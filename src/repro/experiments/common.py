@@ -1,0 +1,94 @@
+"""Shared experiment configuration and caches.
+
+Every experiment harness takes an :class:`ExperimentSettings`; the
+default reproduces the paper's setup, while :func:`fast_settings`
+shrinks the searches for unit tests and CI smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.library import ApproxLibrary, build_library
+from repro.errors import ExperimentError
+from repro.ga.engine import GaConfig
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all experiment harnesses.
+
+    Attributes:
+        nodes_nm: technology nodes to evaluate.
+        networks: workload names.
+        fps_thresholds: performance constraints (Fig. 2's 30/40/50).
+        drop_tiers_percent: accuracy-drop tiers (0.5/1/2).
+        library_population: NSGA-II population for the multiplier
+            library.
+        library_generations: NSGA-II generations.
+        ga_population: architecture-GA population.
+        ga_generations: architecture-GA generations.
+        seed: master seed for both searches.
+        grid: fab grid profile.
+    """
+
+    nodes_nm: Tuple[int, ...] = (7, 14, 28)
+    networks: Tuple[str, ...] = ("vgg16", "vgg19", "resnet50", "resnet152")
+    fps_thresholds: Tuple[float, ...] = (30.0, 40.0, 50.0)
+    drop_tiers_percent: Tuple[float, ...] = (0.5, 1.0, 2.0)
+    library_population: int = 40
+    library_generations: int = 36
+    ga_population: int = 24
+    ga_generations: int = 30
+    seed: int = 0
+    grid: str = "taiwan"
+
+    def __post_init__(self) -> None:
+        if not self.nodes_nm or not self.networks:
+            raise ExperimentError("settings need at least one node and network")
+        if not self.fps_thresholds or not self.drop_tiers_percent:
+            raise ExperimentError("settings need thresholds and tiers")
+
+    def library(self) -> ApproxLibrary:
+        """The (cached) step-1 multiplier library for these settings."""
+        return build_library(
+            population=self.library_population,
+            generations=self.library_generations,
+            seed=self.seed,
+        )
+
+    def ga_config(self, seed_offset: int = 0) -> GaConfig:
+        """Architecture-GA configuration (offset decorrelates runs)."""
+        return GaConfig(
+            population_size=self.ga_population,
+            generations=self.ga_generations,
+            seed=self.seed + seed_offset,
+        )
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+#: One predictor shared process-wide so accuracy lookups stay memoised.
+_SHARED_PREDICTOR = AccuracyPredictor()
+
+
+def shared_predictor() -> AccuracyPredictor:
+    """Process-wide accuracy predictor (cache reuse across harnesses)."""
+    return _SHARED_PREDICTOR
+
+
+def fast_settings(seed: int = 0) -> ExperimentSettings:
+    """Reduced settings for tests: small searches, two workloads."""
+    return ExperimentSettings(
+        nodes_nm=(7, 14),
+        networks=("vgg16", "resnet50"),
+        fps_thresholds=(30.0,),
+        drop_tiers_percent=(1.0, 2.0),
+        library_population=12,
+        library_generations=5,
+        ga_population=12,
+        ga_generations=8,
+        seed=seed,
+    )

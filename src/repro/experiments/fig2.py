@@ -1,0 +1,189 @@
+"""Fig. 2 regeneration: carbon-vs-performance trade-off for VGG16.
+
+Two artefacts:
+
+* :func:`fig2_scatter` — the scatter: exact NVDLA sweep, approximate-
+  only sweeps at each accuracy tier, and GA-CDP points at each FPS
+  threshold (all carbon in gCO2, performance in FPS);
+* :func:`fig2_reduction_table` — the embedded table: average and peak
+  carbon-footprint reduction (%) of approximate-only designs over the
+  sweep, per technology node and accuracy tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.baselines import approximate_only_sweep, exact_sweep
+from repro.core.designer import CarbonAwareDesigner
+from repro.core.results import DesignPoint
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    shared_predictor,
+)
+from repro.experiments.report import render_series, render_table
+
+
+@dataclass(frozen=True)
+class Fig2Scatter:
+    """Fig. 2 scatter data.
+
+    Attributes:
+        network: workload plotted.
+        node_nm: technology node.
+        points: series label -> design points (exact / appx tiers /
+            ga_cdp).
+    """
+
+    network: str
+    node_nm: int
+    points: Dict[str, Tuple[DesignPoint, ...]]
+
+    def series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """(FPS, gCO2) pairs per series — the plotted quantities."""
+        return {
+            label: [(p.fps, p.carbon_g) for p in pts]
+            for label, pts in self.points.items()
+        }
+
+    def render(self) -> str:
+        return render_series(
+            self.series(),
+            x_label="FPS",
+            y_label="gCO2",
+            title=(
+                f"Fig. 2 scatter — {self.network} @ {self.node_nm} nm "
+                "(embodied carbon vs performance)"
+            ),
+        )
+
+
+def fig2_scatter(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    network: str = "vgg16",
+    node_nm: int = 7,
+) -> Fig2Scatter:
+    """Regenerate the Fig. 2 scatter.
+
+    The exact series sweeps the NVDLA family; each ``appx_*`` series
+    keeps those architectures and swaps in the smallest multiplier
+    meeting the tier; each ``ga_cdp_<fps>`` point is a full GA-CDP run
+    at that FPS threshold (with the loosest accuracy tier, as in the
+    paper's GA experiments).
+    """
+    library = settings.library()
+    predictor = shared_predictor()
+
+    points: Dict[str, Tuple[DesignPoint, ...]] = {
+        "exact": tuple(
+            exact_sweep(network, library, node_nm, predictor, grid=settings.grid)
+        )
+    }
+    for tier in settings.drop_tiers_percent:
+        points[f"appx_{tier:g}"] = tuple(
+            approximate_only_sweep(
+                network, library, node_nm, predictor, tier, grid=settings.grid
+            )
+        )
+
+    loosest = max(settings.drop_tiers_percent)
+    ga_points: List[DesignPoint] = []
+    for index, min_fps in enumerate(settings.fps_thresholds):
+        designer = CarbonAwareDesigner(
+            network=network,
+            node_nm=node_nm,
+            min_fps=min_fps,
+            max_drop_percent=loosest,
+            library=library,
+            predictor=predictor,
+            ga_config=settings.ga_config(seed_offset=index + 1),
+            grid=settings.grid,
+        )
+        result = designer.run()
+        ga_points.append(result.best)
+    points["ga_cdp"] = tuple(ga_points)
+
+    return Fig2Scatter(network=network, node_nm=node_nm, points=points)
+
+
+# --- the reduction table --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig2Table:
+    """Fig. 2's carbon-footprint-reduction table.
+
+    Attributes:
+        network: workload evaluated.
+        reductions: (node_nm, tier) -> (avg_percent, peak_percent) over
+            the NVDLA sweep.
+    """
+
+    network: str
+    reductions: Dict[Tuple[int, float], Tuple[float, float]]
+
+    def rows(self) -> List[List[object]]:
+        """Table rows matching the paper's layout (Avg/Peak per node)."""
+        nodes = sorted({node for node, _ in self.reductions})
+        tiers = sorted({tier for _, tier in self.reductions})
+        table_rows: List[List[object]] = []
+        for node in nodes:
+            avg_row: List[object] = [node, "Avg"]
+            peak_row: List[object] = [node, "Peak"]
+            for tier in tiers:
+                avg, peak = self.reductions[(node, tier)]
+                avg_row.append(round(avg, 2))
+                peak_row.append(round(peak, 2))
+            table_rows.append(avg_row)
+            table_rows.append(peak_row)
+        return table_rows
+
+    def render(self) -> str:
+        tiers = sorted({tier for _, tier in self.reductions})
+        headers = ["node_nm", "type"] + [f"drop {t:g}%" for t in tiers]
+        return render_table(
+            headers,
+            self.rows(),
+            title=(
+                f"Fig. 2 table — carbon footprint reduction (%) of "
+                f"approximate-only designs, {self.network}"
+            ),
+        )
+
+
+def fig2_reduction_table(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    network: str = "vgg16",
+) -> Fig2Table:
+    """Regenerate the Fig. 2 reduction table.
+
+    For each node and accuracy tier: swap multipliers on the NVDLA
+    sweep, compute per-configuration carbon reduction vs exact, report
+    the average and the peak over the family.
+    """
+    library = settings.library()
+    predictor = shared_predictor()
+
+    reductions: Dict[Tuple[int, float], Tuple[float, float]] = {}
+    for node_nm in settings.nodes_nm:
+        exact_points = exact_sweep(
+            network, library, node_nm, predictor, grid=settings.grid
+        )
+        for tier in settings.drop_tiers_percent:
+            approx_points = approximate_only_sweep(
+                network, library, node_nm, predictor, tier, grid=settings.grid
+            )
+            percent = [
+                100.0 * (1.0 - a.carbon_g / e.carbon_g)
+                for e, a in zip(exact_points, approx_points)
+            ]
+            if not percent:
+                raise ExperimentError("empty sweep")
+            reductions[(node_nm, tier)] = (
+                sum(percent) / len(percent),
+                max(percent),
+            )
+    return Fig2Table(network=network, reductions=reductions)

@@ -1,0 +1,154 @@
+"""Fig. 3 regeneration: normalised embodied carbon across workloads.
+
+For every (network, node) cell the paper compares three designs that
+all satisfy a 30 FPS threshold:
+
+* **Exact** — smallest NVDLA family member meeting the threshold;
+* **Approximate only** — the same architecture with the smallest
+  multiplier within a 2% accuracy drop;
+* **GA-CDP (proposed)** — the full methodology.
+
+Carbon is normalised to the exact design per cell, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.core.baselines import (
+    design_point_for,
+    smallest_exact_meeting_fps,
+)
+from repro.core.designer import CarbonAwareDesigner
+from repro.core.results import DesignPoint
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    shared_predictor,
+)
+from repro.experiments.report import render_table
+
+#: Fig. 3's fixed constraints.
+FIG3_MIN_FPS = 30.0
+FIG3_MAX_DROP_PERCENT = 2.0
+
+
+@dataclass(frozen=True)
+class Fig3Cell:
+    """One (network, node) comparison."""
+
+    exact: DesignPoint
+    approximate_only: DesignPoint
+    ga_cdp: DesignPoint
+
+    @property
+    def normalised(self) -> Tuple[float, float, float]:
+        """(exact, approx-only, ga-cdp) carbon normalised to exact."""
+        base = self.exact.carbon_g
+        return (
+            1.0,
+            self.approximate_only.carbon_g / base,
+            self.ga_cdp.carbon_g / base,
+        )
+
+    @property
+    def ga_savings_percent(self) -> float:
+        return 100.0 * (1.0 - self.normalised[2])
+
+
+@dataclass(frozen=True)
+class Fig3Bars:
+    """Fig. 3 data: (network, node) -> comparison cell."""
+
+    cells: Dict[Tuple[str, int], Fig3Cell]
+
+    def rows(self) -> List[List[object]]:
+        table_rows: List[List[object]] = []
+        for (network, node), cell in sorted(self.cells.items()):
+            exact_n, approx_n, ga_n = cell.normalised
+            table_rows.append(
+                [
+                    network,
+                    node,
+                    round(exact_n, 3),
+                    round(approx_n, 3),
+                    round(ga_n, 3),
+                    round(cell.ga_savings_percent, 1),
+                ]
+            )
+        return table_rows
+
+    def render(self) -> str:
+        return render_table(
+            ["network", "node_nm", "exact", "approx_only", "ga_cdp", "ga_saving_%"],
+            self.rows(),
+            title=(
+                "Fig. 3 — embodied carbon normalised to the exact "
+                f"implementation (>= {FIG3_MIN_FPS:g} FPS, "
+                f"<= {FIG3_MAX_DROP_PERCENT:g}% drop)"
+            ),
+        )
+
+    def max_savings_percent(self) -> Dict[str, float]:
+        """Best GA-CDP saving per network (the paper quotes 30-70%)."""
+        best: Dict[str, float] = {}
+        for (network, _node), cell in self.cells.items():
+            best[network] = max(
+                best.get(network, 0.0), cell.ga_savings_percent
+            )
+        return best
+
+
+def _cell(
+    network: str,
+    node_nm: int,
+    settings: ExperimentSettings,
+    predictor: AccuracyPredictor,
+    seed_offset: int,
+) -> Fig3Cell:
+    library = settings.library()
+    exact = smallest_exact_meeting_fps(
+        network, library, node_nm, predictor, FIG3_MIN_FPS, grid=settings.grid
+    )
+    multiplier = predictor.smallest_feasible(
+        network, library, FIG3_MAX_DROP_PERCENT
+    )
+    approx_only = design_point_for(
+        exact.config.with_multiplier(multiplier),
+        network,
+        "approx_only",
+        predictor,
+        grid=settings.grid,
+    )
+    designer = CarbonAwareDesigner(
+        network=network,
+        node_nm=node_nm,
+        min_fps=FIG3_MIN_FPS,
+        max_drop_percent=FIG3_MAX_DROP_PERCENT,
+        library=library,
+        predictor=predictor,
+        ga_config=settings.ga_config(seed_offset=seed_offset),
+        grid=settings.grid,
+    )
+    ga_best = designer.run().best
+    return Fig3Cell(exact=exact, approximate_only=approx_only, ga_cdp=ga_best)
+
+
+def fig3_comparison(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Fig3Bars:
+    """Regenerate Fig. 3 over the settings' networks and nodes."""
+    predictor = shared_predictor()
+    cells: Dict[Tuple[str, int], Fig3Cell] = {}
+    for net_index, network in enumerate(settings.networks):
+        for node_index, node_nm in enumerate(settings.nodes_nm):
+            cells[(network, node_nm)] = _cell(
+                network,
+                node_nm,
+                settings,
+                predictor,
+                seed_offset=net_index * 10 + node_index,
+            )
+    return Fig3Bars(cells=cells)

@@ -1,0 +1,109 @@
+"""Constraint-space Pareto sweep (extension experiment).
+
+The paper evaluates three accuracy tiers and three FPS thresholds
+independently.  A designer shopping for an operating point wants the
+whole surface: for every (min FPS, max drop) cell, what is the least
+embodied carbon a GA-CDP design achieves?  This harness sweeps the
+grid and reports the resulting carbon surface plus the 3-D Pareto
+frontier over (carbon, -FPS, drop) — the "full trade-off map" the
+paper's conclusion gestures at as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.approx.nsga2 import pareto_front
+from repro.core.designer import CarbonAwareDesigner
+from repro.core.results import DesignPoint
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    shared_predictor,
+)
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class ParetoSweep:
+    """GA-CDP designs over the (min FPS, max drop) constraint grid.
+
+    Attributes:
+        network: workload evaluated.
+        node_nm: technology node.
+        cells: (min_fps, max_drop) -> winning design.
+    """
+
+    network: str
+    node_nm: int
+    cells: Dict[Tuple[float, float], DesignPoint]
+
+    def carbon_surface(self) -> List[List[object]]:
+        """Rows of the carbon surface table (one row per FPS level)."""
+        fps_levels = sorted({fps for fps, _ in self.cells})
+        drop_levels = sorted({drop for _, drop in self.cells})
+        rows: List[List[object]] = []
+        for fps in fps_levels:
+            row: List[object] = [fps]
+            for drop in drop_levels:
+                row.append(round(self.cells[(fps, drop)].carbon_g, 3))
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        drop_levels = sorted({drop for _, drop in self.cells})
+        headers = ["min_fps \\ drop%"] + [f"{d:g}" for d in drop_levels]
+        return render_table(
+            headers,
+            self.carbon_surface(),
+            title=(
+                f"Carbon surface (gCO2) — {self.network} @ {self.node_nm} nm, "
+                "GA-CDP per constraint cell"
+            ),
+        )
+
+    def frontier(self) -> List[DesignPoint]:
+        """Non-dominated designs over (carbon, -FPS, drop)."""
+        scored = [
+            (
+                point,
+                (
+                    point.carbon_g,
+                    -point.fps,
+                    point.accuracy_drop_percent,
+                ),
+            )
+            for point in self.cells.values()
+        ]
+        return [point for point, _ in pareto_front(scored)]  # type: ignore[misc]
+
+
+def pareto_sweep(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    network: str = "vgg16",
+    node_nm: int = 7,
+) -> ParetoSweep:
+    """Run GA-CDP on every (FPS, drop) constraint combination."""
+    if not settings.fps_thresholds or not settings.drop_tiers_percent:
+        raise ExperimentError("settings must define thresholds and tiers")
+    library = settings.library()
+    predictor = shared_predictor()
+
+    cells: Dict[Tuple[float, float], DesignPoint] = {}
+    for fps_index, min_fps in enumerate(settings.fps_thresholds):
+        for drop_index, max_drop in enumerate(settings.drop_tiers_percent):
+            designer = CarbonAwareDesigner(
+                network=network,
+                node_nm=node_nm,
+                min_fps=min_fps,
+                max_drop_percent=max_drop,
+                library=library,
+                predictor=predictor,
+                ga_config=settings.ga_config(
+                    seed_offset=600 + 10 * fps_index + drop_index
+                ),
+            )
+            cells[(min_fps, max_drop)] = designer.run().best
+    return ParetoSweep(network=network, node_nm=node_nm, cells=cells)

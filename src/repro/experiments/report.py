@@ -1,0 +1,65 @@
+"""ASCII rendering of experiment outputs.
+
+The benchmarks print the same rows/series the paper reports; these
+helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    if not headers:
+        raise ExperimentError("table needs headers")
+    string_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in string_rows))
+        if string_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Print scatter series as aligned (x, y) listings per label."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label in series:
+        lines.append(f"[{label}] ({x_label}, {y_label})")
+        for x, y in series[label]:
+            lines.append(f"    {x:10.2f}  {y:10.3f}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

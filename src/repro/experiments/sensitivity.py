@@ -1,0 +1,176 @@
+"""Sensitivity analyses (extension experiments).
+
+The paper's results rest on fab and system parameters it does not vary;
+these harnesses quantify how the headline conclusion — GA-CDP designs
+cut embodied carbon substantially while meeting constraints — responds
+to the big unknowns:
+
+* **grid intensity** (:func:`grid_sensitivity`) — a fab on coal vs
+  renewables rescales CFPA; does the *relative* GA saving survive?
+* **defect density** (:func:`yield_sensitivity`) — yield drives Eq. 2's
+  denominator; poor yield amplifies every area saving;
+* **DRAM bandwidth** (:func:`bandwidth_sensitivity`) — the performance
+  model's main exogenous constant moves the FPS-feasible frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.carbon.act import GRID_PROFILES
+from repro.core.baselines import smallest_exact_meeting_fps
+from repro.core.designer import CarbonAwareDesigner
+from repro.dataflow import performance as performance_module
+from repro.dataflow.performance import clear_performance_cache, evaluate_network
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    shared_predictor,
+)
+from repro.experiments.report import render_table
+from repro.nn.zoo import workload
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """One sweep: parameter value -> (exact gCO2, GA gCO2, saving %)."""
+
+    parameter: str
+    rows: Tuple[Tuple[float, float, float, float], ...]
+
+    def render(self) -> str:
+        return render_table(
+            [self.parameter, "exact_gCO2", "ga_gCO2", "saving_%"],
+            [list(row) for row in self.rows],
+            title=f"Sensitivity — {self.parameter}",
+        )
+
+    def savings(self) -> Tuple[float, ...]:
+        return tuple(row[3] for row in self.rows)
+
+
+def _ga_vs_exact(
+    settings: ExperimentSettings,
+    network: str,
+    node_nm: int,
+    grid: str | float,
+    seed_offset: int,
+) -> Tuple[float, float, float]:
+    predictor = shared_predictor()
+    library = settings.library()
+    exact = smallest_exact_meeting_fps(
+        network, library, node_nm, predictor, 30.0, grid=grid
+    )
+    ga = CarbonAwareDesigner(
+        network=network,
+        node_nm=node_nm,
+        min_fps=30.0,
+        max_drop_percent=2.0,
+        library=library,
+        predictor=predictor,
+        ga_config=settings.ga_config(seed_offset=seed_offset),
+        grid=grid,
+    ).run().best
+    saving = 100.0 * (1.0 - ga.carbon_g / exact.carbon_g)
+    return exact.carbon_g, ga.carbon_g, saving
+
+
+def grid_sensitivity(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    network: str = "vgg16",
+    node_nm: int = 7,
+) -> SensitivityResult:
+    """GA-CDP saving across fab electricity grids."""
+    rows = []
+    for index, (name, intensity) in enumerate(sorted(GRID_PROFILES.items())):
+        exact_g, ga_g, saving = _ga_vs_exact(
+            settings, network, node_nm, name, seed_offset=300 + index
+        )
+        rows.append((intensity, round(exact_g, 3), round(ga_g, 3), round(saving, 1)))
+    rows.sort(key=lambda row: row[0])
+    return SensitivityResult("grid_gCO2_per_kWh", tuple(rows))
+
+
+def yield_sensitivity(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    network: str = "vgg16",
+    node_nm: int = 7,
+    defect_multipliers: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+) -> SensitivityResult:
+    """GA-CDP saving as defect density scales around the node default.
+
+    Implemented by swapping :data:`repro.carbon.act.DEFAULT_YIELD_MODEL`
+    for a density-scaled Murphy model under try/finally — the node
+    database itself stays immutable.
+    """
+    from repro.carbon import act as act_module
+    from repro.carbon.nodes import technology_node
+    from repro.carbon.wafer import murphy_yield
+
+    base_density = technology_node(node_nm).defect_density_per_cm2
+    rows = []
+    original = act_module.DEFAULT_YIELD_MODEL
+    try:
+        for index, multiplier in enumerate(defect_multipliers):
+            scaled_density = base_density * multiplier
+
+            def scaled_murphy(area_mm2, _density, _d=scaled_density):
+                return murphy_yield(area_mm2, _d)
+
+            act_module.DEFAULT_YIELD_MODEL = scaled_murphy
+            exact_g, ga_g, saving = _ga_vs_exact(
+                settings, network, node_nm, "taiwan", seed_offset=400 + index
+            )
+            rows.append(
+                (multiplier, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
+            )
+    finally:
+        act_module.DEFAULT_YIELD_MODEL = original
+    return SensitivityResult("defect_density_multiplier", tuple(rows))
+
+
+def bandwidth_sensitivity(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    network: str = "vgg16",
+    node_nm: int = 7,
+    bandwidths_gb_s: Tuple[float, ...] = (6.4, 12.8, 25.6, 51.2),
+) -> SensitivityResult:
+    """Exact-family FPS and GA saving across DRAM bandwidths."""
+    if not bandwidths_gb_s:
+        raise ExperimentError("need at least one bandwidth")
+    rows = []
+    original = performance_module.DRAM_BANDWIDTH_GB_S
+    try:
+        for index, bandwidth in enumerate(bandwidths_gb_s):
+            performance_module.DRAM_BANDWIDTH_GB_S = bandwidth
+            clear_performance_cache()
+            exact_g, ga_g, saving = _ga_vs_exact(
+                settings, network, node_nm, "taiwan", seed_offset=500 + index
+            )
+            rows.append(
+                (bandwidth, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
+            )
+    finally:
+        performance_module.DRAM_BANDWIDTH_GB_S = original
+        clear_performance_cache()
+    return SensitivityResult("dram_bandwidth_GB_s", tuple(rows))
+
+
+def network_fps_table(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    node_nm: int = 7,
+) -> Dict[str, Tuple[float, ...]]:
+    """FPS of the exact NVDLA family per workload (context table)."""
+    from repro.accel.nvdla import nvdla_family
+
+    library = settings.library()
+    result: Dict[str, Tuple[float, ...]] = {}
+    for name in settings.networks:
+        net = workload(name)
+        result[name] = tuple(
+            round(evaluate_network(net, config).fps, 1)
+            for config in nvdla_family(library.exact, node_nm)
+        )
+    return result

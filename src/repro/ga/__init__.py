@@ -1,0 +1,24 @@
+"""Genetic algorithm for the architecture + multiplier search (step 2).
+
+* :mod:`repro.ga.chromosome` — integer-gene encoding of the paper's
+  chromosome (PE width/height, local buffer, global buffer) plus the
+  multiplier selection;
+* :mod:`repro.ga.fitness` — CDP fitness with FPS and accuracy-drop
+  constraints;
+* :mod:`repro.ga.engine` — single-objective GA with Deb's
+  feasibility-first constraint handling.
+"""
+
+from repro.ga.chromosome import ChromosomeSpace, DEFAULT_SPACE
+from repro.ga.fitness import FitnessEvaluator, FitnessResult
+from repro.ga.engine import GaConfig, GeneticAlgorithm, GaOutcome
+
+__all__ = [
+    "ChromosomeSpace",
+    "DEFAULT_SPACE",
+    "FitnessEvaluator",
+    "FitnessResult",
+    "GaConfig",
+    "GeneticAlgorithm",
+    "GaOutcome",
+]

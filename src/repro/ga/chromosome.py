@@ -1,0 +1,198 @@
+"""Chromosome encoding for the architecture search.
+
+Mirrors the paper's chromosome (Fig. 1): ``#PE width``, ``#PE height``,
+``local buffer size``, ``global buffer size`` — plus the index of the
+approximate multiplier, which the text says the GA selects from the
+step-1 Pareto set.
+
+Genes are indices into explicit value menus, which keeps crossover and
+mutation trivially valid (any index vector decodes to a legal
+architecture) and lets the search mix power-of-two NVDLA-like shapes
+with the finer-grained geometries the paper's GA exploits to avoid
+overdesign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.accel.arch import AcceleratorConfig
+from repro.approx.library import ApproxLibrary
+from repro.errors import OptimizationError
+
+Genome = Tuple[int, ...]
+
+#: PE-array dimension menu (rows and columns draw from the same menu).
+DIMENSION_CHOICES: Tuple[int, ...] = (2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64)
+
+#: Per-PE register-file menu in bytes.
+LOCAL_BUFFER_CHOICES: Tuple[int, ...] = (0, 16, 32, 64, 96, 128, 192, 256)
+
+#: Global convolution-buffer menu in KiB.
+GLOBAL_BUFFER_KIB_CHOICES: Tuple[int, ...] = (
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+)
+
+
+@dataclass(frozen=True)
+class ChromosomeSpace:
+    """Gene menus plus decode logic.
+
+    Attributes:
+        dimension_choices: menu for PE rows and PE columns.
+        local_buffer_choices: menu for the per-PE register file (bytes).
+        global_buffer_kib_choices: menu for the global buffer (KiB).
+        n_multipliers: library size (last gene's range).
+    """
+
+    dimension_choices: Tuple[int, ...] = DIMENSION_CHOICES
+    local_buffer_choices: Tuple[int, ...] = LOCAL_BUFFER_CHOICES
+    global_buffer_kib_choices: Tuple[int, ...] = GLOBAL_BUFFER_KIB_CHOICES
+    n_multipliers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_multipliers < 1:
+            raise OptimizationError("need at least one multiplier")
+        for name in (
+            "dimension_choices",
+            "local_buffer_choices",
+            "global_buffer_kib_choices",
+        ):
+            if not getattr(self, name):
+                raise OptimizationError(f"{name} must not be empty")
+
+    @property
+    def gene_ranges(self) -> Tuple[int, ...]:
+        """Number of valid values per gene position."""
+        return (
+            len(self.dimension_choices),   # pe_rows
+            len(self.dimension_choices),   # pe_cols
+            len(self.local_buffer_choices),
+            len(self.global_buffer_kib_choices),
+            self.n_multipliers,
+        )
+
+    @property
+    def n_genes(self) -> int:
+        return len(self.gene_ranges)
+
+    @property
+    def search_space_size(self) -> int:
+        size = 1
+        for r in self.gene_ranges:
+            size *= r
+        return size
+
+    # ------------------------------------------------------------------
+
+    def validate(self, genome: Genome) -> None:
+        """Raise if a genome is out of range."""
+        if len(genome) != self.n_genes:
+            raise OptimizationError(
+                f"genome has {len(genome)} genes, expected {self.n_genes}"
+            )
+        for position, (gene, bound) in enumerate(zip(genome, self.gene_ranges)):
+            if not 0 <= gene < bound:
+                raise OptimizationError(
+                    f"gene {position} = {gene} outside [0, {bound})"
+                )
+
+    def decode(
+        self,
+        genome: Genome,
+        library: ApproxLibrary,
+        node_nm: int,
+    ) -> AcceleratorConfig:
+        """Materialise an :class:`AcceleratorConfig` from a genome."""
+        self.validate(genome)
+        if len(library) != self.n_multipliers:
+            raise OptimizationError(
+                f"library has {len(library)} entries; space expects "
+                f"{self.n_multipliers}"
+            )
+        rows_i, cols_i, lb_i, gb_i, mult_i = genome
+        return AcceleratorConfig(
+            pe_rows=self.dimension_choices[rows_i],
+            pe_cols=self.dimension_choices[cols_i],
+            local_buffer_bytes=self.local_buffer_choices[lb_i],
+            global_buffer_bytes=self.global_buffer_kib_choices[gb_i] * 1024,
+            multiplier=library[mult_i],
+            node_nm=node_nm,
+        )
+
+    def random_genome(self, rng: np.random.Generator) -> Genome:
+        """Uniformly random valid genome."""
+        return tuple(
+            int(rng.integers(0, bound)) for bound in self.gene_ranges
+        )
+
+    def mutate(
+        self, genome: Genome, rng: np.random.Generator, rate: float
+    ) -> Genome:
+        """Per-gene mutation: small index step or random reset.
+
+        Stepping by +-1 exploits the menus' monotone ordering (nearby
+        indices are nearby architectures); occasional resets keep the
+        search global.
+        """
+        result = list(genome)
+        for position, bound in enumerate(self.gene_ranges):
+            if rng.random() >= rate:
+                continue
+            if rng.random() < 0.7:
+                step = -1 if rng.random() < 0.5 else 1
+                result[position] = int(np.clip(result[position] + step, 0, bound - 1))
+            else:
+                result[position] = int(rng.integers(0, bound))
+        return tuple(result)
+
+    @staticmethod
+    def crossover(a: Genome, b: Genome, rng: np.random.Generator) -> Genome:
+        """Uniform crossover."""
+        take_a = rng.random(len(a)) < 0.5
+        return tuple(x if t else y for x, y, t in zip(a, b, take_a))
+
+
+    def encode_nearest(
+        self,
+        pe_rows: int,
+        pe_cols: int,
+        local_buffer_bytes: int,
+        global_buffer_bytes: int,
+        multiplier_index: int,
+    ) -> Genome:
+        """Genome whose decoded config is closest to the given values.
+
+        Used to seed the GA population with known-good designs (the
+        NVDLA baseline family); each field snaps to the nearest menu
+        entry.
+        """
+        if not 0 <= multiplier_index < self.n_multipliers:
+            raise OptimizationError(
+                f"multiplier index {multiplier_index} outside "
+                f"[0, {self.n_multipliers})"
+            )
+        return (
+            _nearest_index(self.dimension_choices, pe_rows),
+            _nearest_index(self.dimension_choices, pe_cols),
+            _nearest_index(self.local_buffer_choices, local_buffer_bytes),
+            _nearest_index(
+                self.global_buffer_kib_choices, global_buffer_bytes // 1024
+            ),
+            multiplier_index,
+        )
+
+
+def _nearest_index(choices: Tuple[int, ...], value: int) -> int:
+    return min(range(len(choices)), key=lambda i: abs(choices[i] - value))
+
+
+def space_for_library(library: ApproxLibrary) -> ChromosomeSpace:
+    """Chromosome space sized to a multiplier library."""
+    return ChromosomeSpace(n_multipliers=len(library))
+
+
+DEFAULT_SPACE = ChromosomeSpace()

@@ -1,0 +1,281 @@
+"""Quantised CNN inference with a pluggable multiplier.
+
+This is our ApproxTrain substitute's execution engine: a small numpy
+CNN whose every multiplication goes through a supplied multiplier
+function — either exact integer multiply or an approximate
+:class:`~repro.approx.lut.LutMultiplier`.  Convolution is im2col-based,
+so the multiplier sees plain operand arrays and the approximate LUT is
+exercised on exactly the products the hardware would compute.
+
+The engine deliberately supports only what the behavioural accuracy
+study needs (conv + ReLU + max-pool + dense on small images); the big
+zoo networks are never executed here — see DESIGN.md for why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AccuracyModelError
+from repro.nn.quantize import QuantParams, calibrate_scale, quantize_tensor
+
+#: A multiplier: signed int operand arrays -> elementwise products.
+MultiplyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def exact_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference integer multiplier."""
+    return a.astype(np.int64) * b.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """A quantised 3x3/1x1 convolution layer (float master weights).
+
+    Attributes:
+        weights: float array (out_c, in_c, k, k).
+        bias: optional float bias (out_c,).
+        stride: convolution stride.
+        padding: symmetric zero padding.
+        relu: apply ReLU after requantisation.
+    """
+
+    weights: np.ndarray
+    bias: Optional[np.ndarray] = None
+    stride: int = 1
+    padding: int = 1
+    relu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weights.ndim != 4:
+            raise AccuracyModelError(
+                f"conv weights must be 4-D, got shape {self.weights.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """2x2 max pooling."""
+
+    kernel: int = 2
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    """A quantised dense layer.
+
+    Attributes:
+        weights: float array (out_features, in_features).
+        bias: optional float bias (out_features,).
+        relu: apply ReLU after requantisation.
+    """
+
+    weights: np.ndarray
+    bias: Optional[np.ndarray] = None
+    relu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.weights.ndim != 2:
+            raise AccuracyModelError(
+                f"dense weights must be 2-D, got shape {self.weights.shape}"
+            )
+
+
+LayerSpec = Union[ConvSpec, PoolSpec, DenseSpec]
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """(N, C, H, W) -> (N, out_h*out_w, C*k*k) patch matrix."""
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise AccuracyModelError(
+            f"conv kernel {kernel} does not fit input {h}x{w}"
+        )
+    cols = np.empty((n, out_h * out_w, c * kernel * kernel), dtype=x.dtype)
+    index = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x[
+                :, :, i * stride : i * stride + kernel, j * stride : j * stride + kernel
+            ]
+            cols[:, index, :] = patch.reshape(n, -1)
+            index += 1
+    return cols, out_h, out_w
+
+
+def _lut_matmul(
+    activations: np.ndarray, weights: np.ndarray, multiply: MultiplyFn
+) -> np.ndarray:
+    """Matrix product through an elementwise multiplier function.
+
+    activations: (rows, k) int8 codes; weights: (k, cols) int8 codes.
+    Broadcasting keeps the peak temporary at rows*k*cols int64 — fine
+    for the small behavioural network.
+    """
+    products = multiply(
+        activations[:, :, np.newaxis], weights[np.newaxis, :, :]
+    )
+    return products.sum(axis=1)
+
+
+@dataclass
+class QuantCNN:
+    """A quantised CNN executed through a pluggable multiplier.
+
+    Attributes:
+        layers: layer specifications in order.
+        input_params: quantisation of the (float) input tensor.
+    """
+
+    layers: List[LayerSpec] = field(default_factory=list)
+    input_params: Optional[QuantParams] = None
+
+    def calibrate(self, sample_inputs: np.ndarray) -> None:
+        """Fix the input quantisation scale from a calibration batch."""
+        self.input_params = calibrate_scale(sample_inputs)
+
+    # ------------------------------------------------------------------
+
+    def forward(
+        self,
+        x: np.ndarray,
+        multiply: MultiplyFn = exact_multiply,
+    ) -> np.ndarray:
+        """Run a float batch through the quantised network.
+
+        Args:
+            x: inputs shaped (N, C, H, W).
+            multiply: elementwise integer multiplier (exact or LUT).
+
+        Returns:
+            Float logits (N, classes).
+        """
+        if self.input_params is None:
+            raise AccuracyModelError(
+                "QuantCNN.calibrate must run before forward"
+            )
+        if x.ndim != 4:
+            raise AccuracyModelError(
+                f"input must be (N, C, H, W), got shape {x.shape}"
+            )
+
+        codes = quantize_tensor(x, self.input_params)
+        scale = self.input_params.scale
+        value = codes.astype(np.int64)
+
+        for layer in self.layers:
+            if isinstance(layer, ConvSpec):
+                value, scale = self._conv(value, scale, layer, multiply)
+            elif isinstance(layer, PoolSpec):
+                value = self._pool(value, layer)
+            elif isinstance(layer, DenseSpec):
+                value, scale = self._dense(value, scale, layer, multiply)
+            else:  # pragma: no cover - exhaustive over LayerSpec
+                raise AccuracyModelError(f"unknown layer spec {layer!r}")
+        return value.astype(np.float64) * scale
+
+    def predict(
+        self, x: np.ndarray, multiply: MultiplyFn = exact_multiply
+    ) -> np.ndarray:
+        """Argmax class predictions for a float batch."""
+        return np.argmax(self.forward(x, multiply), axis=1)
+
+    # --- layer implementations ------------------------------------------
+
+    @staticmethod
+    def _requantize(
+        accum: np.ndarray, in_scale: float, w_scale: float
+    ) -> Tuple[np.ndarray, float]:
+        """Rescale int32 accumulators back to int8 codes.
+
+        Chooses the output scale from the accumulator range, mimicking a
+        calibrated requantisation stage.
+        """
+        real = accum.astype(np.float64) * (in_scale * w_scale)
+        params = calibrate_scale(real)
+        return quantize_tensor(real, params).astype(np.int64), params.scale
+
+    def _conv(
+        self,
+        value: np.ndarray,
+        scale: float,
+        layer: ConvSpec,
+        multiply: MultiplyFn,
+    ) -> Tuple[np.ndarray, float]:
+        out_c, in_c, k, _ = layer.weights.shape
+        if value.shape[1] != in_c:
+            raise AccuracyModelError(
+                f"conv expects {in_c} input channels, got {value.shape[1]}"
+            )
+        w_params = calibrate_scale(layer.weights)
+        w_codes = quantize_tensor(layer.weights, w_params).astype(np.int64)
+
+        cols, out_h, out_w = _im2col(value, k, layer.stride, layer.padding)
+        w_matrix = w_codes.reshape(out_c, -1).T  # (in_c*k*k, out_c)
+
+        n = value.shape[0]
+        accum = np.empty((n, out_h * out_w, out_c), dtype=np.int64)
+        for image in range(n):
+            accum[image] = _lut_matmul(cols[image], w_matrix, multiply)
+
+        if layer.bias is not None:
+            bias_codes = np.round(
+                layer.bias / (scale * w_params.scale)
+            ).astype(np.int64)
+            accum += bias_codes[np.newaxis, np.newaxis, :]
+
+        accum = accum.transpose(0, 2, 1).reshape(n, out_c, out_h, out_w)
+        codes, new_scale = self._requantize(accum, scale, w_params.scale)
+        if layer.relu:
+            codes = np.maximum(codes, 0)
+        return codes, new_scale
+
+    @staticmethod
+    def _pool(value: np.ndarray, layer: PoolSpec) -> np.ndarray:
+        n, c, h, w = value.shape
+        k = layer.kernel
+        if h % k or w % k:
+            raise AccuracyModelError(
+                f"pool kernel {k} does not tile input {h}x{w}"
+            )
+        reshaped = value.reshape(n, c, h // k, k, w // k, k)
+        return reshaped.max(axis=(3, 5))
+
+    def _dense(
+        self,
+        value: np.ndarray,
+        scale: float,
+        layer: DenseSpec,
+        multiply: MultiplyFn,
+    ) -> Tuple[np.ndarray, float]:
+        n = value.shape[0]
+        flat = value.reshape(n, -1)
+        out_f, in_f = layer.weights.shape
+        if flat.shape[1] != in_f:
+            raise AccuracyModelError(
+                f"dense expects {in_f} features, got {flat.shape[1]}"
+            )
+        w_params = calibrate_scale(layer.weights)
+        w_codes = quantize_tensor(layer.weights, w_params).astype(np.int64)
+
+        accum = _lut_matmul(flat, w_codes.T, multiply)
+        if layer.bias is not None:
+            accum = accum + np.round(
+                layer.bias / (scale * w_params.scale)
+            ).astype(np.int64)
+
+        codes, new_scale = self._requantize(accum, scale, w_params.scale)
+        if layer.relu:
+            codes = np.maximum(codes, 0)
+        return codes, new_scale

@@ -1,0 +1,53 @@
+"""Symmetric int8 quantisation helpers.
+
+The behavioural accuracy path quantises activations and weights to
+signed int8 with per-tensor symmetric scales — the scheme the
+approximate 8x8 magnitude multipliers (plus external sign handling)
+implement in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AccuracyModelError
+
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Per-tensor symmetric quantisation parameters.
+
+    Attributes:
+        scale: float step size; real value = scale * int8 code.
+    """
+
+    scale: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.scale) or self.scale <= 0:
+            raise AccuracyModelError(
+                f"quantisation scale must be positive and finite, got {self.scale}"
+            )
+
+
+def calibrate_scale(tensor: np.ndarray) -> QuantParams:
+    """Choose the symmetric scale that covers a tensor's max magnitude."""
+    max_abs = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    if max_abs == 0.0:
+        return QuantParams(scale=1.0 / INT8_MAX)
+    return QuantParams(scale=max_abs / INT8_MAX)
+
+
+def quantize_tensor(tensor: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantise to int8 codes with round-to-nearest and saturation."""
+    codes = np.round(np.asarray(tensor, dtype=np.float64) / params.scale)
+    return np.clip(codes, -INT8_MAX, INT8_MAX).astype(np.int8)
+
+
+def dequantize_tensor(codes: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Reconstruct real values from int8 codes."""
+    return codes.astype(np.float64) * params.scale

@@ -1,0 +1,232 @@
+"""Layer tables of the paper's evaluation workloads.
+
+All four networks are described at the standard ImageNet input
+resolution (224x224x3).  Only shape information is stored — weights are
+irrelevant to the performance and carbon models, and the accuracy model
+works from layer statistics (see :mod:`repro.accuracy`).
+
+MAC budgets (useful sanity anchors, verified by the test suite):
+
+=========== ============ ==============
+network     GMACs (int8)  weights (MB)
+=========== ============ ==============
+VGG16        ~15.5        ~138
+VGG19        ~19.6        ~144
+ResNet50     ~4.1         ~25.5
+ResNet152    ~11.6        ~60
+=========== ============ ==============
+
+Residual element-wise additions are not modelled (they are vector adds,
+not MAC-array work, and contribute <1% of traffic).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.dataflow.layers import ConvLayer, FCLayer, Layer, PoolLayer
+from repro.dataflow.network import Network
+from repro.errors import WorkloadError
+
+WORKLOAD_NAMES: Tuple[str, ...] = ("vgg16", "vgg19", "resnet50", "resnet152")
+
+
+# --- VGG family ---------------------------------------------------------------
+
+_VGG16_STAGES = ((2, 64), (2, 128), (3, 256), (3, 512), (3, 512))
+_VGG19_STAGES = ((2, 64), (2, 128), (4, 256), (4, 512), (4, 512))
+
+
+def _vgg(name: str, stages: Tuple[Tuple[int, int], ...]) -> Network:
+    layers: List[Layer] = []
+    channels = 3
+    size = 224
+    for stage_index, (n_convs, width) in enumerate(stages, start=1):
+        for conv_index in range(1, n_convs + 1):
+            layers.append(
+                ConvLayer(
+                    name=f"conv{stage_index}_{conv_index}",
+                    in_channels=channels,
+                    out_channels=width,
+                    in_height=size,
+                    in_width=size,
+                    kernel=3,
+                    stride=1,
+                    padding=1,
+                )
+            )
+            channels = width
+        layers.append(
+            PoolLayer(
+                name=f"pool{stage_index}",
+                channels=channels,
+                in_height=size,
+                in_width=size,
+                kernel=2,
+            )
+        )
+        size //= 2
+    layers.append(FCLayer("fc6", channels * size * size, 4096))
+    layers.append(FCLayer("fc7", 4096, 4096))
+    layers.append(FCLayer("fc8", 4096, 1000))
+    return Network(name, tuple(layers))
+
+
+def vgg16() -> Network:
+    """VGG-16 at 224x224 (13 convs + 3 FC)."""
+    return _vgg("vgg16", _VGG16_STAGES)
+
+
+def vgg19() -> Network:
+    """VGG-19 at 224x224 (16 convs + 3 FC)."""
+    return _vgg("vgg19", _VGG19_STAGES)
+
+
+# --- ResNet family --------------------------------------------------------------
+
+_RESNET_STAGE_WIDTHS = (64, 128, 256, 512)
+_RESNET50_BLOCKS = (3, 4, 6, 3)
+_RESNET152_BLOCKS = (3, 8, 36, 3)
+
+
+def _bottleneck(
+    layers: List[Layer],
+    prefix: str,
+    in_channels: int,
+    mid_channels: int,
+    size: int,
+    stride: int,
+    downsample: bool,
+) -> Tuple[int, int]:
+    """Append one bottleneck block; returns (out_channels, out_size)."""
+    out_channels = 4 * mid_channels
+    layers.append(
+        ConvLayer(
+            name=f"{prefix}_conv1",
+            in_channels=in_channels,
+            out_channels=mid_channels,
+            in_height=size,
+            in_width=size,
+            kernel=1,
+        )
+    )
+    layers.append(
+        ConvLayer(
+            name=f"{prefix}_conv2",
+            in_channels=mid_channels,
+            out_channels=mid_channels,
+            in_height=size,
+            in_width=size,
+            kernel=3,
+            stride=stride,
+            padding=1,
+        )
+    )
+    out_size = size // stride
+    layers.append(
+        ConvLayer(
+            name=f"{prefix}_conv3",
+            in_channels=mid_channels,
+            out_channels=out_channels,
+            in_height=out_size,
+            in_width=out_size,
+            kernel=1,
+        )
+    )
+    if downsample:
+        layers.append(
+            ConvLayer(
+                name=f"{prefix}_down",
+                in_channels=in_channels,
+                out_channels=out_channels,
+                in_height=size,
+                in_width=size,
+                kernel=1,
+                stride=stride,
+            )
+        )
+    return out_channels, out_size
+
+
+def _resnet(name: str, blocks_per_stage: Tuple[int, ...]) -> Network:
+    layers: List[Layer] = [
+        ConvLayer(
+            name="conv1",
+            in_channels=3,
+            out_channels=64,
+            in_height=224,
+            in_width=224,
+            kernel=7,
+            stride=2,
+            padding=3,
+        ),
+        PoolLayer(
+            name="pool1", channels=64, in_height=112, in_width=112,
+            kernel=3, stride=2, padding=1,
+        ),
+    ]
+    channels = 64
+    size = 56
+    for stage_index, (n_blocks, mid) in enumerate(
+        zip(blocks_per_stage, _RESNET_STAGE_WIDTHS), start=2
+    ):
+        for block_index in range(1, n_blocks + 1):
+            first = block_index == 1
+            stride = 2 if (first and stage_index > 2) else 1
+            channels, size = _bottleneck(
+                layers,
+                prefix=f"s{stage_index}b{block_index}",
+                in_channels=channels,
+                mid_channels=mid,
+                size=size,
+                stride=stride,
+                downsample=first,
+            )
+    layers.append(
+        PoolLayer(
+            name="global_pool", channels=channels,
+            in_height=size, in_width=size, kernel=size,
+        )
+    )
+    layers.append(FCLayer("fc", channels, 1000))
+    return Network(name, tuple(layers))
+
+
+def resnet50() -> Network:
+    """ResNet-50 at 224x224 (bottleneck blocks 3-4-6-3)."""
+    return _resnet("resnet50", _RESNET50_BLOCKS)
+
+
+def resnet152() -> Network:
+    """ResNet-152 at 224x224 (bottleneck blocks 3-8-36-3)."""
+    return _resnet("resnet152", _RESNET152_BLOCKS)
+
+
+# --- lookup --------------------------------------------------------------------
+
+_BUILDERS = {
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet50": resnet50,
+    "resnet152": resnet152,
+}
+
+
+@lru_cache(maxsize=None)
+def workload(name: str) -> Network:
+    """Look up a workload by name (cached; networks are immutable)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {list(WORKLOAD_NAMES)}"
+        ) from None
+    return builder()
+
+
+def workload_depths() -> Dict[str, int]:
+    """Number of MAC-executing layers per workload (accuracy model input)."""
+    return {
+        name: len(workload(name).compute_layers()) for name in WORKLOAD_NAMES
+    }

@@ -1,0 +1,123 @@
+"""Unit conventions and conversion helpers.
+
+The library uses one canonical unit per physical quantity and converts at
+the edges.  Canonical units:
+
+==============  ======================  =======================
+Quantity        Canonical unit          Notes
+==============  ======================  =======================
+area            mm^2                    die / block areas
+small area      um^2                    cells, SRAM bit cells
+carbon          gCO2 (grams CO2-eq)     embodied footprints
+carbon / area   gCO2 / mm^2             CFPA in Eq. 2
+energy          J                       operational model
+energy / area   kWh / cm^2              EPA as published by ACT
+time            s
+frequency       Hz
+capacity        bytes
+==============  ======================  =======================
+
+Keeping conversions in one module makes the carbon equations in
+:mod:`repro.carbon.act` read exactly like the paper's Eq. 1 and Eq. 2.
+"""
+
+from __future__ import annotations
+
+# --- area -----------------------------------------------------------------
+
+UM2_PER_MM2 = 1_000_000.0
+MM2_PER_CM2 = 100.0
+
+
+def um2_to_mm2(area_um2: float) -> float:
+    """Convert square micrometres to square millimetres."""
+    return area_um2 / UM2_PER_MM2
+
+
+def mm2_to_um2(area_mm2: float) -> float:
+    """Convert square millimetres to square micrometres."""
+    return area_mm2 * UM2_PER_MM2
+
+
+def cm2_to_mm2(area_cm2: float) -> float:
+    """Convert square centimetres to square millimetres."""
+    return area_cm2 * MM2_PER_CM2
+
+
+def mm2_to_cm2(area_mm2: float) -> float:
+    """Convert square millimetres to square centimetres."""
+    return area_mm2 / MM2_PER_CM2
+
+
+# --- carbon ---------------------------------------------------------------
+
+G_PER_KG = 1000.0
+
+
+def kg_to_g(mass_kg: float) -> float:
+    """Convert kilograms to grams."""
+    return mass_kg * G_PER_KG
+
+
+def g_to_kg(mass_g: float) -> float:
+    """Convert grams to kilograms."""
+    return mass_g / G_PER_KG
+
+
+def kg_per_cm2_to_g_per_mm2(value: float) -> float:
+    """Convert kgCO2/cm^2 (ACT convention) to gCO2/mm^2 (ours)."""
+    return value * G_PER_KG / MM2_PER_CM2
+
+
+# --- energy ---------------------------------------------------------------
+
+J_PER_KWH = 3.6e6
+
+
+def kwh_to_j(energy_kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return energy_kwh * J_PER_KWH
+
+
+def j_to_kwh(energy_j: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return energy_j / J_PER_KWH
+
+
+# --- frequency / time ------------------------------------------------------
+
+HZ_PER_MHZ = 1e6
+HZ_PER_GHZ = 1e9
+
+
+def mhz_to_hz(freq_mhz: float) -> float:
+    """Convert megahertz to hertz."""
+    return freq_mhz * HZ_PER_MHZ
+
+
+def ghz_to_hz(freq_ghz: float) -> float:
+    """Convert gigahertz to hertz."""
+    return freq_ghz * HZ_PER_GHZ
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Time taken by ``cycles`` clock cycles at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+# --- capacity ---------------------------------------------------------------
+
+BYTES_PER_KIB = 1024
+BYTES_PER_MIB = 1024 * 1024
+
+
+def kib_to_bytes(kib: float) -> int:
+    """Convert KiB to bytes (rounded to an integer byte count)."""
+    return int(round(kib * BYTES_PER_KIB))
+
+
+def bytes_to_kib(n_bytes: float) -> float:
+    """Convert bytes to KiB."""
+    return n_bytes / BYTES_PER_KIB

@@ -1,0 +1,191 @@
+"""Unit tests for the accelerator architecture model."""
+
+import pytest
+
+from repro.accel.arch import AcceleratorConfig
+from repro.accel.memory import sram_area_mm2, sram_bits_for_bytes
+from repro.accel.nvdla import (
+    NVDLA_MAC_COUNTS,
+    nvdla_buffer_bytes,
+    nvdla_config,
+    nvdla_dimensions,
+    nvdla_family,
+)
+from repro.accel.pe import PEAreaModel, pe_area_ge, pe_area_um2
+from repro.approx.library import build_library
+from repro.errors import ArchitectureError
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(width=8, seed=0, **FAST)
+
+
+@pytest.fixture(scope="module")
+def exact(library):
+    return library.exact
+
+
+class TestPEModel:
+    def test_overhead_dominated_by_registers_and_adder(self):
+        model = PEAreaModel()
+        assert model.overhead_ge > 100
+
+    def test_pe_area_includes_multiplier(self, exact):
+        total = pe_area_ge(exact.area_ge)
+        assert total == pytest.approx(exact.area_ge + PEAreaModel().overhead_ge)
+
+    def test_smaller_multiplier_smaller_pe(self, library):
+        smallest = library.multipliers[-1]
+        assert pe_area_ge(smallest.area_ge) < pe_area_ge(library.exact.area_ge)
+
+    def test_pe_area_um2_scales_with_node(self, exact):
+        assert pe_area_um2(exact.area_ge, 7) < pe_area_um2(exact.area_ge, 28)
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ArchitectureError, match="at least 16 bits"):
+            PEAreaModel(accumulator_bits=8)
+        with pytest.raises(ArchitectureError):
+            PEAreaModel(control_ge=-1)
+
+    def test_invalid_multiplier_area_rejected(self):
+        with pytest.raises(ArchitectureError):
+            pe_area_ge(0.0)
+
+
+class TestSramModel:
+    def test_bits_include_ecc(self):
+        assert sram_bits_for_bytes(1024) == 1024 * 9.0
+
+    def test_area_scales_linearly(self):
+        one = sram_area_mm2(128 * 1024, 7)
+        two = sram_area_mm2(256 * 1024, 7)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_capacity_zero_area(self):
+        assert sram_area_mm2(0, 7) == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ArchitectureError):
+            sram_bits_for_bytes(-1)
+
+    def test_sram_denser_at_advanced_nodes(self):
+        assert sram_area_mm2(1024, 7) < sram_area_mm2(1024, 28)
+
+
+class TestAcceleratorConfig:
+    def make(self, exact, **overrides):
+        defaults = dict(
+            pe_rows=16,
+            pe_cols=16,
+            local_buffer_bytes=64,
+            global_buffer_bytes=256 * 1024,
+            multiplier=exact,
+            node_nm=7,
+        )
+        defaults.update(overrides)
+        return AcceleratorConfig(**defaults)
+
+    def test_n_pes(self, exact):
+        assert self.make(exact).n_pes == 256
+
+    def test_validation_bounds(self, exact):
+        with pytest.raises(ArchitectureError, match="pe_rows"):
+            self.make(exact, pe_rows=0)
+        with pytest.raises(ArchitectureError, match="pe_cols"):
+            self.make(exact, pe_cols=1000)
+        with pytest.raises(ArchitectureError, match="local_buffer_bytes"):
+            self.make(exact, local_buffer_bytes=100_000)
+        with pytest.raises(ArchitectureError, match="global_buffer_bytes"):
+            self.make(exact, global_buffer_bytes=100)
+        with pytest.raises(ArchitectureError, match="clock"):
+            self.make(exact, clock_ghz_override=-1.0)
+
+    def test_unsupported_node_rejected(self, exact):
+        with pytest.raises(Exception):
+            self.make(exact, node_nm=5)
+
+    def test_clock_default_from_node(self, exact):
+        assert self.make(exact).clock_hz == pytest.approx(1.2e9)
+        assert self.make(exact, node_nm=28).clock_hz == pytest.approx(0.8e9)
+
+    def test_clock_override(self, exact):
+        assert self.make(exact, clock_ghz_override=0.5).clock_hz == 0.5e9
+
+    def test_geometry_key_ignores_multiplier(self, library, exact):
+        small = library.multipliers[-1]
+        a = self.make(exact)
+        b = self.make(small)
+        assert a.geometry_key() == b.geometry_key()
+
+    def test_die_area_components_positive(self, exact):
+        area = self.make(exact).die_area()
+        assert area.pe_array_mm2 > 0
+        assert area.sram_mm2 > 0
+        assert area.other_mm2 > 0
+
+    def test_smaller_multiplier_smaller_die(self, library, exact):
+        small = library.multipliers[-1]
+        base = self.make(exact)
+        approx = base.with_multiplier(small)
+        assert approx.die_area().total_mm2 < base.die_area().total_mm2
+
+    def test_embodied_carbon_positive(self, exact):
+        carbon = self.make(exact).embodied_carbon()
+        assert carbon.total_g > 0
+        assert carbon.pe_array_g > 0
+
+    def test_describe_contains_key_fields(self, exact):
+        text = self.make(exact).describe()
+        assert "16x16" in text
+        assert "exact" in text
+
+
+class TestNvdlaFamily:
+    def test_dimensions_near_square_powers_of_two(self):
+        assert nvdla_dimensions(64) == (8, 8)
+        assert nvdla_dimensions(128) == (8, 16)
+        assert nvdla_dimensions(2048) == (32, 64)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ArchitectureError, match="power of two"):
+            nvdla_dimensions(100)
+
+    def test_buffer_scaling_anchors(self):
+        # linear CBUF scaling anchored at nv_full (2048 MACs, 512 KiB)
+        _, global_full = nvdla_buffer_bytes(2048)
+        assert global_full == 512 * 1024
+        # small end floors at 16 KiB; per-PE staging is fixed
+        local, global_small = nvdla_buffer_bytes(64)
+        assert global_small == 16 * 1024
+        assert local == 32
+        # midpoint follows the linear rule
+        _, global_mid = nvdla_buffer_bytes(1024)
+        assert global_mid == 256 * 1024
+
+    def test_buffers_monotone(self):
+        sizes = [nvdla_buffer_bytes(m)[1] for m in NVDLA_MAC_COUNTS]
+        assert sizes == sorted(sizes)
+
+    def test_family_covers_all_mac_counts(self, exact):
+        family = nvdla_family(exact, 7)
+        assert [c.n_pes for c in family] == list(NVDLA_MAC_COUNTS)
+
+    def test_family_carbon_monotone(self, exact):
+        family = nvdla_family(exact, 7)
+        carbons = [c.embodied_carbon().total_g for c in family]
+        assert carbons == sorted(carbons)
+
+    def test_carbon_ranges_match_paper_order_of_magnitude(self, exact):
+        """Fig. 2 shows roughly 3..40 gCO2 across the family and nodes."""
+        for node in (7, 14, 28):
+            for cfg in nvdla_family(exact, node):
+                total = cfg.embodied_carbon().total_g
+                assert 0.5 < total < 80.0, (node, cfg.n_pes, total)
+
+    def test_config_matches_dimensions(self, exact):
+        cfg = nvdla_config(512, exact, 14)
+        assert (cfg.pe_rows, cfg.pe_cols) == (16, 32)
+        assert cfg.node_nm == 14

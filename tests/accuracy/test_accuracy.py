@@ -1,0 +1,175 @@
+"""Unit tests for analytical + behavioural accuracy models."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.analytical import (
+    AnalyticalAccuracyModel,
+    multiplier_relative_rmse,
+)
+from repro.accuracy.behavioral import BehavioralValidator, _ranks, _spearman
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.library import build_library
+from repro.errors import AccuracyModelError
+from repro.nn.synthetic import make_task
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(width=8, seed=0, **FAST)
+
+
+class TestRelativeRmse:
+    def test_exact_is_zero(self, library):
+        assert multiplier_relative_rmse(library.exact) == 0.0
+
+    def test_positive_for_approximate(self, library):
+        for entry in library:
+            if not entry.is_exact:
+                assert multiplier_relative_rmse(entry) > 0.0
+
+    def test_grows_with_truncation(self, library):
+        light = library.by_name("trunc_a1b1")
+        heavy = library.by_name("trunc_a4b4")
+        assert multiplier_relative_rmse(heavy) > multiplier_relative_rmse(light)
+
+
+class TestAnalyticalModel:
+    def test_exact_never_drops(self, library):
+        model = AnalyticalAccuracyModel()
+        for net in ("vgg16", "vgg19", "resnet50", "resnet152"):
+            assert model.drop_percent(net, library.exact) == 0.0
+
+    def test_monotone_in_multiplier_error(self, library):
+        model = AnalyticalAccuracyModel()
+        ordered = sorted(library, key=multiplier_relative_rmse)
+        drops = [model.drop_percent("vgg16", m) for m in ordered]
+        assert drops == sorted(drops)
+
+    def test_deeper_network_larger_drop(self, library):
+        model = AnalyticalAccuracyModel()
+        mult = library.by_name("trunc_a2b2")
+        assert model.drop_percent("resnet152", mult) > model.drop_percent(
+            "resnet50", mult
+        ) > 0
+
+    def test_drop_bounded_by_saturation(self, library):
+        model = AnalyticalAccuracyModel(max_drop_percent=50.0)
+        worst = library.multipliers[-1]
+        assert model.drop_percent("resnet152", worst) <= 50.0
+
+    def test_realistic_range_for_vgg16(self, library):
+        """Light approximations land in the sub-3%-drop regime."""
+        model = AnalyticalAccuracyModel()
+        light = library.by_name("trunc_a1b0")
+        assert 0.05 < model.drop_percent("vgg16", light) < 3.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(AccuracyModelError):
+            AnalyticalAccuracyModel(noise_gain=-1.0)
+        with pytest.raises(AccuracyModelError):
+            AnalyticalAccuracyModel(max_drop_percent=0.0)
+
+
+class TestSpearmanHelpers:
+    def test_perfect_correlation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, a * 10) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert _spearman(a, -a) == pytest.approx(-1.0)
+
+    def test_ties_average(self):
+        ranks = _ranks(np.array([5.0, 5.0, 1.0]))
+        assert ranks.tolist() == [1.5, 1.5, 0.0]
+
+    def test_constant_series(self):
+        a = np.array([1.0, 1.0, 1.0])
+        assert _spearman(a, np.array([1.0, 2.0, 3.0])) == 0.0
+
+
+class TestBehavioralValidator:
+    @pytest.fixture(scope="class")
+    def validator(self):
+        return BehavioralValidator(
+            task=make_task(seed=0, n_train_per_class=15, n_test_per_class=10)
+        )
+
+    def test_exact_multiplier_no_drop(self, validator, library):
+        assert validator.drop_percent(library.exact) == pytest.approx(0.0)
+
+    def test_heavy_truncation_visible_drop(self, validator, library):
+        assert validator.drop_percent(library.by_name("trunc_a4b4")) > 5.0
+
+    def test_drop_cached(self, validator, library):
+        first = validator.drop_percent(library.by_name("trunc_a2b2"))
+        second = validator.drop_percent(library.by_name("trunc_a2b2"))
+        assert first == second
+
+    def test_ranking_agreement_strong(self, validator, library):
+        """Analytical ranking must agree with LUT-simulated reality.
+
+        Near-zero-error multipliers are excluded: their behavioural
+        drops are within measurement noise on the small validation task,
+        so only the regime with measurable drops is rank-checked.
+        """
+        model = AnalyticalAccuracyModel()
+        multipliers = [
+            m for m in library if model.drop_percent("vgg16", m) >= 1.0
+        ]
+        assert len(multipliers) >= 4
+        analytical = [model.drop_percent("vgg16", m) for m in multipliers]
+        rho = validator.ranking_agreement(multipliers, analytical)
+        assert rho > 0.8
+
+    def test_ranking_agreement_positive_overall(self, validator, library):
+        model = AnalyticalAccuracyModel()
+        multipliers = list(library)
+        analytical = [model.drop_percent("vgg16", m) for m in multipliers]
+        rho = validator.ranking_agreement(multipliers, analytical)
+        assert rho > 0.4
+
+    def test_agreement_input_validation(self, validator, library):
+        with pytest.raises(AccuracyModelError):
+            validator.ranking_agreement(list(library), [1.0])
+        with pytest.raises(AccuracyModelError):
+            validator.ranking_agreement(list(library)[:2], [1.0, 2.0])
+
+
+class TestPredictor:
+    def test_memoisation(self, library):
+        predictor = AccuracyPredictor()
+        mult = library.by_name("trunc_a1b1")
+        first = predictor.drop_percent("vgg16", mult)
+        second = predictor.drop_percent("vgg16", mult)
+        assert first == second
+
+    def test_feasible_sets_shrink_with_threshold(self, library):
+        predictor = AccuracyPredictor()
+        loose = predictor.feasible_multipliers("vgg16", library, 2.0)
+        tight = predictor.feasible_multipliers("vgg16", library, 0.5)
+        assert set(m.name for m in tight) <= set(m.name for m in loose)
+        assert library.exact.name in {m.name for m in tight}
+
+    def test_smallest_feasible_is_feasible_and_minimal(self, library):
+        predictor = AccuracyPredictor()
+        chosen = predictor.smallest_feasible("vgg16", library, 2.0)
+        assert predictor.drop_percent("vgg16", chosen) <= 2.0
+        for other in predictor.feasible_multipliers("vgg16", library, 2.0):
+            assert chosen.area_ge <= other.area_ge
+
+    def test_negative_threshold_rejected(self, library):
+        predictor = AccuracyPredictor()
+        with pytest.raises(AccuracyModelError):
+            predictor.feasible_multipliers("vgg16", library, -1.0)
+
+    def test_impossible_budget(self, library):
+        predictor = AccuracyPredictor()
+        # the exact multiplier always meets any non-negative budget,
+        # so only an impossible library-free scenario raises; check the
+        # error path via an empty feasible set by filtering exact out
+        feasible = predictor.feasible_multipliers("vgg16", library, 0.0)
+        assert all(m.is_exact for m in feasible)

@@ -1,0 +1,134 @@
+"""Unit tests for approximate adders and the accumulator analysis."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.accumulator import (
+    accumulator_drop_percent,
+    characterize_loa_accumulator,
+    iso_area_comparison,
+)
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.adders import loa_adder, truncated_adder
+from repro.approx.library import build_library
+from repro.approx.metrics import compute_error_metrics, exact_sums
+from repro.circuits.area import netlist_ge
+from repro.circuits.simulate import bus_to_uint, exhaustive_table
+from repro.circuits.synthesis import ripple_carry_adder
+from repro.circuits.verify import validate_netlist
+from repro.errors import AccuracyModelError, SynthesisError
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+
+def adder_table(circuit) -> np.ndarray:
+    outputs = exhaustive_table(circuit.netlist, [circuit.a_wires, circuit.b_wires])
+    return bus_to_uint(outputs, list(circuit.result_wires)).astype(np.int64)
+
+
+class TestLoaAdder:
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_valid_and_smaller(self, k):
+        circuit = loa_adder(8, k)
+        validate_netlist(circuit.netlist)
+        assert netlist_ge(circuit.netlist) < netlist_ge(
+            ripple_carry_adder(8).netlist
+        )
+
+    def test_high_bits_exact(self):
+        """With zero low operand bits, the LOA adder is exact."""
+        table = adder_table(loa_adder(8, 3))
+        exact = exact_sums(8, 8)
+        for a in (0, 8, 64, 248):
+            for b in (0, 16, 128, 240):
+                index = a + (b << 8)
+                assert table[index] == exact[index]
+
+    def test_error_grows_with_k(self):
+        meds = []
+        for k in (1, 3, 5, 7):
+            metrics = compute_error_metrics(
+                adder_table(loa_adder(8, k)), 8, 8, reference=exact_sums(8, 8)
+            )
+            meds.append(metrics.med)
+        assert meds == sorted(meds)
+
+    def test_bridge_carry_catches_common_case(self):
+        """LOA must beat plain truncation at equal k."""
+        for k in (2, 4, 6):
+            loa = compute_error_metrics(
+                adder_table(loa_adder(8, k)), 8, 8, reference=exact_sums(8, 8)
+            )
+            trunc = compute_error_metrics(
+                adder_table(truncated_adder(8, k)), 8, 8,
+                reference=exact_sums(8, 8),
+            )
+            assert loa.med < trunc.med
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SynthesisError):
+            loa_adder(8, 0)
+        with pytest.raises(SynthesisError):
+            loa_adder(8, 8)
+        with pytest.raises(SynthesisError):
+            truncated_adder(8, 9)
+
+
+class TestTruncatedAdder:
+    def test_low_bits_constant_one(self):
+        table = adder_table(truncated_adder(8, 3))
+        assert np.all(table & 0b111 == 0b111)
+
+    def test_zero_bias_by_construction(self):
+        """Midpoint forcing roughly centres the error."""
+        metrics = compute_error_metrics(
+            adder_table(truncated_adder(8, 4)), 8, 8, reference=exact_sums(8, 8)
+        )
+        assert abs(metrics.bias) < 1.0
+
+
+class TestAccumulatorAnalysis:
+    def test_characterisation_cached_and_sane(self):
+        ch = characterize_loa_accumulator(4)
+        assert ch.area_saving_ge > 0
+        assert ch.per_add_std > 0
+        assert characterize_loa_accumulator(4) is ch
+
+    def test_invalid_bits(self):
+        with pytest.raises(AccuracyModelError):
+            characterize_loa_accumulator(0)
+        with pytest.raises(AccuracyModelError):
+            characterize_loa_accumulator(8)
+
+    def test_drop_grows_with_bits(self):
+        drops = [
+            accumulator_drop_percent("vgg16", k) for k in (2, 4, 6)
+        ]
+        assert drops == sorted(drops)
+        assert drops[0] > 0
+
+    def test_deeper_network_larger_drop(self):
+        assert accumulator_drop_percent(
+            "resnet152", 4
+        ) > accumulator_drop_percent("resnet50", 4)
+
+    def test_iso_area_multiplier_wins(self):
+        """At matched area savings, approximating the multiplier costs
+        less accuracy than approximating the accumulator — the paper's
+        implicit design choice, quantified.  Uses the structural
+        candidates, which populate the low-error/low-saving regime."""
+        library = build_library(
+            width=8, seed=0, population=12, generations=5,
+            hybrid=False, structural=True,
+        )
+        predictor = AccuracyPredictor()
+        comparison = iso_area_comparison("vgg16", 6, library, predictor)
+        assert (
+            comparison["multiplier_drop_percent"]
+            < comparison["accumulator_drop_percent"]
+        )
+        # and the multiplier side has far more total headroom
+        max_mult_saving = library.exact.area_ge - min(
+            m.area_ge for m in library
+        )
+        assert max_mult_saving > 5 * comparison["area_saving_ge"]

@@ -1,0 +1,122 @@
+"""Unit tests for LUT multipliers and precision scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.lut import LutMultiplier
+from repro.approx.precision import precision_scaled_multiplier, truncate_inputs
+from repro.circuits.area import netlist_ge
+from repro.circuits.synthesis import make_multiplier
+from repro.circuits.verify import validate_netlist
+from repro.errors import SimulationError, SynthesisError
+
+
+class TestLutMultiplier:
+    def test_exact_lut(self):
+        lut = LutMultiplier.exact(8, 8)
+        a = np.array([0, 1, 200, 255])
+        b = np.array([0, 255, 3, 255])
+        assert np.array_equal(lut.product(a, b), a * b)
+
+    def test_signed_product_signs(self):
+        lut = LutMultiplier.exact(8, 8)
+        a = np.array([-5, 5, -5, 5, 0])
+        b = np.array([-7, -7, 7, 7, -3])
+        assert lut.signed_product(a, b).tolist() == [35, -35, -35, 35, 0]
+
+    def test_signed_saturates_int8_min(self):
+        lut = LutMultiplier.exact(8, 8)
+        out = lut.signed_product(np.array([-128]), np.array([1]))
+        assert out[0] == -127  # |-128| saturated to 127
+
+    def test_call_is_signed(self):
+        lut = LutMultiplier.exact(8, 8)
+        assert lut(np.array([-2]), np.array([3]))[0] == -6
+
+    def test_wrong_table_size_rejected(self):
+        with pytest.raises(SimulationError, match="entries"):
+            LutMultiplier(np.zeros(100), 8, 8)
+
+    def test_shape_mismatch_rejected(self):
+        lut = LutMultiplier.exact(4, 4)
+        with pytest.raises(SimulationError, match="shapes differ"):
+            lut.product(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_broadcasting_supported(self):
+        lut = LutMultiplier.exact(4, 4)
+        a = np.array([[1], [2]])  # (2, 1)
+        b = np.array([[3, 4]])  # (1, 2)
+        assert np.array_equal(lut.product(a, b), a * b)
+
+    def test_out_of_range_rejected(self):
+        lut = LutMultiplier.exact(4, 4)
+        with pytest.raises(SimulationError, match="out of range"):
+            lut.product(np.array([16]), np.array([0]))
+
+    def test_multidimensional_operands(self):
+        lut = LutMultiplier.exact(8, 8)
+        a = np.arange(12).reshape(3, 4)
+        b = np.full((3, 4), 7)
+        assert np.array_equal(lut.product(a, b), a * b)
+
+
+class TestPrecisionScaling:
+    @pytest.mark.parametrize("trunc_a,trunc_b", [(1, 0), (0, 1), (2, 2), (4, 4)])
+    def test_function_matches_truncated_multiply(self, trunc_a, trunc_b):
+        circuit = precision_scaled_multiplier(8, trunc_a, trunc_b)
+        validate_netlist(circuit.netlist)
+        table = circuit.truth_table()
+        cases = np.arange(65536)
+        a = cases & 0xFF
+        b = cases >> 8
+        expected = (a & ~((1 << trunc_a) - 1)) * (b & ~((1 << trunc_b) - 1))
+        assert np.array_equal(table, expected)
+
+    def test_area_shrinks_with_truncation(self):
+        exact = precision_scaled_multiplier(8, 0, 0)
+        t22 = precision_scaled_multiplier(8, 2, 2)
+        t44 = precision_scaled_multiplier(8, 4, 4)
+        assert netlist_ge(t44.netlist) < netlist_ge(t22.netlist) < netlist_ge(exact.netlist)
+
+    def test_interface_preserved(self):
+        circuit = precision_scaled_multiplier(8, 3, 3)
+        assert len(circuit.netlist.inputs) == 16
+        assert len(circuit.result_wires) == 16
+
+    def test_zero_truncation_returns_original(self):
+        base = make_multiplier(8, 8)
+        assert truncate_inputs(base, 0, 0) is base
+
+    def test_negative_truncation_rejected(self):
+        base = make_multiplier(8, 8)
+        with pytest.raises(SynthesisError, match="non-negative"):
+            truncate_inputs(base, -1, 0)
+
+    def test_full_truncation_rejected(self):
+        base = make_multiplier(8, 8)
+        with pytest.raises(SynthesisError, match="cannot truncate"):
+            truncate_inputs(base, 8, 0)
+
+    @pytest.mark.parametrize("kind", ["array", "wallace", "dadda"])
+    def test_all_base_kinds(self, kind):
+        circuit = precision_scaled_multiplier(8, 1, 1, kind=kind)
+        table = circuit.truth_table()
+        cases = np.arange(65536)
+        a = (cases & 0xFF) & ~1
+        b = (cases >> 8) & ~1
+        assert np.array_equal(table, a * b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    trunc_a=st.integers(0, 3),
+    trunc_b=st.integers(0, 3),
+)
+def test_property_truncated_area_monotone(trunc_a, trunc_b):
+    """More truncation never increases area, and error grows with bits cut."""
+    base = make_multiplier(6, 6)
+    small = truncate_inputs(base, trunc_a, trunc_b)
+    smaller = truncate_inputs(base, min(trunc_a + 1, 5), trunc_b)
+    assert netlist_ge(smaller.netlist) <= netlist_ge(small.netlist)

@@ -1,0 +1,152 @@
+"""Unit and property tests for exhaustive error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.metrics import (
+    compute_error_metrics,
+    exact_products,
+    gaussian_operand_distribution,
+)
+from repro.errors import SimulationError
+
+
+class TestExactProducts:
+    def test_small_table(self):
+        table = exact_products(2, 2)
+        assert table[1 + (3 << 2)] == 3
+        assert table[3 + (3 << 2)] == 9
+        assert table[0] == 0
+
+    def test_shape(self):
+        assert exact_products(8, 8).shape == (65536,)
+
+
+class TestMetricsOnExact:
+    def test_exact_multiplier_all_zero(self):
+        table = exact_products(4, 4)
+        metrics = compute_error_metrics(table, 4, 4)
+        assert metrics.is_exact
+        assert metrics.error_rate == 0.0
+        assert metrics.med == 0.0
+        assert metrics.nmed == 0.0
+        assert metrics.mred == 0.0
+        assert metrics.wce == 0
+        assert metrics.bias == 0.0
+
+
+class TestMetricsOnKnownError:
+    def test_constant_offset(self):
+        """Adding +1 to every product: ER=1, MED=1, bias=+1."""
+        table = exact_products(3, 3) + 1
+        metrics = compute_error_metrics(table, 3, 3)
+        assert metrics.error_rate == 1.0
+        assert metrics.med == 1.0
+        assert metrics.bias == 1.0
+        assert metrics.wce == 1
+        assert metrics.mse == 1.0
+        assert metrics.variance == pytest.approx(0.0)
+
+    def test_single_corrupted_entry(self):
+        table = exact_products(2, 2).copy()
+        table[5] += 4  # a=1, b=1
+        metrics = compute_error_metrics(table, 2, 2)
+        assert metrics.error_rate == pytest.approx(1 / 16)
+        assert metrics.med == pytest.approx(4 / 16)
+        assert metrics.wce == 4
+        # max product for 2x2 is 9
+        assert metrics.nmed == pytest.approx((4 / 16) / 9)
+
+    def test_negative_bias(self):
+        table = exact_products(2, 2) - 2
+        metrics = compute_error_metrics(table, 2, 2)
+        assert metrics.bias == -2.0
+        assert metrics.med == 2.0
+
+    def test_mred_uses_max_exact_one(self):
+        """Relative error at exact==0 divides by 1, not 0."""
+        table = exact_products(2, 2).copy()
+        table[0] = 3  # a=0,b=0: exact 0
+        metrics = compute_error_metrics(table, 2, 2)
+        assert np.isfinite(metrics.mred)
+        assert metrics.mred == pytest.approx(3 / 16)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="expected"):
+            compute_error_metrics(np.zeros(10), 2, 2)
+
+
+class TestWeightedMetrics:
+    def test_weighting_changes_metrics(self):
+        table = exact_products(4, 4).copy()
+        # corrupt only the largest operand pair
+        table[-1] += 50
+        uniform = compute_error_metrics(table, 4, 4)
+        low = gaussian_operand_distribution(4, sigma_fraction=0.1)
+        weighted = compute_error_metrics(
+            table, 4, 4, a_probabilities=low, b_probabilities=low
+        )
+        # error lives at large operands, which the DNN distribution rarely
+        # produces -> weighted MED far below uniform MED
+        assert weighted.med < uniform.med / 10
+
+    def test_point_mass_weights(self):
+        table = exact_products(2, 2).copy()
+        table[2 + (3 << 2)] += 7  # a=2, b=3
+        a_p = np.zeros(4)
+        a_p[2] = 1.0
+        b_p = np.zeros(4)
+        b_p[3] = 1.0
+        metrics = compute_error_metrics(
+            table, 2, 2, a_probabilities=a_p, b_probabilities=b_p
+        )
+        assert metrics.med == 7.0
+        assert metrics.error_rate == 1.0
+
+    def test_invalid_weights_rejected(self):
+        table = exact_products(2, 2)
+        with pytest.raises(SimulationError, match="shape"):
+            compute_error_metrics(table, 2, 2, a_probabilities=np.ones(3))
+        with pytest.raises(SimulationError, match="negative"):
+            compute_error_metrics(
+                table, 2, 2, a_probabilities=np.array([1, -1, 1, 1.0])
+            )
+        with pytest.raises(SimulationError, match="positive"):
+            compute_error_metrics(
+                table, 2, 2, a_probabilities=np.zeros(4)
+            )
+
+
+class TestGaussianDistribution:
+    def test_normalised(self):
+        p = gaussian_operand_distribution(8)
+        assert p.sum() == pytest.approx(1.0)
+        assert p.shape == (256,)
+
+    def test_monotone_decreasing(self):
+        p = gaussian_operand_distribution(8)
+        assert np.all(np.diff(p) <= 1e-15)
+
+    def test_sigma_controls_concentration(self):
+        narrow = gaussian_operand_distribution(8, sigma_fraction=0.05)
+        wide = gaussian_operand_distribution(8, sigma_fraction=0.5)
+        assert narrow[0] > wide[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    scale=st.integers(1, 20),
+)
+def test_property_metric_consistency(seed, scale):
+    """For random corruptions: MED <= WCE, MSE >= MED^2, variance >= 0."""
+    rng = np.random.default_rng(seed)
+    table = exact_products(4, 4) + rng.integers(-scale, scale + 1, size=256)
+    metrics = compute_error_metrics(table, 4, 4)
+    assert metrics.med <= metrics.wce
+    assert metrics.mse >= metrics.med**2 - 1e-9
+    assert metrics.variance >= -1e-9
+    assert 0.0 <= metrics.error_rate <= 1.0
+    assert abs(metrics.bias) <= metrics.med + 1e-12

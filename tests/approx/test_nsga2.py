@@ -1,0 +1,159 @@
+"""Unit tests for the NSGA-II engine on analytic problems."""
+
+import numpy as np
+import pytest
+
+from repro.approx.nsga2 import (
+    Nsga2,
+    Nsga2Config,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    pareto_front,
+)
+from repro.errors import OptimizationError
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_no_self_dominance(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable(self):
+        assert not dominates((1.0, 3.0), (2.0, 1.0))
+        assert not dominates((2.0, 1.0), (1.0, 3.0))
+
+
+class TestSorting:
+    def test_fronts(self):
+        objectives = [
+            (1.0, 4.0),  # front 0
+            (2.0, 2.0),  # front 0
+            (4.0, 1.0),  # front 0
+            (3.0, 3.0),  # front 1 (dominated by (2,2))
+            (5.0, 5.0),  # front 2
+        ]
+        fronts = fast_non_dominated_sort(objectives)
+        assert fronts[0] == [0, 1, 2]
+        assert fronts[1] == [3]
+        assert fronts[2] == [4]
+
+    def test_single_point(self):
+        assert fast_non_dominated_sort([(0.0,)]) == [[0]]
+
+    def test_crowding_extremes_infinite(self):
+        objectives = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)]
+        crowd = crowding_distance(objectives, [0, 1, 2])
+        assert crowd[0] == float("inf")
+        assert crowd[2] == float("inf")
+        assert np.isfinite(crowd[1])
+
+    def test_crowding_small_front(self):
+        crowd = crowding_distance([(1.0, 2.0), (2.0, 1.0)], [0, 1])
+        assert crowd[0] == crowd[1] == float("inf")
+
+
+class TestParetoFront:
+    def test_filters_dominated(self):
+        points = [("a", (1.0, 3.0)), ("b", (2.0, 2.0)), ("c", (2.5, 2.5))]
+        front = pareto_front(points)
+        assert [name for name, _ in front] == ["a", "b"]
+
+    def test_deduplicates_objectives(self):
+        points = [("a", (1.0, 1.0)), ("b", (1.0, 1.0))]
+        front = pareto_front(points)
+        assert len(front) == 1
+        assert front[0][0] == "a"
+
+
+class TestConfig:
+    def test_odd_population_rejected(self):
+        with pytest.raises(OptimizationError, match="even"):
+            Nsga2Config(population_size=7)
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(OptimizationError, match=">= 4"):
+            Nsga2Config(population_size=2)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(OptimizationError):
+            Nsga2Config(generations=0)
+        with pytest.raises(OptimizationError):
+            Nsga2Config(crossover_rate=1.5)
+
+
+def binary_knapsack_problem():
+    """Minimise (-value, weight) over 12-bit selections."""
+    rng = np.random.default_rng(42)
+    values = rng.integers(1, 20, size=12)
+    weights = rng.integers(1, 20, size=12)
+
+    def evaluate(genome):
+        mask = np.array(genome, dtype=bool)
+        return (-float(values[mask].sum()), float(weights[mask].sum()))
+
+    def random_genome(rng_):
+        return tuple(int(b) for b in rng_.integers(0, 2, size=12))
+
+    return evaluate, random_genome
+
+
+class TestSearch:
+    def test_deterministic_runs(self):
+        evaluate, random_genome = binary_knapsack_problem()
+        cfg = Nsga2Config(population_size=16, generations=10, seed=3)
+        front1 = Nsga2(evaluate, random_genome, cfg).run()
+        front2 = Nsga2(evaluate, random_genome, cfg).run()
+        assert front1 == front2
+
+    def test_different_seeds_usually_differ(self):
+        evaluate, random_genome = binary_knapsack_problem()
+        f1 = Nsga2(evaluate, random_genome, Nsga2Config(seed=1, generations=5)).run()
+        f2 = Nsga2(evaluate, random_genome, Nsga2Config(seed=2, generations=5)).run()
+        # fronts could coincide in principle, but for this problem they don't
+        assert f1 != f2
+
+    def test_front_is_mutually_nondominated(self):
+        evaluate, random_genome = binary_knapsack_problem()
+        front = Nsga2(
+            evaluate, random_genome, Nsga2Config(population_size=20, generations=15)
+        ).run()
+        for _, a in front:
+            for _, b in front:
+                assert not dominates(a, b)
+
+    def test_search_beats_random_sampling(self):
+        """NSGA-II front should dominate most random samples."""
+        evaluate, random_genome = binary_knapsack_problem()
+        front = Nsga2(
+            evaluate, random_genome, Nsga2Config(population_size=24, generations=20)
+        ).run()
+        rng = np.random.default_rng(99)
+        dominated_count = 0
+        trials = 50
+        for _ in range(trials):
+            sample = evaluate(random_genome(rng))
+            if any(dominates(obj, sample) for _, obj in front):
+                dominated_count += 1
+        assert dominated_count > trials * 0.5
+
+    def test_memoisation_counts_unique_evaluations(self):
+        evaluate, random_genome = binary_knapsack_problem()
+        search = Nsga2(
+            evaluate, random_genome, Nsga2Config(population_size=8, generations=6)
+        )
+        search.run()
+        # at most pop * (gens + 1) unique genomes
+        assert search.evaluations <= 8 * 7
+
+    def test_extreme_points_found(self):
+        """The empty selection (0 weight) should be on the front."""
+        evaluate, random_genome = binary_knapsack_problem()
+        front = Nsga2(
+            evaluate, random_genome, Nsga2Config(population_size=24, generations=25)
+        ).run()
+        weights = [obj[1] for _, obj in front]
+        assert min(weights) == 0.0

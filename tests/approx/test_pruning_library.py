@@ -1,0 +1,178 @@
+"""Unit tests for the pruning space and the multiplier library."""
+
+import numpy as np
+import pytest
+
+from repro.approx.library import ApproxLibrary, build_library
+from repro.approx.pruning import PruningSpace
+from repro.circuits.simulate import signal_probabilities
+from repro.circuits.synthesis import make_multiplier
+from repro.circuits.verify import validate_netlist
+from repro.errors import OptimizationError
+
+# Small, fast library settings shared by these tests.
+FAST = dict(population=12, generations=5, hybrid=False, structural=False, use_cache=True)
+
+
+@pytest.fixture(scope="module")
+def small_library() -> ApproxLibrary:
+    return build_library(width=8, seed=0, **FAST)
+
+
+class TestSignalProbabilities:
+    def test_input_probability_half(self):
+        mul = make_multiplier(4, 4)
+        probs = signal_probabilities(mul.netlist, [mul.a_wires, mul.b_wires])
+        for wire in mul.netlist.inputs:
+            assert probs[wire] == pytest.approx(0.5)
+
+    def test_and_partial_product_quarter(self):
+        mul = make_multiplier(4, 4)
+        probs = signal_probabilities(mul.netlist, [mul.a_wires, mul.b_wires])
+        # any partial-product AND of two independent inputs has p1 = 0.25
+        pp_wires = [w for w in mul.netlist.gates if w.startswith("pp")]
+        assert pp_wires
+        for wire in pp_wires[:5]:
+            assert probs[wire] == pytest.approx(0.25)
+
+
+class TestPruningSpace:
+    def test_candidates_sorted_by_disagreement(self):
+        space = PruningSpace(make_multiplier(6, 6), max_candidates=32)
+        scores = [c.disagreement for c in space.candidates]
+        assert scores == sorted(scores)
+
+    def test_outputs_protected(self):
+        mul = make_multiplier(6, 6)
+        space = PruningSpace(mul, protect_outputs=True)
+        wires = {c.wire for c in space.candidates}
+        assert not wires & set(mul.netlist.outputs)
+
+    def test_preferred_constant_matches_probability(self):
+        mul = make_multiplier(6, 6)
+        probs = signal_probabilities(mul.netlist, [mul.a_wires, mul.b_wires])
+        space = PruningSpace(mul)
+        for cand in space.candidates:
+            expected = 1 if probs[cand.wire] >= 0.5 else 0
+            assert cand.constant == expected
+
+    def test_empty_genome_is_identity(self):
+        mul = make_multiplier(6, 6)
+        space = PruningSpace(mul, max_candidates=16)
+        same = space.apply(tuple([0] * space.genome_length))
+        assert same is mul
+
+    def test_apply_produces_valid_smaller_circuit(self):
+        mul = make_multiplier(8, 8)
+        space = PruningSpace(mul, max_candidates=24)
+        genome = tuple(1 if i < 8 else 0 for i in range(space.genome_length))
+        pruned = space.apply(genome)
+        validate_netlist(pruned.netlist)
+        assert pruned.netlist.gate_count < mul.netlist.gate_count
+
+    def test_genome_length_checked(self):
+        space = PruningSpace(make_multiplier(4, 4), max_candidates=8)
+        with pytest.raises(OptimizationError, match="genome length"):
+            space.assignments_for((1, 0))
+
+    def test_bad_max_candidates(self):
+        with pytest.raises(OptimizationError):
+            PruningSpace(make_multiplier(4, 4), max_candidates=0)
+
+    def test_low_disagreement_prune_has_low_error(self):
+        """Pruning the single cheapest candidate changes few outputs."""
+        mul = make_multiplier(8, 8)
+        space = PruningSpace(mul, max_candidates=16)
+        genome = tuple(1 if i == 0 else 0 for i in range(space.genome_length))
+        pruned = space.apply(genome)
+        exact_table = mul.truth_table()
+        approx_table = pruned.truth_table()
+        error_rate = np.mean(exact_table != approx_table)
+        assert error_rate <= space.candidates[0].disagreement + 1e-12
+
+
+class TestLibrary:
+    def test_contains_exact(self, small_library):
+        assert small_library.exact.is_exact
+        assert small_library.exact.origin == "exact"
+
+    def test_exact_has_largest_area(self, small_library):
+        assert small_library.exact.area_ge == max(
+            m.area_ge for m in small_library
+        )
+
+    def test_entries_sorted_by_area_desc(self, small_library):
+        areas = [m.area_ge for m in small_library]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_pareto_no_domination(self, small_library):
+        """Library entries are mutually non-dominated over the filter's
+        three objectives: area, uniform NMED, DNN-weighted error moment."""
+
+        def objectives(m):
+            return (
+                m.area_ge,
+                m.metrics.nmed,
+                m.dnn_metrics.variance + m.dnn_metrics.bias**2,
+            )
+
+        for a in small_library:
+            for b in small_library:
+                if a is b:
+                    continue
+                oa, ob = objectives(a), objectives(b)
+                strictly_better = all(
+                    x <= y for x, y in zip(oa, ob)
+                ) and any(x < y for x, y in zip(oa, ob))
+                # exact entry is always kept even if dominated
+                assert not strictly_better or b.is_exact
+
+    def test_luts_match_circuits(self, small_library):
+        for entry in list(small_library)[:3]:
+            assert np.array_equal(
+                entry.lut.table, entry.circuit.truth_table().astype(np.int64)
+            )
+
+    def test_selection_by_nmed(self, small_library):
+        bound = 2e-3
+        chosen = small_library.smallest_within_nmed(bound)
+        assert chosen.metrics.nmed <= bound
+        for other in small_library.within_nmed(bound):
+            assert chosen.area_ge <= other.area_ge
+
+    def test_selection_impossible_bound(self, small_library):
+        with pytest.raises(OptimizationError, match="no multiplier"):
+            small_library.smallest_within_nmed(-1.0)
+
+    def test_by_name(self, small_library):
+        entry = small_library.by_name("exact")
+        assert entry.is_exact
+        with pytest.raises(OptimizationError, match="no multiplier named"):
+            small_library.by_name("missing")
+
+    def test_deterministic_rebuild(self):
+        lib1 = build_library(width=8, seed=7, use_cache=False, **{k: v for k, v in FAST.items() if k != "use_cache"})
+        lib2 = build_library(width=8, seed=7, use_cache=False, **{k: v for k, v in FAST.items() if k != "use_cache"})
+        assert [m.name for m in lib1] == [m.name for m in lib2]
+        assert [m.area_ge for m in lib1] == [m.area_ge for m in lib2]
+
+    def test_cache_returns_same_object(self):
+        lib1 = build_library(width=8, seed=0, **FAST)
+        lib2 = build_library(width=8, seed=0, **FAST)
+        assert lib1 is lib2
+
+    def test_area_range_spans_at_least_2x(self, small_library):
+        lo, hi = small_library.area_range_ge()
+        assert hi / lo > 2.0
+
+    def test_dnn_metrics_present(self, small_library):
+        for entry in small_library:
+            if entry.is_exact:
+                assert entry.dnn_metrics.nmed == 0.0
+            else:
+                assert entry.dnn_metrics.nmed >= 0.0
+
+    def test_delay_and_area_per_node(self, small_library):
+        entry = small_library.exact
+        assert entry.area_um2(7) < entry.area_um2(28)
+        assert entry.delay_ps(7) < entry.delay_ps(28)

@@ -1,0 +1,125 @@
+"""Unit tests for structural approximate multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.approx.library import build_library
+from repro.approx.metrics import compute_error_metrics, exact_products
+from repro.approx.structural import (
+    _dropped_expectation,
+    loa_multiplier,
+    truncated_pp_multiplier,
+)
+from repro.circuits.area import netlist_ge
+from repro.circuits.synthesis import make_multiplier
+from repro.circuits.verify import validate_netlist
+from repro.errors import SynthesisError
+
+
+class TestTruncatedPP:
+    @pytest.mark.parametrize("cut", [2, 4, 6, 8])
+    def test_valid_and_smaller(self, cut):
+        circuit = truncated_pp_multiplier(8, cut)
+        validate_netlist(circuit.netlist)
+        exact = make_multiplier(8, 8, kind="wallace")
+        assert netlist_ge(circuit.netlist) < netlist_ge(exact.netlist)
+
+    def test_area_shrinks_with_cut(self):
+        areas = [
+            netlist_ge(truncated_pp_multiplier(8, cut).netlist)
+            for cut in (2, 4, 6, 8)
+        ]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_error_grows_with_cut(self):
+        nmeds = [
+            compute_error_metrics(
+                truncated_pp_multiplier(8, cut).truth_table(), 8, 8
+            ).nmed
+            for cut in (2, 4, 6, 8)
+        ]
+        assert nmeds == sorted(nmeds)
+
+    def test_correction_centres_error(self):
+        """Constant correction shrinks |bias| dramatically."""
+        corrected = compute_error_metrics(
+            truncated_pp_multiplier(8, 6, correction=True).truth_table(), 8, 8
+        )
+        raw = compute_error_metrics(
+            truncated_pp_multiplier(8, 6, correction=False).truth_table(), 8, 8
+        )
+        assert abs(corrected.bias) < abs(raw.bias) / 10
+
+    def test_dropped_expectation_formula(self):
+        # columns 0..1 of an 8x8: heights 1 and 2 -> E = (1 + 2*2)*0.25
+        assert _dropped_expectation(8, 2) == round((1 * 1 + 2 * 2) * 0.25)
+
+    def test_exact_on_high_inputs(self):
+        """Errors only come from dropped low columns: products of
+        operands with zero low bits are exact."""
+        circuit = truncated_pp_multiplier(8, 4, correction=False)
+        table = circuit.truth_table()
+        exact = exact_products(8, 8)
+        for a in (0, 16, 128, 240):
+            for b in (0, 16, 128, 240):
+                index = a + (b << 8)
+                assert table[index] == exact[index], (a, b)
+
+    def test_invalid_cut(self):
+        with pytest.raises(SynthesisError):
+            truncated_pp_multiplier(8, 0)
+        with pytest.raises(SynthesisError):
+            truncated_pp_multiplier(8, 16)
+
+
+class TestLoa:
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_valid_and_smaller(self, k):
+        circuit = loa_multiplier(8, k)
+        validate_netlist(circuit.netlist)
+        exact = make_multiplier(8, 8, kind="wallace")
+        assert netlist_ge(circuit.netlist) < netlist_ge(exact.netlist)
+
+    def test_error_grows_with_k(self):
+        nmeds = [
+            compute_error_metrics(loa_multiplier(8, k).truth_table(), 8, 8).nmed
+            for k in (2, 4, 6, 8)
+        ]
+        assert nmeds == sorted(nmeds)
+
+    def test_lower_error_than_truncation_at_same_k(self):
+        """OR folding keeps information truncation throws away."""
+        for k in (4, 6):
+            loa = compute_error_metrics(loa_multiplier(8, k).truth_table(), 8, 8)
+            tpp = compute_error_metrics(
+                truncated_pp_multiplier(8, k, correction=False).truth_table(),
+                8,
+                8,
+            )
+            assert loa.nmed < tpp.nmed
+
+    def test_single_pp_columns_exact(self):
+        """Column 0 has one product: OR fold of one wire is exact."""
+        circuit = loa_multiplier(8, 1)
+        table = circuit.truth_table()
+        assert np.array_equal(table, exact_products(8, 8))
+
+    def test_invalid_k(self):
+        with pytest.raises(SynthesisError):
+            loa_multiplier(8, 0)
+
+
+class TestLibraryIntegration:
+    def test_structural_entries_in_default_library(self):
+        library = build_library(
+            population=12, generations=5, hybrid=False, structural=True
+        )
+        origins = {m.origin for m in library}
+        assert "structural" in origins
+
+    def test_structural_flag_off(self):
+        library = build_library(
+            population=12, generations=5, hybrid=False, structural=False
+        )
+        origins = {m.origin for m in library}
+        assert "structural" not in origins

@@ -1,0 +1,187 @@
+"""Unit tests for the ACT equations (Eq. 1 / Eq. 2)."""
+
+import pytest
+
+from repro.carbon.act import (
+    GRID_PROFILES,
+    cfpa_g_per_mm2,
+    embodied_carbon,
+)
+from repro.carbon.accelerator_carbon import (
+    DieAreaBreakdown,
+    accelerator_embodied_carbon,
+)
+from repro.carbon.nodes import technology_node
+from repro.carbon.operational import (
+    OperationalModel,
+    break_even_inferences,
+    operational_carbon,
+)
+from repro.errors import CarbonModelError
+
+
+class TestCfpa:
+    def test_eq2_by_hand(self):
+        """CFPA must match a hand-computed Eq. 2 instance."""
+        node = technology_node(28)
+        grid = 500.0  # gCO2/kWh
+        y = 0.8
+        # (CI*EPA + Cgas + Cmat)/Y, in kg/cm2, then to g/mm2
+        kg_cm2 = (500.0 * 0.90 / 1000.0 + 0.14 + 0.50) / 0.8
+        expected_g_mm2 = kg_cm2 * 1000.0 / 100.0
+        assert cfpa_g_per_mm2(node, grid, y) == pytest.approx(expected_g_mm2)
+
+    def test_cfpa_in_published_range(self):
+        """ACT reports roughly 1-3 kgCO2/cm^2 for logic nodes."""
+        for node_nm in (7, 14, 28):
+            node = technology_node(node_nm)
+            value = cfpa_g_per_mm2(node, GRID_PROFILES["taiwan"], 0.95)
+            kg_per_cm2 = value / 10.0
+            assert 0.5 < kg_per_cm2 < 3.5, (node_nm, kg_per_cm2)
+
+    def test_advanced_node_higher_cfpa(self):
+        grid = GRID_PROFILES["taiwan"]
+        c7 = cfpa_g_per_mm2(technology_node(7), grid, 0.9)
+        c28 = cfpa_g_per_mm2(technology_node(28), grid, 0.9)
+        assert c7 > c28
+
+    def test_dirty_grid_higher_cfpa(self):
+        node = technology_node(14)
+        assert cfpa_g_per_mm2(node, 820.0, 0.9) > cfpa_g_per_mm2(node, 50.0, 0.9)
+
+    def test_poor_yield_higher_cfpa(self):
+        node = technology_node(14)
+        assert cfpa_g_per_mm2(node, 500.0, 0.5) == pytest.approx(
+            2 * cfpa_g_per_mm2(node, 500.0, 1.0)
+        )
+
+    def test_invalid_inputs(self):
+        node = technology_node(7)
+        with pytest.raises(CarbonModelError):
+            cfpa_g_per_mm2(node, -5.0, 0.9)
+        with pytest.raises(CarbonModelError):
+            cfpa_g_per_mm2(node, 500.0, 0.0)
+        with pytest.raises(CarbonModelError):
+            cfpa_g_per_mm2(node, 500.0, 1.5)
+
+
+class TestEmbodiedCarbon:
+    def test_eq1_structure(self):
+        result = embodied_carbon(10.0, 7)
+        assert result.total_g == pytest.approx(
+            result.die_carbon_g + result.wasted_carbon_g
+        )
+        assert result.die_carbon_g == pytest.approx(
+            result.cfpa_g_per_mm2 * result.die_area_mm2
+        )
+        assert result.wasted_carbon_g == pytest.approx(
+            result.cfpa_si_g_per_mm2 * result.wasted_area_mm2
+        )
+
+    def test_monotone_in_area(self):
+        small = embodied_carbon(5.0, 7).total_g
+        large = embodied_carbon(50.0, 7).total_g
+        assert large > small
+
+    def test_monotone_in_node(self):
+        for area in (5.0, 50.0):
+            c7 = embodied_carbon(area, 7).total_g
+            c14 = embodied_carbon(area, 14).total_g
+            c28 = embodied_carbon(area, 28).total_g
+            assert c7 > c14 > c28
+
+    def test_named_and_numeric_grid(self):
+        by_name = embodied_carbon(10.0, 14, grid="coal").total_g
+        by_value = embodied_carbon(10.0, 14, grid=820.0).total_g
+        assert by_name == pytest.approx(by_value)
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(CarbonModelError, match="unknown grid profile"):
+            embodied_carbon(10.0, 14, grid="mars")
+
+    def test_nonpositive_area_rejected(self):
+        with pytest.raises(CarbonModelError):
+            embodied_carbon(0.0, 7)
+
+    def test_wasted_share_larger_for_smaller_die(self):
+        """Edge waste per die is relatively larger for tiny dies."""
+        small = embodied_carbon(0.5, 7)
+        large = embodied_carbon(100.0, 7)
+        small_share = small.wasted_carbon_g / small.total_g
+        large_share = large.wasted_carbon_g / large.total_g
+        assert small_share > large_share
+
+    def test_yield_unyielded_for_waste(self):
+        """CFPA_Si never exceeds yielded CFPA."""
+        result = embodied_carbon(200.0, 7)
+        assert result.cfpa_si_g_per_mm2 <= result.cfpa_g_per_mm2
+
+
+class TestAcceleratorCarbon:
+    def test_component_split_sums_to_die_term(self):
+        areas = DieAreaBreakdown(pe_array_mm2=1.0, sram_mm2=2.0, other_mm2=0.5)
+        result = accelerator_embodied_carbon(areas, 7)
+        assert result.pe_array_g + result.sram_g + result.other_g == pytest.approx(
+            result.breakdown.die_carbon_g
+        )
+
+    def test_split_proportional_to_area(self):
+        areas = DieAreaBreakdown(pe_array_mm2=1.0, sram_mm2=2.0, other_mm2=1.0)
+        result = accelerator_embodied_carbon(areas, 14)
+        assert result.sram_g == pytest.approx(2 * result.pe_array_g)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(CarbonModelError):
+            DieAreaBreakdown(pe_array_mm2=-1.0, sram_mm2=1.0, other_mm2=0.0)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(CarbonModelError):
+            DieAreaBreakdown(pe_array_mm2=0.0, sram_mm2=0.0, other_mm2=0.0)
+
+
+class TestOperational:
+    def make_model(self, **overrides):
+        defaults = dict(
+            node_nm=7,
+            macs_per_inference=15.5e9,
+            sram_bytes_per_inference=50e6,
+            dram_bytes_per_inference=30e6,
+        )
+        defaults.update(overrides)
+        return OperationalModel(**defaults)
+
+    def test_energy_positive(self):
+        assert self.make_model().energy_per_inference_j() > 0
+
+    def test_advanced_node_lower_energy(self):
+        e7 = self.make_model(node_nm=7).energy_per_inference_j()
+        e28 = self.make_model(node_nm=28).energy_per_inference_j()
+        assert e7 < e28
+
+    def test_operational_carbon_scales_linearly(self):
+        model = self.make_model()
+        one = operational_carbon(model, 1e6)
+        two = operational_carbon(model, 2e6)
+        assert two == pytest.approx(2 * one)
+
+    def test_break_even_sensible(self):
+        """Embodied carbon should equal years of inference, not seconds."""
+        model = self.make_model()
+        inferences = break_even_inferences(model, embodied_g=10_000.0)
+        assert inferences > 1e6
+
+    def test_static_energy_included(self):
+        busy = self.make_model(static_power_w=1.0, latency_s=0.01)
+        idle = self.make_model()
+        assert (
+            busy.energy_per_inference_j()
+            == pytest.approx(idle.energy_per_inference_j() + 0.01)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CarbonModelError):
+            self.make_model(macs_per_inference=-1)
+        with pytest.raises(CarbonModelError):
+            operational_carbon(self.make_model(), -5)
+        with pytest.raises(CarbonModelError):
+            operational_carbon(self.make_model(), 1.0, grid_gco2_per_kwh=0.0)

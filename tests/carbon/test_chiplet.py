@@ -1,0 +1,88 @@
+"""Unit tests for the chiplet (ECO-CHIP style) carbon extension."""
+
+import pytest
+
+from repro.carbon.act import embodied_carbon
+from repro.carbon.chiplet import (
+    DEFAULT_PACKAGING,
+    PackagingModel,
+    best_chiplet_count,
+    chiplet_embodied_carbon,
+)
+from repro.errors import CarbonModelError
+
+
+class TestPackagingModel:
+    def test_default_is_valid(self):
+        assert DEFAULT_PACKAGING.assembly_yield > 0.9
+
+    def test_validation(self):
+        with pytest.raises(CarbonModelError):
+            PackagingModel(interposer_g_per_mm2=-1)
+        with pytest.raises(CarbonModelError):
+            PackagingModel(interposer_area_factor=0.5)
+        with pytest.raises(CarbonModelError):
+            PackagingModel(d2d_phy_overhead=1.5)
+        with pytest.raises(CarbonModelError):
+            PackagingModel(assembly_yield=0.0)
+
+
+class TestChipletCarbon:
+    def test_monolithic_matches_eq1(self):
+        mono = chiplet_embodied_carbon(50.0, 1, 7)
+        direct = embodied_carbon(50.0, 7)
+        assert mono.total_g == pytest.approx(direct.total_g)
+        assert mono.packaging_g == 0.0
+
+    def test_splitting_adds_packaging(self):
+        split = chiplet_embodied_carbon(50.0, 4, 7)
+        assert split.packaging_g > 0.0
+        assert split.n_chiplets == 4
+
+    def test_small_die_prefers_monolithic(self):
+        """Tiny accelerators already yield ~100%; packaging only hurts."""
+        count, _carbon = best_chiplet_count(5.0, 7)
+        assert count == 1
+
+    def test_huge_die_prefers_chiplets(self):
+        """A reticle-scale die at 7 nm yields terribly; splitting wins."""
+        count, carbon = best_chiplet_count(600.0, 7)
+        assert count > 1
+        mono = chiplet_embodied_carbon(600.0, 1, 7).total_g
+        assert carbon < mono
+
+    def test_yield_gain_mechanism(self):
+        """Per-chiplet yield must beat the monolithic yield."""
+        mono = chiplet_embodied_carbon(400.0, 1, 7)
+        split = chiplet_embodied_carbon(400.0, 4, 7)
+        assert (
+            split.per_chiplet.yield_fraction
+            > mono.per_chiplet.yield_fraction
+        )
+
+    def test_phy_overhead_grows_silicon(self):
+        """Total silicon area grows with the d2d overhead."""
+        split = chiplet_embodied_carbon(100.0, 4, 7)
+        assert (
+            split.per_chiplet.die_area_mm2 * 4
+            > 100.0
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CarbonModelError):
+            chiplet_embodied_carbon(0.0, 2, 7)
+        with pytest.raises(CarbonModelError):
+            chiplet_embodied_carbon(10.0, 0, 7)
+        with pytest.raises(CarbonModelError):
+            best_chiplet_count(10.0, 7, max_chiplets=0)
+
+    def test_cleaner_packaging_shifts_crossover(self):
+        """Cheaper packaging makes chipletisation win earlier."""
+        cheap = PackagingModel(
+            interposer_g_per_mm2=0.05,
+            bonding_g_per_chiplet=0.01,
+        )
+        area = 200.0
+        default_count, _ = best_chiplet_count(area, 7)
+        cheap_count, _ = best_chiplet_count(area, 7, packaging=cheap)
+        assert cheap_count >= default_count

@@ -1,0 +1,140 @@
+"""Unit tests for the node database and wafer models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.nodes import SUPPORTED_NODES, TechnologyNode, technology_node
+from repro.carbon.wafer import (
+    DEFAULT_WAFER,
+    WaferSpec,
+    dies_per_wafer,
+    murphy_yield,
+    poisson_yield,
+    wasted_area_per_die_mm2,
+)
+from repro.errors import CarbonModelError
+
+
+class TestNodeDatabase:
+    def test_supported_nodes(self):
+        assert SUPPORTED_NODES == (7, 14, 28)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(CarbonModelError, match="unsupported technology node"):
+            technology_node(5)
+
+    def test_epa_rises_towards_advanced_nodes(self):
+        assert (
+            technology_node(7).epa_kwh_per_cm2
+            > technology_node(14).epa_kwh_per_cm2
+            > technology_node(28).epa_kwh_per_cm2
+        )
+
+    def test_defect_density_rises_towards_advanced_nodes(self):
+        assert (
+            technology_node(7).defect_density_per_cm2
+            > technology_node(14).defect_density_per_cm2
+            > technology_node(28).defect_density_per_cm2
+        )
+
+    def test_sram_bitcell_shrinks_towards_advanced_nodes(self):
+        assert (
+            technology_node(7).sram_bitcell_um2
+            < technology_node(14).sram_bitcell_um2
+            < technology_node(28).sram_bitcell_um2
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CarbonModelError, match="must be positive"):
+            TechnologyNode(7, -1, 0.2, 0.5, 0.1, 0.03, 0.5, 1.0)
+        with pytest.raises(CarbonModelError, match="efficiency"):
+            TechnologyNode(7, 1.0, 0.2, 0.5, 0.1, 0.03, 1.5, 1.0)
+        with pytest.raises(CarbonModelError, match="defect"):
+            TechnologyNode(7, 1.0, 0.2, 0.5, -0.1, 0.03, 0.5, 1.0)
+
+
+class TestWaferSpec:
+    def test_default_is_300mm(self):
+        assert DEFAULT_WAFER.diameter_mm == 300.0
+
+    def test_usable_area_below_full_disc(self):
+        full = math.pi * 150.0**2
+        assert DEFAULT_WAFER.usable_area_mm2 < full
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(CarbonModelError):
+            WaferSpec(diameter_mm=-1)
+        with pytest.raises(CarbonModelError):
+            WaferSpec(edge_exclusion_mm=-1)
+        with pytest.raises(CarbonModelError, match="whole wafer"):
+            WaferSpec(diameter_mm=10, edge_exclusion_mm=5)
+
+
+class TestDiesPerWafer:
+    def test_small_die_many_dies(self):
+        assert dies_per_wafer(1.0) > 50000
+
+    def test_monotone_in_die_area(self):
+        assert dies_per_wafer(10.0) > dies_per_wafer(100.0) > dies_per_wafer(500.0)
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(CarbonModelError):
+            dies_per_wafer(0.0)
+
+    def test_rejects_wafer_sized_die(self):
+        with pytest.raises(CarbonModelError, match="does not fit"):
+            dies_per_wafer(70000.0)
+
+    def test_wasted_area_positive_and_bounded(self):
+        for area in (1.0, 25.0, 400.0):
+            waste = wasted_area_per_die_mm2(area)
+            assert waste > 0.0
+            # waste per die should stay a modest multiple of die area
+            assert waste < area * 5 + 50
+
+
+class TestYieldModels:
+    def test_zero_defects_perfect_yield(self):
+        assert poisson_yield(100.0, 0.0) == 1.0
+        assert murphy_yield(100.0, 0.0) == 1.0
+
+    def test_yields_decrease_with_area(self):
+        assert poisson_yield(50.0, 0.2) > poisson_yield(500.0, 0.2)
+        assert murphy_yield(50.0, 0.2) > murphy_yield(500.0, 0.2)
+
+    def test_murphy_less_pessimistic_than_poisson(self):
+        for area in (100.0, 400.0, 900.0):
+            assert murphy_yield(area, 0.3) >= poisson_yield(area, 0.3)
+
+    def test_poisson_formula(self):
+        # 100 mm^2 = 1 cm^2, D = 0.5 -> exp(-0.5)
+        assert poisson_yield(100.0, 0.5) == pytest.approx(math.exp(-0.5))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(CarbonModelError):
+            poisson_yield(-1.0, 0.1)
+        with pytest.raises(CarbonModelError):
+            murphy_yield(10.0, -0.1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(area=st.floats(min_value=0.5, max_value=2000.0))
+def test_property_yields_in_unit_interval(area):
+    for defect_density in (0.05, 0.2, 1.0):
+        for model in (poisson_yield, murphy_yield):
+            y = model(area, defect_density)
+            assert 0.0 < y <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(area=st.floats(min_value=0.5, max_value=1000.0))
+def test_property_wafer_conservation(area):
+    """dies * area + dies * waste ~ full wafer area (within kerf slack)."""
+    count = dies_per_wafer(area)
+    waste = wasted_area_per_die_mm2(area)
+    total = count * (area + waste)
+    full = math.pi * 150.0**2
+    assert total == pytest.approx(full, rel=1e-6)

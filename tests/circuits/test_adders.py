@@ -1,0 +1,105 @@
+"""Unit and property tests for the fast adder families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import (
+    ADDER_KINDS,
+    carry_lookahead_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    make_adder,
+)
+from repro.circuits.area import netlist_delay_ps, netlist_ge
+from repro.circuits.verify import validate_netlist
+from repro.errors import SynthesisError
+
+
+def operands(width: int):
+    cases = np.arange(1 << (2 * width))
+    return cases & ((1 << width) - 1), cases >> width
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kind", ADDER_KINDS)
+    @pytest.mark.parametrize("width", [1, 2, 5, 8])
+    def test_exhaustively_correct(self, kind, width):
+        adder = make_adder(width, kind)
+        validate_netlist(adder.netlist)
+        a, b = operands(width)
+        assert np.array_equal(adder.truth_table(), a + b), (kind, width)
+
+    @pytest.mark.parametrize("block", [1, 2, 3, 4, 8])
+    def test_cla_blocks(self, block):
+        adder = carry_lookahead_adder(8, block=block)
+        a, b = operands(8)
+        assert np.array_equal(adder.truth_table(), a + b)
+
+    @pytest.mark.parametrize("block", [1, 2, 3, 5])
+    def test_carry_select_blocks(self, block):
+        adder = carry_select_adder(8, block=block)
+        a, b = operands(8)
+        assert np.array_equal(adder.truth_table(), a + b)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SynthesisError, match="unknown adder kind"):
+            make_adder(8, "brent_kung")
+
+    def test_invalid_width(self):
+        for kind in ADDER_KINDS:
+            with pytest.raises(SynthesisError):
+                make_adder(0, kind)
+
+    def test_invalid_blocks(self):
+        with pytest.raises(SynthesisError):
+            carry_lookahead_adder(8, block=0)
+        with pytest.raises(SynthesisError):
+            carry_select_adder(8, block=0)
+
+
+class TestAreaDelayTradeoffs:
+    def test_ripple_is_smallest(self):
+        ripple = netlist_ge(make_adder(8, "ripple").netlist)
+        for kind in ("cla", "kogge_stone", "carry_select"):
+            assert netlist_ge(make_adder(8, kind).netlist) > ripple
+
+    def test_fast_adders_are_faster(self):
+        ripple_delay = netlist_delay_ps(make_adder(8, "ripple").netlist, 7)
+        for kind in ("cla", "kogge_stone", "carry_select"):
+            assert netlist_delay_ps(make_adder(8, kind).netlist, 7) < ripple_delay
+
+    def test_kogge_stone_fastest(self):
+        delays = {
+            kind: netlist_delay_ps(make_adder(8, kind).netlist, 7)
+            for kind in ADDER_KINDS
+        }
+        assert delays["kogge_stone"] == min(delays.values())
+
+    def test_wider_cla_deeper(self):
+        d8 = netlist_delay_ps(carry_lookahead_adder(8).netlist, 7)
+        d12 = netlist_delay_ps(carry_lookahead_adder(12).netlist, 7)
+        assert d12 >= d8
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=8),
+    kind=st.sampled_from(ADDER_KINDS),
+)
+def test_property_all_adders_exact(width, kind):
+    adder = make_adder(width, kind)
+    a, b = operands(width)
+    assert np.array_equal(adder.truth_table(), a + b)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    width=st.integers(min_value=2, max_value=8),
+    block=st.integers(min_value=1, max_value=8),
+)
+def test_property_kogge_stone_result_width(width, block):
+    del block
+    adder = kogge_stone_adder(width)
+    assert adder.result_width == width + 1

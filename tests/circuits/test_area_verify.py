@@ -1,0 +1,96 @@
+"""Unit tests for area/delay models and verification helpers."""
+
+import pytest
+
+from repro.circuits.area import (
+    GATE_AREA_MODELS,
+    GateAreaModel,
+    gate_area_model,
+    netlist_area_um2,
+    netlist_delay_ps,
+    netlist_ge,
+)
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist
+from repro.circuits.synthesis import make_multiplier, ripple_carry_adder
+from repro.circuits.transform import prune_wires
+from repro.circuits.verify import equivalent, validate_netlist
+from repro.errors import CarbonModelError, NetlistError
+
+
+class TestAreaModel:
+    def test_supported_nodes(self):
+        assert set(GATE_AREA_MODELS) == {7, 14, 28}
+
+    def test_unsupported_node_rejected(self):
+        with pytest.raises(CarbonModelError, match="unsupported technology node"):
+            gate_area_model(5)
+
+    def test_nonphysical_model_rejected(self):
+        with pytest.raises(CarbonModelError, match="non-physical"):
+            GateAreaModel(node_nm=7, nand2_area_um2=-1.0, gate_delay_ps=10.0)
+
+    def test_area_scales_with_node(self):
+        mul = make_multiplier(8, 8)
+        a7 = netlist_area_um2(mul.netlist, 7)
+        a14 = netlist_area_um2(mul.netlist, 14)
+        a28 = netlist_area_um2(mul.netlist, 28)
+        assert a7 < a14 < a28
+
+    def test_delay_scales_with_node(self):
+        mul = make_multiplier(8, 8)
+        assert netlist_delay_ps(mul.netlist, 7) < netlist_delay_ps(mul.netlist, 28)
+
+    def test_ge_counts_gates(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate(GateKind.NAND, ("a", "b"), "y")
+        nl.add_output("y")
+        assert netlist_ge(nl) == 1.0
+
+    def test_pruning_reduces_area(self):
+        mul = make_multiplier(8, 8, kind="wallace")
+        wires = mul.netlist.topological_order()[:30]
+        pruned = prune_wires(mul.netlist, {w: 0 for w in wires})
+        assert netlist_area_um2(pruned, 7) < netlist_area_um2(mul.netlist, 7)
+
+    def test_empty_netlist_zero_delay(self):
+        nl = Netlist("empty")
+        nl.add_input("a")
+        nl.add_output("a")
+        assert netlist_delay_ps(nl, 7) == 0.0
+
+
+class TestVerify:
+    def test_validate_accepts_generated(self):
+        for kind in ("array", "wallace", "dadda"):
+            validate_netlist(make_multiplier(8, 8, kind=kind).netlist)
+
+    def test_validate_rejects_bad_gate_key(self):
+        nl = Netlist("bad")
+        nl.add_input("a")
+        nl.add_gate(GateKind.NOT, ("a",), "y")
+        nl.add_output("y")
+        gate = nl.gates["y"]
+        nl.gates["z"] = gate  # corrupt: key != gate.output
+        nl.add_output("z")
+        with pytest.raises(NetlistError, match="claims to drive"):
+            validate_netlist(nl)
+
+    def test_equivalent_multipliers(self):
+        a = make_multiplier(6, 6, kind="array")
+        b = make_multiplier(6, 6, kind="wallace")
+        assert equivalent(a.netlist, b.netlist, [a.a_wires, a.b_wires])
+
+    def test_adder_not_equivalent_to_multiplier(self):
+        add = ripple_carry_adder(4)
+        mul = make_multiplier(4, 4)
+        assert not equivalent(add.netlist, mul.netlist, [add.a_wires, add.b_wires])
+
+    def test_pruned_not_equivalent_to_exact(self):
+        mul = make_multiplier(6, 6, kind="wallace")
+        # prune the output-driving wire hardest to miss
+        out_driver = mul.netlist.outputs[4]
+        pruned = prune_wires(mul.netlist, {out_driver: 1})
+        assert not equivalent(mul.netlist, pruned, [mul.a_wires, mul.b_wires])

@@ -1,0 +1,74 @@
+"""Unit and property tests for the radix-4 Booth multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.area import netlist_delay_ps, netlist_ge
+from repro.circuits.booth import booth_multiplier
+from repro.circuits.synthesis import make_multiplier
+from repro.circuits.verify import validate_netlist
+from repro.errors import SynthesisError
+
+
+def signed_view(values: np.ndarray, width: int) -> np.ndarray:
+    """Reinterpret unsigned codes as two's complement."""
+    return ((values ^ (1 << (width - 1))) - (1 << (width - 1))).astype(np.int64)
+
+
+def expected_products(width: int) -> np.ndarray:
+    cases = np.arange(1 << (2 * width))
+    a = signed_view(cases & ((1 << width) - 1), width)
+    b = signed_view(cases >> width, width)
+    return (a * b) & ((1 << (2 * width)) - 1)
+
+
+class TestBoothCorrectness:
+    @pytest.mark.parametrize("width", [2, 4, 6, 8])
+    def test_exhaustively_correct(self, width):
+        mul = booth_multiplier(width)
+        validate_netlist(mul.netlist)
+        assert np.array_equal(mul.truth_table(), expected_products(width))
+
+    def test_result_width(self):
+        assert booth_multiplier(8).result_width == 16
+
+    def test_extreme_operands(self):
+        """The asymmetric two's-complement corner (-128 x -128)."""
+        mul = booth_multiplier(8)
+        table = mul.truth_table()
+        # a = b = 0x80 (-128): product 16384
+        assert table[0x80 + (0x80 << 8)] == 16384
+        # -128 x 127 = -16256 -> two's complement in 16 bits
+        assert table[0x80 + (0x7F << 8)] == (-16256) & 0xFFFF
+
+
+class TestBoothStructure:
+    def test_odd_width_rejected(self):
+        with pytest.raises(SynthesisError, match="even"):
+            booth_multiplier(7)
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(SynthesisError):
+            booth_multiplier(0)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(SynthesisError, match="refusing"):
+            booth_multiplier(14)
+
+    def test_fewer_partial_product_rows_than_array(self):
+        """Booth halves the PP rows; gate count is comparable or less."""
+        booth = booth_multiplier(8)
+        array = make_multiplier(8, 8, kind="array")
+        assert netlist_ge(booth.netlist) < 1.3 * netlist_ge(array.netlist)
+
+    def test_delay_reported(self):
+        assert netlist_delay_ps(booth_multiplier(8).netlist, 7) > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(width=st.sampled_from([2, 4, 6]))
+def test_property_booth_matches_signed_semantics(width):
+    mul = booth_multiplier(width)
+    assert np.array_equal(mul.truth_table(), expected_products(width))

@@ -1,0 +1,146 @@
+"""Property-based fuzzing of the netlist pipeline.
+
+Random DAG netlists are generated from a seed and pushed through the
+whole substrate: validation, simulation (packed and boolean paths must
+agree), simplification (must preserve function), pruning (must keep
+structural validity) and Verilog export (must produce legal text).
+These are the invariants every higher layer silently relies on.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GATE_LIBRARY, GateKind
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulate import (
+    CompiledNetlist,
+    bus_to_uint,
+    exhaustive_table,
+)
+from repro.circuits.transform import prune_wires, simplify
+from repro.circuits.verify import validate_netlist
+from repro.circuits.verilog import to_verilog
+
+_TWO_INPUT = [
+    k for k in GateKind if GATE_LIBRARY[k].n_inputs == 2
+]
+
+
+def random_netlist(seed: int, n_inputs: int, n_gates: int) -> Netlist:
+    """A random acyclic netlist over the full gate library."""
+    rng = np.random.default_rng(seed)
+    nl = Netlist(f"fuzz{seed}")
+    wires = [nl.add_input(f"i{k}") for k in range(n_inputs)]
+    if rng.random() < 0.5:
+        constant = nl.fresh_wire("k")
+        nl.tie_constant(constant, int(rng.integers(0, 2)))
+        wires.append(constant)
+    for g in range(n_gates):
+        kind_index = int(rng.integers(0, len(GateKind)))
+        kind = list(GateKind)[kind_index]
+        arity = GATE_LIBRARY[kind].n_inputs
+        ins = tuple(
+            wires[int(rng.integers(0, len(wires)))] for _ in range(arity)
+        )
+        wires.append(nl.add_gate(kind, ins, f"w{g}"))
+    # choose a handful of outputs from the most recent wires
+    n_outputs = min(4, len(wires))
+    for wire in wires[-n_outputs:]:
+        nl.add_output(wire)
+    return nl
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_inputs=st.integers(2, 8),
+    n_gates=st.integers(1, 60),
+)
+def test_property_random_netlists_validate_and_simulate(seed, n_inputs, n_gates):
+    nl = random_netlist(seed, n_inputs, n_gates)
+    validate_netlist(nl)
+    table = exhaustive_table(nl, [[f"i{k}" for k in range(n_inputs)]])
+    for wire in nl.outputs:
+        assert table[wire].shape == (1 << n_inputs,)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_inputs=st.integers(2, 6),
+    n_gates=st.integers(1, 40),
+)
+def test_property_packed_and_bool_paths_agree(seed, n_inputs, n_gates):
+    """uint64-packed simulation must equal naive boolean simulation."""
+    nl = random_netlist(seed, n_inputs, n_gates)
+    compiled = CompiledNetlist(nl)
+
+    n_cases = 1 << n_inputs
+    cases = np.arange(n_cases)
+    bool_inputs = {
+        f"i{k}": ((cases >> k) & 1).astype(bool) for k in range(n_inputs)
+    }
+    bool_out = compiled.run(bool_inputs)
+
+    packed_out = exhaustive_table(nl, [[f"i{k}" for k in range(n_inputs)]])
+    for wire in nl.outputs:
+        assert np.array_equal(bool_out[wire], packed_out[wire]), wire
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_inputs=st.integers(2, 6),
+    n_gates=st.integers(1, 40),
+)
+def test_property_simplify_preserves_function(seed, n_inputs, n_gates):
+    nl = random_netlist(seed, n_inputs, n_gates)
+    simplified = simplify(nl)
+    validate_netlist(simplified)
+    assert simplified.gate_count <= nl.gate_count
+
+    buses = [[f"i{k}" for k in range(n_inputs)]]
+    before = bus_to_uint(exhaustive_table(nl, buses), nl.outputs)
+    after = bus_to_uint(
+        exhaustive_table(simplified, buses), simplified.outputs
+    )
+    assert np.array_equal(before, after)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_gates=st.integers(5, 40),
+    prune_seed=st.integers(0, 1000),
+)
+def test_property_pruning_random_netlists_stays_valid(seed, n_gates, prune_seed):
+    nl = random_netlist(seed, 4, n_gates)
+    rng = np.random.default_rng(prune_seed)
+    victims = [w for w in nl.gates if rng.random() < 0.3]
+    if not victims:
+        return
+    pruned = prune_wires(nl, {w: int(rng.integers(0, 2)) for w in victims})
+    validate_netlist(pruned)
+    assert len(pruned.outputs) == len(nl.outputs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_gates=st.integers(1, 30),
+)
+def test_property_verilog_always_legal(seed, n_gates):
+    nl = random_netlist(seed, 3, n_gates)
+    text = to_verilog(nl)
+    assert len(re.findall(r"^module ", text, flags=re.MULTILINE)) == 1
+    assert text.rstrip().endswith("endmodule")
+    for match in re.finditer(r"assign\s+([^\s=]+)\s*=", text):
+        assert re.match(r"^[A-Za-z_][A-Za-z0-9_$]*$", match.group(1))
+    # every output port is assigned exactly once
+    for index in range(len(nl.outputs)):
+        assert text.count(f"assign out{index} =") == 1

@@ -1,0 +1,126 @@
+"""Unit tests for the gate library."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    GATE_LIBRARY,
+    Gate,
+    GateKind,
+    gate_output_for_constants,
+)
+
+TWO_INPUT_TRUTH = {
+    GateKind.AND: [0, 0, 0, 1],
+    GateKind.OR: [0, 1, 1, 1],
+    GateKind.NAND: [1, 1, 1, 0],
+    GateKind.NOR: [1, 0, 0, 0],
+    GateKind.XOR: [0, 1, 1, 0],
+    GateKind.XNOR: [1, 0, 0, 1],
+}
+
+
+class TestGateSpecs:
+    def test_library_covers_every_kind(self):
+        assert set(GATE_LIBRARY) == set(GateKind)
+
+    @pytest.mark.parametrize("kind", list(GateKind))
+    def test_input_counts(self, kind):
+        spec = GATE_LIBRARY[kind]
+        expected = {"not": 1, "buf": 1, "mux": 3}.get(kind.value, 2)
+        assert spec.n_inputs == expected
+
+    def test_nand_is_cheapest_two_input(self):
+        nand = GATE_LIBRARY[GateKind.NAND].transistors
+        for kind in (GateKind.AND, GateKind.OR, GateKind.XOR, GateKind.XNOR):
+            assert GATE_LIBRARY[kind].transistors >= nand
+
+    def test_nand2_equivalents_normalised(self):
+        assert GATE_LIBRARY[GateKind.NAND].nand2_equivalents == 1.0
+        assert GATE_LIBRARY[GateKind.NOT].nand2_equivalents == 0.5
+
+    def test_xor_slower_than_nand(self):
+        assert (
+            GATE_LIBRARY[GateKind.XOR].delay_weight
+            > GATE_LIBRARY[GateKind.NAND].delay_weight
+        )
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize("kind,expected", sorted(TWO_INPUT_TRUTH.items(), key=lambda kv: kv[0].value))
+    def test_two_input_truth_tables(self, kind, expected):
+        a = np.array([0, 0, 1, 1], dtype=bool)
+        b = np.array([0, 1, 0, 1], dtype=bool)
+        out = GATE_LIBRARY[kind].evaluate((a, b))
+        assert out.tolist() == [bool(v) for v in expected]
+
+    def test_not_and_buf(self):
+        a = np.array([0, 1], dtype=bool)
+        assert GATE_LIBRARY[GateKind.NOT].evaluate((a,)).tolist() == [True, False]
+        assert GATE_LIBRARY[GateKind.BUF].evaluate((a,)).tolist() == [False, True]
+
+    def test_mux_selects(self):
+        a = np.array([0, 0, 1, 1, 0, 0, 1, 1], dtype=bool)
+        b = np.array([0, 1, 0, 1, 0, 1, 0, 1], dtype=bool)
+        sel = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=bool)
+        out = GATE_LIBRARY[GateKind.MUX].evaluate((a, b, sel))
+        expected = np.where(sel, b, a)
+        assert np.array_equal(out, expected)
+
+    def test_packed_uint64_evaluation_matches_bool(self):
+        rng = np.random.default_rng(7)
+        a64 = rng.integers(0, 2**63, size=4, dtype=np.uint64)
+        b64 = rng.integers(0, 2**63, size=4, dtype=np.uint64)
+        for kind, spec in GATE_LIBRARY.items():
+            if spec.n_inputs != 2:
+                continue
+            packed = spec.evaluate((a64, b64))
+            for word in range(4):
+                for bit in range(64):
+                    a_bit = bool((int(a64[word]) >> bit) & 1)
+                    b_bit = bool((int(b64[word]) >> bit) & 1)
+                    want = GATE_LIBRARY[kind].evaluate(
+                        (np.array([a_bit]), np.array([b_bit]))
+                    )[0]
+                    got = bool((int(packed[word]) >> bit) & 1)
+                    assert got == want, (kind, word, bit)
+                    break  # one bit per word is enough to catch packing bugs
+            # also compare whole-word semantics against python ints
+            if kind == GateKind.AND:
+                assert np.array_equal(packed, a64 & b64)
+
+
+class TestGateInstances:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            Gate(GateKind.AND, ("a",), "y")
+        with pytest.raises(ValueError, match="expects 1 inputs"):
+            Gate(GateKind.NOT, ("a", "b"), "y")
+
+    def test_with_inputs_rewires(self):
+        gate = Gate(GateKind.AND, ("a", "b"), "y")
+        rewired = gate.with_inputs(("c", "d"))
+        assert rewired.inputs == ("c", "d")
+        assert rewired.output == "y"
+        assert rewired.kind == GateKind.AND
+
+    def test_spec_property(self):
+        gate = Gate(GateKind.XOR, ("a", "b"), "y")
+        assert gate.spec.transistors == 10
+
+
+class TestConstantEvaluation:
+    @pytest.mark.parametrize("kind", [k for k in GateKind if GATE_LIBRARY[k].n_inputs == 2])
+    def test_matches_vector_truth(self, kind):
+        for a in (0, 1):
+            for b in (0, 1):
+                scalar = gate_output_for_constants(kind, (a, b))
+                arr = GATE_LIBRARY[kind].evaluate(
+                    (np.array([bool(a)]), np.array([bool(b)]))
+                )
+                assert scalar == int(arr[0])
+
+    def test_mux_constants(self):
+        assert gate_output_for_constants(GateKind.MUX, (1, 0, 0)) == 1
+        assert gate_output_for_constants(GateKind.MUX, (1, 0, 1)) == 0
+        assert gate_output_for_constants(GateKind.MUX, (0, 1, 1)) == 1

@@ -1,0 +1,184 @@
+"""Unit tests for the netlist IR."""
+
+import pytest
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import (
+    Netlist,
+    bus,
+    declare_input_bus,
+    declare_output_bus,
+    iter_gates_in_order,
+)
+from repro.errors import NetlistError
+
+
+def small_netlist() -> Netlist:
+    """y = (a AND b) XOR c, z = NOT y."""
+    nl = Netlist("small")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_input("c")
+    nl.add_gate(GateKind.AND, ("a", "b"), "t")
+    nl.add_gate(GateKind.XOR, ("t", "c"), "y")
+    nl.add_gate(GateKind.NOT, ("y",), "z")
+    nl.add_output("y")
+    nl.add_output("z")
+    return nl
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError, match="duplicate input"):
+            nl.add_input("a")
+
+    def test_double_drive_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate(GateKind.NOT, ("a",), "y")
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_gate(GateKind.BUF, ("a",), "y")
+
+    def test_gate_cannot_drive_input(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError, match="primary input"):
+            nl.add_gate(GateKind.NOT, ("a",), "a")
+
+    def test_gate_cannot_drive_constant(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.tie_constant("k", 1)
+        with pytest.raises(NetlistError, match="constant"):
+            nl.add_gate(GateKind.NOT, ("a",), "k")
+
+    def test_constant_value_checked(self):
+        nl = Netlist("t")
+        with pytest.raises(NetlistError, match="must be 0 or 1"):
+            nl.tie_constant("k", 2)
+
+    def test_constant_cannot_shadow_gate(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate(GateKind.NOT, ("a",), "y")
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.tie_constant("y", 0)
+
+    def test_fresh_wire_never_collides(self):
+        nl = small_netlist()
+        names = {nl.fresh_wire() for _ in range(5)}
+        # fresh_wire does not reserve, so identical calls may repeat; but
+        # none may collide with existing wires
+        for name in names:
+            assert not nl.is_known(name)
+
+
+class TestQueries:
+    def test_driver_of(self):
+        nl = small_netlist()
+        assert nl.driver_of("t").kind == GateKind.AND
+        assert nl.driver_of("a") is None
+
+    def test_all_wires(self):
+        nl = small_netlist()
+        assert nl.all_wires() == {"a", "b", "c", "t", "y", "z"}
+
+    def test_fanout(self):
+        nl = small_netlist()
+        fan = nl.fanout()
+        assert fan["a"] == ["t"]
+        assert fan["t"] == ["y"]
+        assert fan["y"] == ["z"]
+
+    def test_counts(self):
+        nl = small_netlist()
+        assert nl.gate_count == 3
+        # AND(6) + XOR(10) + NOT(2)
+        assert nl.transistor_count() == 18
+
+    def test_kind_histogram(self):
+        nl = small_netlist()
+        hist = nl.kind_histogram()
+        assert hist[GateKind.AND] == 1
+        assert hist[GateKind.XOR] == 1
+        assert hist[GateKind.NOT] == 1
+
+    def test_stats(self):
+        stats = small_netlist().stats()
+        assert stats["gates"] == 3
+        assert stats["inputs"] == 3
+        assert stats["outputs"] == 2
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self):
+        nl = small_netlist()
+        order = nl.topological_order()
+        assert order.index("t") < order.index("y") < order.index("z")
+
+    def test_cycle_detected(self):
+        nl = Netlist("cycle")
+        nl.add_input("a")
+        nl.add_gate(GateKind.AND, ("a", "q"), "p")
+        nl.add_gate(GateKind.NOT, ("p",), "q")
+        nl.add_output("q")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.topological_order()
+
+    def test_undriven_gate_input_detected(self):
+        nl = Netlist("undriven")
+        nl.add_input("a")
+        nl.add_gate(GateKind.AND, ("a", "ghost"), "y")
+        nl.add_output("y")
+        with pytest.raises(NetlistError, match="undriven wire 'ghost'"):
+            nl.topological_order()
+
+    def test_deep_chain_no_recursion_error(self):
+        nl = Netlist("deep")
+        nl.add_input("a")
+        prev = "a"
+        for i in range(5000):
+            prev = nl.add_gate(GateKind.NOT, (prev,), f"n{i}")
+        nl.add_output(prev)
+        order = nl.topological_order()
+        assert len(order) == 5000
+
+
+class TestHousekeeping:
+    def test_check_outputs_driven(self):
+        nl = small_netlist()
+        nl.check_outputs_driven()
+        nl.add_output("missing")
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.check_outputs_driven()
+
+    def test_copy_is_independent(self):
+        nl = small_netlist()
+        clone = nl.copy()
+        clone.add_input("d")
+        assert "d" not in nl.inputs
+        del clone.gates["z"]
+        assert "z" in nl.gates
+
+
+class TestBusHelpers:
+    def test_bus_names(self):
+        assert bus("p", 3) == ["p0", "p1", "p2"]
+
+    def test_bus_width_validated(self):
+        with pytest.raises(NetlistError, match="positive"):
+            bus("p", 0)
+
+    def test_declare_buses(self):
+        nl = Netlist("t")
+        a = declare_input_bus(nl, "a", 2)
+        assert nl.inputs == ["a0", "a1"] == a
+        out = declare_output_bus(nl, "o", 2)
+        assert nl.outputs == ["o0", "o1"] == out
+
+    def test_iter_gates_in_order(self):
+        nl = small_netlist()
+        kinds = [g.kind for g in iter_gates_in_order(nl)]
+        assert kinds == [GateKind.AND, GateKind.XOR, GateKind.NOT]

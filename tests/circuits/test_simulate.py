@@ -1,0 +1,186 @@
+"""Unit tests for the vectorised simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulate import (
+    CompiledNetlist,
+    bus_to_uint,
+    exhaustive_table,
+    multiplier_truth_table,
+    packed_input_patterns,
+    simulate,
+    unpack_cases,
+)
+from repro.errors import SimulationError
+
+
+def xor_netlist() -> Netlist:
+    nl = Netlist("xor")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate(GateKind.XOR, ("a", "b"), "y")
+    nl.add_output("y")
+    return nl
+
+
+class TestPackedPatterns:
+    def test_small_space_all_cases(self):
+        patterns, n_cases, n_words = packed_input_patterns(3)
+        assert n_cases == 8
+        assert n_words == 1
+        for i, pattern in enumerate(patterns):
+            bits = unpack_cases(pattern, n_cases)
+            expected = [(c >> i) & 1 for c in range(n_cases)]
+            assert bits.astype(int).tolist() == expected
+
+    def test_large_space_spot_checks(self):
+        patterns, n_cases, n_words = packed_input_patterns(16)
+        assert n_cases == 65536
+        assert n_words == 1024
+        for i in (0, 5, 6, 12, 15):
+            bits = unpack_cases(patterns[i], n_cases)
+            cases = np.arange(n_cases)
+            assert np.array_equal(bits, ((cases >> i) & 1).astype(bool))
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(SimulationError):
+            packed_input_patterns(0)
+
+    def test_rejects_huge_spaces(self):
+        with pytest.raises(SimulationError, match="refusing"):
+            packed_input_patterns(27)
+
+
+class TestCompiledNetlist:
+    def test_bool_evaluation(self):
+        nl = xor_netlist()
+        out = simulate(
+            nl,
+            {
+                "a": np.array([0, 0, 1, 1], dtype=bool),
+                "b": np.array([0, 1, 0, 1], dtype=bool),
+            },
+        )
+        assert out["y"].astype(int).tolist() == [0, 1, 1, 0]
+
+    def test_uint64_evaluation(self):
+        nl = xor_netlist()
+        out = simulate(
+            nl,
+            {
+                "a": np.array([0x0F], dtype=np.uint64),
+                "b": np.array([0x33], dtype=np.uint64),
+            },
+        )
+        assert out["y"][0] == 0x0F ^ 0x33
+
+    def test_constant_wires(self):
+        nl = Netlist("const")
+        nl.add_input("a")
+        nl.tie_constant("one", 1)
+        nl.add_gate(GateKind.AND, ("a", "one"), "y")
+        nl.add_output("y")
+        out = simulate(nl, {"a": np.array([0, 1], dtype=bool)})
+        assert out["y"].astype(int).tolist() == [0, 1]
+
+    def test_constant_output_packed(self):
+        nl = Netlist("const_out")
+        nl.add_input("a")
+        nl.tie_constant("one", 1)
+        nl.add_gate(GateKind.BUF, ("a",), "y")
+        nl.add_output("one")
+        nl.add_output("y")
+        out = simulate(nl, {"a": np.array([0x0], dtype=np.uint64)})
+        assert out["one"][0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_input_passthrough_output(self):
+        nl = Netlist("pass")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate(GateKind.AND, ("a", "b"), "y")
+        nl.add_output("a")
+        nl.add_output("y")
+        out = simulate(
+            nl,
+            {"a": np.array([1, 0], dtype=bool), "b": np.array([1, 1], dtype=bool)},
+        )
+        assert out["a"].astype(int).tolist() == [1, 0]
+
+    def test_missing_input_rejected(self):
+        nl = xor_netlist()
+        with pytest.raises(SimulationError, match="missing value"):
+            simulate(nl, {"a": np.array([True])})
+
+    def test_shape_mismatch_rejected(self):
+        nl = xor_netlist()
+        with pytest.raises(SimulationError, match="shape/dtype"):
+            simulate(
+                nl,
+                {
+                    "a": np.array([True, False]),
+                    "b": np.array([True]),
+                },
+            )
+
+    def test_bad_dtype_rejected(self):
+        nl = xor_netlist()
+        with pytest.raises(SimulationError, match="unsupported simulation dtype"):
+            simulate(
+                nl,
+                {
+                    "a": np.array([1], dtype=np.int32),
+                    "b": np.array([0], dtype=np.int32),
+                },
+            )
+
+    def test_compile_once_run_many(self):
+        compiled = CompiledNetlist(xor_netlist())
+        for _ in range(3):
+            out = compiled.run(
+                {
+                    "a": np.array([True]),
+                    "b": np.array([False]),
+                }
+            )
+            assert bool(out["y"][0]) is True
+
+
+class TestExhaustive:
+    def test_exhaustive_xor(self):
+        nl = xor_netlist()
+        table = exhaustive_table(nl, [["a"], ["b"]])
+        # case index = a + 2*b
+        assert table["y"].astype(int).tolist() == [0, 1, 1, 0]
+
+    def test_input_cover_check(self):
+        nl = xor_netlist()
+        with pytest.raises(SimulationError, match="cover every primary input"):
+            exhaustive_table(nl, [["a"]])
+        with pytest.raises(SimulationError, match="cover every primary input"):
+            exhaustive_table(nl, [["a", "b", "a"]])
+
+    def test_bus_to_uint_lsb_first(self):
+        values = {
+            "b0": np.array([1, 0], dtype=bool),
+            "b1": np.array([0, 1], dtype=bool),
+        }
+        combined = bus_to_uint(values, ["b0", "b1"])
+        assert combined.tolist() == [1, 2]
+
+    def test_bus_to_uint_rejects_empty(self):
+        with pytest.raises(SimulationError, match="empty bus"):
+            bus_to_uint({}, [])
+
+    def test_multiplier_truth_table_2x2(self):
+        from repro.circuits.synthesis import array_multiplier
+
+        mul = array_multiplier(2, 2)
+        table = multiplier_truth_table(
+            mul.netlist, mul.a_wires, mul.b_wires, mul.result_wires
+        )
+        for a in range(4):
+            for b in range(4):
+                assert table[a + (b << 2)] == a * b

@@ -1,0 +1,120 @@
+"""Unit and property tests for the arithmetic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.area import netlist_delay_ps
+from repro.circuits.synthesis import (
+    MULTIPLIER_KINDS,
+    array_multiplier,
+    dadda_multiplier,
+    make_multiplier,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+from repro.circuits.verify import validate_netlist
+from repro.errors import SynthesisError
+
+
+def operands(a_width: int, b_width: int):
+    cases = np.arange(1 << (a_width + b_width))
+    a = cases & ((1 << a_width) - 1)
+    b = cases >> a_width
+    return a, b
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 8])
+    def test_exhaustively_correct(self, width):
+        adder = ripple_carry_adder(width)
+        validate_netlist(adder.netlist)
+        a, b = operands(width, width)
+        assert np.array_equal(adder.truth_table(), a + b)
+
+    def test_result_width(self):
+        adder = ripple_carry_adder(8)
+        assert adder.result_width == 9
+
+    def test_gate_count_scales_linearly(self):
+        # HA (2 gates) + (w-1) FAs (5 gates each)
+        assert ripple_carry_adder(8).netlist.gate_count == 2 + 7 * 5
+
+    def test_invalid_width(self):
+        with pytest.raises(SynthesisError):
+            ripple_carry_adder(0)
+
+
+class TestMultiplierCorrectness:
+    @pytest.mark.parametrize("kind", MULTIPLIER_KINDS)
+    @pytest.mark.parametrize("a_width,b_width", [(1, 1), (2, 2), (3, 5), (4, 4), (8, 8)])
+    def test_exhaustively_correct(self, kind, a_width, b_width):
+        mul = make_multiplier(a_width, b_width, kind=kind)
+        validate_netlist(mul.netlist)
+        a, b = operands(a_width, b_width)
+        assert np.array_equal(mul.truth_table(), a * b)
+
+    @pytest.mark.parametrize("kind", MULTIPLIER_KINDS)
+    def test_result_width_is_sum_of_operand_widths(self, kind):
+        mul = make_multiplier(5, 3, kind=kind)
+        assert mul.result_width == 8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SynthesisError, match="unknown multiplier kind"):
+            make_multiplier(4, 4, kind="booth")
+
+    def test_oversized_rejected(self):
+        with pytest.raises(SynthesisError, match="refusing"):
+            make_multiplier(16, 16)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(SynthesisError):
+            make_multiplier(0, 4)
+
+
+class TestMultiplierStructure:
+    def test_tree_multipliers_are_faster_than_array(self):
+        array = array_multiplier(8, 8)
+        wallace = wallace_multiplier(8, 8)
+        dadda = dadda_multiplier(8, 8)
+        d_array = netlist_delay_ps(array.netlist, 7)
+        d_wallace = netlist_delay_ps(wallace.netlist, 7)
+        d_dadda = netlist_delay_ps(dadda.netlist, 7)
+        assert d_wallace < d_array
+        assert d_dadda < d_array
+
+    def test_gate_counts_in_expected_range(self):
+        # 64 partial-product ANDs plus ~56 adder cells
+        for kind in MULTIPLIER_KINDS:
+            gates = make_multiplier(8, 8, kind=kind).netlist.gate_count
+            assert 250 <= gates <= 400, (kind, gates)
+
+    def test_default_square(self):
+        mul = make_multiplier(6, kind="dadda")
+        assert mul.a_width == mul.b_width == 6
+
+    def test_names_are_stable(self):
+        assert make_multiplier(8, 8, kind="array").netlist.name == "mul8x8_array"
+        assert make_multiplier(8, 8, kind="wallace").netlist.name == "mul8x8_wallace"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a_width=st.integers(min_value=1, max_value=6),
+    b_width=st.integers(min_value=1, max_value=6),
+    kind=st.sampled_from(MULTIPLIER_KINDS),
+)
+def test_property_multiplier_always_exact(a_width, b_width, kind):
+    """Any generated multiplier is exhaustively correct."""
+    mul = make_multiplier(a_width, b_width, kind=kind)
+    a, b = operands(a_width, b_width)
+    assert np.array_equal(mul.truth_table(), a * b)
+
+
+@settings(max_examples=15, deadline=None)
+@given(width=st.integers(min_value=1, max_value=7))
+def test_property_adder_always_exact(width):
+    adder = ripple_carry_adder(width)
+    a, b = operands(width, width)
+    assert np.array_equal(adder.truth_table(), a + b)

@@ -1,0 +1,303 @@
+"""Unit and property tests for netlist transforms (pruning machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulate import bus_to_uint, exhaustive_table
+from repro.circuits.synthesis import make_multiplier
+from repro.circuits.transform import (
+    propagate_constants,
+    prune_wires,
+    remove_dead_gates,
+    simplify,
+)
+from repro.circuits.verify import validate_netlist
+from repro.errors import NetlistError
+
+
+def build(gates, inputs, outputs, constants=None):
+    nl = Netlist("t")
+    for wire in inputs:
+        nl.add_input(wire)
+    for wire, value in (constants or {}).items():
+        nl.tie_constant(wire, value)
+    for kind, ins, out in gates:
+        nl.add_gate(kind, ins, out)
+    for wire in outputs:
+        nl.add_output(wire)
+    return nl
+
+
+class TestConstantPropagation:
+    def test_and_with_zero_becomes_constant(self):
+        nl = build(
+            [(GateKind.AND, ("a", "k0"), "y")],
+            inputs=["a"],
+            outputs=["y"],
+            constants={"k0": 0},
+        )
+        out = propagate_constants(nl)
+        assert out.gate_count == 0
+        assert out.constants[out.outputs[0]] == 0
+
+    def test_and_with_one_aliases(self):
+        nl = build(
+            [(GateKind.AND, ("a", "k1"), "y")],
+            inputs=["a"],
+            outputs=["y"],
+            constants={"k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.gate_count == 0
+        assert out.outputs == ["a"]
+
+    def test_or_rules(self):
+        nl = build(
+            [
+                (GateKind.OR, ("a", "k1"), "y1"),
+                (GateKind.OR, ("a", "k0"), "y0"),
+            ],
+            inputs=["a"],
+            outputs=["y1", "y0"],
+            constants={"k0": 0, "k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.constants[out.outputs[0]] == 1
+        assert out.outputs[1] == "a"
+
+    def test_nand_nor_with_constant_becomes_not(self):
+        nl = build(
+            [
+                (GateKind.NAND, ("a", "k1"), "y1"),
+                (GateKind.NOR, ("a", "k0"), "y0"),
+            ],
+            inputs=["a"],
+            outputs=["y1", "y0"],
+            constants={"k0": 0, "k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.gates[out.outputs[0]].kind == GateKind.NOT
+        assert out.gates[out.outputs[1]].kind == GateKind.NOT
+
+    def test_xor_rules(self):
+        nl = build(
+            [
+                (GateKind.XOR, ("a", "k0"), "alias"),
+                (GateKind.XOR, ("a", "k1"), "inverted"),
+                (GateKind.XOR, ("a", "a"), "zero"),
+            ],
+            inputs=["a"],
+            outputs=["alias", "inverted", "zero"],
+            constants={"k0": 0, "k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.outputs[0] == "a"
+        assert out.gates[out.outputs[1]].kind == GateKind.NOT
+        assert out.constants[out.outputs[2]] == 0
+
+    def test_xnor_rules(self):
+        nl = build(
+            [
+                (GateKind.XNOR, ("a", "k1"), "alias"),
+                (GateKind.XNOR, ("a", "a"), "one"),
+            ],
+            inputs=["a"],
+            outputs=["alias", "one"],
+            constants={"k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.outputs[0] == "a"
+        assert out.constants[out.outputs[1]] == 1
+
+    def test_same_input_collapses(self):
+        nl = build(
+            [
+                (GateKind.AND, ("a", "a"), "ya"),
+                (GateKind.OR, ("a", "a"), "yo"),
+                (GateKind.NAND, ("a", "a"), "yn"),
+            ],
+            inputs=["a"],
+            outputs=["ya", "yo", "yn"],
+        )
+        out = propagate_constants(nl)
+        assert out.outputs[0] == "a"
+        assert out.outputs[1] == "a"
+        assert out.gates[out.outputs[2]].kind == GateKind.NOT
+
+    def test_buf_aliases_through_chain(self):
+        nl = build(
+            [
+                (GateKind.BUF, ("a",), "b1"),
+                (GateKind.BUF, ("b1",), "b2"),
+                (GateKind.AND, ("b2", "c"), "y"),
+            ],
+            inputs=["a", "c"],
+            outputs=["y"],
+        )
+        out = propagate_constants(nl)
+        assert out.gates["y"].inputs == ("a", "c")
+        assert out.gate_count == 1
+
+    def test_mux_select_known(self):
+        nl = build(
+            [
+                (GateKind.MUX, ("a", "b", "k0"), "y0"),
+                (GateKind.MUX, ("a", "b", "k1"), "y1"),
+            ],
+            inputs=["a", "b"],
+            outputs=["y0", "y1"],
+            constants={"k0": 0, "k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.outputs == ["a", "b"]
+
+    def test_mux_const_data_rules(self):
+        nl = build(
+            [
+                (GateKind.MUX, ("k0", "k1", "s"), "is_s"),
+                (GateKind.MUX, ("k1", "k0", "s"), "not_s"),
+                (GateKind.MUX, ("k0", "b", "s"), "and_bs"),
+                (GateKind.MUX, ("a", "k1", "s"), "or_as"),
+            ],
+            inputs=["a", "b", "s"],
+            outputs=["is_s", "not_s", "and_bs", "or_as"],
+            constants={"k0": 0, "k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.outputs[0] == "s"
+        assert out.gates[out.outputs[1]].kind == GateKind.NOT
+        assert out.gates[out.outputs[2]].kind == GateKind.AND
+        assert out.gates[out.outputs[3]].kind == GateKind.OR
+
+    def test_all_constant_gate_folds(self):
+        nl = build(
+            [(GateKind.NAND, ("k0", "k1"), "y")],
+            inputs=["a"],
+            outputs=["y"],
+            constants={"k0": 0, "k1": 1},
+        )
+        out = propagate_constants(nl)
+        assert out.constants[out.outputs[0]] == 1
+
+
+class TestDeadGateRemoval:
+    def test_unreachable_cone_removed(self):
+        nl = build(
+            [
+                (GateKind.AND, ("a", "b"), "used"),
+                (GateKind.XOR, ("a", "b"), "unused1"),
+                (GateKind.NOT, ("unused1",), "unused2"),
+            ],
+            inputs=["a", "b"],
+            outputs=["used"],
+        )
+        out = remove_dead_gates(nl)
+        assert set(out.gates) == {"used"}
+
+    def test_unused_constants_removed(self):
+        nl = build(
+            [(GateKind.AND, ("a", "b"), "y")],
+            inputs=["a", "b"],
+            outputs=["y"],
+            constants={"k": 1},
+        )
+        out = remove_dead_gates(nl)
+        assert out.constants == {}
+
+    def test_inputs_always_kept(self):
+        nl = build(
+            [(GateKind.NOT, ("a",), "y")],
+            inputs=["a", "unused_input"],
+            outputs=["y"],
+        )
+        out = remove_dead_gates(nl)
+        assert out.inputs == ["a", "unused_input"]
+
+
+class TestPruneWires:
+    def test_prune_requires_gate_output(self):
+        mul = make_multiplier(4, 4, kind="wallace")
+        with pytest.raises(NetlistError, match="not a gate output"):
+            prune_wires(mul.netlist, {"a0": 0})
+        with pytest.raises(NetlistError, match="not a gate output"):
+            prune_wires(mul.netlist, {"nonexistent": 0})
+
+    def test_prune_value_validated(self):
+        mul = make_multiplier(4, 4, kind="wallace")
+        some_gate = next(iter(mul.netlist.gates))
+        with pytest.raises(NetlistError, match="must be 0/1"):
+            prune_wires(mul.netlist, {some_gate: 7})
+
+    def test_prune_reduces_gates(self):
+        mul = make_multiplier(8, 8, kind="wallace")
+        wires = mul.netlist.topological_order()[:10]
+        pruned = prune_wires(mul.netlist, {w: 0 for w in wires})
+        validate_netlist(pruned)
+        assert pruned.gate_count < mul.netlist.gate_count
+
+    def test_prune_keeps_output_positions(self):
+        mul = make_multiplier(4, 4, kind="dadda")
+        wires = mul.netlist.topological_order()[:3]
+        pruned = prune_wires(mul.netlist, {w: 1 for w in wires})
+        assert len(pruned.outputs) == len(mul.netlist.outputs)
+
+    def test_original_untouched(self):
+        mul = make_multiplier(4, 4, kind="array")
+        before = dict(mul.netlist.gates)
+        prune_wires(mul.netlist, {next(iter(before)): 0})
+        assert mul.netlist.gates == before
+
+    def test_prune_all_drivers_of_output(self):
+        """Pruning the wire that directly drives an output makes it constant."""
+        mul = make_multiplier(2, 2, kind="array")
+        out0 = mul.netlist.outputs[0]
+        pruned = prune_wires(mul.netlist, {out0: 1})
+        table = exhaustive_table(pruned, [mul.a_wires, mul.b_wires])
+        assert bool(np.all(table[pruned.outputs[0]]))
+
+
+class TestSimplify:
+    def test_simplify_is_idempotent(self):
+        mul = make_multiplier(6, 6, kind="wallace")
+        wires = mul.netlist.topological_order()[5:25:5]
+        once = prune_wires(mul.netlist, {w: 0 for w in wires})
+        twice = simplify(once)
+        assert twice.gate_count == once.gate_count
+
+    def test_exact_circuit_unchanged_by_simplify(self):
+        mul = make_multiplier(8, 8, kind="dadda")
+        # zero-padding constants may be dropped only if unused; function same
+        simplified = simplify(mul.netlist)
+        a = np.arange(65536) & 0xFF
+        b = np.arange(65536) >> 8
+        table = exhaustive_table(simplified, [mul.a_wires, mul.b_wires])
+        product = bus_to_uint(table, simplified.outputs)
+        assert np.array_equal(product, a * b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_prune=st.integers(min_value=1, max_value=30),
+    value=st.integers(min_value=0, max_value=1),
+)
+def test_property_pruned_netlist_valid_and_smaller(seed, n_prune, value):
+    """Pruning any wire set yields a structurally valid, smaller netlist
+    whose truth table is byte-for-byte reproducible."""
+    mul = make_multiplier(6, 6, kind="wallace")
+    rng = np.random.default_rng(seed)
+    wires = list(mul.netlist.gates)
+    chosen = rng.choice(wires, size=min(n_prune, len(wires)), replace=False)
+    pruned = prune_wires(mul.netlist, {w: value for w in chosen})
+    validate_netlist(pruned)
+    assert pruned.gate_count <= mul.netlist.gate_count
+    circ = mul.with_netlist(pruned)
+    t1 = circ.truth_table()
+    t2 = circ.truth_table()
+    assert np.array_equal(t1, t2)
+    # product of an approximate multiplier still fits in the result bus
+    assert int(t1.max()) < (1 << circ.result_width)

@@ -1,0 +1,103 @@
+"""Unit tests for the Verilog exporter."""
+
+import re
+
+import pytest
+
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist
+from repro.circuits.synthesis import make_multiplier
+from repro.circuits.transform import prune_wires
+from repro.circuits.verilog import to_verilog
+from repro.errors import NetlistError
+
+
+def small_netlist() -> Netlist:
+    nl = Netlist("demo")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_input("sel")
+    nl.tie_constant("one", 1)
+    nl.add_gate(GateKind.AND, ("a", "b"), "t1")
+    nl.add_gate(GateKind.NAND, ("a", "b"), "t2")
+    nl.add_gate(GateKind.MUX, ("t1", "t2", "sel"), "y")
+    nl.add_gate(GateKind.XOR, ("y", "one"), "z")
+    nl.add_output("y")
+    nl.add_output("z")
+    return nl
+
+
+class TestVerilogStructure:
+    def test_module_wrapper(self):
+        text = to_verilog(small_netlist())
+        assert text.startswith("// generated")
+        assert "module demo(" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_ports_declared(self):
+        text = to_verilog(small_netlist())
+        for port in ("a", "b", "sel"):
+            assert f"  input {port};" in text
+        assert "  output out0;" in text
+        assert "  output out1;" in text
+
+    def test_gate_expressions(self):
+        text = to_verilog(small_netlist())
+        assert "assign t1 = a & b;" in text
+        assert "assign t2 = ~(a & b);" in text
+        assert "assign y = sel ? t2 : t1;" in text
+        assert "assign z = y ^ one;" in text
+
+    def test_constants_emitted(self):
+        text = to_verilog(small_netlist())
+        assert "assign one = 1'b1;" in text
+
+    def test_outputs_bound_positionally(self):
+        text = to_verilog(small_netlist())
+        assert "assign out0 = y;" in text
+        assert "assign out1 = z;" in text
+
+    def test_custom_module_name(self):
+        text = to_verilog(small_netlist(), module_name="my_mod")
+        assert "module my_mod(" in text
+
+    def test_illegal_names_sanitised(self):
+        nl = Netlist("weird-name!")
+        nl.add_input("in")  # not a Verilog keyword issue for us, but odd chars are
+        nl.add_gate(GateKind.NOT, ("in",), "out$value-x")
+        nl.add_output("out$value-x")
+        text = to_verilog(nl)
+        # every assign target must be a legal identifier
+        for match in re.finditer(r"assign ([^ =]+) =", text):
+            assert re.match(r"^[A-Za-z_][A-Za-z0-9_$]*$", match.group(1)), match.group(1)
+
+    def test_undriven_output_rejected(self):
+        nl = Netlist("bad")
+        nl.add_input("a")
+        nl.add_output("ghost")
+        with pytest.raises(NetlistError):
+            to_verilog(nl)
+
+
+class TestVerilogOnRealCircuits:
+    def test_multiplier_exports(self):
+        mul = make_multiplier(8, 8, kind="dadda")
+        text = to_verilog(mul.netlist)
+        # one assign per gate + constants + output bindings
+        assert text.count("assign") >= mul.netlist.gate_count
+        assert "module mul8x8_dadda(" in text
+
+    def test_pruned_multiplier_exports_with_constants(self):
+        mul = make_multiplier(6, 6, kind="wallace")
+        wires = mul.netlist.topological_order()[:10]
+        pruned = prune_wires(mul.netlist, {w: 0 for w in wires})
+        text = to_verilog(pruned)
+        assert "1'b0" in text or "1'b1" in text or pruned.constants == {}
+
+    def test_output_aliasing_input(self):
+        """After simplification an output can be a primary input."""
+        nl = Netlist("alias")
+        nl.add_input("a")
+        nl.add_output("a")
+        text = to_verilog(nl)
+        assert "assign out0 = a;" in text

@@ -1,0 +1,193 @@
+"""Unit and integration tests for the core methodology."""
+
+import pytest
+
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.library import build_library
+from repro.core.baselines import (
+    approximate_only_sweep,
+    design_point_for,
+    exact_sweep,
+    smallest_exact_meeting_fps,
+)
+from repro.core.cdp import carbon_delay_product
+from repro.core.designer import CarbonAwareDesigner
+from repro.core.results import DesignPoint
+from repro.errors import ConstraintError, OptimizationError
+from repro.ga.engine import GaConfig
+
+FAST = dict(population=16, generations=10, hybrid=True)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(width=8, seed=0, **FAST)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return AccuracyPredictor()
+
+
+class TestCdp:
+    def test_product(self):
+        assert carbon_delay_product(10.0, 0.1) == pytest.approx(1.0)
+
+    def test_negative_carbon_rejected(self):
+        with pytest.raises(ConstraintError):
+            carbon_delay_product(-1.0, 0.1)
+
+    def test_nonpositive_delay_rejected(self):
+        with pytest.raises(ConstraintError):
+            carbon_delay_product(1.0, 0.0)
+
+
+class TestExactSweep:
+    def test_sweep_covers_family(self, library, predictor):
+        sweep = exact_sweep("vgg16", library, 7, predictor)
+        assert [p.config.n_pes for p in sweep] == [64, 128, 256, 512, 1024, 2048]
+
+    def test_monotone_carbon_and_fps(self, library, predictor):
+        sweep = exact_sweep("vgg16", library, 7, predictor)
+        carbons = [p.carbon_g for p in sweep]
+        fps = [p.fps for p in sweep]
+        assert carbons == sorted(carbons)
+        assert fps == sorted(fps)
+
+    def test_zero_drop_for_exact(self, library, predictor):
+        for point in exact_sweep("resnet50", library, 14, predictor):
+            assert point.accuracy_drop_percent == 0.0
+            assert point.label == "exact"
+
+    def test_design_point_row(self, library, predictor):
+        point = exact_sweep("vgg16", library, 7, predictor)[0]
+        row = point.as_row()
+        assert row["label"] == "exact"
+        assert row["pes"] == 64
+        assert row["node_nm"] == 7
+
+    def test_meets_check(self, library, predictor):
+        sweep = exact_sweep("vgg16", library, 7, predictor)
+        biggest = sweep[-1]
+        assert biggest.meets(min_fps=30.0, max_drop_percent=0.0)
+        smallest = sweep[0]
+        assert not smallest.meets(min_fps=30.0, max_drop_percent=0.0)
+
+
+class TestApproximateOnlySweep:
+    def test_architecture_unchanged(self, library, predictor):
+        exact = exact_sweep("vgg16", library, 7, predictor)
+        appx = approximate_only_sweep("vgg16", library, 7, predictor, 2.0)
+        for e, a in zip(exact, appx):
+            assert e.config.geometry_key() == a.config.geometry_key()
+            assert a.config.multiplier.name != "exact"
+
+    def test_carbon_strictly_lower(self, library, predictor):
+        exact = exact_sweep("vgg16", library, 7, predictor)
+        appx = approximate_only_sweep("vgg16", library, 7, predictor, 2.0)
+        for e, a in zip(exact, appx):
+            assert a.carbon_g < e.carbon_g
+
+    def test_fps_unchanged(self, library, predictor):
+        """Approximation alone does not change timing in this model."""
+        exact = exact_sweep("vgg16", library, 7, predictor)
+        appx = approximate_only_sweep("vgg16", library, 7, predictor, 1.0)
+        for e, a in zip(exact, appx):
+            assert a.fps == pytest.approx(e.fps)
+
+    def test_accuracy_constraint_respected(self, library, predictor):
+        for threshold in (0.5, 1.0, 2.0):
+            appx = approximate_only_sweep(
+                "resnet50", library, 7, predictor, threshold
+            )
+            for point in appx:
+                assert point.accuracy_drop_percent <= threshold
+
+    def test_tighter_threshold_less_saving(self, library, predictor):
+        """Savings grow with the allowed drop; peak savings (largest
+        config, where the PE array dominates the die) exceed 1%."""
+        exact = exact_sweep("vgg16", library, 7, predictor)[-1]
+        savings = {}
+        for threshold in (0.5, 1.0, 2.0):
+            point = approximate_only_sweep(
+                "vgg16", library, 7, predictor, threshold
+            )[-1]
+            savings[threshold] = 1.0 - point.carbon_g / exact.carbon_g
+        assert savings[0.5] <= savings[1.0] <= savings[2.0]
+        assert savings[2.0] > 0.01
+
+
+class TestSmallestExact:
+    def test_meets_threshold_minimally(self, library, predictor):
+        point = smallest_exact_meeting_fps("vgg16", library, 7, predictor, 30.0)
+        assert point.fps >= 30.0
+        sweep = exact_sweep("vgg16", library, 7, predictor)
+        smaller = [p for p in sweep if p.config.n_pes < point.config.n_pes]
+        for p in smaller:
+            assert p.fps < 30.0
+
+    def test_impossible_threshold_raises(self, library, predictor):
+        with pytest.raises(ConstraintError, match="no NVDLA family member"):
+            smallest_exact_meeting_fps("vgg16", library, 28, predictor, 10_000.0)
+
+
+class TestDesigner:
+    def test_ga_cdp_beats_exact_baseline(self, library, predictor):
+        baseline = smallest_exact_meeting_fps("vgg16", library, 7, predictor, 30.0)
+        designer = CarbonAwareDesigner(
+            network="vgg16",
+            node_nm=7,
+            min_fps=30.0,
+            max_drop_percent=2.0,
+            library=library,
+            predictor=predictor,
+            ga_config=GaConfig(population_size=20, generations=20, seed=0),
+        )
+        result = designer.run()
+        assert result.feasible
+        assert result.best.fps >= 30.0
+        assert result.best.accuracy_drop_percent <= 2.0
+        assert result.best.cdp < baseline.cdp
+        assert result.best.carbon_g < baseline.carbon_g
+
+    def test_designer_deterministic(self, library, predictor):
+        kwargs = dict(
+            network="resnet50",
+            node_nm=14,
+            min_fps=30.0,
+            max_drop_percent=1.0,
+            library=library,
+            predictor=predictor,
+            ga_config=GaConfig(population_size=16, generations=15, seed=4),
+        )
+        a = CarbonAwareDesigner(**kwargs).run()
+        b = CarbonAwareDesigner(**kwargs).run()
+        assert a.best.config.geometry_key() == b.best.config.geometry_key()
+        assert a.best.cdp == b.best.cdp
+
+    def test_unsatisfiable_constraints_raise(self, library, predictor):
+        designer = CarbonAwareDesigner(
+            network="vgg16",
+            node_nm=28,
+            min_fps=100_000.0,
+            max_drop_percent=0.5,
+            library=library,
+            predictor=predictor,
+            ga_config=GaConfig(population_size=8, generations=3, seed=0),
+        )
+        with pytest.raises(OptimizationError, match="no design meeting"):
+            designer.run()
+
+    def test_design_point_label(self, library, predictor):
+        designer = CarbonAwareDesigner(
+            network="resnet50",
+            node_nm=7,
+            min_fps=30.0,
+            max_drop_percent=2.0,
+            library=library,
+            predictor=predictor,
+            ga_config=GaConfig(population_size=12, generations=8, seed=1),
+        )
+        result = designer.run()
+        assert result.best.label == "ga_cdp"
+        assert result.outcome.evaluations > 0

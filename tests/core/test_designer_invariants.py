@@ -1,0 +1,103 @@
+"""Invariant tests for the seeded GA-CDP designer.
+
+These pin down the guarantees the experiment harnesses rely on:
+baseline seeding means GA-CDP can never lose to the baselines it is
+compared against, for any seed.
+"""
+
+import pytest
+
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.library import build_library
+from repro.core.baselines import (
+    approximate_only_sweep,
+    smallest_exact_meeting_fps,
+)
+from repro.core.designer import CarbonAwareDesigner
+from repro.ga.chromosome import space_for_library
+from repro.ga.engine import GaConfig
+
+FAST = dict(population=12, generations=5, hybrid=False)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(width=8, seed=0, **FAST)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return AccuracyPredictor()
+
+
+class TestBaselineSeeding:
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_ga_never_loses_to_exact_baseline(self, library, predictor, seed):
+        """Even a tiny GA beats or matches the exact baseline, because
+        the baseline geometry is in the initial population."""
+        baseline = smallest_exact_meeting_fps(
+            "vgg16", library, 7, predictor, 30.0
+        )
+        result = CarbonAwareDesigner(
+            network="vgg16",
+            node_nm=7,
+            min_fps=30.0,
+            max_drop_percent=2.0,
+            library=library,
+            predictor=predictor,
+            ga_config=GaConfig(population_size=16, generations=3, seed=seed),
+        ).run()
+        assert result.best.carbon_g <= baseline.carbon_g * (1 + 1e-9)
+
+    def test_ga_never_loses_to_approx_only(self, library, predictor):
+        """The approximate-only design is also a seed, so it bounds the
+        GA outcome too."""
+        approx_points = approximate_only_sweep(
+            "resnet50", library, 7, predictor, 2.0
+        )
+        feasible = [p for p in approx_points if p.fps >= 30.0]
+        best_approx = min(feasible, key=lambda p: p.carbon_g)
+        result = CarbonAwareDesigner(
+            network="resnet50",
+            node_nm=7,
+            min_fps=30.0,
+            max_drop_percent=2.0,
+            library=library,
+            predictor=predictor,
+            ga_config=GaConfig(population_size=16, generations=3, seed=5),
+        ).run()
+        assert result.best.carbon_g <= best_approx.carbon_g * (1 + 1e-9)
+
+    def test_seeds_are_valid_genomes(self, library, predictor):
+        designer = CarbonAwareDesigner(
+            network="vgg16",
+            node_nm=7,
+            min_fps=30.0,
+            max_drop_percent=1.0,
+            library=library,
+            predictor=predictor,
+        )
+        space = space_for_library(library)
+        seeds = designer._baseline_seeds(library, space)
+        assert len(seeds) >= 6  # at least the six-family sweep
+        for genome in seeds:
+            space.validate(genome)
+            config = space.decode(genome, library, 7)
+            assert config.n_pes >= 4
+
+    def test_seed_multipliers_include_exact(self, library, predictor):
+        designer = CarbonAwareDesigner(
+            network="vgg16",
+            node_nm=7,
+            min_fps=30.0,
+            max_drop_percent=0.5,
+            library=library,
+            predictor=predictor,
+        )
+        space = space_for_library(library)
+        seeds = designer._baseline_seeds(library, space)
+        multiplier_indices = {genome[-1] for genome in seeds}
+        exact_positions = {
+            i for i, m in enumerate(library.multipliers) if m.is_exact
+        }
+        assert multiplier_indices & exact_positions

@@ -1,0 +1,115 @@
+"""Unit tests for result serialisation and the CLI."""
+
+import json
+
+import pytest
+
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.library import build_library
+from repro.cli import build_parser, main
+from repro.core.baselines import exact_sweep
+from repro.core.io import (
+    design_points_to_csv,
+    design_points_to_json,
+    fig2_table_to_json,
+    load_design_rows,
+)
+from repro.errors import ExperimentError
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+
+@pytest.fixture(scope="module")
+def points():
+    library = build_library(width=8, seed=0, **FAST)
+    return exact_sweep("vgg16", library, 7, AccuracyPredictor())
+
+
+class TestJson:
+    def test_round_trip(self, points):
+        text = design_points_to_json(points)
+        rows = load_design_rows(text)
+        assert len(rows) == len(points)
+        assert rows[0]["label"] == "exact"
+        assert rows[0]["pes"] == 64
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ExperimentError, match="array"):
+            load_design_rows(json.dumps({"not": "a list"}))
+
+    def test_rejects_malformed_rows(self):
+        with pytest.raises(ExperimentError, match="malformed"):
+            load_design_rows(json.dumps([{"no_label": 1}]))
+
+    def test_fig2_table_json(self):
+        text = fig2_table_to_json(
+            {(7, 0.5): (1.0, 2.0), (14, 0.5): (3.0, 4.0)}, "vgg16"
+        )
+        payload = json.loads(text)
+        assert payload["network"] == "vgg16"
+        assert len(payload["reductions"]) == 2
+        assert payload["reductions"][0]["node_nm"] == 7
+
+
+class TestCsv:
+    def test_header_and_rows(self, points):
+        text = design_points_to_csv(points)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("label,network,node_nm")
+        assert len(lines) == len(points) + 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            design_points_to_csv([])
+
+
+class TestCliParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("library", "design", "fig2-scatter", "fig2-table",
+                        "fig3", "sensitivity"):
+            assert command in text
+
+    def test_design_defaults(self):
+        args = build_parser().parse_args(["design"])
+        assert args.network == "vgg16"
+        assert args.node == 7
+        assert args.fps == 30.0
+
+    def test_invalid_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "--network", "alexnet"])
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "--node", "5"])
+
+
+class TestCliExecution:
+    def test_library_fast(self, capsys):
+        assert main(["library", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Approximate-multiplier library" in out
+        assert "exact" in out
+
+    def test_design_fast_with_json(self, tmp_path, capsys):
+        out_path = tmp_path / "design.json"
+        code = main([
+            "design", "--fast", "--network", "resnet50",
+            "--fps", "30", "--drop", "2", "--json", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GA-CDP:" in out
+        assert "saving" in out
+        rows = load_design_rows(out_path.read_text())
+        assert {row["label"] for row in rows} == {"exact", "ga_cdp"}
+
+    def test_impossible_design_returns_error_code(self, capsys):
+        code = main([
+            "design", "--fast", "--network", "vgg16",
+            "--node", "28", "--fps", "100000",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

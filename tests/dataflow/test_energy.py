@@ -1,0 +1,89 @@
+"""Unit tests for the dataflow energy bridge."""
+
+import pytest
+
+from repro.accel.nvdla import nvdla_config
+from repro.approx.library import build_library
+from repro.dataflow.energy import (
+    energy_per_mac_pj,
+    network_energy,
+    total_carbon_per_inference,
+)
+from repro.errors import CarbonModelError
+from repro.nn.zoo import workload
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+
+@pytest.fixture(scope="module")
+def exact():
+    return build_library(width=8, seed=0, **FAST).exact
+
+
+@pytest.fixture(scope="module")
+def breakdown(exact):
+    return network_energy("resnet50", nvdla_config(256, exact, 7))
+
+
+class TestEnergyBreakdown:
+    def test_macs_match_workload(self, breakdown):
+        assert breakdown.macs == workload("resnet50").total_macs
+
+    def test_positive_traffic(self, breakdown):
+        assert breakdown.sram_bytes > 0
+        assert breakdown.dram_bytes > 0
+
+    def test_sram_traffic_at_least_dram(self, breakdown):
+        """Everything from DRAM flows through the global buffer at
+        least once, plus tile re-streaming."""
+        assert breakdown.sram_bytes > breakdown.dram_bytes * 0.1
+
+    def test_energy_positive_and_sane(self, breakdown):
+        energy = breakdown.energy_per_inference_j
+        # edge inference: between 0.1 mJ and 1 J
+        assert 1e-4 < energy < 1.0
+
+    def test_energy_per_mac_in_published_range(self, breakdown):
+        """Accelerator surveys report ~0.3-20 pJ/MAC system-level."""
+        per_mac = energy_per_mac_pj(breakdown)
+        assert 0.1 < per_mac < 50.0
+
+    def test_advanced_node_more_efficient(self, exact):
+        e7 = network_energy("resnet50", nvdla_config(256, exact, 7))
+        e28 = network_energy("resnet50", nvdla_config(256, exact, 28))
+        assert (
+            e7.energy_per_inference_j < e28.energy_per_inference_j
+        )
+
+    def test_static_power_included(self, exact):
+        idle = network_energy("resnet50", nvdla_config(256, exact, 7))
+        busy = network_energy(
+            "resnet50", nvdla_config(256, exact, 7), static_power_w=0.5
+        )
+        assert (
+            busy.energy_per_inference_j > idle.energy_per_inference_j
+        )
+
+
+class TestTotalCarbon:
+    def test_shares_positive(self, breakdown):
+        embodied, operational = total_carbon_per_inference(
+            breakdown, embodied_g=5.0, lifetime_inferences=1e9
+        )
+        assert embodied > 0
+        assert operational > 0
+
+    def test_embodied_amortises(self, breakdown):
+        short, _ = total_carbon_per_inference(
+            breakdown, embodied_g=5.0, lifetime_inferences=1e6
+        )
+        long, _ = total_carbon_per_inference(
+            breakdown, embodied_g=5.0, lifetime_inferences=1e9
+        )
+        assert long < short
+
+    def test_invalid_lifetime(self, breakdown):
+        with pytest.raises(CarbonModelError):
+            total_carbon_per_inference(
+                breakdown, embodied_g=5.0, lifetime_inferences=0
+            )

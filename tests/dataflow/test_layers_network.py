@@ -1,0 +1,134 @@
+"""Unit tests for layer algebra and network containers."""
+
+import pytest
+
+from repro.dataflow.layers import ConvLayer, FCLayer, PoolLayer
+from repro.dataflow.network import Network
+from repro.errors import WorkloadError
+
+
+class TestConvLayer:
+    def make(self, **overrides):
+        defaults = dict(
+            name="conv",
+            in_channels=64,
+            out_channels=128,
+            in_height=56,
+            in_width=56,
+            kernel=3,
+            stride=1,
+            padding=1,
+        )
+        defaults.update(overrides)
+        return ConvLayer(**defaults)
+
+    def test_same_padding_preserves_size(self):
+        conv = self.make()
+        assert conv.out_height == 56
+        assert conv.out_width == 56
+
+    def test_stride_halves(self):
+        conv = self.make(stride=2)
+        assert conv.out_height == 28
+
+    def test_no_padding_shrinks(self):
+        conv = self.make(padding=0)
+        assert conv.out_height == 54
+
+    def test_macs_formula(self):
+        conv = self.make()
+        assert conv.macs == 64 * 128 * 3 * 3 * 56 * 56
+
+    def test_byte_counts(self):
+        conv = self.make()
+        assert conv.weight_bytes == 128 * 64 * 9
+        assert conv.input_bytes == 64 * 56 * 56
+        assert conv.output_bytes == 128 * 56 * 56
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(WorkloadError):
+            self.make(in_channels=0)
+        with pytest.raises(WorkloadError):
+            self.make(padding=-1)
+        with pytest.raises(WorkloadError, match="does not fit"):
+            self.make(kernel=99, padding=0)
+
+
+class TestFCLayer:
+    def test_macs(self):
+        fc = FCLayer("fc", 4096, 1000)
+        assert fc.macs == 4096 * 1000
+
+    def test_as_conv_equivalence(self):
+        fc = FCLayer("fc", 4096, 1000)
+        conv = fc.as_conv()
+        assert conv.macs == fc.macs
+        assert conv.weight_bytes == fc.weight_bytes
+        assert conv.out_pixels == 1
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            FCLayer("fc", 0, 10)
+
+
+class TestPoolLayer:
+    def test_defaults_stride_to_kernel(self):
+        pool = PoolLayer("p", channels=64, in_height=56, in_width=56, kernel=2)
+        assert pool.out_height == 28
+
+    def test_padding(self):
+        pool = PoolLayer(
+            "p", channels=64, in_height=112, in_width=112,
+            kernel=3, stride=2, padding=1,
+        )
+        assert pool.out_height == 56
+
+    def test_no_macs(self):
+        pool = PoolLayer("p", channels=64, in_height=56, in_width=56, kernel=2)
+        assert pool.macs == 0
+        assert pool.weight_bytes == 0
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            PoolLayer("p", channels=0, in_height=8, in_width=8, kernel=2)
+        with pytest.raises(WorkloadError, match="exceeds input"):
+            PoolLayer("p", channels=8, in_height=4, in_width=4, kernel=8)
+
+
+class TestNetwork:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError, match="no layers"):
+            Network("empty", ())
+
+    def test_duplicate_names_rejected(self):
+        conv = ConvLayer("c", 3, 8, 8, 8, 3, padding=1)
+        with pytest.raises(WorkloadError, match="duplicate"):
+            Network("dup", (conv, conv))
+
+    def test_aggregates(self):
+        layers = (
+            ConvLayer("c1", 3, 8, 8, 8, 3, padding=1),
+            PoolLayer("p1", 8, 8, 8, 2),
+            FCLayer("fc", 8 * 4 * 4, 10),
+        )
+        net = Network("tiny", layers)
+        assert net.total_macs == layers[0].macs + layers[2].macs
+        assert net.total_weight_bytes == (
+            layers[0].weight_bytes + layers[2].weight_bytes
+        )
+        assert len(net.compute_layers()) == 2
+        assert len(net.pool_layers()) == 1
+
+    def test_max_activation(self):
+        layers = (
+            ConvLayer("c1", 3, 8, 8, 8, 3, padding=1),
+            FCLayer("fc", 8 * 8 * 8, 10),
+        )
+        net = Network("tiny", layers)
+        assert net.max_activation_bytes == 8 * 8 * 8
+
+    def test_describe_mentions_layers(self):
+        net = Network("tiny", (ConvLayer("c1", 3, 8, 8, 8, 3, padding=1),))
+        text = net.describe()
+        assert "tiny" in text
+        assert "c1" in text

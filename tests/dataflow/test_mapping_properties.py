@@ -1,0 +1,115 @@
+"""Property-based tests of mapping and performance invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.arch import AcceleratorConfig
+from repro.approx.library import build_library
+from repro.dataflow.layers import ConvLayer
+from repro.dataflow.mapping import LOOP_ORDERS, build_mapping
+from repro.dataflow.performance import evaluate_layer
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+_EXACT = build_library(width=8, seed=0, **FAST).exact
+
+
+def make_config(rows: int, cols: int, lb: int, gb_kib: int) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        pe_rows=rows,
+        pe_cols=cols,
+        local_buffer_bytes=lb,
+        global_buffer_bytes=gb_kib * 1024,
+        multiplier=_EXACT,
+        node_nm=7,
+    )
+
+
+conv_strategy = st.builds(
+    ConvLayer,
+    name=st.just("conv"),
+    in_channels=st.sampled_from([3, 16, 64, 256]),
+    out_channels=st.sampled_from([8, 64, 128, 512]),
+    in_height=st.sampled_from([7, 14, 28, 56]),
+    in_width=st.sampled_from([7, 14, 28, 56]),
+    kernel=st.sampled_from([1, 3]),
+    stride=st.sampled_from([1, 2]),
+    padding=st.sampled_from([0, 1]),
+)
+
+config_strategy = st.builds(
+    make_config,
+    rows=st.sampled_from([4, 8, 16, 32]),
+    cols=st.sampled_from([4, 8, 16, 32]),
+    lb=st.sampled_from([0, 32, 128]),
+    gb_kib=st.sampled_from([16, 64, 256]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=conv_strategy, config=config_strategy, order=st.sampled_from(LOOP_ORDERS))
+def test_property_mapping_covers_layer(layer, config, order):
+    """Tiles always cover every output channel and pixel."""
+    mapping = build_mapping(layer, config, order)
+    assert mapping.nk * mapping.ks >= layer.out_channels
+    assert mapping.np_ * mapping.ps >= layer.out_pixels
+    assert 0.0 < mapping.spatial_utilization <= 1.0
+    assert mapping.nc >= 1
+    assert mapping.rp >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=conv_strategy, config=config_strategy, order=st.sampled_from(LOOP_ORDERS))
+def test_property_traffic_lower_bounds(layer, config, order):
+    """DRAM traffic can never go below one full pass of each tensor."""
+    mapping = build_mapping(layer, config, order)
+    assert mapping.dram_weight_bytes >= layer.weight_bytes
+    assert mapping.dram_input_bytes >= layer.input_bytes
+    assert mapping.dram_output_bytes >= layer.output_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=conv_strategy, config=config_strategy)
+def test_property_layer_latency_positive_and_deterministic(layer, config):
+    first = evaluate_layer(layer, config)
+    second = evaluate_layer(layer, config)
+    assert first.total_cycles > 0
+    assert first.total_cycles == second.total_cycles
+    assert first.total_cycles >= max(first.onchip_cycles, first.dram_cycles) - 1e-9
+    assert 0.0 < first.utilization(config.n_pes) <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(layer=conv_strategy)
+def test_property_more_pes_not_slower_on_compute_bound(layer):
+    """With abundant buffers, quadrupling the array never slows a layer."""
+    small = make_config(8, 8, 128, 1024)
+    large = make_config(16, 16, 128, 1024)
+    t_small = evaluate_layer(layer, small).total_cycles
+    t_large = evaluate_layer(layer, large).total_cycles
+    assert t_large <= t_small * 1.25  # fill overhead tolerance
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    active_mm2=st.floats(min_value=1.0, max_value=800.0),
+    n_chiplets=st.integers(min_value=1, max_value=8),
+)
+def test_property_chiplet_accounting(active_mm2, n_chiplets):
+    """Chiplet totals are internally consistent for any split."""
+    from repro.carbon.chiplet import chiplet_embodied_carbon
+
+    result = chiplet_embodied_carbon(active_mm2, n_chiplets, 7)
+    assert result.total_g == pytest.approx(
+        result.silicon_g + result.packaging_g
+    )
+    assert result.silicon_g > 0
+    if n_chiplets == 1:
+        assert result.packaging_g == 0.0
+    else:
+        # PHY overhead: total silicon exceeds the original active area
+        assert (
+            result.per_chiplet.die_area_mm2 * n_chiplets > active_mm2
+        )

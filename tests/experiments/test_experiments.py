@@ -1,0 +1,172 @@
+"""Integration tests for the experiment harnesses (reduced settings)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentSettings, fast_settings
+from repro.experiments.fig2 import fig2_reduction_table, fig2_scatter
+from repro.experiments.fig3 import fig3_comparison
+from repro.experiments.report import render_series, render_table
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return fast_settings()
+
+
+class TestSettings:
+    def test_defaults_are_paper_scale(self):
+        defaults = ExperimentSettings()
+        assert defaults.nodes_nm == (7, 14, 28)
+        assert defaults.networks == ("vgg16", "vgg19", "resnet50", "resnet152")
+        assert defaults.fps_thresholds == (30.0, 40.0, 50.0)
+        assert defaults.drop_tiers_percent == (0.5, 1.0, 2.0)
+
+    def test_empty_settings_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSettings(nodes_nm=())
+        with pytest.raises(ExperimentError):
+            ExperimentSettings(fps_thresholds=())
+
+    def test_ga_config_seed_offsets(self, settings):
+        assert settings.ga_config(1).seed != settings.ga_config(2).seed
+
+    def test_library_cached(self, settings):
+        assert settings.library() is settings.library()
+
+
+class TestReport:
+    def test_render_table_basic(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        assert "T" in text
+        assert "2.50" in text
+        assert text.count("\n") == 4
+
+    def test_render_table_validates(self):
+        with pytest.raises(ExperimentError):
+            render_table([], [])
+        with pytest.raises(ExperimentError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        text = render_series(
+            {"s": [(1.0, 2.0)]}, x_label="fps", y_label="g", title="S"
+        )
+        assert "[s]" in text
+        assert "1.00" in text
+
+
+class TestFig2Scatter:
+    @pytest.fixture(scope="class")
+    def scatter(self, settings):
+        # class-scoped fixture can't see module fixture value directly;
+        # rebuild the cheap settings object
+        return fig2_scatter(settings=fast_settings(), network="vgg16", node_nm=7)
+
+    def test_series_present(self, scatter, settings):
+        labels = set(scatter.series())
+        assert "exact" in labels
+        assert "ga_cdp" in labels
+        assert any(label.startswith("appx_") for label in labels)
+
+    def test_exact_carbon_monotone(self, scatter):
+        exact = scatter.series()["exact"]
+        carbons = [c for _, c in exact]
+        assert carbons == sorted(carbons)
+
+    def test_appx_below_exact(self, scatter):
+        series = scatter.series()
+        for label, points in series.items():
+            if not label.startswith("appx_"):
+                continue
+            for (_, exact_c), (_, appx_c) in zip(series["exact"], points):
+                assert appx_c <= exact_c
+
+    def test_ga_points_meet_thresholds(self, scatter):
+        thresholds = fast_settings().fps_thresholds
+        for min_fps, point in zip(thresholds, scatter.points["ga_cdp"]):
+            assert point.fps >= min_fps
+
+    def test_render(self, scatter):
+        text = scatter.render()
+        assert "Fig. 2" in text
+        assert "vgg16" in text
+
+
+class TestFig2Table:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fig2_reduction_table(settings=fast_settings(), network="vgg16")
+
+    def test_all_cells_present(self, table):
+        s = fast_settings()
+        assert set(table.reductions) == {
+            (node, tier)
+            for node in s.nodes_nm
+            for tier in s.drop_tiers_percent
+        }
+
+    def test_peak_at_least_avg(self, table):
+        for avg, peak in table.reductions.values():
+            assert peak >= avg >= 0.0
+
+    def test_savings_grow_with_tier(self, table):
+        s = fast_settings()
+        for node in s.nodes_nm:
+            tiers = sorted(s.drop_tiers_percent)
+            avgs = [table.reductions[(node, t)][0] for t in tiers]
+            assert avgs == sorted(avgs)
+
+    def test_rows_shape(self, table):
+        s = fast_settings()
+        rows = table.rows()
+        assert len(rows) == 2 * len(s.nodes_nm)
+        assert rows[0][1] == "Avg"
+        assert rows[1][1] == "Peak"
+
+    def test_render(self, table):
+        assert "carbon footprint reduction" in table.render()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def bars(self):
+        return fig3_comparison(settings=fast_settings())
+
+    def test_all_cells_present(self, bars):
+        s = fast_settings()
+        assert set(bars.cells) == {
+            (network, node)
+            for network in s.networks
+            for node in s.nodes_nm
+        }
+
+    def test_normalisation(self, bars):
+        for cell in bars.cells.values():
+            exact_n, approx_n, ga_n = cell.normalised
+            assert exact_n == 1.0
+            assert approx_n <= 1.0
+            assert ga_n < 1.0
+
+    def test_constraints_respected(self, bars):
+        for cell in bars.cells.values():
+            assert cell.exact.fps >= 30.0
+            assert cell.ga_cdp.fps >= 30.0
+            assert cell.ga_cdp.accuracy_drop_percent <= 2.0
+
+    def test_ga_beats_approx_only(self, bars):
+        for (network, node), cell in bars.cells.items():
+            assert cell.ga_cdp.carbon_g < cell.approximate_only.carbon_g, (
+                network,
+                node,
+            )
+
+    def test_max_savings(self, bars):
+        best = bars.max_savings_percent()
+        for network, saving in best.items():
+            assert saving > 10.0, network
+
+    def test_render(self, bars):
+        text = bars.render()
+        assert "Fig. 3" in text
+        assert "ga_cdp" in text

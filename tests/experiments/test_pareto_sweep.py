@@ -1,0 +1,62 @@
+"""Integration tests for the constraint-space Pareto sweep."""
+
+import pytest
+
+from repro.experiments.common import fast_settings
+from repro.experiments.pareto_sweep import pareto_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return pareto_sweep(settings=fast_settings(), network="vgg16", node_nm=7)
+
+
+class TestParetoSweep:
+    def test_grid_covered(self, sweep):
+        s = fast_settings()
+        assert set(sweep.cells) == {
+            (fps, drop)
+            for fps in s.fps_thresholds
+            for drop in s.drop_tiers_percent
+        }
+
+    def test_constraints_met_everywhere(self, sweep):
+        for (min_fps, max_drop), point in sweep.cells.items():
+            assert point.fps >= min_fps
+            assert point.accuracy_drop_percent <= max_drop
+
+    def test_surface_shape(self, sweep):
+        s = fast_settings()
+        rows = sweep.carbon_surface()
+        assert len(rows) == len(s.fps_thresholds)
+        assert len(rows[0]) == 1 + len(s.drop_tiers_percent)
+
+    def test_frontier_nonempty_and_subset(self, sweep):
+        frontier = sweep.frontier()
+        assert frontier
+        cell_ids = {id(point) for point in sweep.cells.values()}
+        for point in frontier:
+            assert id(point) in cell_ids
+
+    def test_frontier_mutually_nondominated(self, sweep):
+        frontier = sweep.frontier()
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (
+                    a.carbon_g <= b.carbon_g
+                    and a.fps >= b.fps
+                    and a.accuracy_drop_percent <= b.accuracy_drop_percent
+                    and (
+                        a.carbon_g < b.carbon_g
+                        or a.fps > b.fps
+                        or a.accuracy_drop_percent < b.accuracy_drop_percent
+                    )
+                )
+                assert not dominates
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "Carbon surface" in text
+        assert "vgg16" in text

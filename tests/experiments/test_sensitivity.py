@@ -1,0 +1,83 @@
+"""Integration tests for the sensitivity harnesses (fast settings)."""
+
+import pytest
+
+from repro.carbon import act as act_module
+from repro.dataflow import performance as performance_module
+from repro.experiments.common import fast_settings
+from repro.experiments.sensitivity import (
+    bandwidth_sensitivity,
+    grid_sensitivity,
+    network_fps_table,
+    yield_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return fast_settings()
+
+
+class TestGridSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return grid_sensitivity(settings=fast_settings())
+
+    def test_covers_all_profiles(self, result):
+        from repro.carbon.act import GRID_PROFILES
+
+        assert len(result.rows) == len(GRID_PROFILES)
+
+    def test_exact_carbon_monotone_in_intensity(self, result):
+        exacts = [row[1] for row in result.rows]
+        assert exacts == sorted(exacts)
+
+    def test_savings_always_positive(self, result):
+        assert all(s > 0 for s in result.savings())
+
+    def test_render(self, result):
+        assert "grid_gCO2_per_kWh" in result.render()
+
+
+class TestYieldSensitivity:
+    def test_restores_default_model(self, settings):
+        original = act_module.DEFAULT_YIELD_MODEL
+        yield_sensitivity(settings=settings, defect_multipliers=(1.0, 4.0))
+        assert act_module.DEFAULT_YIELD_MODEL is original
+
+    def test_worse_yield_more_carbon(self, settings):
+        result = yield_sensitivity(
+            settings=settings, defect_multipliers=(0.5, 4.0)
+        )
+        exacts = [row[1] for row in result.rows]
+        assert exacts[0] < exacts[-1]
+
+
+class TestBandwidthSensitivity:
+    def test_restores_default_bandwidth(self, settings):
+        original = performance_module.DRAM_BANDWIDTH_GB_S
+        bandwidth_sensitivity(
+            settings=settings, bandwidths_gb_s=(12.8, 25.6)
+        )
+        assert performance_module.DRAM_BANDWIDTH_GB_S == original
+
+    def test_savings_positive(self, settings):
+        result = bandwidth_sensitivity(
+            settings=settings, bandwidths_gb_s=(12.8, 51.2)
+        )
+        assert all(s > 0 for s in result.savings())
+
+    def test_empty_bandwidths_rejected(self, settings):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            bandwidth_sensitivity(settings=settings, bandwidths_gb_s=())
+
+
+class TestFpsTable:
+    def test_covers_networks_and_family(self, settings):
+        table = network_fps_table(settings=settings)
+        assert set(table) == set(settings.networks)
+        for fps in table.values():
+            assert len(fps) == 6
+            assert list(fps) == sorted(fps)

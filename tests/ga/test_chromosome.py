@@ -1,0 +1,108 @@
+"""Unit tests for the chromosome encoding."""
+
+import numpy as np
+import pytest
+
+from repro.approx.library import build_library
+from repro.errors import OptimizationError
+from repro.ga.chromosome import (
+    ChromosomeSpace,
+    DIMENSION_CHOICES,
+    space_for_library,
+)
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(width=8, seed=0, **FAST)
+
+
+@pytest.fixture(scope="module")
+def space(library):
+    return space_for_library(library)
+
+
+class TestSpace:
+    def test_gene_ranges(self, space, library):
+        ranges = space.gene_ranges
+        assert len(ranges) == 5
+        assert ranges[0] == ranges[1] == len(DIMENSION_CHOICES)
+        assert ranges[4] == len(library)
+
+    def test_search_space_size(self, space):
+        expected = 1
+        for r in space.gene_ranges:
+            expected *= r
+        assert space.search_space_size == expected
+        assert space.search_space_size > 10_000
+
+    def test_empty_menu_rejected(self):
+        with pytest.raises(OptimizationError):
+            ChromosomeSpace(dimension_choices=())
+        with pytest.raises(OptimizationError):
+            ChromosomeSpace(n_multipliers=0)
+
+
+class TestValidateDecode:
+    def test_decode_round_trip(self, space, library):
+        genome = (3, 5, 2, 4, 0)
+        config = space.decode(genome, library, 7)
+        assert config.pe_rows == DIMENSION_CHOICES[3]
+        assert config.pe_cols == DIMENSION_CHOICES[5]
+        assert config.multiplier is library[0]
+        assert config.node_nm == 7
+
+    def test_wrong_length_rejected(self, space, library):
+        with pytest.raises(OptimizationError, match="genes"):
+            space.decode((0, 0, 0), library, 7)
+
+    def test_out_of_range_rejected(self, space, library):
+        genome = (0, 0, 0, 0, len(library))
+        with pytest.raises(OptimizationError, match="outside"):
+            space.decode(genome, library, 7)
+
+    def test_library_size_mismatch(self, library):
+        wrong = ChromosomeSpace(n_multipliers=len(library) + 5)
+        with pytest.raises(OptimizationError, match="entries"):
+            wrong.decode((0, 0, 0, 0, 0), library, 7)
+
+
+class TestOperators:
+    def test_random_genomes_valid(self, space):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            space.validate(space.random_genome(rng))
+
+    def test_mutation_stays_valid(self, space):
+        rng = np.random.default_rng(1)
+        genome = space.random_genome(rng)
+        for _ in range(100):
+            genome = space.mutate(genome, rng, rate=0.5)
+            space.validate(genome)
+
+    def test_zero_rate_mutation_identity(self, space):
+        rng = np.random.default_rng(2)
+        genome = space.random_genome(rng)
+        assert space.mutate(genome, rng, rate=0.0) == genome
+
+    def test_crossover_mixes_parents(self, space):
+        rng = np.random.default_rng(3)
+        a = tuple([0] * space.n_genes)
+        b = tuple(r - 1 for r in space.gene_ranges)
+        child = space.crossover(a, b, rng)
+        space.validate(child)
+        assert all(c in (x, y) for c, x, y in zip(child, a, b))
+
+    def test_mutation_mostly_small_steps(self, space):
+        """The +-1 step bias should keep most mutations local."""
+        rng = np.random.default_rng(4)
+        genome = tuple(r // 2 for r in space.gene_ranges)
+        small_steps = 0
+        trials = 400
+        for _ in range(trials):
+            mutated = space.mutate(genome, rng, rate=1.0)
+            deltas = [abs(m - g) for m, g in zip(mutated, genome)]
+            small_steps += sum(1 for d in deltas if d <= 1)
+        assert small_steps > trials * space.n_genes * 0.6

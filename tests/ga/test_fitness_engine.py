@@ -1,0 +1,214 @@
+"""Unit tests for CDP fitness and the GA engine."""
+
+import pytest
+
+from repro.accuracy.predictor import AccuracyPredictor
+from repro.approx.library import build_library
+from repro.errors import ConstraintError, OptimizationError
+from repro.ga.chromosome import space_for_library
+from repro.ga.engine import GaConfig, GeneticAlgorithm
+from repro.ga.fitness import FitnessEvaluator, FitnessResult
+
+FAST = dict(population=12, generations=5, hybrid=False, structural=False)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(width=8, seed=0, **FAST)
+
+
+@pytest.fixture(scope="module")
+def space(library):
+    return space_for_library(library)
+
+
+@pytest.fixture(scope="module")
+def evaluator(library, space):
+    return FitnessEvaluator(
+        network="resnet50",
+        library=library,
+        space=space,
+        node_nm=7,
+        min_fps=30.0,
+        max_drop_percent=2.0,
+        predictor=AccuracyPredictor(),
+    )
+
+
+class TestFitnessResult:
+    def make(self, cdp=1.0, violation=0.0):
+        return FitnessResult(
+            genome=(0,) * 5,
+            cdp=cdp,
+            carbon_g=1.0,
+            fps=30.0,
+            accuracy_drop_percent=0.0,
+            violation=violation,
+        )
+
+    def test_feasible_beats_infeasible(self):
+        assert self.make(cdp=100.0).better_than(self.make(violation=0.1))
+
+    def test_lower_violation_wins_among_infeasible(self):
+        assert self.make(violation=0.1).better_than(self.make(violation=0.5))
+
+    def test_lower_cdp_wins_among_feasible(self):
+        assert self.make(cdp=0.5).better_than(self.make(cdp=1.0))
+
+    def test_feasible_flag(self):
+        assert self.make().feasible
+        assert not self.make(violation=0.01).feasible
+
+
+class TestFitnessEvaluator:
+    def test_memoised(self, evaluator, space):
+        import numpy as np
+
+        genome = space.random_genome(np.random.default_rng(0))
+        first = evaluator.evaluate(genome)
+        count = evaluator.evaluations
+        second = evaluator.evaluate(genome)
+        assert first is second
+        assert evaluator.evaluations == count
+
+    def test_small_design_violates_fps(self, evaluator, library, space):
+        tiny = (0, 0, 0, 0, 0)  # 2x2 PEs
+        result = evaluator.evaluate(tiny)
+        assert result.fps < 30.0
+        assert not result.feasible
+        assert result.violation > 0
+
+    def test_bad_multiplier_violates_accuracy(self, library, space):
+        evaluator = FitnessEvaluator(
+            network="resnet152",
+            library=library,
+            space=space,
+            node_nm=7,
+            min_fps=1.0,
+            max_drop_percent=0.5,
+            predictor=AccuracyPredictor(),
+        )
+        worst_index = len(library) - 1  # smallest area, largest error
+        big = (13, 13, 3, 7, worst_index)
+        result = evaluator.evaluate(big)
+        assert result.accuracy_drop_percent > 0.5
+        assert not result.feasible
+
+    def test_invalid_constraints_rejected(self, library, space):
+        with pytest.raises(ConstraintError):
+            FitnessEvaluator(
+                network="vgg16", library=library, space=space,
+                node_nm=7, min_fps=0.0, max_drop_percent=1.0,
+            )
+        with pytest.raises(ConstraintError):
+            FitnessEvaluator(
+                network="vgg16", library=library, space=space,
+                node_nm=7, min_fps=30.0, max_drop_percent=-1.0,
+            )
+
+    def test_cdp_consistency(self, evaluator, space):
+        """Deadline-CDP: delay floored at 1/min_fps."""
+        import numpy as np
+
+        genome = space.random_genome(np.random.default_rng(7))
+        result = evaluator.evaluate(genome)
+        if result.fps > 0 and np.isfinite(result.cdp):
+            delay = max(1.0 / result.fps, 1.0 / 30.0)
+            assert result.cdp == pytest.approx(
+                result.carbon_g * delay, rel=1e-9
+            )
+
+    def test_pure_cdp_mode(self, library, space):
+        pure = FitnessEvaluator(
+            network="resnet50",
+            library=library,
+            space=space,
+            node_nm=7,
+            min_fps=30.0,
+            max_drop_percent=2.0,
+            fitness_mode="pure_cdp",
+        )
+        import numpy as np
+
+        genome = space.random_genome(np.random.default_rng(11))
+        result = pure.evaluate(genome)
+        if result.fps > 0 and np.isfinite(result.cdp):
+            assert result.cdp == pytest.approx(
+                result.carbon_g / result.fps, rel=1e-9
+            )
+
+    def test_unknown_fitness_mode_rejected(self, library, space):
+        with pytest.raises(ConstraintError, match="fitness_mode"):
+            FitnessEvaluator(
+                network="vgg16", library=library, space=space,
+                node_nm=7, min_fps=30.0, max_drop_percent=1.0,
+                fitness_mode="inverse",
+            )
+
+
+class TestGaConfig:
+    def test_bounds(self):
+        with pytest.raises(OptimizationError):
+            GaConfig(population_size=2)
+        with pytest.raises(OptimizationError):
+            GaConfig(generations=0)
+        with pytest.raises(OptimizationError):
+            GaConfig(crossover_rate=2.0)
+        with pytest.raises(OptimizationError):
+            GaConfig(mutation_rate=-0.1)
+        with pytest.raises(OptimizationError):
+            GaConfig(tournament_size=1)
+
+
+class TestGeneticAlgorithm:
+    def test_deterministic(self, evaluator, space):
+        cfg = GaConfig(population_size=10, generations=5, seed=3)
+        a = GeneticAlgorithm(space, evaluator.evaluate, cfg).run()
+        b = GeneticAlgorithm(space, evaluator.evaluate, cfg).run()
+        assert a.best.genome == b.best.genome
+        assert a.best.cdp == b.best.cdp
+
+    def test_finds_feasible_design(self, evaluator, space):
+        cfg = GaConfig(population_size=16, generations=12, seed=0)
+        outcome = GeneticAlgorithm(space, evaluator.evaluate, cfg).run()
+        assert outcome.best.feasible
+        assert outcome.best.fps >= 30.0
+        assert outcome.best.accuracy_drop_percent <= 2.0
+
+    def test_history_monotone(self, evaluator, space):
+        cfg = GaConfig(population_size=12, generations=10, seed=5)
+        outcome = GeneticAlgorithm(space, evaluator.evaluate, cfg).run()
+        cdps = [
+            record.cdp for record in outcome.history if record.feasible
+        ]
+        assert cdps == sorted(cdps, reverse=True) or cdps == sorted(cdps)
+        # best-so-far history: once feasible, CDP never increases
+        for earlier, later in zip(cdps, cdps[1:]):
+            assert later <= earlier
+
+    def test_elitism_keeps_best(self, evaluator, space):
+        cfg = GaConfig(population_size=10, generations=8, seed=9)
+        outcome = GeneticAlgorithm(space, evaluator.evaluate, cfg).run()
+        final = outcome.history[-1]
+        assert not outcome.best.better_than(final) or final.genome == outcome.best.genome
+        assert outcome.best.cdp <= min(
+            r.cdp for r in outcome.history if r.feasible
+        )
+
+    def test_beats_random_search(self, evaluator, space):
+        """GA best should be at least as good as same-budget random."""
+        import numpy as np
+
+        cfg = GaConfig(population_size=16, generations=10, seed=2)
+        outcome = GeneticAlgorithm(space, evaluator.evaluate, cfg).run()
+        rng = np.random.default_rng(123)
+        random_results = [
+            evaluator.evaluate(space.random_genome(rng))
+            for _ in range(outcome.evaluations)
+        ]
+        random_best = min(
+            (r for r in random_results if r.feasible),
+            key=lambda r: r.cdp,
+            default=None,
+        )
+        assert random_best is None or outcome.best.cdp <= random_best.cdp * 1.2

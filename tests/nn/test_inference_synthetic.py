@@ -1,0 +1,150 @@
+"""Unit tests for quantisation, the LUT-pluggable engine, and the task."""
+
+import numpy as np
+import pytest
+
+from repro.approx.lut import LutMultiplier
+from repro.errors import AccuracyModelError
+from repro.nn.inference import (
+    ConvSpec,
+    DenseSpec,
+    PoolSpec,
+    QuantCNN,
+    exact_multiply,
+)
+from repro.nn.quantize import (
+    QuantParams,
+    calibrate_scale,
+    dequantize_tensor,
+    quantize_tensor,
+)
+from repro.nn.synthetic import make_task
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000)
+        params = calibrate_scale(x)
+        restored = dequantize_tensor(quantize_tensor(x, params), params)
+        assert np.max(np.abs(restored - x)) <= params.scale / 2 + 1e-12
+
+    def test_calibrate_covers_max(self):
+        x = np.array([-3.0, 1.0, 2.0])
+        params = calibrate_scale(x)
+        codes = quantize_tensor(x, params)
+        assert codes.min() == -127
+
+    def test_zero_tensor(self):
+        params = calibrate_scale(np.zeros(10))
+        assert params.scale > 0
+
+    def test_saturation(self):
+        params = QuantParams(scale=0.01)
+        codes = quantize_tensor(np.array([100.0, -100.0]), params)
+        assert codes.tolist() == [127, -127]
+
+    def test_invalid_scale(self):
+        with pytest.raises(AccuracyModelError):
+            QuantParams(scale=0.0)
+
+
+def tiny_model(seed=0) -> QuantCNN:
+    rng = np.random.default_rng(seed)
+    model = QuantCNN(
+        layers=[
+            ConvSpec(weights=rng.standard_normal((4, 1, 3, 3)) * 0.3),
+            PoolSpec(2),
+            DenseSpec(weights=rng.standard_normal((3, 4 * 4 * 4)) * 0.3),
+        ]
+    )
+    return model
+
+
+class TestQuantCNN:
+    def test_forward_shape(self):
+        model = tiny_model()
+        x = np.random.default_rng(1).standard_normal((5, 1, 8, 8))
+        model.calibrate(x)
+        logits = model.forward(x)
+        assert logits.shape == (5, 3)
+
+    def test_forward_requires_calibration(self):
+        model = tiny_model()
+        x = np.zeros((1, 1, 8, 8))
+        with pytest.raises(AccuracyModelError, match="calibrate"):
+            model.forward(x)
+
+    def test_input_shape_checked(self):
+        model = tiny_model()
+        model.calibrate(np.zeros((1, 1, 8, 8)))
+        with pytest.raises(AccuracyModelError, match="N, C, H, W"):
+            model.forward(np.zeros((8, 8)))
+
+    def test_exact_lut_matches_exact_multiply(self):
+        """LUT of the exact multiplier must reproduce exact inference."""
+        model = tiny_model()
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((4, 1, 8, 8))
+        model.calibrate(x)
+        exact_logits = model.forward(x, exact_multiply)
+        lut_logits = model.forward(x, LutMultiplier.exact(8, 8))
+        assert np.allclose(exact_logits, lut_logits)
+
+    def test_deterministic(self):
+        model = tiny_model()
+        x = np.random.default_rng(3).standard_normal((2, 1, 8, 8))
+        model.calibrate(x)
+        assert np.array_equal(model.forward(x), model.forward(x))
+
+    def test_channel_mismatch_rejected(self):
+        model = tiny_model()
+        x = np.zeros((1, 2, 8, 8))
+        model.calibrate(x)
+        with pytest.raises(AccuracyModelError, match="input channels"):
+            model.forward(x)
+
+    def test_pool_requires_tiling(self):
+        model = QuantCNN(layers=[PoolSpec(2)])
+        x = np.zeros((1, 1, 7, 7))
+        model.calibrate(x)
+        with pytest.raises(AccuracyModelError, match="does not tile"):
+            model.forward(x)
+
+
+class TestSyntheticTask:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return make_task(seed=0, n_train_per_class=15, n_test_per_class=10)
+
+    def test_deterministic(self):
+        a = make_task(seed=5, n_train_per_class=5, n_test_per_class=5)
+        b = make_task(seed=5, n_train_per_class=5, n_test_per_class=5)
+        assert np.array_equal(a.test_x, b.test_x)
+        assert a.accuracy() == b.accuracy()
+
+    def test_different_seeds_differ(self):
+        a = make_task(seed=1, n_train_per_class=5, n_test_per_class=5)
+        b = make_task(seed=2, n_train_per_class=5, n_test_per_class=5)
+        assert not np.array_equal(a.test_x, b.test_x)
+
+    def test_exact_accuracy_in_target_band(self, task):
+        """Exact accuracy must leave measurable head-room for drops."""
+        acc = task.accuracy()
+        assert 0.6 < acc < 1.0
+
+    def test_much_better_than_chance(self, task):
+        assert task.accuracy() > 3 * (1.0 / 10)
+
+    def test_severe_approximation_degrades(self, task):
+        # a multiplier that zeroes every product destroys accuracy
+        broken = LutMultiplier(
+            np.zeros(65536, dtype=np.int64), 8, 8, name="zero"
+        )
+        assert task.accuracy(broken) < task.accuracy()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AccuracyModelError):
+            make_task(n_train_per_class=0)
+        with pytest.raises(AccuracyModelError):
+            make_task(template_similarity=1.5)

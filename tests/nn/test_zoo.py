@@ -1,0 +1,127 @@
+"""Unit tests for the workload zoo (shape and budget sanity)."""
+
+import pytest
+
+from repro.dataflow.layers import ConvLayer, FCLayer
+from repro.errors import WorkloadError
+from repro.nn.zoo import (
+    WORKLOAD_NAMES,
+    resnet50,
+    resnet152,
+    vgg16,
+    vgg19,
+    workload,
+    workload_depths,
+)
+
+# Published single-inference MAC budgets (int8, 224x224), in GMACs.
+EXPECTED_GMACS = {
+    "vgg16": 15.47,
+    "vgg19": 19.63,
+    "resnet50": 4.09,
+    "resnet152": 11.51,
+}
+
+# Published parameter counts, in MB of int8 weights.
+EXPECTED_WEIGHT_MB = {
+    "vgg16": 138.3,
+    "vgg19": 143.7,
+    "resnet50": 25.5,
+    "resnet152": 60.0,
+}
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_mac_budget_matches_published(self, name):
+        net = workload(name)
+        gmacs = net.total_macs / 1e9
+        assert gmacs == pytest.approx(EXPECTED_GMACS[name], rel=0.02)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_weight_budget_matches_published(self, name):
+        net = workload(name)
+        mb = net.total_weight_bytes / 1e6
+        assert mb == pytest.approx(EXPECTED_WEIGHT_MB[name], rel=0.03)
+
+
+class TestVggStructure:
+    def test_vgg16_layer_counts(self):
+        net = vgg16()
+        convs = [l for l in net.layers if isinstance(l, ConvLayer)]
+        fcs = [l for l in net.layers if isinstance(l, FCLayer)]
+        assert len(convs) == 13
+        assert len(fcs) == 3
+
+    def test_vgg19_has_three_more_convs(self):
+        convs16 = len([l for l in vgg16().layers if isinstance(l, ConvLayer)])
+        convs19 = len([l for l in vgg19().layers if isinstance(l, ConvLayer)])
+        assert convs19 == convs16 + 3
+
+    def test_vgg_fc6_shape(self):
+        fc6 = next(l for l in vgg16().layers if l.name == "fc6")
+        assert fc6.in_features == 512 * 7 * 7
+        assert fc6.out_features == 4096
+
+    def test_all_convs_3x3_same(self):
+        for layer in vgg16().layers:
+            if isinstance(layer, ConvLayer):
+                assert layer.kernel == 3
+                assert layer.out_height == layer.in_height
+
+
+class TestResnetStructure:
+    def test_resnet50_conv_count(self):
+        # 1 stem + 3*(3+1) + 4*3+1 ... : 53 convs + 1 fc = 54 compute layers
+        net = resnet50()
+        convs = [l for l in net.layers if isinstance(l, ConvLayer)]
+        assert len(convs) == 53
+
+    def test_resnet152_conv_count(self):
+        net = resnet152()
+        convs = [l for l in net.layers if isinstance(l, ConvLayer)]
+        # 1 stem + sum(blocks)*3 + 4 downsample = 1 + 150 + 4
+        assert len(convs) == 155
+
+    def test_stem_shape(self):
+        stem = resnet50().layers[0]
+        assert isinstance(stem, ConvLayer)
+        assert stem.kernel == 7
+        assert stem.stride == 2
+        assert stem.out_height == 112
+
+    def test_final_stage_size(self):
+        fc = resnet152().layers[-1]
+        assert isinstance(fc, FCLayer)
+        assert fc.in_features == 2048
+        assert fc.out_features == 1000
+
+    def test_spatial_sizes_decrease_monotonically(self):
+        sizes = [
+            layer.in_height
+            for layer in resnet50().layers
+            if isinstance(layer, ConvLayer)
+        ]
+        assert sizes[0] == 224
+        assert min(sizes) == 7
+        assert all(a >= b for a, b in zip(sizes, sizes[1:] )) is False  # 1x1 convs repeat sizes
+        assert sorted(set(sizes), reverse=True) == [224, 56, 28, 14, 7]
+
+
+class TestLookup:
+    def test_workload_names(self):
+        assert set(WORKLOAD_NAMES) == {"vgg16", "vgg19", "resnet50", "resnet152"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            workload("alexnet")
+
+    def test_workload_cached(self):
+        assert workload("vgg16") is workload("vgg16")
+
+    def test_depths(self):
+        depths = workload_depths()
+        assert depths["vgg16"] == 16
+        assert depths["vgg19"] == 19
+        assert depths["resnet50"] == 54
+        assert depths["resnet152"] == 156

@@ -1,0 +1,73 @@
+"""Unit tests for the units module and error hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestAreaConversions:
+    def test_um2_mm2_round_trip(self):
+        assert units.mm2_to_um2(units.um2_to_mm2(123.0)) == pytest.approx(123.0)
+
+    def test_known_values(self):
+        assert units.um2_to_mm2(1_000_000.0) == 1.0
+        assert units.cm2_to_mm2(1.0) == 100.0
+        assert units.mm2_to_cm2(100.0) == 1.0
+
+
+class TestCarbonConversions:
+    def test_kg_g(self):
+        assert units.kg_to_g(2.5) == 2500.0
+        assert units.g_to_kg(2500.0) == 2.5
+
+    def test_cfpa_conversion(self):
+        # 1 kg/cm^2 == 10 g/mm^2
+        assert units.kg_per_cm2_to_g_per_mm2(1.0) == pytest.approx(10.0)
+
+
+class TestEnergyConversions:
+    def test_kwh_j_round_trip(self):
+        assert units.j_to_kwh(units.kwh_to_j(3.7)) == pytest.approx(3.7)
+
+    def test_one_kwh(self):
+        assert units.kwh_to_j(1.0) == 3.6e6
+
+
+class TestFrequency:
+    def test_ghz_mhz(self):
+        assert units.ghz_to_hz(1.2) == pytest.approx(1.2e9)
+        assert units.mhz_to_hz(500.0) == pytest.approx(5e8)
+
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(1e9, 1e9) == 1.0
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(100, 0.0)
+
+
+class TestCapacity:
+    def test_kib_round_trip(self):
+        assert units.bytes_to_kib(units.kib_to_bytes(128)) == pytest.approx(128)
+
+    def test_kib_bytes(self):
+        assert units.kib_to_bytes(1) == 1024
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MappingError("boom")
+
+    def test_distinct_types(self):
+        assert not issubclass(errors.MappingError, errors.CarbonModelError)
