@@ -17,8 +17,8 @@ Top-level convenience re-exports cover the common workflow::
 See the package docstrings for the full substrate inventory:
 :mod:`repro.circuits`, :mod:`repro.approx`, :mod:`repro.carbon`,
 :mod:`repro.accel`, :mod:`repro.dataflow`, :mod:`repro.nn`,
-:mod:`repro.accuracy`, :mod:`repro.ga`, :mod:`repro.core`,
-:mod:`repro.experiments`.
+:mod:`repro.accuracy`, :mod:`repro.ga`, :mod:`repro.engine`,
+:mod:`repro.core`, :mod:`repro.experiments`.
 """
 
 from repro.accuracy import AccuracyPredictor

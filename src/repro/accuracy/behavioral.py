@@ -28,6 +28,7 @@ class BehavioralValidator:
 
     task: Optional[SyntheticTask] = None
     _cache: Dict[str, float] = field(default_factory=dict, repr=False)
+    _exact_accuracy: Optional[float] = field(default=None, repr=False)
 
     def _ensure_task(self) -> SyntheticTask:
         if self.task is None:
@@ -35,8 +36,15 @@ class BehavioralValidator:
         return self.task
 
     def exact_accuracy(self) -> float:
-        """Reference accuracy with exact arithmetic."""
-        return self._ensure_task().accuracy()
+        """Reference accuracy with exact arithmetic (computed once).
+
+        The exact baseline is a constant per task, so it is memoised
+        instead of re-running the full inference on every
+        :meth:`drop_percent` query.
+        """
+        if self._exact_accuracy is None:
+            self._exact_accuracy = self._ensure_task().accuracy()
+        return self._exact_accuracy
 
     def drop_percent(self, multiplier: ApproxMultiplier) -> float:
         """Measured accuracy drop (percentage points) for a multiplier."""
@@ -44,7 +52,7 @@ class BehavioralValidator:
         if cached is not None:
             return cached
         task = self._ensure_task()
-        exact = task.accuracy()
+        exact = self.exact_accuracy()
         approx = task.accuracy(multiplier.lut)
         drop = 100.0 * (exact - approx)
         self._cache[multiplier.name] = drop

@@ -27,11 +27,12 @@ from repro.approx.metrics import (
     compute_error_metrics,
     gaussian_operand_distribution,
 )
-from repro.approx.nsga2 import Nsga2, Nsga2Config, pareto_front
+from repro.approx.nsga2 import Nsga2, Nsga2Config
 from repro.approx.precision import truncate_inputs
 from repro.approx.pruning import PruningSpace
 from repro.circuits.area import netlist_area_um2, netlist_delay_ps, netlist_ge
 from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
+from repro.engine.vectorized import pareto_front_np
 from repro.errors import OptimizationError
 
 #: Truncation pairs enumerated as precision-scaling candidates.
@@ -357,7 +358,7 @@ def _pareto_entries(entries: List[ApproxMultiplier]) -> List[ApproxMultiplier]:
         )
         for entry in unique.values()
     ]
-    front = {id(item) for item, _ in pareto_front(scored)}
+    front = {id(item) for item, _ in pareto_front_np(scored)}
     kept = [entry for entry in unique.values() if id(entry) in front]
     exact = [e for e in unique.values() if e.is_exact]
     for e in exact:

@@ -6,16 +6,31 @@ generic over genomes: callers supply ``evaluate``, ``random_genome``,
 ``mutate`` and ``crossover`` callables, so the same engine also serves
 the ablation benchmarks.
 
+The module-level helpers (:func:`dominates`,
+:func:`fast_non_dominated_sort`, :func:`crowding_distance`,
+:func:`pareto_front`) are the pure-Python *reference* implementations;
+the optimiser itself runs on the numpy-vectorized equivalents in
+:mod:`repro.engine.vectorized`, which the property tests hold to exact
+agreement with the reference.
+
 All objectives are minimised.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.population import EngineConfig, PopulationEvaluator
+from repro.engine.vectorized import (
+    crowding_distance_np,
+    fast_non_dominated_sort_np,
+    pareto_front_np,
+    ranks_and_crowding,
+    uniform_crossover,
+)
 from repro.errors import OptimizationError
 
 Genome = Tuple[int, ...]
@@ -141,6 +156,9 @@ class Nsga2:
         config: hyper-parameters.
         mutate: optional custom mutation (default: per-gene bit flip).
         crossover: optional custom crossover (default: uniform).
+        engine: population-evaluation policy; defaults to the serial
+            reference path.  Thread/process fan-out changes when cache
+            misses are computed, never the returned front.
     """
 
     def __init__(
@@ -150,6 +168,7 @@ class Nsga2:
         config: Nsga2Config | None = None,
         mutate: Callable[[Genome, np.random.Generator], Genome] | None = None,
         crossover: Callable[[Genome, Genome, np.random.Generator], Genome] | None = None,
+        engine: Optional[EngineConfig] = None,
     ):
         self.config = config or Nsga2Config()
         self._evaluate_fn = evaluate
@@ -157,23 +176,34 @@ class Nsga2:
         self._mutate_fn = mutate or self._default_mutate
         self._crossover_fn = crossover or self._default_crossover
         self._cache: Dict[Genome, Objectives] = {}
-        self.evaluations = 0
+        self._population_evaluator = PopulationEvaluator(
+            self._evaluate,
+            config=engine or EngineConfig(mode="serial"),
+            store=self._record_external,
+        )
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct genomes scored (derived, so thread-mode safe)."""
+        return len(self._cache)
 
     # -- operators -----------------------------------------------------
 
     def _default_mutate(self, genome: Genome, rng: np.random.Generator) -> Genome:
+        """Per-gene bit flip, vectorized (one RNG draw, as before)."""
         rate = self.config.mutation_rate
         if rate is None:
             rate = 1.0 / max(len(genome), 1)
         flips = rng.random(len(genome)) < rate
-        return tuple(1 - g if f else g for g, f in zip(genome, flips))
+        genes = np.asarray(genome, dtype=np.int64)
+        return tuple(int(g) for g in np.where(flips, 1 - genes, genes))
 
     @staticmethod
     def _default_crossover(
         a: Genome, b: Genome, rng: np.random.Generator
     ) -> Genome:
-        take_a = rng.random(len(a)) < 0.5
-        return tuple(x if t else y for x, y, t in zip(a, b, take_a))
+        """Uniform crossover (one RNG draw, as before)."""
+        return uniform_crossover(a, b, rng)
 
     def _evaluate(self, genome: Genome) -> Objectives:
         cached = self._cache.get(genome)
@@ -181,8 +211,11 @@ class Nsga2:
             return cached
         objectives = tuple(float(v) for v in self._evaluate_fn(genome))
         self._cache[genome] = objectives
-        self.evaluations += 1
         return objectives
+
+    def _record_external(self, genome: Genome, objectives: Objectives) -> None:
+        """Backfill the memo for results computed out-of-process."""
+        self._cache.setdefault(genome, objectives)
 
     # -- main loop -------------------------------------------------------
 
@@ -194,17 +227,17 @@ class Nsga2:
         population: List[Genome] = [
             self._random_genome(rng) for _ in range(cfg.population_size)
         ]
-        scores = [self._evaluate(g) for g in population]
+        scores = self._population_evaluator(population)
 
         for _ in range(cfg.generations):
             offspring = self._make_offspring(population, scores, rng)
             combined = population + offspring
-            combined_scores = scores + [self._evaluate(g) for g in offspring]
+            combined_scores = scores + self._population_evaluator(offspring)
             population, scores = self._select_survivors(
                 combined, combined_scores, cfg.population_size
             )
 
-        front = pareto_front(list(zip(population, scores)))
+        front = pareto_front_np(list(zip(population, scores)))
         front.sort(key=lambda item: item[1])
         return [(g, obj) for g, obj in front]  # type: ignore[misc]
 
@@ -214,14 +247,7 @@ class Nsga2:
         scores: List[Objectives],
         rng: np.random.Generator,
     ) -> List[Genome]:
-        fronts = fast_non_dominated_sort(scores)
-        rank = {}
-        for depth, front in enumerate(fronts):
-            for i in front:
-                rank[i] = depth
-        crowd: Dict[int, float] = {}
-        for front in fronts:
-            crowd.update(crowding_distance(scores, front))
+        _, rank, crowd = ranks_and_crowding(scores)
 
         def tournament() -> Genome:
             i, j = rng.integers(0, len(population), size=2)
@@ -245,13 +271,13 @@ class Nsga2:
         scores: List[Objectives],
         capacity: int,
     ) -> Tuple[List[Genome], List[Objectives]]:
-        fronts = fast_non_dominated_sort(scores)
+        fronts = fast_non_dominated_sort_np(scores)
         chosen: List[int] = []
         for front in fronts:
             if len(chosen) + len(front) <= capacity:
                 chosen.extend(front)
                 continue
-            crowd = crowding_distance(scores, front)
+            crowd = crowding_distance_np(scores, front)
             ordered = sorted(front, key=lambda i: crowd[i], reverse=True)
             chosen.extend(ordered[: capacity - len(chosen)])
             break

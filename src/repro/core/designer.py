@@ -20,6 +20,7 @@ from repro.approx.library import ApproxLibrary, build_library
 from repro.core.baselines import design_point_for
 from repro.core.results import DesignPoint
 from repro.dataflow.network import Network
+from repro.engine.population import EngineConfig, PopulationEvaluator
 from repro.errors import OptimizationError
 from repro.ga.chromosome import space_for_library
 from repro.ga.engine import GaConfig, GaOutcome, GeneticAlgorithm
@@ -60,6 +61,12 @@ class CarbonAwareDesigner:
         grid: fab grid profile for Eq. 2.
         fitness_mode: ``deadline_cdp`` (paper behaviour) or ``pure_cdp``
             (see :mod:`repro.ga.fitness`).
+        engine: population-evaluation policy (see
+            :mod:`repro.engine.population`).  The default ``auto``
+            resolves to the vectorized batch path; every mode returns
+            bit-identical designs to the serial reference.
+        cache_dir: optional directory for the on-disk fitness cache, so
+            repeated runs of the same design problem warm-start.
     """
 
     network: Union[str, Network]
@@ -71,6 +78,8 @@ class CarbonAwareDesigner:
     ga_config: GaConfig = field(default_factory=GaConfig)
     grid: Union[str, float] = "taiwan"
     fitness_mode: str = "deadline_cdp"
+    engine: Optional[EngineConfig] = None
+    cache_dir: Optional[str] = None
 
     def _baseline_seeds(self, library: ApproxLibrary, space) -> list:
         """NVDLA-family geometries as GA seeds.
@@ -136,14 +145,25 @@ class CarbonAwareDesigner:
             predictor=self.predictor,
             grid=self.grid,
             fitness_mode=self.fitness_mode,
+            cache_dir=self.cache_dir,
+        )
+        population_evaluate = PopulationEvaluator(
+            evaluator.evaluate,
+            batch_evaluate=evaluator.evaluate_population,
+            config=self.engine or EngineConfig(),
+            # process mode computes in children; backfill the parent's
+            # memo/disk caches so flush_cache() still persists results
+            store=evaluator.store,
         )
         ga = GeneticAlgorithm(
             space,
             evaluator.evaluate,
             self.ga_config,
             seeds=self._baseline_seeds(library, space),
+            population_evaluate=population_evaluate,
         )
         outcome = ga.run()
+        evaluator.flush_cache()
 
         if not outcome.best.feasible:
             raise OptimizationError(

@@ -1,0 +1,49 @@
+"""Population-evaluation engine shared by the GA and NSGA-II searches.
+
+The search throughput *is* the product for this reproduction: every
+extra design evaluated per second is more of the carbon/performance
+trade-off surface explored.  This package concentrates the three levers
+that make the searches fast without changing a single result:
+
+* :mod:`repro.engine.population` — :class:`PopulationEvaluator`:
+  generation-at-a-time evaluation with dedup, memoisation, and optional
+  ``concurrent.futures`` fan-out (deterministic result ordering);
+* :mod:`repro.engine.vectorized` — numpy implementations of the
+  NSGA-II internals (broadcast dominance matrix, argsort crowding,
+  vectorized Pareto filter) that are exactly equal to the pure-Python
+  reference implementations in :mod:`repro.approx.nsga2`;
+* :mod:`repro.engine.batch` — :class:`BatchNetworkEvaluator`:
+  the dataflow performance model evaluated for a whole population of
+  geometries at once in numpy, bit-identical to
+  :func:`repro.dataflow.performance.evaluate_network`;
+* :mod:`repro.engine.diskcache` — :class:`FitnessDiskCache`: opt-in
+  on-disk memoisation keyed by a hash of (genome, network, node,
+  constraints, grid) so repeated experiment runs warm-start.
+
+Every fast path keeps its serial counterpart in-tree as the reference
+implementation; the property tests under ``tests/engine`` assert exact
+agreement.
+"""
+
+from repro.engine.batch import BatchNetworkEvaluator
+from repro.engine.diskcache import FitnessDiskCache
+from repro.engine.population import EngineConfig, PopulationEvaluator
+from repro.engine.vectorized import (
+    crowding_distance_np,
+    dominance_matrix,
+    fast_non_dominated_sort_np,
+    pareto_front_np,
+    uniform_crossover,
+)
+
+__all__ = [
+    "BatchNetworkEvaluator",
+    "FitnessDiskCache",
+    "EngineConfig",
+    "PopulationEvaluator",
+    "crowding_distance_np",
+    "dominance_matrix",
+    "fast_non_dominated_sort_np",
+    "pareto_front_np",
+    "uniform_crossover",
+]

@@ -1,0 +1,101 @@
+"""Opt-in on-disk memoisation of fitness evaluations.
+
+Every experiment harness re-runs GA-CDP searches over the same
+(network, node, constraints, grid) settings; across figures the same
+genomes come up again and again.  :class:`FitnessDiskCache` persists
+``genome -> FitnessResult`` maps per *context* — a SHA-256 fingerprint
+of everything the fitness value depends on — so a second run of
+``experiments/fig2.py`` (or a CI re-run) warm-starts instead of
+re-simulating.
+
+Correctness: the context fingerprint covers the network architecture,
+technology node, constraint thresholds, grid profile, fitness mode,
+DRAM bandwidth, and the full multiplier-library identity (names, areas,
+error metrics).  Any change to any of those yields a different cache
+file; a stale cache can therefore alter *speed* but never *results*.
+
+The cache is deliberately simple: one pickle file per context under the
+cache directory, loaded on first touch, written atomically (tempfile +
+rename) on :meth:`flush`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional, Tuple
+
+Genome = Tuple[int, ...]
+
+#: Bump when the cached payload's schema changes.
+SCHEMA_VERSION = 1
+
+
+def context_fingerprint(*parts: Any) -> str:
+    """Stable SHA-256 hex digest of a tuple of primitive parts."""
+    digest = hashlib.sha256(repr((SCHEMA_VERSION,) + parts).encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+class FitnessDiskCache:
+    """Per-context persistent genome -> result store.
+
+    Args:
+        cache_dir: directory for the cache files (created on demand).
+        context: fingerprint string from :func:`context_fingerprint`.
+    """
+
+    def __init__(self, cache_dir: str, context: str):
+        self.cache_dir = cache_dir
+        self.context = context
+        self.path = os.path.join(cache_dir, f"fitness-{context}.pkl")
+        self._data: Optional[Dict[Genome, Any]] = None
+        self._dirty = False
+
+    # -- lazy load ------------------------------------------------------
+
+    def _load(self) -> Dict[Genome, Any]:
+        if self._data is None:
+            try:
+                with open(self.path, "rb") as handle:
+                    payload = pickle.load(handle)
+                self._data = dict(payload) if isinstance(payload, dict) else {}
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+                self._data = {}
+        return self._data
+
+    # -- mapping interface ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def get(self, genome: Genome) -> Any:
+        return self._load().get(genome)
+
+    def put(self, genome: Genome, result: Any) -> None:
+        data = self._load()
+        if genome not in data:
+            data[genome] = result
+            self._dirty = True
+
+    def flush(self) -> None:
+        """Atomically persist pending entries (no-op when clean)."""
+        if not self._dirty or self._data is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f".fitness-{self.context}-"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(self._data, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self.path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False

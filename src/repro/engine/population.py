@@ -1,0 +1,171 @@
+"""Generation-at-a-time evaluation with dedup, memo, and fan-out.
+
+:class:`PopulationEvaluator` is the single entry point both searches
+(GA and NSGA-II) use to score a population.  It always performs the
+same work in the same order as the serial reference path — evaluation
+is a pure function of the genome — so every execution mode returns
+identical results:
+
+* ``serial`` — the reference: one genome at a time, in order;
+* ``batch``  — delegate the whole generation to a vectorized
+  ``batch_evaluate`` callable (see
+  :meth:`repro.ga.fitness.FitnessEvaluator.evaluate_population`);
+* ``thread`` / ``process`` — fan the cache misses out over a
+  ``concurrent.futures`` pool; results are re-assembled by index, so
+  completion order cannot leak into the outcome;
+* ``auto``   — ``batch`` when a batch callable exists, else ``thread``
+  when the machine has more than one CPU, else ``serial``.
+
+Genomes are deduplicated against an internal memo cache before any
+dispatch, so a converged population (mostly repeated elites) costs only
+the genuinely new evaluations.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+
+Genome = Tuple[int, ...]
+
+_MODES = ("auto", "serial", "batch", "thread", "process")
+
+# Process workers receive the evaluate callable once via the pool
+# initializer (it can be megabytes — a fitness evaluator closes over a
+# multiplier library) instead of once per submitted genome.
+_WORKER_EVALUATE: Optional[Callable[[Genome], Any]] = None
+
+
+def _worker_init(evaluate: Callable[[Genome], Any]) -> None:
+    global _WORKER_EVALUATE
+    _WORKER_EVALUATE = evaluate
+
+
+def _worker_call(genome: Genome) -> Any:
+    assert _WORKER_EVALUATE is not None
+    return _WORKER_EVALUATE(genome)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy for population evaluation.
+
+    Attributes:
+        mode: ``auto`` / ``serial`` / ``batch`` / ``thread`` /
+            ``process``.
+        workers: pool size for the parallel modes (default: CPU count).
+        chunk_size: genomes per task in ``process`` mode (amortises IPC).
+    """
+
+    mode: str = "auto"
+    workers: Optional[int] = None
+    chunk_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise OptimizationError(
+                f"unknown engine mode {self.mode!r}; expected one of {_MODES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise OptimizationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.chunk_size < 1:
+            raise OptimizationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    def resolved_workers(self) -> int:
+        return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+
+class PopulationEvaluator:
+    """Memoised, order-preserving population evaluation.
+
+    Args:
+        evaluate: genome -> result (pure; must be picklable for
+            ``process`` mode).
+        batch_evaluate: optional population -> results fast path; must
+            return results bit-identical to mapping ``evaluate``.
+        config: execution policy.
+        store: optional parent-side backfill hook, called as
+            ``store(genome, result)`` for every miss computed in a
+            worker *process* — the one mode where ``evaluate``'s own
+            side effects (memo dicts, disk caches, counters) happen in
+            a child and would otherwise be lost.
+
+    Determinism: for a fixed genome sequence the returned list is
+    identical in every mode — parallelism only changes *when* a miss is
+    computed, never *what* is returned or in which slot.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[Genome], Any],
+        batch_evaluate: Optional[Callable[[Sequence[Genome]], List[Any]]] = None,
+        config: Optional[EngineConfig] = None,
+        store: Optional[Callable[[Genome, Any], None]] = None,
+    ):
+        self.evaluate = evaluate
+        self.batch_evaluate = batch_evaluate
+        self.config = config or EngineConfig()
+        self.store = store
+        self._memo: Dict[Genome, Any] = {}
+        if self.config.mode == "batch" and batch_evaluate is None:
+            raise OptimizationError(
+                "mode 'batch' requires a batch_evaluate callable"
+            )
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct genomes this evaluator has scored itself."""
+        return len(self._memo)
+
+    def resolved_mode(self) -> str:
+        mode = self.config.mode
+        if mode != "auto":
+            return mode
+        if self.batch_evaluate is not None:
+            return "batch"
+        if self.config.resolved_workers() > 1:
+            return "thread"
+        return "serial"
+
+    def __call__(self, genomes: Sequence[Genome]) -> List[Any]:
+        mode = self.resolved_mode()
+        if mode == "batch":
+            assert self.batch_evaluate is not None
+            return list(self.batch_evaluate(list(genomes)))
+
+        misses = [g for g in dict.fromkeys(genomes) if g not in self._memo]
+        if misses:
+            if mode == "serial" or len(misses) == 1:
+                results = [self.evaluate(g) for g in misses]
+            elif mode == "thread":
+                with ThreadPoolExecutor(
+                    max_workers=min(self.config.resolved_workers(), len(misses))
+                ) as pool:
+                    results = list(pool.map(self.evaluate, misses))
+            else:  # process
+                with ProcessPoolExecutor(
+                    max_workers=min(self.config.resolved_workers(), len(misses)),
+                    initializer=_worker_init,
+                    initargs=(self.evaluate,),
+                ) as pool:
+                    results = list(
+                        pool.map(
+                            _worker_call,
+                            misses,
+                            chunksize=self.config.chunk_size,
+                        )
+                    )
+                if self.store is not None:
+                    for genome, result in zip(misses, results):
+                        self.store(genome, result)
+            for genome, result in zip(misses, results):
+                self._memo[genome] = result
+        return [self._memo[g] for g in genomes]

@@ -1,0 +1,156 @@
+"""Numpy-vectorized NSGA-II internals.
+
+Drop-in replacements for the O(n^2)-in-Python helpers in
+:mod:`repro.approx.nsga2`.  Exactness matters more than elegance here:
+the optimisers tie-break on front membership *order*, so each function
+reproduces the reference implementation's output — including the order
+of indices within every front — bit for bit.  The property tests in
+``tests/engine/test_vectorized.py`` enforce this against the reference
+on random objective sets.
+
+All objectives are minimised, matching the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+Objectives = Tuple[float, ...]
+
+
+def dominance_matrix(objectives: np.ndarray) -> np.ndarray:
+    """Boolean matrix ``D[i, j]`` = row ``i`` Pareto-dominates row ``j``.
+
+    Args:
+        objectives: ``(n, m)`` float array, one row per individual.
+    """
+    less_equal = (objectives[:, None, :] <= objectives[None, :, :]).all(axis=2)
+    strictly_less = (objectives[:, None, :] < objectives[None, :, :]).any(axis=2)
+    return less_equal & strictly_less
+
+
+def fast_non_dominated_sort_np(
+    objectives: Sequence[Objectives],
+) -> List[List[int]]:
+    """Vectorized front partition, equal to the reference ordering.
+
+    The reference peels fronts by walking each member's dominated list
+    and appending an index the moment its domination count reaches
+    zero; within a new front that ordering is (position in the current
+    front of the index's *last* dominator, then the index itself).
+    Replicating it keeps seeded NSGA-II runs bit-identical, because
+    survivor selection and crowding tie-break on front order.
+    """
+    n = len(objectives)
+    if n == 0:
+        return []
+    objs = np.asarray(objectives, dtype=np.float64)
+    dom = dominance_matrix(objs)
+    count = dom.sum(axis=0)
+    assigned = np.zeros(n, dtype=bool)
+
+    fronts: List[List[int]] = []
+    front = np.flatnonzero(count == 0)  # ascending, like the reference
+    while front.size:
+        fronts.append([int(i) for i in front])
+        assigned[front] = True
+        dominated = dom[front, :]  # (|front|, n)
+        count = count - dominated.sum(axis=0)
+        newly = np.flatnonzero((count == 0) & ~assigned)
+        if newly.size == 0:
+            break
+        last_dominator = np.where(
+            dominated[:, newly], np.arange(front.size)[:, None], -1
+        ).max(axis=0)
+        front = newly[np.lexsort((newly, last_dominator))]
+    return fronts
+
+
+def crowding_distance_np(
+    objectives: Sequence[Objectives], front: Sequence[int]
+) -> Dict[int, float]:
+    """Argsort-based crowding distance, equal to the reference values.
+
+    Stable argsort reproduces the reference's ``sorted`` tie handling,
+    and objectives are accumulated in the same order so the floating-
+    point sums agree exactly.
+    """
+    members = [int(i) for i in front]
+    if len(members) <= 2:
+        return {i: float("inf") for i in members}
+    objs = np.asarray(objectives, dtype=np.float64)[members]
+    distance = np.zeros(len(members))
+    for m in range(objs.shape[1]):
+        values = objs[:, m]
+        order = np.argsort(values, kind="stable")
+        lo = values[order[0]]
+        hi = values[order[-1]]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if hi == lo:
+            continue
+        gaps = (values[order[2:]] - values[order[:-2]]) / (hi - lo)
+        distance[order[1:-1]] += gaps
+    return {members[i]: float(distance[i]) for i in range(len(members))}
+
+
+def pareto_front_np(
+    points: Sequence[Tuple[Hashable, Objectives]],
+) -> List[Tuple[Hashable, Objectives]]:
+    """Vectorized non-dominated filter over (item, objectives) pairs.
+
+    One broadcast dominance matrix replaces the reference's rescan of
+    all points per point; the survivor order and the first-occurrence
+    tie rule are unchanged.
+    """
+    if not points:
+        return []
+    objs = np.asarray([obj for _, obj in points], dtype=np.float64)
+    dominated = dominance_matrix(objs).any(axis=0)
+    seen: set = set()
+    result: List[Tuple[Hashable, Objectives]] = []
+    for index, (item, obj) in enumerate(points):
+        if obj in seen:
+            continue
+        if dominated[index]:
+            continue
+        seen.add(obj)
+        result.append((item, obj))
+    return result
+
+
+def uniform_crossover(
+    a: Sequence[int], b: Sequence[int], rng: np.random.Generator
+) -> Tuple[int, ...]:
+    """Uniform crossover, vectorized.
+
+    Draws one ``rng.random(len(a))`` vector — the same single draw the
+    scalar implementations made — so seeded runs are unchanged.  Shared
+    by the GA chromosome space and the NSGA-II default operator.
+    """
+    take_a = rng.random(len(a)) < 0.5
+    return tuple(
+        int(g)
+        for g in np.where(
+            take_a, np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+        )
+    )
+
+
+def ranks_and_crowding(
+    objectives: Sequence[Objectives],
+) -> Tuple[List[List[int]], Dict[int, int], Dict[int, float]]:
+    """Front partition plus per-index rank and crowding in one pass.
+
+    Convenience for the NSGA-II offspring loop, which needs all three.
+    """
+    fronts = fast_non_dominated_sort_np(objectives)
+    rank: Dict[int, int] = {}
+    crowd: Dict[int, float] = {}
+    for depth, front in enumerate(fronts):
+        for i in front:
+            rank[i] = depth
+        crowd.update(crowding_distance_np(objectives, front))
+    return fronts, rank, crowd

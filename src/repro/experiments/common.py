@@ -8,10 +8,11 @@ shrinks the searches for unit tests and CI smoke runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.accuracy.predictor import AccuracyPredictor
 from repro.approx.library import ApproxLibrary, build_library
+from repro.engine.population import EngineConfig
 from repro.errors import ExperimentError
 from repro.ga.engine import GaConfig
 
@@ -32,6 +33,12 @@ class ExperimentSettings:
         ga_generations: architecture-GA generations.
         seed: master seed for both searches.
         grid: fab grid profile.
+        engine_mode: population-evaluation mode for the GA runs
+            (``auto`` resolves to the vectorized batch path; every mode
+            returns bit-identical designs).
+        cache_dir: optional directory for the on-disk fitness cache, so
+            re-running a harness (or another harness sharing settings)
+            warm-starts instead of re-simulating.
     """
 
     nodes_nm: Tuple[int, ...] = (7, 14, 28)
@@ -44,6 +51,8 @@ class ExperimentSettings:
     ga_generations: int = 30
     seed: int = 0
     grid: str = "taiwan"
+    engine_mode: str = "auto"
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.nodes_nm or not self.networks:
@@ -66,6 +75,14 @@ class ExperimentSettings:
             generations=self.ga_generations,
             seed=self.seed + seed_offset,
         )
+
+    def engine(self) -> EngineConfig:
+        """Population-evaluation policy for the GA runs."""
+        return EngineConfig(mode=self.engine_mode)
+
+    def designer_kwargs(self) -> dict:
+        """Engine/cache keyword arguments shared by every GA-CDP run."""
+        return {"engine": self.engine(), "cache_dir": self.cache_dir}
 
 
 DEFAULT_SETTINGS = ExperimentSettings()

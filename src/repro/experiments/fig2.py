@@ -101,6 +101,7 @@ def fig2_scatter(
             predictor=predictor,
             ga_config=settings.ga_config(seed_offset=index + 1),
             grid=settings.grid,
+            **settings.designer_kwargs(),
         )
         result = designer.run()
         ga_points.append(result.best)

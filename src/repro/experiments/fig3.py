@@ -131,6 +131,7 @@ def _cell(
         predictor=predictor,
         ga_config=settings.ga_config(seed_offset=seed_offset),
         grid=settings.grid,
+        **settings.designer_kwargs(),
     )
     ga_best = designer.run().best
     return Fig3Cell(exact=exact, approximate_only=approx_only, ga_cdp=ga_best)

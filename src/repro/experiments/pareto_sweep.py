@@ -14,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.approx.nsga2 import pareto_front
 from repro.core.designer import CarbonAwareDesigner
 from repro.core.results import DesignPoint
+from repro.engine.vectorized import pareto_front_np
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
@@ -77,7 +77,7 @@ class ParetoSweep:
             )
             for point in self.cells.values()
         ]
-        return [point for point, _ in pareto_front(scored)]  # type: ignore[misc]
+        return [point for point, _ in pareto_front_np(scored)]  # type: ignore[misc]
 
 
 def pareto_sweep(
@@ -104,6 +104,7 @@ def pareto_sweep(
                 ga_config=settings.ga_config(
                     seed_offset=600 + 10 * fps_index + drop_index
                 ),
+                **settings.designer_kwargs(),
             )
             cells[(min_fps, max_drop)] = designer.run().best
     return ParetoSweep(network=network, node_nm=node_nm, cells=cells)

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.accel.arch import AcceleratorConfig
 from repro.approx.library import ApproxLibrary
+from repro.engine.vectorized import uniform_crossover
 from repro.errors import OptimizationError
 
 Genome = Tuple[int, ...]
@@ -151,9 +152,8 @@ class ChromosomeSpace:
 
     @staticmethod
     def crossover(a: Genome, b: Genome, rng: np.random.Generator) -> Genome:
-        """Uniform crossover."""
-        take_a = rng.random(len(a)) < 0.5
-        return tuple(x if t else y for x, y, t in zip(a, b, take_a))
+        """Uniform crossover (one RNG draw, as before)."""
+        return uniform_crossover(a, b, rng)
 
 
     def encode_nearest(

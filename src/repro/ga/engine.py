@@ -9,7 +9,7 @@ is kept elitist.  Runs are deterministic in the seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,12 @@ class GeneticAlgorithm:
         evaluate: genome -> :class:`FitnessResult` (memoisation is the
             evaluator's job).
         config: hyper-parameters.
+        seeds: known-good genomes to seed the initial population.
+        population_evaluate: optional whole-generation evaluator (see
+            :class:`repro.engine.population.PopulationEvaluator` and
+            :meth:`repro.ga.fitness.FitnessEvaluator.evaluate_population`);
+            must return results bit-identical to mapping ``evaluate``
+            over the generation.  Defaults to the serial reference path.
     """
 
     def __init__(
@@ -95,13 +101,24 @@ class GeneticAlgorithm:
         evaluate: Callable[[Genome], FitnessResult],
         config: GaConfig | None = None,
         seeds: List[Genome] | None = None,
+        population_evaluate: Optional[
+            Callable[[Sequence[Genome]], List[FitnessResult]]
+        ] = None,
     ):
         self.space = space
         self.evaluate = evaluate
         self.config = config or GaConfig()
         self.seeds = list(seeds or [])
+        self.population_evaluate = population_evaluate
         for genome in self.seeds:
             space.validate(genome)
+
+    def _evaluate_population(
+        self, population: Sequence[Genome]
+    ) -> List[FitnessResult]:
+        if self.population_evaluate is not None:
+            return list(self.population_evaluate(population))
+        return [self.evaluate(g) for g in population]  # serial reference
 
     def run(self) -> GaOutcome:
         """Evolve and return the best design found."""
@@ -113,7 +130,7 @@ class GeneticAlgorithm:
             self.space.random_genome(rng)
             for _ in range(cfg.population_size - len(population))
         ]
-        results = [self.evaluate(g) for g in population]
+        results = self._evaluate_population(population)
         best = self._best_of(results)
         history: List[FitnessResult] = []
         distinct: set = set(population)
@@ -131,7 +148,7 @@ class GeneticAlgorithm:
                 offspring.append(child)
 
             population = offspring
-            results = [self.evaluate(g) for g in population]
+            results = self._evaluate_population(population)
             distinct.update(population)
             generation_best = self._best_of(results)
             if generation_best.better_than(best):

@@ -25,12 +25,14 @@ weights.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.accuracy.predictor import AccuracyPredictor
 from repro.approx.library import ApproxLibrary
 from repro.dataflow.network import Network
 from repro.dataflow.performance import evaluate_network
+from repro.engine.batch import BatchNetworkEvaluator
+from repro.engine.diskcache import FitnessDiskCache, context_fingerprint
 from repro.errors import ConstraintError, MappingError
 from repro.ga.chromosome import ChromosomeSpace, Genome
 from repro.nn.zoo import workload
@@ -86,6 +88,9 @@ class FitnessEvaluator:
             reuse).
         grid: fab electricity-grid profile for Eq. 2.
         fitness_mode: ``deadline_cdp`` (paper behaviour) or ``pure_cdp``.
+        cache_dir: optional directory for the on-disk fitness cache;
+            when set, results persist across processes under a key that
+            fingerprints everything fitness depends on.
     """
 
     network: Union[str, Network]
@@ -97,7 +102,10 @@ class FitnessEvaluator:
     predictor: AccuracyPredictor = field(default_factory=AccuracyPredictor)
     grid: Union[str, float] = "taiwan"
     fitness_mode: str = "deadline_cdp"
+    cache_dir: Optional[str] = None
     _cache: Dict[Genome, FitnessResult] = field(default_factory=dict, repr=False)
+    _disk: Optional[FitnessDiskCache] = field(default=None, repr=False)
+    _batch: Optional[BatchNetworkEvaluator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.min_fps <= 0:
@@ -113,15 +121,54 @@ class FitnessEvaluator:
             )
         if isinstance(self.network, str):
             self.network = workload(self.network)
+        if self.cache_dir is not None:
+            self._disk = FitnessDiskCache(self.cache_dir, self.fingerprint())
 
     @property
     def evaluations(self) -> int:
         """Distinct genomes evaluated so far."""
         return len(self._cache)
 
+    def fingerprint(self) -> str:
+        """Identity of everything a fitness value depends on.
+
+        Used as the on-disk cache key: network architecture, node,
+        thresholds, grid, fitness mode, accuracy-model parameters, DRAM
+        bandwidth, and the full multiplier-library identity (name,
+        area, error statistics per entry).
+        """
+        from repro.dataflow.performance import DRAM_BANDWIDTH_GB_S
+
+        assert isinstance(self.network, Network)
+        return context_fingerprint(
+            self.network.name,
+            tuple(repr(layer) for layer in self.network.layers),
+            repr(self.space),  # genome decoding depends on the menus
+            self.node_nm,
+            self.min_fps,
+            self.max_drop_percent,
+            self.grid,
+            self.fitness_mode,
+            repr(self.predictor.model),
+            DRAM_BANDWIDTH_GB_S,
+            tuple(
+                (m.name, m.area_ge, m.origin, repr(m.metrics), repr(m.dnn_metrics))
+                for m in self.library
+            ),
+        )
+
+    def flush_cache(self) -> None:
+        """Persist any new results to the on-disk cache (if enabled)."""
+        if self._disk is not None:
+            self._disk.flush()
+
     def evaluate(self, genome: Genome) -> FitnessResult:
-        """CDP + constraint evaluation of one chromosome."""
-        cached = self._cache.get(genome)
+        """CDP + constraint evaluation of one chromosome.
+
+        This is the serial reference path; the batch path in
+        :meth:`evaluate_population` returns bit-identical results.
+        """
+        cached = self._lookup(genome)
         if cached is not None:
             return cached
 
@@ -132,17 +179,94 @@ class FitnessEvaluator:
             performance = evaluate_network(self.network, config)
         except MappingError:
             # unmappable geometry: maximally infeasible, never selected
-            result = FitnessResult(
-                genome=genome,
-                cdp=float("inf"),
-                carbon_g=float("inf"),
-                fps=0.0,
-                accuracy_drop_percent=100.0,
-                violation=float("inf"),
-            )
-            self._cache[genome] = result
-            return result
+            return self.store(genome, self._unmappable_result(genome))
 
+        result = self._assemble(
+            genome, config, performance.latency_s, performance.fps
+        )
+        return self.store(genome, result)
+
+    def evaluate_population(self, genomes: Sequence[Genome]) -> List[FitnessResult]:
+        """Score a whole generation at once (vectorized fast path).
+
+        Dedups against the memo (and disk) cache, evaluates all cache
+        misses through :class:`repro.engine.batch.BatchNetworkEvaluator`
+        — the dataflow model run elementwise over the population's
+        distinct geometries — and returns results in input order,
+        bit-identical to calling :meth:`evaluate` per genome.
+        """
+        misses = [
+            g for g in dict.fromkeys(genomes) if self._lookup(g) is None
+        ]
+        if misses:
+            assert isinstance(self.network, Network)
+            configs = [
+                self.space.decode(g, self.library, self.node_nm)
+                for g in misses
+            ]
+            geometries = [config.geometry_key() for config in configs]
+            records = self._batch_evaluator().total_cycles(geometries)
+            for genome, config, geometry, (cycles, mappable) in zip(
+                misses, configs, geometries, records
+            ):
+                if not mappable:
+                    self.store(genome, self._unmappable_result(genome))
+                    continue
+                # same two steps as NetworkPerformance.latency_s / .fps
+                latency_s = cycles / geometry[5]
+                fps = 1.0 / latency_s
+                self.store(
+                    genome, self._assemble(genome, config, latency_s, fps)
+                )
+        return [self._cache[g] for g in genomes]
+
+    # -- shared internals ---------------------------------------------------
+
+    def _batch_evaluator(self) -> BatchNetworkEvaluator:
+        if self._batch is None:
+            assert isinstance(self.network, Network)
+            self._batch = BatchNetworkEvaluator(self.network)
+        return self._batch
+
+    def _lookup(self, genome: Genome) -> Optional[FitnessResult]:
+        cached = self._cache.get(genome)
+        if cached is None and self._disk is not None:
+            cached = self._disk.get(genome)
+            if cached is not None:
+                self._cache[genome] = cached
+        return cached
+
+    def store(self, genome: Genome, result: FitnessResult) -> FitnessResult:
+        """Record a result in the memo (and disk) cache.
+
+        Public so the population engine can backfill results computed
+        in worker processes, where this evaluator's own side effects
+        happen in a child and would otherwise be lost.
+        """
+        self._cache[genome] = result
+        if self._disk is not None:
+            self._disk.put(genome, result)
+        return result
+
+    @staticmethod
+    def _unmappable_result(genome: Genome) -> FitnessResult:
+        return FitnessResult(
+            genome=genome,
+            cdp=float("inf"),
+            carbon_g=float("inf"),
+            fps=0.0,
+            accuracy_drop_percent=100.0,
+            violation=float("inf"),
+        )
+
+    def _assemble(
+        self,
+        genome: Genome,
+        config,
+        latency_s: float,
+        fps: float,
+    ) -> FitnessResult:
+        """CDP and Deb-rule violation from the timing of one design."""
         # imported here: repro.core's public API pulls in the designer,
         # which imports this module (cycle broken at function level)
         from repro.core.cdp import carbon_delay_product
@@ -150,25 +274,23 @@ class FitnessEvaluator:
         carbon = config.embodied_carbon(grid=self.grid).total_g
         drop = self.predictor.drop_percent(self.network, config.multiplier)
         if self.fitness_mode == "deadline_cdp":
-            delay = max(performance.latency_s, 1.0 / self.min_fps)
+            delay = max(latency_s, 1.0 / self.min_fps)
         else:
-            delay = performance.latency_s
+            delay = latency_s
         cdp = carbon_delay_product(carbon, delay)
 
         violation = 0.0
-        if performance.fps < self.min_fps:
-            violation += (self.min_fps - performance.fps) / self.min_fps
+        if fps < self.min_fps:
+            violation += (self.min_fps - fps) / self.min_fps
         if drop > self.max_drop_percent:
             scale = max(self.max_drop_percent, 0.1)
             violation += (drop - self.max_drop_percent) / scale
 
-        result = FitnessResult(
+        return FitnessResult(
             genome=genome,
             cdp=cdp,
             carbon_g=carbon,
-            fps=performance.fps,
+            fps=fps,
             accuracy_drop_percent=drop,
             violation=violation,
         )
-        self._cache[genome] = result
-        return result

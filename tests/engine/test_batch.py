@@ -1,0 +1,117 @@
+"""Exactness tests for the batched dataflow evaluation.
+
+:class:`BatchNetworkEvaluator` re-derives the mapping + latency
+formulas in numpy; these tests hold it to *bit-identical* agreement
+with :func:`repro.dataflow.performance.evaluate_network` over random
+geometries and every paper workload, including unmappable corner cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.library import build_library
+from repro.dataflow.performance import evaluate_network
+from repro.engine.batch import BatchNetworkEvaluator
+from repro.errors import MappingError
+from repro.ga.chromosome import space_for_library
+from repro.nn.zoo import workload
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(
+        width=8, seed=0, population=10, generations=3,
+        hybrid=False, structural=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def space(library):
+    return space_for_library(library)
+
+
+def random_configs(space, library, node_nm, count, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        space.decode(space.random_genome(rng), library, node_nm)
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("network_name", ["vgg16", "vgg19", "resnet50", "resnet152"])
+def test_bit_identical_to_scalar_path(network_name, library, space):
+    network = workload(network_name)
+    configs = random_configs(space, library, 7, 40, seed=7)
+    batch = BatchNetworkEvaluator(network)
+    records = batch.total_cycles([c.geometry_key() for c in configs])
+    for config, (cycles, mappable) in zip(configs, records):
+        try:
+            reference = evaluate_network(network, config, use_cache=False)
+        except MappingError:
+            assert not mappable
+            continue
+        assert mappable
+        assert cycles == reference.total_cycles  # exact, not approx
+
+
+def test_latency_matches_network_performance(library, space):
+    network = workload("vgg16")
+    configs = random_configs(space, library, 14, 10, seed=3)
+    batch = BatchNetworkEvaluator(network)
+    for config, (latency, mappable) in zip(
+        configs, batch.latency_s([c.geometry_key() for c in configs])
+    ):
+        if not mappable:
+            continue
+        reference = evaluate_network(network, config, use_cache=False)
+        assert latency == reference.latency_s
+
+
+def test_unmappable_geometry_flagged(library):
+    """Scalar raise and batch mask agree on an unmappable geometry.
+
+    Every geometry the chromosome menus can produce is mappable (the
+    4 KiB global-buffer floor guarantees a reduction slice fits), so
+    the unmappable branch is exercised with a duck-typed config below
+    that floor: a 64-wide array whose 128 B global buffer cannot hold
+    one pass's weight slice.
+    """
+    from types import SimpleNamespace
+
+    network = workload("vgg16")
+    geometry = (64, 64, 0, 128, 7, 1.0e9)
+    config = SimpleNamespace(
+        pe_rows=64,
+        pe_cols=64,
+        local_buffer_bytes=0,
+        global_buffer_bytes=128,
+        node_nm=7,
+        clock_hz=1.0e9,
+        n_pes=64 * 64,
+        geometry_key=lambda: geometry,
+    )
+    with pytest.raises(MappingError):
+        evaluate_network(network, config, use_cache=False)
+    batch = BatchNetworkEvaluator(network)
+    ((_, mappable),) = batch.total_cycles([geometry])
+    assert not mappable
+
+
+def test_menu_geometries_always_mappable(library, space):
+    """The chromosome menus cannot produce an unmappable design."""
+    network = workload("resnet152")
+    configs = random_configs(space, library, 7, 30, seed=23)
+    batch = BatchNetworkEvaluator(network)
+    records = batch.total_cycles([c.geometry_key() for c in configs])
+    assert all(mappable for _, mappable in records)
+
+
+def test_memoised_across_calls(library, space):
+    network = workload("vgg16")
+    config = random_configs(space, library, 7, 1, seed=11)[0]
+    batch = BatchNetworkEvaluator(network)
+    first = batch.total_cycles([config.geometry_key()])
+    assert len(batch._cache) == 1
+    second = batch.total_cycles([config.geometry_key()] * 3)
+    assert len(batch._cache) == 1
+    assert second == [first[0]] * 3

@@ -1,0 +1,134 @@
+"""Property tests: vectorized NSGA-II ops == pure-Python reference.
+
+The optimisers tie-break on front *order*, so these tests demand exact
+equality — values, index order, tie handling — between
+:mod:`repro.engine.vectorized` and the reference implementations in
+:mod:`repro.approx.nsga2`, over randomized objective sets engineered to
+hit ties, duplicates, and degenerate fronts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.nsga2 import (
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    pareto_front,
+)
+from repro.engine.vectorized import (
+    crowding_distance_np,
+    dominance_matrix,
+    fast_non_dominated_sort_np,
+    pareto_front_np,
+    ranks_and_crowding,
+)
+
+
+def random_objective_sets():
+    """Random sets biased toward ties (small integer grids)."""
+    cases = []
+    for trial in range(60):
+        rng = np.random.default_rng(trial)
+        n = int(rng.integers(1, 48))
+        m = int(rng.integers(1, 4))
+        # coarse grid => many duplicated coordinates and full vectors
+        objs = [
+            tuple(float(x) for x in rng.integers(0, 5, size=m))
+            for _ in range(n)
+        ]
+        cases.append(objs)
+    for trial in range(20):
+        rng = np.random.default_rng(1000 + trial)
+        n = int(rng.integers(2, 40))
+        m = int(rng.integers(2, 4))
+        objs = [
+            tuple(float(x) for x in rng.random(m)) for _ in range(n)
+        ]
+        cases.append(objs)
+    return cases
+
+
+CASES = random_objective_sets()
+
+
+class TestDominanceMatrix:
+    def test_matches_reference_pairwise(self):
+        for objs in CASES[:20]:
+            matrix = dominance_matrix(np.asarray(objs, dtype=float))
+            for i in range(len(objs)):
+                for j in range(len(objs)):
+                    assert matrix[i, j] == dominates(objs[i], objs[j])
+
+    def test_no_self_dominance_diagonal(self):
+        objs = np.asarray(CASES[0], dtype=float)
+        assert not dominance_matrix(objs).diagonal().any()
+
+
+class TestSortExactness:
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_fronts_identical_including_order(self, case):
+        objs = CASES[case]
+        assert fast_non_dominated_sort_np(objs) == fast_non_dominated_sort(objs)
+
+    def test_empty(self):
+        assert fast_non_dominated_sort_np([]) == []
+
+    def test_single_point(self):
+        assert fast_non_dominated_sort_np([(0.0,)]) == [[0]]
+
+    def test_chain(self):
+        """A totally ordered set: one singleton front per point."""
+        objs = [(float(i), float(i)) for i in range(6)]
+        assert fast_non_dominated_sort_np(objs) == [[i] for i in range(6)]
+
+
+class TestCrowdingExactness:
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_values_identical(self, case):
+        objs = CASES[case]
+        for front in fast_non_dominated_sort(objs):
+            assert crowding_distance_np(objs, front) == crowding_distance(
+                objs, front
+            )
+
+    def test_small_front_all_infinite(self):
+        crowd = crowding_distance_np([(1.0, 2.0), (2.0, 1.0)], [0, 1])
+        assert crowd == {0: float("inf"), 1: float("inf")}
+
+    def test_degenerate_objective_skipped(self):
+        """A constant objective contributes no distance (hi == lo)."""
+        objs = [(1.0, 0.0), (1.0, 1.0), (1.0, 2.0), (1.0, 3.0)]
+        front = [0, 1, 2, 3]
+        assert crowding_distance_np(objs, front) == crowding_distance(
+            objs, front
+        )
+
+
+class TestParetoFrontExactness:
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_identical_filter(self, case):
+        objs = CASES[case]
+        points = [(f"item{i}", obj) for i, obj in enumerate(objs)]
+        assert pareto_front_np(points) == pareto_front(points)
+
+    def test_empty(self):
+        assert pareto_front_np([]) == []
+
+    def test_duplicate_keeps_first(self):
+        points = [("a", (1.0, 1.0)), ("b", (1.0, 1.0))]
+        assert pareto_front_np(points) == [("a", (1.0, 1.0))]
+
+
+class TestRanksAndCrowding:
+    def test_consistent_with_parts(self):
+        objs = CASES[3]
+        fronts, rank, crowd = ranks_and_crowding(objs)
+        assert fronts == fast_non_dominated_sort(objs)
+        for depth, front in enumerate(fronts):
+            for i in front:
+                assert rank[i] == depth
+        reference = {}
+        for front in fronts:
+            reference.update(crowding_distance(objs, front))
+        assert crowd == reference

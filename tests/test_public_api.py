@@ -47,6 +47,11 @@ class TestSubpackagesImportable:
             "repro.ga",
             "repro.core",
             "repro.core.io",
+            "repro.engine",
+            "repro.engine.batch",
+            "repro.engine.population",
+            "repro.engine.vectorized",
+            "repro.engine.diskcache",
             "repro.experiments",
             "repro.experiments.sensitivity",
             "repro.experiments.pareto_sweep",
@@ -67,6 +72,7 @@ class TestSubpackagesImportable:
             "repro.accuracy",
             "repro.ga",
             "repro.core",
+            "repro.engine",
             "repro.experiments",
         ):
             package = importlib.import_module(package_name)
