@@ -3,12 +3,18 @@
 Runs the synthetic task's quantised CNN with each multiplier's LUT —
 the identical mechanism ApproxTrain uses on real GPUs — and compares
 the resulting accuracy drops against the analytical model's ranking.
+
+Library-wide queries go through :meth:`BehavioralValidator.drop_percents`,
+which scores every uncached multiplier in one stacked inference
+(:meth:`~repro.nn.inference.QuantCNN.forward_stack`) instead of one full
+inference per multiplier; :meth:`drop_percent` stays as the scalar
+reference the property tests compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,7 +53,12 @@ class BehavioralValidator:
         return self._exact_accuracy
 
     def drop_percent(self, multiplier: ApproxMultiplier) -> float:
-        """Measured accuracy drop (percentage points) for a multiplier."""
+        """Measured accuracy drop (percentage points) for a multiplier.
+
+        This is the scalar reference path (one full inference per
+        multiplier); use :meth:`drop_percents` to score many multipliers
+        in one batched inference.
+        """
         cached = self._cache.get(multiplier.name)
         if cached is not None:
             return cached
@@ -57,6 +68,35 @@ class BehavioralValidator:
         drop = 100.0 * (exact - approx)
         self._cache[multiplier.name] = drop
         return drop
+
+    def drop_percents(
+        self, multipliers: Sequence[ApproxMultiplier]
+    ) -> List[float]:
+        """Measured drops for many multipliers via one stacked inference.
+
+        All uncached multipliers are run through the quantised CNN in a
+        single library-batched pass; returned values are bit-identical
+        to calling :meth:`drop_percent` per multiplier (and populate the
+        same cache).  Mixed operand widths fall back to the scalar loop.
+        """
+        pending: List[ApproxMultiplier] = []
+        seen = set()
+        for multiplier in multipliers:
+            if multiplier.name not in self._cache and multiplier.name not in seen:
+                pending.append(multiplier)
+                seen.add(multiplier.name)
+        if pending:
+            task = self._ensure_task()
+            exact = self.exact_accuracy()
+            luts = [m.lut for m in pending]
+            widths = {(lut.a_width, lut.b_width) for lut in luts}
+            if len(widths) == 1:
+                accuracies = task.accuracy_batch(luts)
+            else:  # mixed geometries have no shared stack index space
+                accuracies = np.array([task.accuracy(lut) for lut in luts])
+            for multiplier, approx in zip(pending, accuracies):
+                self._cache[multiplier.name] = 100.0 * (exact - float(approx))
+        return [self._cache[m.name] for m in multipliers]
 
     def ranking_agreement(
         self,
@@ -76,7 +116,7 @@ class BehavioralValidator:
             raise AccuracyModelError(
                 "need at least 3 multipliers for a meaningful correlation"
             )
-        measured = [self.drop_percent(m) for m in multipliers]
+        measured = self.drop_percents(multipliers)
         return _spearman(np.asarray(analytical_drops), np.asarray(measured))
 
 

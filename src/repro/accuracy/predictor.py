@@ -85,7 +85,10 @@ class AccuracyPredictor:
 
         Uses a small synthetic network as the behavioural workload; the
         analytical drops are computed for the same shallow depth so both
-        sides describe the same setting.
+        sides describe the same setting.  The behavioural side scores
+        the whole library in one stacked inference
+        (:meth:`BehavioralValidator.drop_percents`) rather than one full
+        CNN run per multiplier.
         """
         if self.validator is None:
             self.validator = BehavioralValidator()

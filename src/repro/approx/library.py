@@ -32,6 +32,8 @@ from repro.approx.precision import truncate_inputs
 from repro.approx.pruning import PruningSpace
 from repro.circuits.area import netlist_area_um2, netlist_delay_ps, netlist_ge
 from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
+from repro.engine.diskcache import FitnessDiskCache, context_fingerprint
+from repro.engine.population import EngineConfig
 from repro.engine.vectorized import pareto_front_np
 from repro.errors import OptimizationError
 
@@ -181,17 +183,45 @@ def _pruning_pareto(
     population: int,
     generations: int,
     max_candidates: int,
+    kind: str = "wallace",
+    engine: Optional[EngineConfig] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[ApproxMultiplier]:
-    """NSGA-II search over pruning masks of one base circuit."""
+    """NSGA-II search over pruning masks of one base circuit.
+
+    With ``cache_dir`` set, genome objectives persist on disk under a
+    fingerprint of everything they depend on; cached hits skip circuit
+    simulation, and the (deterministic) circuit artifacts of the final
+    front are re-derived on demand for entries whose objectives came
+    from the cache.
+    """
     space = PruningSpace(base, max_candidates=max_candidates)
     artifacts: Dict[Tuple[int, ...], Tuple[ArithmeticCircuit, np.ndarray]] = {}
+    disk = (
+        FitnessDiskCache(
+            cache_dir,
+            context_fingerprint(
+                "library-pruning", width, kind, origin,
+                seed, population, generations, max_candidates,
+            ),
+        )
+        if cache_dir is not None
+        else None
+    )
 
     def evaluate(genome: Tuple[int, ...]) -> Tuple[float, float]:
+        if disk is not None:
+            cached = disk.get(genome)
+            if cached is not None:
+                return cached
         circuit = space.apply(genome)
         table = circuit.truth_table()
         artifacts[genome] = (circuit, table)
         metrics = compute_error_metrics(table, width, width)
-        return (netlist_ge(circuit.netlist), metrics.nmed)
+        objectives = (netlist_ge(circuit.netlist), metrics.nmed)
+        if disk is not None:
+            disk.put(genome, objectives)
+        return objectives
 
     def random_genome(rng: np.random.Generator) -> Tuple[int, ...]:
         return space.random_genome(rng)
@@ -204,11 +234,17 @@ def _pruning_pareto(
             generations=generations,
             seed=seed,
         ),
+        engine=engine,
     )
     front = search.run()
+    if disk is not None:
+        disk.flush()
 
     entries: List[ApproxMultiplier] = []
     for rank, (genome, _objectives) in enumerate(front):
+        if genome not in artifacts:
+            circuit = space.apply(genome)
+            artifacts[genome] = (circuit, circuit.truth_table())
         circuit, table = artifacts[genome]
         entries.append(
             _make_entry(
@@ -236,6 +272,8 @@ def build_library(
     structural_cuts: Sequence[int] = DEFAULT_STRUCTURAL_CUTS,
     dnn_sigma_fraction: float = 0.25,
     use_cache: bool = True,
+    engine: Optional[EngineConfig] = None,
+    cache_dir: Optional[str] = None,
 ) -> ApproxLibrary:
     """Run the full step-1 flow and return the Pareto library.
 
@@ -253,6 +291,14 @@ def build_library(
         structural_cuts: cut depths for the structural candidates.
         dnn_sigma_fraction: operand-distribution width for DNN metrics.
         use_cache: reuse a previously built identical library.
+        engine: population-evaluation policy for the NSGA-II searches
+            (every mode returns bit-identical libraries, so it is not
+            part of the memo key).  ``process`` is downgraded to
+            ``thread``: the pruning evaluator closes over live circuit
+            state and cannot cross a process boundary.
+        cache_dir: optional directory for the on-disk objective cache,
+            so rebuilding the same library in a fresh process (or a
+            forked grid worker) skips re-simulating pruned circuits.
     """
     key = (
         width, kind, seed, population, generations, max_candidates,
@@ -261,6 +307,10 @@ def build_library(
     )
     if use_cache and key in _LIBRARY_CACHE:
         return _LIBRARY_CACHE[key]
+    if engine is not None and engine.mode == "process":
+        engine = EngineConfig(
+            mode="thread", workers=engine.workers, chunk_size=engine.chunk_size
+        )
 
     dnn_weights = gaussian_operand_distribution(width, dnn_sigma_fraction)
     exact_circuit = make_multiplier(width, width, kind=kind)
@@ -310,6 +360,7 @@ def build_library(
         _pruning_pareto(
             exact_circuit, width, dnn_weights, "pruned",
             seed, population, generations, max_candidates,
+            kind=kind, engine=engine, cache_dir=cache_dir,
         )
     )
 
@@ -320,6 +371,7 @@ def build_library(
                 light_truncated, width, dnn_weights, "hybrid",
                 seed + 1, max(population // 2, 8), max(generations // 2, 6),
                 max_candidates,
+                kind=kind, engine=engine, cache_dir=cache_dir,
             )
         )
 

@@ -7,10 +7,14 @@ Exposes the headline flows without writing Python::
     python -m repro fig2-scatter [--fast]
     python -m repro fig2-table   [--fast] [--json out.json]
     python -m repro fig3         [--fast] [--json out.json]
+    python -m repro pareto-sweep [--fast]
     python -m repro sensitivity --which grid
 
 ``--fast`` shrinks every search for smoke runs; omit it for the
-paper-scale settings used in EXPERIMENTS.md.
+paper-scale settings used in EXPERIMENTS.md.  The experiment commands
+accept ``--grid-mode {auto,serial,thread,process}``, ``--grid-workers``
+and ``--shards`` to control how the harness's cells are sharded across
+the persistent worker pool (every mode prints identical results).
 """
 
 from __future__ import annotations
@@ -22,10 +26,20 @@ from typing import List, Optional
 from repro.errors import ReproError
 
 
-def _settings(fast: bool):
+def _settings(args: argparse.Namespace):
+    from dataclasses import replace
+
     from repro.experiments.common import DEFAULT_SETTINGS, fast_settings
 
-    return fast_settings() if fast else DEFAULT_SETTINGS
+    settings = fast_settings() if args.fast else DEFAULT_SETTINGS
+    overrides = {}
+    if getattr(args, "grid_mode", None) is not None:
+        overrides["grid_mode"] = args.grid_mode
+    if getattr(args, "grid_workers", None) is not None:
+        overrides["grid_workers"] = args.grid_workers
+    if getattr(args, "shards", None) is not None:
+        overrides["grid_shards"] = args.shards
+    return replace(settings, **overrides) if overrides else settings
 
 
 def _write(path: Optional[str], text: str) -> None:
@@ -40,7 +54,7 @@ def _cmd_library(args: argparse.Namespace) -> int:
     from repro.accuracy import AccuracyPredictor
     from repro.experiments.report import render_table
 
-    settings = _settings(args.fast)
+    settings = _settings(args)
     library = settings.library()
     predictor = AccuracyPredictor()
     rows = [
@@ -69,7 +83,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
     from repro.core.io import design_points_to_json
     from repro.ga import GaConfig
 
-    settings = _settings(args.fast)
+    settings = _settings(args)
     library = settings.library()
     predictor = AccuracyPredictor()
 
@@ -107,7 +121,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
 def _cmd_fig2_scatter(args: argparse.Namespace) -> int:
     from repro.experiments.fig2 import fig2_scatter
 
-    result = fig2_scatter(settings=_settings(args.fast))
+    result = fig2_scatter(settings=_settings(args))
     print(result.render())
     if args.json:
         from repro.core.io import design_points_to_json
@@ -121,7 +135,7 @@ def _cmd_fig2_table(args: argparse.Namespace) -> int:
     from repro.core.io import fig2_table_to_json
     from repro.experiments.fig2 import fig2_reduction_table
 
-    result = fig2_reduction_table(settings=_settings(args.fast))
+    result = fig2_reduction_table(settings=_settings(args))
     print(result.render())
     _write(args.json, fig2_table_to_json(result.reductions, result.network))
     return 0
@@ -131,9 +145,19 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.core.io import fig3_cells_to_json
     from repro.experiments.fig3 import fig3_comparison
 
-    result = fig3_comparison(settings=_settings(args.fast))
+    result = fig3_comparison(settings=_settings(args))
     print(result.render())
     _write(args.json, fig3_cells_to_json(result.cells))
+    return 0
+
+
+def _cmd_pareto_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.pareto_sweep import pareto_sweep
+
+    result = pareto_sweep(
+        settings=_settings(args), network=args.network, node_nm=args.node
+    )
+    print(result.render())
     return 0
 
 
@@ -145,7 +169,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         "yield": sensitivity.yield_sensitivity,
         "bandwidth": sensitivity.bandwidth_sensitivity,
     }
-    result = runners[args.which](settings=_settings(args.fast))
+    result = runners[args.which](settings=_settings(args))
     print(result.render())
     return 0
 
@@ -159,13 +183,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser, json_out: bool = True) -> None:
+    def common(
+        p: argparse.ArgumentParser,
+        json_out: bool = True,
+        grid_opts: bool = False,
+    ) -> None:
         p.add_argument(
             "--fast", action="store_true",
             help="reduced search sizes for smoke runs",
         )
         if json_out:
             p.add_argument("--json", default=None, help="write results JSON")
+        if grid_opts:
+            p.add_argument(
+                "--grid-mode", default=None,
+                choices=["auto", "serial", "thread", "process"],
+                help="how experiment cells are sharded (results identical)",
+            )
+            p.add_argument(
+                "--grid-workers", type=int, default=None,
+                help="worker count for the sharded grid modes",
+            )
+            p.add_argument(
+                "--shards", type=int, default=None,
+                help="shard count override (default: one per worker)",
+            )
 
     p = sub.add_parser("library", help="print the step-1 multiplier library")
     common(p, json_out=False)
@@ -182,19 +224,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_design)
 
     p = sub.add_parser("fig2-scatter", help="regenerate Fig. 2 scatter")
-    common(p)
+    common(p, grid_opts=True)
     p.set_defaults(handler=_cmd_fig2_scatter)
 
     p = sub.add_parser("fig2-table", help="regenerate Fig. 2 table")
-    common(p)
+    common(p, grid_opts=True)
     p.set_defaults(handler=_cmd_fig2_table)
 
     p = sub.add_parser("fig3", help="regenerate Fig. 3 comparison")
-    common(p)
+    common(p, grid_opts=True)
     p.set_defaults(handler=_cmd_fig3)
 
+    p = sub.add_parser(
+        "pareto-sweep", help="GA-CDP over the (FPS, drop) constraint grid"
+    )
+    common(p, json_out=False, grid_opts=True)
+    p.add_argument("--network", default="vgg16",
+                   choices=["vgg16", "vgg19", "resnet50", "resnet152"])
+    p.add_argument("--node", type=int, default=7, choices=[7, 14, 28])
+    p.set_defaults(handler=_cmd_pareto_sweep)
+
     p = sub.add_parser("sensitivity", help="extension sensitivity sweeps")
-    common(p, json_out=False)
+    common(p, json_out=False, grid_opts=True)
     p.add_argument("--which", default="grid",
                    choices=["grid", "yield", "bandwidth"])
     p.set_defaults(handler=_cmd_sensitivity)

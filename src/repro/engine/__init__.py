@@ -18,7 +18,11 @@ that make the searches fast without changing a single result:
   :func:`repro.dataflow.performance.evaluate_network`;
 * :mod:`repro.engine.diskcache` — :class:`FitnessDiskCache`: opt-in
   on-disk memoisation keyed by a hash of (genome, network, node,
-  constraints, grid) so repeated experiment runs warm-start.
+  constraints, grid) so repeated experiment runs warm-start;
+* :mod:`repro.engine.grid` — :class:`GridRunner`: experiment cells
+  sharded across a persistent process pool (created once, reused
+  across designer runs) with deterministically ordered results
+  regardless of shard count.
 
 Every fast path keeps its serial counterpart in-tree as the reference
 implementation; the property tests under ``tests/engine`` assert exact
@@ -27,6 +31,12 @@ agreement.
 
 from repro.engine.batch import BatchNetworkEvaluator
 from repro.engine.diskcache import FitnessDiskCache
+from repro.engine.grid import (
+    GridConfig,
+    GridRunner,
+    shared_process_pool,
+    shutdown_shared_pools,
+)
 from repro.engine.population import EngineConfig, PopulationEvaluator
 from repro.engine.vectorized import (
     crowding_distance_np,
@@ -39,6 +49,10 @@ from repro.engine.vectorized import (
 __all__ = [
     "BatchNetworkEvaluator",
     "FitnessDiskCache",
+    "GridConfig",
+    "GridRunner",
+    "shared_process_pool",
+    "shutdown_shared_pools",
     "EngineConfig",
     "PopulationEvaluator",
     "crowding_distance_np",

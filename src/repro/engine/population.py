@@ -24,7 +24,7 @@ the genuinely new evaluations.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,20 +34,19 @@ Genome = Tuple[int, ...]
 
 _MODES = ("auto", "serial", "batch", "thread", "process")
 
-# Process workers receive the evaluate callable once via the pool
-# initializer (it can be megabytes — a fitness evaluator closes over a
-# multiplier library) instead of once per submitted genome.
-_WORKER_EVALUATE: Optional[Callable[[Genome], Any]] = None
 
+def _evaluate_chunk(
+    evaluate: Callable[[Genome], Any], genomes: Sequence[Genome]
+) -> List[Any]:
+    """One process-pool task: a chunk of genomes through ``evaluate``.
 
-def _worker_init(evaluate: Callable[[Genome], Any]) -> None:
-    global _WORKER_EVALUATE
-    _WORKER_EVALUATE = evaluate
-
-
-def _worker_call(genome: Genome) -> Any:
-    assert _WORKER_EVALUATE is not None
-    return _WORKER_EVALUATE(genome)
+    The evaluate callable ships with each chunk (it can be megabytes —
+    a fitness evaluator closes over a multiplier library), so chunks
+    amortise both IPC and that pickling; the pool itself is the shared
+    warm pool from :mod:`repro.engine.grid`, reused across designer
+    runs instead of rebuilt per generation.
+    """
+    return [evaluate(genome) for genome in genomes]
 
 
 @dataclass(frozen=True)
@@ -150,22 +149,58 @@ class PopulationEvaluator:
                     max_workers=min(self.config.resolved_workers(), len(misses))
                 ) as pool:
                     results = list(pool.map(self.evaluate, misses))
-            else:  # process
-                with ProcessPoolExecutor(
-                    max_workers=min(self.config.resolved_workers(), len(misses)),
-                    initializer=_worker_init,
-                    initargs=(self.evaluate,),
-                ) as pool:
-                    results = list(
-                        pool.map(
-                            _worker_call,
-                            misses,
-                            chunksize=self.config.chunk_size,
-                        )
-                    )
+            else:  # process: warm shared pool, chunked dispatch
+                results = self._process_map(misses)
                 if self.store is not None:
                     for genome, result in zip(misses, results):
                         self.store(genome, result)
             for genome, result in zip(misses, results):
                 self._memo[genome] = result
         return [self._memo[g] for g in genomes]
+
+    def _process_map(self, misses: List[Genome]) -> List[Any]:
+        """Fan misses out over the persistent shared process pool.
+
+        Chunks are reassembled in submission order, so completion order
+        cannot leak into the outcome; a broken pool degrades to the
+        serial reference (same results, just slower).
+
+        Caveat: ``evaluate`` must be a pure function of the genome and
+        module state as importable in a worker.  Callers that
+        monkeypatch module globals (the yield/bandwidth sensitivity
+        sweeps) must not use process mode — warm workers either miss
+        the patch or outlive it; those harnesses demote themselves to
+        thread mode (see ``experiments/sensitivity.py``).
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.engine.grid import (
+            discard_process_pool,
+            in_pool_worker,
+            shared_process_pool,
+        )
+
+        if in_pool_worker():
+            # no nested pools — see repro.engine.grid.in_pool_worker()
+            return [self.evaluate(g) for g in misses]
+
+        # keyed by the configured count so every run shares one pool
+        workers = self.config.resolved_workers()
+        # chunk_size is a *minimum* granularity: never split into more
+        # chunks than workers, so the (potentially megabytes-large)
+        # evaluate callable is pickled at most once per worker per
+        # generation rather than once per chunk_size genomes
+        chunk = max(self.config.chunk_size, -(-len(misses) // workers))
+        chunks = [
+            misses[start : start + chunk]
+            for start in range(0, len(misses), chunk)
+        ]
+        pool = shared_process_pool(workers)
+        try:
+            chunk_results = list(
+                pool.map(_evaluate_chunk, [self.evaluate] * len(chunks), chunks)
+            )
+        except BrokenProcessPool:
+            discard_process_pool(workers)
+            return [self.evaluate(g) for g in misses]
+        return [result for chunk in chunk_results for result in chunk]

@@ -2,16 +2,24 @@
 
 Every experiment harness takes an :class:`ExperimentSettings`; the
 default reproduces the paper's setup, while :func:`fast_settings`
-shrinks the searches for unit tests and CI smoke runs.
+shrinks the searches for unit tests and CI smoke runs.  The settings
+also carry the execution policy: the population engine for individual
+GA runs (``engine_mode``), the on-disk fitness cache (``cache_dir``),
+and the grid-sharding policy (``grid_mode``/``grid_workers``/
+``grid_shards``) used by :class:`~repro.engine.grid.GridRunner` to fan
+experiment cells out over the persistent process pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.accuracy.predictor import AccuracyPredictor
 from repro.approx.library import ApproxLibrary, build_library
+from repro.core.designer import CarbonAwareDesigner
+from repro.core.results import DesignPoint
+from repro.engine.grid import GridConfig, GridRunner
 from repro.engine.population import EngineConfig
 from repro.errors import ExperimentError
 from repro.ga.engine import GaConfig
@@ -38,7 +46,13 @@ class ExperimentSettings:
             returns bit-identical designs).
         cache_dir: optional directory for the on-disk fitness cache, so
             re-running a harness (or another harness sharing settings)
-            warm-starts instead of re-simulating.
+            warm-starts instead of re-simulating.  Also feeds the step-1
+            library build, whose NSGA-II objectives persist per context.
+        grid_mode: cell-sharding mode for the experiment grids
+            (``auto`` / ``serial`` / ``thread`` / ``process``; every
+            mode returns identical, identically ordered results).
+        grid_workers: worker count for the sharded grid modes.
+        grid_shards: shard count override (default: one per worker).
     """
 
     nodes_nm: Tuple[int, ...] = (7, 14, 28)
@@ -53,6 +67,9 @@ class ExperimentSettings:
     grid: str = "taiwan"
     engine_mode: str = "auto"
     cache_dir: Optional[str] = None
+    grid_mode: str = "auto"
+    grid_workers: Optional[int] = None
+    grid_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.nodes_nm or not self.networks:
@@ -61,11 +78,18 @@ class ExperimentSettings:
             raise ExperimentError("settings need thresholds and tiers")
 
     def library(self) -> ApproxLibrary:
-        """The (cached) step-1 multiplier library for these settings."""
+        """The (cached) step-1 multiplier library for these settings.
+
+        Routed through the population engine and the on-disk objective
+        cache, so the NSGA-II library search benefits from the same
+        execution policy as the architecture GA.
+        """
         return build_library(
             population=self.library_population,
             generations=self.library_generations,
             seed=self.seed,
+            engine=self.engine(),
+            cache_dir=self.cache_dir,
         )
 
     def ga_config(self, seed_offset: int = 0) -> GaConfig:
@@ -83,6 +107,16 @@ class ExperimentSettings:
     def designer_kwargs(self) -> dict:
         """Engine/cache keyword arguments shared by every GA-CDP run."""
         return {"engine": self.engine(), "cache_dir": self.cache_dir}
+
+    def grid_runner(self) -> GridRunner:
+        """Cell-sharding policy for the experiment grids."""
+        return GridRunner(
+            GridConfig(
+                mode=self.grid_mode,
+                workers=self.grid_workers,
+                shards=self.grid_shards,
+            )
+        )
 
 
 DEFAULT_SETTINGS = ExperimentSettings()
@@ -109,3 +143,32 @@ def fast_settings(seed: int = 0) -> ExperimentSettings:
         ga_generations=8,
         seed=seed,
     )
+
+
+def ga_cdp_point(
+    settings: ExperimentSettings,
+    network: str,
+    node_nm: int,
+    min_fps: float,
+    max_drop_percent: float,
+    seed_offset: int,
+    grid: Union[str, float],
+) -> DesignPoint:
+    """One GA-CDP grid cell: the winning design for one constraint set.
+
+    Module-level (and argument-closed) so :class:`GridRunner` process
+    shards can pickle it; the library and predictor come from the
+    process-wide memo caches, which forked workers inherit warm.
+    """
+    designer = CarbonAwareDesigner(
+        network=network,
+        node_nm=node_nm,
+        min_fps=min_fps,
+        max_drop_percent=max_drop_percent,
+        library=settings.library(),
+        predictor=shared_predictor(),
+        ga_config=settings.ga_config(seed_offset=seed_offset),
+        grid=grid,
+        **settings.designer_kwargs(),
+    )
+    return designer.run().best

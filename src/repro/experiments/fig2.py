@@ -13,15 +13,16 @@ Two artefacts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.baselines import approximate_only_sweep, exact_sweep
-from repro.core.designer import CarbonAwareDesigner
 from repro.core.results import DesignPoint
+from repro.engine.grid import GridRunner
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
+    ga_cdp_point,
     shared_predictor,
 )
 from repro.experiments.report import render_series, render_table
@@ -65,6 +66,7 @@ def fig2_scatter(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     network: str = "vgg16",
     node_nm: int = 7,
+    runner: Optional[GridRunner] = None,
 ) -> Fig2Scatter:
     """Regenerate the Fig. 2 scatter.
 
@@ -72,7 +74,8 @@ def fig2_scatter(
     keeps those architectures and swaps in the smallest multiplier
     meeting the tier; each ``ga_cdp_<fps>`` point is a full GA-CDP run
     at that FPS threshold (with the loosest accuracy tier, as in the
-    paper's GA experiments).
+    paper's GA experiments).  The GA cells go through the grid runner
+    (sharded or serial — identical results either way).
     """
     library = settings.library()
     predictor = shared_predictor()
@@ -90,22 +93,12 @@ def fig2_scatter(
         )
 
     loosest = max(settings.drop_tiers_percent)
-    ga_points: List[DesignPoint] = []
-    for index, min_fps in enumerate(settings.fps_thresholds):
-        designer = CarbonAwareDesigner(
-            network=network,
-            node_nm=node_nm,
-            min_fps=min_fps,
-            max_drop_percent=loosest,
-            library=library,
-            predictor=predictor,
-            ga_config=settings.ga_config(seed_offset=index + 1),
-            grid=settings.grid,
-            **settings.designer_kwargs(),
-        )
-        result = designer.run()
-        ga_points.append(result.best)
-    points["ga_cdp"] = tuple(ga_points)
+    cells = [
+        (settings, network, node_nm, min_fps, loosest, index + 1, settings.grid)
+        for index, min_fps in enumerate(settings.fps_thresholds)
+    ]
+    runner = runner if runner is not None else settings.grid_runner()
+    points["ga_cdp"] = tuple(runner.map(ga_cdp_point, cells))
 
     return Fig2Scatter(network=network, node_nm=node_nm, points=points)
 
@@ -155,36 +148,48 @@ class Fig2Table:
         )
 
 
+def _reduction_node_cell(
+    settings: ExperimentSettings, network: str, node_nm: int
+) -> List[Tuple[float, float, float]]:
+    """Per-node grid cell for the Fig. 2 table: (tier, avg, peak) rows."""
+    library = settings.library()
+    predictor = shared_predictor()
+    exact_points = exact_sweep(
+        network, library, node_nm, predictor, grid=settings.grid
+    )
+    rows: List[Tuple[float, float, float]] = []
+    for tier in settings.drop_tiers_percent:
+        approx_points = approximate_only_sweep(
+            network, library, node_nm, predictor, tier, grid=settings.grid
+        )
+        percent = [
+            100.0 * (1.0 - a.carbon_g / e.carbon_g)
+            for e, a in zip(exact_points, approx_points)
+        ]
+        if not percent:
+            raise ExperimentError("empty sweep")
+        rows.append((tier, sum(percent) / len(percent), max(percent)))
+    return rows
+
+
 def fig2_reduction_table(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     network: str = "vgg16",
+    runner: Optional[GridRunner] = None,
 ) -> Fig2Table:
     """Regenerate the Fig. 2 reduction table.
 
     For each node and accuracy tier: swap multipliers on the NVDLA
     sweep, compute per-configuration carbon reduction vs exact, report
-    the average and the peak over the family.
+    the average and the peak over the family.  One grid cell per node.
     """
-    library = settings.library()
-    predictor = shared_predictor()
+    settings.library()  # build before any pool forks, so workers inherit
+    cells = [(settings, network, node_nm) for node_nm in settings.nodes_nm]
+    runner = runner if runner is not None else settings.grid_runner()
+    per_node = runner.map(_reduction_node_cell, cells)
 
     reductions: Dict[Tuple[int, float], Tuple[float, float]] = {}
-    for node_nm in settings.nodes_nm:
-        exact_points = exact_sweep(
-            network, library, node_nm, predictor, grid=settings.grid
-        )
-        for tier in settings.drop_tiers_percent:
-            approx_points = approximate_only_sweep(
-                network, library, node_nm, predictor, tier, grid=settings.grid
-            )
-            percent = [
-                100.0 * (1.0 - a.carbon_g / e.carbon_g)
-                for e, a in zip(exact_points, approx_points)
-            ]
-            if not percent:
-                raise ExperimentError("empty sweep")
-            reductions[(node_nm, tier)] = (
-                sum(percent) / len(percent),
-                max(percent),
-            )
+    for node_nm, rows in zip(settings.nodes_nm, per_node):
+        for tier, avg, peak in rows:
+            reductions[(node_nm, tier)] = (avg, peak)
     return Fig2Table(network=network, reductions=reductions)

@@ -14,15 +14,15 @@ Carbon is normalised to the exact design per cell, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.accuracy.predictor import AccuracyPredictor
 from repro.core.baselines import (
     design_point_for,
     smallest_exact_meeting_fps,
 )
 from repro.core.designer import CarbonAwareDesigner
 from repro.core.results import DesignPoint
+from repro.engine.grid import GridRunner
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
@@ -105,10 +105,11 @@ def _cell(
     network: str,
     node_nm: int,
     settings: ExperimentSettings,
-    predictor: AccuracyPredictor,
     seed_offset: int,
 ) -> Fig3Cell:
+    """One (network, node) grid cell (top-level so shards can pickle it)."""
     library = settings.library()
+    predictor = shared_predictor()
     exact = smallest_exact_meeting_fps(
         network, library, node_nm, predictor, FIG3_MIN_FPS, grid=settings.grid
     )
@@ -139,17 +140,23 @@ def _cell(
 
 def fig3_comparison(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner: Optional[GridRunner] = None,
 ) -> Fig3Bars:
-    """Regenerate Fig. 3 over the settings' networks and nodes."""
-    predictor = shared_predictor()
-    cells: Dict[Tuple[str, int], Fig3Cell] = {}
+    """Regenerate Fig. 3 over the settings' networks and nodes.
+
+    The (network, node) grid goes through the grid runner — sharded
+    across the persistent process pool or serial, with identical
+    results either way.
+    """
+    settings.library()  # build before any pool forks, so workers inherit
+    keys: List[Tuple[str, int]] = []
+    grid_cells: List[Tuple[str, int, ExperimentSettings, int]] = []
     for net_index, network in enumerate(settings.networks):
         for node_index, node_nm in enumerate(settings.nodes_nm):
-            cells[(network, node_nm)] = _cell(
-                network,
-                node_nm,
-                settings,
-                predictor,
-                seed_offset=net_index * 10 + node_index,
+            keys.append((network, node_nm))
+            grid_cells.append(
+                (network, node_nm, settings, net_index * 10 + node_index)
             )
-    return Fig3Bars(cells=cells)
+    runner = runner if runner is not None else settings.grid_runner()
+    results = runner.map(_cell, grid_cells)
+    return Fig3Bars(cells=dict(zip(keys, results)))

@@ -12,16 +12,16 @@ paper's conclusion gestures at as future work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.designer import CarbonAwareDesigner
 from repro.core.results import DesignPoint
+from repro.engine.grid import GridRunner
 from repro.engine.vectorized import pareto_front_np
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    shared_predictor,
+    ga_cdp_point,
 )
 from repro.experiments.report import render_table
 
@@ -84,27 +84,31 @@ def pareto_sweep(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     network: str = "vgg16",
     node_nm: int = 7,
+    runner: Optional[GridRunner] = None,
 ) -> ParetoSweep:
-    """Run GA-CDP on every (FPS, drop) constraint combination."""
+    """Run GA-CDP on every (FPS, drop) constraint combination.
+
+    Each constraint cell is one GA-CDP grid cell, sharded through the
+    grid runner (the fab grid stays at the designer's default, as in
+    the original serial harness).
+    """
     if not settings.fps_thresholds or not settings.drop_tiers_percent:
         raise ExperimentError("settings must define thresholds and tiers")
-    library = settings.library()
-    predictor = shared_predictor()
+    settings.library()  # build before any pool forks, so workers inherit
 
-    cells: Dict[Tuple[float, float], DesignPoint] = {}
+    keys: List[Tuple[float, float]] = []
+    grid_cells = []
     for fps_index, min_fps in enumerate(settings.fps_thresholds):
         for drop_index, max_drop in enumerate(settings.drop_tiers_percent):
-            designer = CarbonAwareDesigner(
-                network=network,
-                node_nm=node_nm,
-                min_fps=min_fps,
-                max_drop_percent=max_drop,
-                library=library,
-                predictor=predictor,
-                ga_config=settings.ga_config(
-                    seed_offset=600 + 10 * fps_index + drop_index
-                ),
-                **settings.designer_kwargs(),
+            keys.append((min_fps, max_drop))
+            grid_cells.append(
+                (
+                    settings, network, node_nm, min_fps, max_drop,
+                    600 + 10 * fps_index + drop_index, "taiwan",
+                )
             )
-            cells[(min_fps, max_drop)] = designer.run().best
-    return ParetoSweep(network=network, node_nm=node_nm, cells=cells)
+    runner = runner if runner is not None else settings.grid_runner()
+    results = runner.map(ga_cdp_point, grid_cells)
+    return ParetoSweep(
+        network=network, node_nm=node_nm, cells=dict(zip(keys, results))
+    )

@@ -15,14 +15,15 @@ to the big unknowns:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from repro.carbon.act import GRID_PROFILES
 from repro.core.baselines import smallest_exact_meeting_fps
 from repro.core.designer import CarbonAwareDesigner
 from repro.dataflow import performance as performance_module
 from repro.dataflow.performance import clear_performance_cache, evaluate_network
+from repro.engine.grid import GridConfig, GridRunner
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
@@ -80,18 +81,101 @@ def _ga_vs_exact(
     return exact.carbon_g, ga.carbon_g, saving
 
 
+def _patch_local_settings(settings: ExperimentSettings) -> ExperimentSettings:
+    """Keep a global-patching cell's fitness workers in-process.
+
+    The warm shared process pool either misses a module-global patch
+    (workers forked before it) or outlives it (workers forked during
+    it), so cells that patch globals must not fan fitness evaluation
+    out to it; thread mode shares the patched interpreter and returns
+    bit-identical results.
+    """
+    if settings.engine_mode == "process":
+        return replace(settings, engine_mode="thread")
+    return settings
+
+
+def _patch_safe_runner(runner: GridRunner, n_cells: int) -> GridRunner:
+    """Demote thread-mode grids to serial for global-patching cells.
+
+    Process shards isolate a cell's module-global patch per worker and
+    serial applies it one cell at a time, but concurrent threads in one
+    interpreter would race on the shared global.
+    """
+    if runner.resolved_mode(n_cells) == "thread":
+        return GridRunner(GridConfig(mode="serial"))
+    return runner
+
+
+def _yield_cell(
+    settings: ExperimentSettings,
+    network: str,
+    node_nm: int,
+    base_density: float,
+    multiplier: float,
+    seed_offset: int,
+) -> Tuple[float, float, float]:
+    """One yield-sweep cell: the Murphy-model swap happens *inside* the
+    cell (restored under try/finally), so the patch travels with the
+    cell into whichever grid worker runs it."""
+    from repro.carbon import act as act_module
+    from repro.carbon.wafer import murphy_yield
+
+    settings = _patch_local_settings(settings)
+    scaled_density = base_density * multiplier
+
+    def scaled_murphy(area_mm2, _density, _d=scaled_density):
+        return murphy_yield(area_mm2, _d)
+
+    original = act_module.DEFAULT_YIELD_MODEL
+    act_module.DEFAULT_YIELD_MODEL = scaled_murphy
+    try:
+        return _ga_vs_exact(settings, network, node_nm, "taiwan", seed_offset)
+    finally:
+        act_module.DEFAULT_YIELD_MODEL = original
+
+
+def _bandwidth_cell(
+    settings: ExperimentSettings,
+    network: str,
+    node_nm: int,
+    bandwidth: float,
+    seed_offset: int,
+) -> Tuple[float, float, float]:
+    """One bandwidth-sweep cell: patches DRAM bandwidth around its own
+    run and clears the performance cache on both sides, leaving the
+    executing process (a reusable grid worker or the parent) clean."""
+    settings = _patch_local_settings(settings)
+    original = performance_module.DRAM_BANDWIDTH_GB_S
+    performance_module.DRAM_BANDWIDTH_GB_S = bandwidth
+    clear_performance_cache()
+    try:
+        return _ga_vs_exact(settings, network, node_nm, "taiwan", seed_offset)
+    finally:
+        performance_module.DRAM_BANDWIDTH_GB_S = original
+        clear_performance_cache()
+
+
 def grid_sensitivity(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     network: str = "vgg16",
     node_nm: int = 7,
+    runner: Optional[GridRunner] = None,
 ) -> SensitivityResult:
     """GA-CDP saving across fab electricity grids."""
-    rows = []
-    for index, (name, intensity) in enumerate(sorted(GRID_PROFILES.items())):
-        exact_g, ga_g, saving = _ga_vs_exact(
-            settings, network, node_nm, name, seed_offset=300 + index
-        )
-        rows.append((intensity, round(exact_g, 3), round(ga_g, 3), round(saving, 1)))
+    settings.library()  # build before any pool forks, so workers inherit
+    profiles = sorted(GRID_PROFILES.items())
+    cells = [
+        (settings, network, node_nm, name, 300 + index)
+        for index, (name, _intensity) in enumerate(profiles)
+    ]
+    runner = runner if runner is not None else settings.grid_runner()
+    results = runner.map(_ga_vs_exact, cells)
+
+    rows = [
+        (intensity, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
+        for (_name, intensity), (exact_g, ga_g, saving) in zip(profiles, results)
+    ]
     rows.sort(key=lambda row: row[0])
     return SensitivityResult("grid_gCO2_per_kWh", tuple(rows))
 
@@ -101,36 +185,32 @@ def yield_sensitivity(
     network: str = "vgg16",
     node_nm: int = 7,
     defect_multipliers: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    runner: Optional[GridRunner] = None,
 ) -> SensitivityResult:
     """GA-CDP saving as defect density scales around the node default.
 
     Implemented by swapping :data:`repro.carbon.act.DEFAULT_YIELD_MODEL`
     for a density-scaled Murphy model under try/finally — the node
-    database itself stays immutable.
+    database itself stays immutable.  The swap lives inside each grid
+    cell so sharded and serial execution patch identically.
     """
-    from repro.carbon import act as act_module
     from repro.carbon.nodes import technology_node
-    from repro.carbon.wafer import murphy_yield
 
+    settings.library()  # build before any pool forks, so workers inherit
     base_density = technology_node(node_nm).defect_density_per_cm2
-    rows = []
-    original = act_module.DEFAULT_YIELD_MODEL
-    try:
-        for index, multiplier in enumerate(defect_multipliers):
-            scaled_density = base_density * multiplier
+    cells = [
+        (settings, network, node_nm, base_density, multiplier, 400 + index)
+        for index, multiplier in enumerate(defect_multipliers)
+    ]
+    runner = runner if runner is not None else settings.grid_runner()
+    results = _patch_safe_runner(runner, len(cells)).map(_yield_cell, cells)
 
-            def scaled_murphy(area_mm2, _density, _d=scaled_density):
-                return murphy_yield(area_mm2, _d)
-
-            act_module.DEFAULT_YIELD_MODEL = scaled_murphy
-            exact_g, ga_g, saving = _ga_vs_exact(
-                settings, network, node_nm, "taiwan", seed_offset=400 + index
-            )
-            rows.append(
-                (multiplier, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
-            )
-    finally:
-        act_module.DEFAULT_YIELD_MODEL = original
+    rows = [
+        (multiplier, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
+        for multiplier, (exact_g, ga_g, saving) in zip(
+            defect_multipliers, results
+        )
+    ]
     return SensitivityResult("defect_density_multiplier", tuple(rows))
 
 
@@ -139,25 +219,23 @@ def bandwidth_sensitivity(
     network: str = "vgg16",
     node_nm: int = 7,
     bandwidths_gb_s: Tuple[float, ...] = (6.4, 12.8, 25.6, 51.2),
+    runner: Optional[GridRunner] = None,
 ) -> SensitivityResult:
     """Exact-family FPS and GA saving across DRAM bandwidths."""
     if not bandwidths_gb_s:
         raise ExperimentError("need at least one bandwidth")
-    rows = []
-    original = performance_module.DRAM_BANDWIDTH_GB_S
-    try:
-        for index, bandwidth in enumerate(bandwidths_gb_s):
-            performance_module.DRAM_BANDWIDTH_GB_S = bandwidth
-            clear_performance_cache()
-            exact_g, ga_g, saving = _ga_vs_exact(
-                settings, network, node_nm, "taiwan", seed_offset=500 + index
-            )
-            rows.append(
-                (bandwidth, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
-            )
-    finally:
-        performance_module.DRAM_BANDWIDTH_GB_S = original
-        clear_performance_cache()
+    settings.library()  # build before any pool forks, so workers inherit
+    cells = [
+        (settings, network, node_nm, bandwidth, 500 + index)
+        for index, bandwidth in enumerate(bandwidths_gb_s)
+    ]
+    runner = runner if runner is not None else settings.grid_runner()
+    results = _patch_safe_runner(runner, len(cells)).map(_bandwidth_cell, cells)
+
+    rows = [
+        (bandwidth, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
+        for bandwidth, (exact_g, ga_g, saving) in zip(bandwidths_gb_s, results)
+    ]
     return SensitivityResult("dram_bandwidth_GB_s", tuple(rows))
 
 

@@ -7,6 +7,19 @@ function — either exact integer multiply or an approximate
 so the multiplier sees plain operand arrays and the approximate LUT is
 exercised on exactly the products the hardware would compute.
 
+Two execution paths share the same prepared (pre-quantised) layers:
+
+* :meth:`QuantCNN.forward` — the scalar reference: one multiplier per
+  pass, kept in-tree as the bit-exact baseline;
+* :meth:`QuantCNN.forward_stack` — the batched engine: a *stack* of M
+  LUT multipliers evaluated in a single pass.  The gathered products
+  carry one extra leading axis (the multiplier index); per-multiplier
+  requantisation is performed with broadcast numpy ops that mirror the
+  scalar code operation for operation, so ``forward_stack(x, luts)[i]``
+  equals ``forward(x, luts[i])`` bit for bit.  This is what lets the
+  behavioural accuracy study score a whole multiplier library in one
+  inference instead of ~library-size full inferences.
+
 The engine deliberately supports only what the behavioural accuracy
 study needs (conv + ReLU + max-pool + dense on small images); the big
 zoo networks are never executed here — see DESIGN.md for why.
@@ -15,16 +28,21 @@ zoo networks are never executed here — see DESIGN.md for why.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.approx.lut import LutMultiplier
 from repro.errors import AccuracyModelError
-from repro.nn.quantize import QuantParams, calibrate_scale, quantize_tensor
+from repro.nn.quantize import (
+    INT8_MAX,
+    QuantParams,
+    calibrate_scale,
+    quantize_tensor,
+)
 
 #: A multiplier: signed int operand arrays -> elementwise products.
 MultiplyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
-
 
 def exact_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Reference integer multiplier."""
@@ -87,10 +105,90 @@ class DenseSpec:
 LayerSpec = Union[ConvSpec, PoolSpec, DenseSpec]
 
 
+# --- prepared layers ----------------------------------------------------------
+#
+# Weight quantisation (calibrate_scale + quantize_tensor of *static*
+# weights) is a pure function of the layer spec, so it is hoisted out of
+# forward() into a prepared representation computed once per layer and
+# reused by every subsequent pass — scalar and stacked alike.
+
+
+@dataclass(frozen=True)
+class _PreparedConv:
+    """Pre-quantised convolution weights plus layout constants."""
+
+    out_c: int
+    in_c: int
+    kernel: int
+    stride: int
+    padding: int
+    relu: bool
+    bias: Optional[np.ndarray]
+    w_scale: float
+    w_matrix: np.ndarray  # (in_c*k*k, out_c) int64 weight codes
+    w_index: np.ndarray  # (in_c*k*k, out_c) pre-shifted table indices
+
+
+@dataclass(frozen=True)
+class _PreparedDense:
+    """Pre-quantised dense weights plus layout constants."""
+
+    out_f: int
+    in_f: int
+    relu: bool
+    bias: Optional[np.ndarray]
+    w_scale: float
+    w_matrix: np.ndarray  # (in_f, out_f) int64 weight codes
+    w_index: np.ndarray  # (in_f, out_f) pre-shifted table indices
+
+
+PreparedLayer = Union[_PreparedConv, PoolSpec, _PreparedDense]
+
+
+def _prepare_conv(layer: ConvSpec) -> _PreparedConv:
+    out_c, in_c, k, _ = layer.weights.shape
+    w_params = calibrate_scale(layer.weights)
+    w_codes = quantize_tensor(layer.weights, w_params).astype(np.int64)
+    w_matrix = w_codes.reshape(out_c, -1).T  # (in_c*k*k, out_c)
+    return _PreparedConv(
+        out_c=out_c,
+        in_c=in_c,
+        kernel=k,
+        stride=layer.stride,
+        padding=layer.padding,
+        relu=layer.relu,
+        bias=layer.bias,
+        w_scale=w_params.scale,
+        w_matrix=w_matrix,
+        w_index=(w_matrix & 0xFF) << 8,
+    )
+
+
+def _prepare_dense(layer: DenseSpec) -> _PreparedDense:
+    out_f, in_f = layer.weights.shape
+    w_params = calibrate_scale(layer.weights)
+    w_codes = quantize_tensor(layer.weights, w_params).astype(np.int64)
+    w_matrix = w_codes.T  # (in_f, out_f)
+    return _PreparedDense(
+        out_f=out_f,
+        in_f=in_f,
+        relu=layer.relu,
+        bias=layer.bias,
+        w_scale=w_params.scale,
+        w_matrix=w_matrix,
+        w_index=(w_matrix & 0xFF) << 8,
+    )
+
+
 def _im2col(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> Tuple[np.ndarray, int, int]:
-    """(N, C, H, W) -> (N, out_h*out_w, C*k*k) patch matrix."""
+    """(N, C, H, W) -> (N, out_h*out_w, C*k*k) patch matrix.
+
+    Stride-tricks windowing instead of a Python double loop over output
+    positions; row ordering (i*out_w + j) and feature ordering (c, ki,
+    kj) are identical to the loop formulation.
+    """
     n, c, h, w = x.shape
     if padding:
         x = np.pad(
@@ -102,15 +200,12 @@ def _im2col(
         raise AccuracyModelError(
             f"conv kernel {kernel} does not fit input {h}x{w}"
         )
-    cols = np.empty((n, out_h * out_w, c * kernel * kernel), dtype=x.dtype)
-    index = 0
-    for i in range(out_h):
-        for j in range(out_w):
-            patch = x[
-                :, :, i * stride : i * stride + kernel, j * stride : j * stride + kernel
-            ]
-            cols[:, index, :] = patch.reshape(n, -1)
-            index += 1
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n, out_h * out_w, c * kernel * kernel
+    )
     return cols, out_h, out_w
 
 
@@ -129,6 +224,161 @@ def _lut_matmul(
     return products.sum(axis=1)
 
 
+class _LutStack:
+    """M LUT multipliers folded into signed-product gather tables.
+
+    :meth:`LutMultiplier.signed_product` applies saturation, magnitude
+    lookup, and sign recombination per operand pair.  For int8 codes all
+    of that is a pure function of the two operand *bytes*, so each
+    multiplier folds into one 256x256 signed-product table indexed by
+    ``(a & 0xFF) + ((b & 0xFF) << 8)`` — the hot loop then needs only an
+    integer add and a gather per MAC, with the extra leading axis
+    selecting the multiplier.
+    """
+
+    #: Distinct two's-complement operand bytes.
+    BYTE_SPAN = 1 << 8
+
+    def __init__(self, multipliers: Sequence[LutMultiplier]):
+        luts = list(multipliers)
+        if not luts:
+            raise AccuracyModelError("multiplier stack cannot be empty")
+        a_width, b_width = luts[0].a_width, luts[0].b_width
+        if any(
+            lut.a_width != a_width or lut.b_width != b_width for lut in luts
+        ):
+            raise AccuracyModelError(
+                "multiplier stack requires uniform operand widths"
+            )
+        tables = np.stack([self._signed_table(lut) for lut in luts])
+        # int32 gathers halve memory traffic; fall back to int64 only
+        # for (synthetic) tables whose products exceed the int32 range.
+        self.max_abs_product = int(np.abs(tables).max(initial=0))
+        if self.max_abs_product < np.iinfo(np.int32).max:
+            tables = tables.astype(np.int32)
+        self.count = len(luts)
+        self.tables = tables  # (M, 65536)
+
+    def accum_dtype(self, k: int) -> type:
+        """Narrowest exact accumulator for a k-term product sum."""
+        if (
+            self.tables.dtype == np.int32
+            and k * self.max_abs_product < np.iinfo(np.int32).max
+        ):
+            return np.int32
+        return np.int64
+
+    @staticmethod
+    def _signed_table(lut: LutMultiplier) -> np.ndarray:
+        """Signed-product table over two's-complement operand bytes.
+
+        Entry ``u_a + (u_b << 8)`` equals
+        ``lut.signed_product(s_a, s_b)`` where ``s`` is the signed value
+        of byte ``u`` — saturation and sign handling included, so the
+        gather is bit-identical to the scalar multiplier call.
+        """
+        unsigned = np.arange(256, dtype=np.int64)
+        signed = np.where(unsigned < 128, unsigned, unsigned - 256)
+        mag_a = np.minimum(np.abs(signed), (1 << (lut.a_width - 1)) - 1)
+        mag_b = np.minimum(np.abs(signed), (1 << (lut.b_width - 1)) - 1)
+        sign = np.sign(signed)
+        table = np.asarray(lut.table, dtype=np.int64)
+        products = table[
+            mag_a[np.newaxis, :] + (mag_b[:, np.newaxis] << lut.a_width)
+        ]
+        # grid is [u_b, u_a]; flattening makes entry u_a + (u_b << 8)
+        return (
+            (sign[np.newaxis, :] * sign[:, np.newaxis]) * products
+        ).reshape(-1)
+
+
+def _lut_matmul_stack(
+    activations: np.ndarray, w_index: np.ndarray, stack: _LutStack
+) -> np.ndarray:
+    """Matrix product of M LUT multipliers in one pass.
+
+    Args:
+        activations: (Ma, rows, k) signed int codes, where Ma is either
+            1 (all multipliers still see identical activations — the
+            first layer) or M (diverged activations per multiplier).
+        w_index: (k, cols) pre-shifted weight-byte indices.
+        stack: the stacked signed-product tables.
+
+    Returns:
+        (M, rows, cols) int64 accumulators; slice ``[i]`` is identical
+        to ``_lut_matmul(activations[i or 0], w_matrix, luts[i])``.
+
+    The per-MAC lookup is reorganised around the weights being fixed
+    per layer: for every kernel position k the reachable products form
+    a (256, cols) sub-table, so one row-gather per position fetches a
+    whole cols-vector of products from an L1-resident table and
+    accumulates it in place — per-MAC work collapses to one gathered
+    add instead of index arithmetic plus a scalar gather from the full
+    64 K-entry LUT.  The extra leading axis selects the multiplier.
+    Integer accumulation is exact, so neither the iteration order nor
+    the (narrowest-exact) accumulator dtype can change the result.
+    """
+    m_count = stack.count
+    ma, rows, k = activations.shape
+    cols = w_index.shape[1]
+    if ma not in (1, m_count):
+        raise AccuracyModelError(
+            f"activation stack of {ma} does not match {m_count} multipliers"
+        )
+
+    # (k, 256, cols) product sub-tables: entry [kk, byte, c] is the
+    # product of activation `byte` with weight position (kk, c)
+    gather_index = (
+        np.arange(_LutStack.BYTE_SPAN)[np.newaxis, :, np.newaxis]
+        + w_index[:, np.newaxis, :]
+    )
+    sum_dtype = stack.accum_dtype(k)
+    out = np.empty((m_count, rows, cols), dtype=np.int64)
+    shared_bytes = (
+        (activations[0] & 0xFF).astype(np.intp) if ma == 1 else None
+    )
+
+    for m in range(m_count):
+        sub_tables = stack.tables[m][gather_index]
+        a_bytes = (
+            shared_bytes
+            if shared_bytes is not None
+            else (activations[m] & 0xFF).astype(np.intp)
+        )
+        accum = np.zeros((rows, cols), dtype=sum_dtype)
+        for position in range(k):
+            accum += sub_tables[position][a_bytes[:, position]]
+        out[m] = accum
+    return out
+
+
+def _requantize_stack(
+    accum: np.ndarray, in_scales: np.ndarray, w_scale: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-multiplier requantisation of stacked int accumulators.
+
+    Mirrors the scalar ``_requantize`` (calibrate from the accumulator
+    range, then round/saturate) with one broadcast op per scalar op, so
+    every slice along the leading axis is bit-identical to the scalar
+    path run on that multiplier alone.
+    """
+    m_count = accum.shape[0]
+    tail = (m_count,) + (1,) * (accum.ndim - 1)
+    factors = in_scales * w_scale
+    real = accum.astype(np.float64)
+    np.multiply(real, factors.reshape(tail), out=real)
+    # max|x| as max(max, -min): same floats, no |x| temporary
+    flat = real.reshape(m_count, -1)
+    max_abs = np.maximum(flat.max(axis=1), -flat.min(axis=1))
+    scales = np.where(max_abs == 0.0, 1.0 / INT8_MAX, max_abs / INT8_MAX)
+    np.divide(real, scales.reshape(tail), out=real)
+    np.round(real, out=real)
+    np.clip(real, -INT8_MAX, INT8_MAX, out=real)
+    # int16 holds every int8-range code exactly; the narrower dtype
+    # keeps the stacked activations' transpose/pool copies cheap
+    return real.astype(np.int16), scales
+
+
 @dataclass
 class QuantCNN:
     """A quantised CNN executed through a pluggable multiplier.
@@ -140,10 +390,80 @@ class QuantCNN:
 
     layers: List[LayerSpec] = field(default_factory=list)
     input_params: Optional[QuantParams] = None
+    _prepared: Optional[List[PreparedLayer]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _prepared_signature: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def calibrate(self, sample_inputs: np.ndarray) -> None:
         """Fix the input quantisation scale from a calibration batch."""
         self.input_params = calibrate_scale(sample_inputs)
+
+    def _layer_signature(self) -> Tuple:
+        """Identity *and* content fingerprint of the layer list.
+
+        Layer weights are semantically static, but nothing stops a
+        caller from mutating an array in place (the specs are frozen,
+        their ndarrays are not) — so the memo key hashes the weight
+        bytes too.  The behavioural networks are tiny, making the hash
+        negligible next to one forward pass.
+        """
+        parts = []
+        for layer in self.layers:
+            if isinstance(layer, PoolSpec):
+                parts.append((id(layer), layer.kernel))
+            elif isinstance(layer, ConvSpec):
+                bias = b"" if layer.bias is None else layer.bias.tobytes()
+                parts.append(
+                    (
+                        id(layer), "conv", layer.stride, layer.padding,
+                        layer.relu, hash(layer.weights.tobytes()), hash(bias),
+                    )
+                )
+            else:
+                bias = b"" if layer.bias is None else layer.bias.tobytes()
+                parts.append(
+                    (
+                        id(layer), "dense", layer.relu,
+                        hash(layer.weights.tobytes()), hash(bias),
+                    )
+                )
+        return tuple(parts)
+
+    def prepared_layers(self) -> List[PreparedLayer]:
+        """Layers with weight quantisation hoisted out of forward().
+
+        Static weights are quantised once and memoised; the cache is
+        invalidated when the layer list changes — by identity or by
+        in-place weight mutation.
+        """
+        signature = self._layer_signature()
+        if self._prepared is None or self._prepared_signature != signature:
+            prepared: List[PreparedLayer] = []
+            for layer in self.layers:
+                if isinstance(layer, ConvSpec):
+                    prepared.append(_prepare_conv(layer))
+                elif isinstance(layer, PoolSpec):
+                    prepared.append(layer)
+                elif isinstance(layer, DenseSpec):
+                    prepared.append(_prepare_dense(layer))
+                else:  # pragma: no cover - exhaustive over LayerSpec
+                    raise AccuracyModelError(f"unknown layer spec {layer!r}")
+            self._prepared = prepared
+            self._prepared_signature = signature
+        return self._prepared
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if self.input_params is None:
+            raise AccuracyModelError(
+                "QuantCNN.calibrate must run before forward"
+            )
+        if x.ndim != 4:
+            raise AccuracyModelError(
+                f"input must be (N, C, H, W), got shape {x.shape}"
+            )
 
     # ------------------------------------------------------------------
 
@@ -161,28 +481,18 @@ class QuantCNN:
         Returns:
             Float logits (N, classes).
         """
-        if self.input_params is None:
-            raise AccuracyModelError(
-                "QuantCNN.calibrate must run before forward"
-            )
-        if x.ndim != 4:
-            raise AccuracyModelError(
-                f"input must be (N, C, H, W), got shape {x.shape}"
-            )
-
+        self._check_input(x)
         codes = quantize_tensor(x, self.input_params)
         scale = self.input_params.scale
         value = codes.astype(np.int64)
 
-        for layer in self.layers:
-            if isinstance(layer, ConvSpec):
+        for layer in self.prepared_layers():
+            if isinstance(layer, _PreparedConv):
                 value, scale = self._conv(value, scale, layer, multiply)
             elif isinstance(layer, PoolSpec):
                 value = self._pool(value, layer)
-            elif isinstance(layer, DenseSpec):
+            else:
                 value, scale = self._dense(value, scale, layer, multiply)
-            else:  # pragma: no cover - exhaustive over LayerSpec
-                raise AccuracyModelError(f"unknown layer spec {layer!r}")
         return value.astype(np.float64) * scale
 
     def predict(
@@ -190,6 +500,51 @@ class QuantCNN:
     ) -> np.ndarray:
         """Argmax class predictions for a float batch."""
         return np.argmax(self.forward(x, multiply), axis=1)
+
+    # --- stacked (library-batched) path ---------------------------------
+
+    def forward_stack(
+        self, x: np.ndarray, multipliers: Sequence[LutMultiplier]
+    ) -> np.ndarray:
+        """Run a float batch under a stack of M LUT multipliers at once.
+
+        Args:
+            x: inputs shaped (N, C, H, W).
+            multipliers: LUT multipliers sharing one operand geometry.
+
+        Returns:
+            Float logits (M, N, classes); slice ``[i]`` is bit-identical
+            to ``forward(x, multipliers[i])``.
+
+        Raises:
+            AccuracyModelError: on empty stacks or mixed operand widths
+                (mixed-width stacks have no shared index space; fall
+                back to the scalar path for those).
+        """
+        self._check_input(x)
+        stack = _LutStack(multipliers)
+
+        codes = quantize_tensor(x, self.input_params)
+        # int16 activations: lossless for int8-range codes, and byte
+        # masking (& 0xFF) still yields the two's-complement byte
+        value = codes.astype(np.int16)[np.newaxis]  # (1, N, C, H, W)
+        scales = np.full(stack.count, self.input_params.scale, dtype=np.float64)
+
+        for layer in self.prepared_layers():
+            if isinstance(layer, _PreparedConv):
+                value, scales = self._conv_stack(value, scales, layer, stack)
+            elif isinstance(layer, PoolSpec):
+                value = self._pool_stack(value, layer)
+            else:
+                value, scales = self._dense_stack(value, scales, layer, stack)
+        tail = (scales.shape[0],) + (1,) * (value.ndim - 1)
+        return value.astype(np.float64) * scales.reshape(tail)
+
+    def predict_stack(
+        self, x: np.ndarray, multipliers: Sequence[LutMultiplier]
+    ) -> np.ndarray:
+        """Argmax predictions (M, N) under a stack of LUT multipliers."""
+        return np.argmax(self.forward_stack(x, multipliers), axis=2)
 
     # --- layer implementations ------------------------------------------
 
@@ -210,36 +565,70 @@ class QuantCNN:
         self,
         value: np.ndarray,
         scale: float,
-        layer: ConvSpec,
+        layer: _PreparedConv,
         multiply: MultiplyFn,
     ) -> Tuple[np.ndarray, float]:
-        out_c, in_c, k, _ = layer.weights.shape
-        if value.shape[1] != in_c:
+        if value.shape[1] != layer.in_c:
             raise AccuracyModelError(
-                f"conv expects {in_c} input channels, got {value.shape[1]}"
+                f"conv expects {layer.in_c} input channels, got {value.shape[1]}"
             )
-        w_params = calibrate_scale(layer.weights)
-        w_codes = quantize_tensor(layer.weights, w_params).astype(np.int64)
-
-        cols, out_h, out_w = _im2col(value, k, layer.stride, layer.padding)
-        w_matrix = w_codes.reshape(out_c, -1).T  # (in_c*k*k, out_c)
+        cols, out_h, out_w = _im2col(
+            value, layer.kernel, layer.stride, layer.padding
+        )
 
         n = value.shape[0]
-        accum = np.empty((n, out_h * out_w, out_c), dtype=np.int64)
+        accum = np.empty((n, out_h * out_w, layer.out_c), dtype=np.int64)
         for image in range(n):
-            accum[image] = _lut_matmul(cols[image], w_matrix, multiply)
+            accum[image] = _lut_matmul(cols[image], layer.w_matrix, multiply)
 
         if layer.bias is not None:
             bias_codes = np.round(
-                layer.bias / (scale * w_params.scale)
+                layer.bias / (scale * layer.w_scale)
             ).astype(np.int64)
             accum += bias_codes[np.newaxis, np.newaxis, :]
 
-        accum = accum.transpose(0, 2, 1).reshape(n, out_c, out_h, out_w)
-        codes, new_scale = self._requantize(accum, scale, w_params.scale)
+        accum = accum.transpose(0, 2, 1).reshape(n, layer.out_c, out_h, out_w)
+        codes, new_scale = self._requantize(accum, scale, layer.w_scale)
         if layer.relu:
             codes = np.maximum(codes, 0)
         return codes, new_scale
+
+    def _conv_stack(
+        self,
+        value: np.ndarray,
+        scales: np.ndarray,
+        layer: _PreparedConv,
+        stack: _LutStack,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ma, n = value.shape[0], value.shape[1]
+        if value.shape[2] != layer.in_c:
+            raise AccuracyModelError(
+                f"conv expects {layer.in_c} input channels, got {value.shape[2]}"
+            )
+        flat = value.reshape((ma * n,) + value.shape[2:])
+        cols, out_h, out_w = _im2col(
+            flat, layer.kernel, layer.stride, layer.padding
+        )
+        cols = cols.reshape(ma, n * out_h * out_w, cols.shape[2])
+
+        accum = _lut_matmul_stack(cols, layer.w_index, stack)
+        m_count = stack.count
+        accum = accum.reshape(m_count, n, out_h * out_w, layer.out_c)
+
+        if layer.bias is not None:
+            factors = scales * layer.w_scale
+            bias_codes = np.round(
+                layer.bias[np.newaxis, :] / factors[:, np.newaxis]
+            ).astype(np.int64)
+            accum += bias_codes[:, np.newaxis, np.newaxis, :]
+
+        accum = accum.transpose(0, 1, 3, 2).reshape(
+            m_count, n, layer.out_c, out_h, out_w
+        )
+        codes, new_scales = _requantize_stack(accum, scales, layer.w_scale)
+        if layer.relu:
+            codes = np.maximum(codes, 0)
+        return codes, new_scales
 
     @staticmethod
     def _pool(value: np.ndarray, layer: PoolSpec) -> np.ndarray:
@@ -252,30 +641,63 @@ class QuantCNN:
         reshaped = value.reshape(n, c, h // k, k, w // k, k)
         return reshaped.max(axis=(3, 5))
 
+    @staticmethod
+    def _pool_stack(value: np.ndarray, layer: PoolSpec) -> np.ndarray:
+        ma, n, c, h, w = value.shape
+        k = layer.kernel
+        if h % k or w % k:
+            raise AccuracyModelError(
+                f"pool kernel {k} does not tile input {h}x{w}"
+            )
+        reshaped = value.reshape(ma, n, c, h // k, k, w // k, k)
+        return reshaped.max(axis=(4, 6))
+
     def _dense(
         self,
         value: np.ndarray,
         scale: float,
-        layer: DenseSpec,
+        layer: _PreparedDense,
         multiply: MultiplyFn,
     ) -> Tuple[np.ndarray, float]:
         n = value.shape[0]
         flat = value.reshape(n, -1)
-        out_f, in_f = layer.weights.shape
-        if flat.shape[1] != in_f:
+        if flat.shape[1] != layer.in_f:
             raise AccuracyModelError(
-                f"dense expects {in_f} features, got {flat.shape[1]}"
+                f"dense expects {layer.in_f} features, got {flat.shape[1]}"
             )
-        w_params = calibrate_scale(layer.weights)
-        w_codes = quantize_tensor(layer.weights, w_params).astype(np.int64)
-
-        accum = _lut_matmul(flat, w_codes.T, multiply)
+        accum = _lut_matmul(flat, layer.w_matrix, multiply)
         if layer.bias is not None:
             accum = accum + np.round(
-                layer.bias / (scale * w_params.scale)
+                layer.bias / (scale * layer.w_scale)
             ).astype(np.int64)
 
-        codes, new_scale = self._requantize(accum, scale, w_params.scale)
+        codes, new_scale = self._requantize(accum, scale, layer.w_scale)
         if layer.relu:
             codes = np.maximum(codes, 0)
         return codes, new_scale
+
+    def _dense_stack(
+        self,
+        value: np.ndarray,
+        scales: np.ndarray,
+        layer: _PreparedDense,
+        stack: _LutStack,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ma, n = value.shape[0], value.shape[1]
+        flat = value.reshape(ma, n, -1)
+        if flat.shape[2] != layer.in_f:
+            raise AccuracyModelError(
+                f"dense expects {layer.in_f} features, got {flat.shape[2]}"
+            )
+        accum = _lut_matmul_stack(flat, layer.w_index, stack)
+        if layer.bias is not None:
+            factors = scales * layer.w_scale
+            bias_codes = np.round(
+                layer.bias[np.newaxis, :] / factors[:, np.newaxis]
+            ).astype(np.int64)
+            accum = accum + bias_codes[:, np.newaxis, :]
+
+        codes, new_scales = _requantize_stack(accum, scales, layer.w_scale)
+        if layer.relu:
+            codes = np.maximum(codes, 0)
+        return codes, new_scales

@@ -62,6 +62,20 @@ class SyntheticTask:
         predictions = self.model.predict(self.test_x, fn)
         return float(np.mean(predictions == self.test_y))
 
+    def accuracy_batch(self, multipliers) -> np.ndarray:
+        """Top-1 accuracy under a stack of LUT multipliers, one pass.
+
+        Args:
+            multipliers: :class:`~repro.approx.lut.LutMultiplier`
+                sequence sharing one operand geometry.
+
+        Returns:
+            Float accuracies (M,); entry ``i`` equals
+            ``accuracy(multipliers[i])`` bit for bit.
+        """
+        predictions = self.model.predict_stack(self.test_x, multipliers)
+        return np.mean(predictions == self.test_y[np.newaxis, :], axis=1)
+
 
 def _smooth_noise(
     rng: np.random.Generator, shape: Tuple[int, ...], smoothing: int = 3

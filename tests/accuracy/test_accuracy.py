@@ -139,6 +139,49 @@ class TestBehavioralValidator:
             validator.ranking_agreement(list(library)[:2], [1.0, 2.0])
 
 
+class TestBatchedValidator:
+    """Library-batched drops must be bit-identical to the scalar loop."""
+
+    def _task(self):
+        return make_task(seed=0, n_train_per_class=15, n_test_per_class=10)
+
+    def test_drop_percents_match_scalar(self, library):
+        scalar = BehavioralValidator(task=self._task())
+        batched = BehavioralValidator(task=self._task())
+        expected = [scalar.drop_percent(m) for m in library]
+        got = batched.drop_percents(list(library))
+        assert got == expected  # bit-identical, not approx
+
+    def test_drop_percents_populates_cache(self, library):
+        validator = BehavioralValidator(task=self._task())
+        drops = validator.drop_percents(list(library))
+        # subsequent scalar queries hit the cache with the same values
+        assert [validator.drop_percent(m) for m in library] == drops
+
+    def test_partial_cache_mixed_batch(self, library):
+        validator = BehavioralValidator(task=self._task())
+        warm = validator.drop_percent(library[0])
+        drops = validator.drop_percents(list(library))
+        assert drops[0] == warm
+
+    def test_duplicates_handled(self, library):
+        validator = BehavioralValidator(task=self._task())
+        twice = validator.drop_percents([library[1], library[1]])
+        assert twice[0] == twice[1]
+
+    def test_ranking_agreement_unchanged_by_batching(self, library):
+        model = AnalyticalAccuracyModel()
+        multipliers = list(library)
+        analytical = [model.drop_percent("vgg16", m) for m in multipliers]
+        batched = BehavioralValidator(task=self._task())
+        scalar = BehavioralValidator(task=self._task())
+        for m in multipliers:
+            scalar.drop_percent(m)  # pre-populate via the scalar path
+        assert batched.ranking_agreement(
+            multipliers, analytical
+        ) == scalar.ranking_agreement(multipliers, analytical)
+
+
 class TestPredictor:
     def test_memoisation(self, library):
         predictor = AccuracyPredictor()

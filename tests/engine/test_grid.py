@@ -1,0 +1,116 @@
+"""Property tests for the sharded experiment-grid runner.
+
+The contract under test: ``GridRunner.map`` returns the same values in
+the same order for every mode (serial/thread/process) and every shard
+count — sharding changes scheduling only, never results.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.grid import (
+    GridConfig,
+    GridRunner,
+    shared_process_pool,
+    shutdown_shared_pools,
+)
+from repro.errors import ExperimentError
+
+
+def square_offset(value, offset):
+    """Top-level picklable cell function."""
+    return value * value + offset
+
+
+def tag_pid(value):
+    """Returns (value, executing pid) — for placement checks."""
+    return value, os.getpid()
+
+
+CELLS = [(value, 100) for value in range(11)]
+EXPECTED = [value * value + 100 for value in range(11)]
+
+
+class TestGridConfig:
+    def test_defaults(self):
+        config = GridConfig()
+        assert config.mode == "auto"
+        assert config.resolved_workers() >= 1
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown grid mode"):
+            GridConfig(mode="banana")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ExperimentError, match="workers"):
+            GridConfig(workers=0)
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ExperimentError, match="shards"):
+            GridConfig(shards=0)
+
+
+class TestSharding:
+    def test_shards_concatenate_to_input(self):
+        for count in (1, 2, 3, 5, 11, 40):
+            runner = GridRunner(GridConfig(shards=count))
+            shards = runner.shard_cells(CELLS)
+            assert [c for shard in shards for c in shard] == CELLS
+            assert len(shards) == min(count, len(CELLS))
+
+    def test_shard_sizes_balanced(self):
+        runner = GridRunner(GridConfig(shards=3))
+        sizes = [len(s) for s in runner.shard_cells(CELLS)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDeterministicResults:
+    def test_serial_reference(self):
+        runner = GridRunner(GridConfig(mode="serial"))
+        assert runner.map(square_offset, CELLS) == EXPECTED
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 11])
+    def test_thread_mode_identical_any_shards(self, shards):
+        runner = GridRunner(GridConfig(mode="thread", workers=4, shards=shards))
+        assert runner.map(square_offset, CELLS) == EXPECTED
+
+    @pytest.mark.parametrize("shards", [1, 2, 11])
+    def test_process_mode_identical_any_shards(self, shards):
+        runner = GridRunner(
+            GridConfig(mode="process", workers=2, shards=shards)
+        )
+        assert runner.map(square_offset, CELLS) == EXPECTED
+
+    def test_empty_cells(self):
+        runner = GridRunner(GridConfig(mode="process", workers=2))
+        assert runner.map(square_offset, []) == []
+
+    def test_auto_resolution(self):
+        runner = GridRunner(GridConfig(mode="auto", workers=1))
+        assert runner.resolved_mode(8) == "serial"
+        multi = GridRunner(GridConfig(mode="auto", workers=4))
+        assert multi.resolved_mode(8) == "process"
+        assert multi.resolved_mode(1) == "serial"
+
+
+class TestWarmPoolReuse:
+    def test_pool_persists_across_runs(self):
+        pool_a = shared_process_pool(2)
+        pool_b = shared_process_pool(2)
+        assert pool_a is pool_b
+
+    def test_workers_reused_across_maps(self):
+        # single-cell grids run in-process by design, so use two cells
+        runner = GridRunner(GridConfig(mode="process", workers=1, shards=1))
+        first = runner.map(tag_pid, [(1,), (2,)])
+        second = runner.map(tag_pid, [(3,), (4,)])
+        assert first[0][1] == second[0][1]  # same worker process
+        assert first[0][1] != os.getpid()
+
+    def test_shutdown_then_fresh_pool(self):
+        before = shared_process_pool(2)
+        shutdown_shared_pools()
+        after = shared_process_pool(2)
+        assert after is not before
+        shutdown_shared_pools()

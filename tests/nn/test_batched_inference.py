@@ -1,0 +1,267 @@
+"""Property tests: the M-multiplier batched forward == scalar forward.
+
+The batched engine must be an *observation-free* optimisation: for every
+multiplier in the stack, logits, predictions, and intermediate
+quantisation must reproduce the scalar reference bit for bit.  These
+tests pin that contract on the tiny models the behavioural study uses,
+including awkward strides, paddings, biases, and degenerate LUTs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.lut import LutMultiplier
+from repro.errors import AccuracyModelError
+from repro.nn.inference import (
+    ConvSpec,
+    DenseSpec,
+    PoolSpec,
+    QuantCNN,
+    _im2col,
+    _LutStack,
+)
+from repro.nn.synthetic import make_task
+
+
+def _lut_library(seed: int = 0, count: int = 5):
+    """Exact + assorted approximate 8x8 LUTs (deterministic)."""
+    exact = LutMultiplier.exact(8, 8)
+    rng = np.random.default_rng(seed)
+    luts = [exact]
+    for index in range(count - 1):
+        noise = rng.integers(-400, 400, size=exact.table.shape)
+        table = np.maximum(exact.table + noise * (index + 1), 0)
+        luts.append(
+            LutMultiplier(table.astype(np.int64), 8, 8, name=f"noisy{index}")
+        )
+    return luts
+
+
+def _model(seed: int = 0) -> QuantCNN:
+    rng = np.random.default_rng(seed)
+    return QuantCNN(
+        layers=[
+            ConvSpec(
+                weights=rng.standard_normal((4, 1, 3, 3)) * 0.3,
+                bias=rng.standard_normal(4) * 0.1,
+            ),
+            PoolSpec(2),
+            ConvSpec(
+                weights=rng.standard_normal((6, 4, 3, 3)) * 0.3,
+                stride=2,
+                padding=1,
+            ),
+            DenseSpec(
+                weights=rng.standard_normal((3, 6 * 2 * 2)) * 0.3,
+                bias=rng.standard_normal(3) * 0.1,
+                relu=True,
+            ),
+        ]
+    )
+
+
+class TestForwardStackBitIdentity:
+    @pytest.fixture(scope="class")
+    def calibrated(self):
+        model = _model()
+        x = np.random.default_rng(1).standard_normal((7, 1, 8, 8))
+        model.calibrate(x)
+        return model, x
+
+    def test_every_multiplier_matches_scalar(self, calibrated):
+        model, x = calibrated
+        luts = _lut_library()
+        stacked = model.forward_stack(x, luts)
+        assert stacked.shape == (len(luts), 7, 3)
+        for index, lut in enumerate(luts):
+            scalar = model.forward(x, lut)
+            assert np.array_equal(stacked[index], scalar), lut.name
+
+    def test_single_multiplier_stack(self, calibrated):
+        model, x = calibrated
+        lut = _lut_library()[2]
+        stacked = model.forward_stack(x, [lut])
+        assert np.array_equal(stacked[0], model.forward(x, lut))
+
+    def test_duplicate_multipliers_agree(self, calibrated):
+        model, x = calibrated
+        lut = _lut_library()[1]
+        stacked = model.forward_stack(x, [lut, lut, lut])
+        assert np.array_equal(stacked[0], stacked[1])
+        assert np.array_equal(stacked[1], stacked[2])
+
+    def test_predict_stack_matches_predict(self, calibrated):
+        model, x = calibrated
+        luts = _lut_library()
+        predictions = model.predict_stack(x, luts)
+        for index, lut in enumerate(luts):
+            assert np.array_equal(predictions[index], model.predict(x, lut))
+
+    def test_degenerate_zero_lut(self, calibrated):
+        """An all-zero LUT (accuracy-destroying) still matches scalar."""
+        model, x = calibrated
+        zero = LutMultiplier(np.zeros(65536, dtype=np.int64), 8, 8, name="zero")
+        stacked = model.forward_stack(x, [zero])
+        assert np.array_equal(stacked[0], model.forward(x, zero))
+
+    def test_random_models_and_seeds(self):
+        """Sweep model/data seeds — forward == forward_stack everywhere."""
+        luts = _lut_library(seed=9, count=3)
+        for seed in range(4):
+            model = _model(seed=seed + 10)
+            x = np.random.default_rng(seed).standard_normal((3, 1, 8, 8))
+            model.calibrate(x)
+            stacked = model.forward_stack(x, luts)
+            for index, lut in enumerate(luts):
+                assert np.array_equal(stacked[index], model.forward(x, lut))
+
+    def test_synthetic_task_model(self):
+        """The real behavioural-study model: batched == scalar."""
+        task = make_task(seed=3, n_train_per_class=5, n_test_per_class=4)
+        luts = _lut_library(seed=5, count=4)
+        stacked = task.model.forward_stack(task.test_x, luts)
+        for index, lut in enumerate(luts):
+            assert np.array_equal(
+                stacked[index], task.model.forward(task.test_x, lut)
+            )
+
+    def test_accuracy_batch_matches_accuracy(self):
+        task = make_task(seed=4, n_train_per_class=5, n_test_per_class=4)
+        luts = _lut_library(seed=6, count=4)
+        batched = task.model.predict_stack(task.test_x, luts)
+        accuracies = task.accuracy_batch(luts)
+        for index, lut in enumerate(luts):
+            assert accuracies[index] == task.accuracy(lut)
+            assert np.array_equal(
+                batched[index], task.model.predict(task.test_x, lut)
+            )
+
+
+class TestForwardStackValidation:
+    def test_empty_stack_rejected(self):
+        model = _model()
+        model.calibrate(np.zeros((1, 1, 8, 8)))
+        with pytest.raises(AccuracyModelError, match="empty"):
+            model.forward_stack(np.zeros((1, 1, 8, 8)), [])
+
+    def test_mixed_widths_rejected(self):
+        model = _model()
+        model.calibrate(np.zeros((1, 1, 8, 8)))
+        mixed = [LutMultiplier.exact(8, 8), LutMultiplier.exact(8, 7)]
+        with pytest.raises(AccuracyModelError, match="uniform"):
+            model.forward_stack(np.zeros((1, 1, 8, 8)), mixed)
+
+    def test_requires_calibration(self):
+        model = _model()
+        with pytest.raises(AccuracyModelError, match="calibrate"):
+            model.forward_stack(np.zeros((1, 1, 8, 8)), [LutMultiplier.exact()])
+
+    def test_input_shape_checked(self):
+        model = _model()
+        model.calibrate(np.zeros((1, 1, 8, 8)))
+        with pytest.raises(AccuracyModelError, match="N, C, H, W"):
+            model.forward_stack(np.zeros((8, 8)), [LutMultiplier.exact()])
+
+
+class TestSignedTable:
+    def test_matches_signed_product_everywhere(self):
+        """The folded table reproduces signed_product for all byte pairs."""
+        lut = _lut_library(seed=2, count=2)[1]
+        table = _LutStack._signed_table(lut)
+        unsigned = np.arange(256)
+        signed = np.where(unsigned < 128, unsigned, unsigned - 256)
+        grid_a = np.tile(signed, 256)
+        grid_b = np.repeat(signed, 256)
+        expected = lut.signed_product(grid_a, grid_b)
+        index = unsigned[np.newaxis, :] + (unsigned[:, np.newaxis] << 8)
+        assert np.array_equal(table[index.reshape(-1)], expected)
+
+    def test_int32_narrowing_is_lossless(self):
+        luts = _lut_library()
+        stack = _LutStack(luts)
+        assert stack.tables.dtype == np.int32
+        wide = _LutStack._signed_table(luts[1])
+        assert np.array_equal(stack.tables[1], wide)
+
+    def test_huge_products_stay_int64(self):
+        big = LutMultiplier(
+            np.full(65536, 2**40, dtype=np.int64), 8, 8, name="big"
+        )
+        stack = _LutStack([big])
+        assert stack.tables.dtype == np.int64
+
+
+class TestIm2colVectorised:
+    def _reference(self, x, kernel, stride, padding):
+        """The seed's double-loop patch extraction."""
+        n, c, h, w = x.shape
+        if padding:
+            x = np.pad(
+                x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+            )
+        out_h = (h + 2 * padding - kernel) // stride + 1
+        out_w = (w + 2 * padding - kernel) // stride + 1
+        cols = np.empty((n, out_h * out_w, c * kernel * kernel), dtype=x.dtype)
+        index = 0
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x[
+                    :,
+                    :,
+                    i * stride : i * stride + kernel,
+                    j * stride : j * stride + kernel,
+                ]
+                cols[:, index, :] = patch.reshape(n, -1)
+                index += 1
+        return cols, out_h, out_w
+
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        (3, 1, 1), (3, 2, 1), (3, 1, 0), (1, 1, 0), (2, 2, 0), (3, 3, 2),
+    ])
+    def test_matches_loop_reference(self, kernel, stride, padding):
+        rng = np.random.default_rng(kernel * 10 + stride + padding)
+        x = rng.integers(-127, 128, size=(3, 2, 9, 9)).astype(np.int64)
+        got, out_h, out_w = _im2col(x, kernel, stride, padding)
+        want, ref_h, ref_w = self._reference(x, kernel, stride, padding)
+        assert (out_h, out_w) == (ref_h, ref_w)
+        assert np.array_equal(got, want)
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(AccuracyModelError, match="does not fit"):
+            _im2col(np.zeros((1, 1, 4, 4)), 6, 1, 0)
+
+
+class TestPreparedLayerMemoisation:
+    def test_prepared_layers_cached(self):
+        model = _model()
+        assert model.prepared_layers() is model.prepared_layers()
+
+    def test_cache_invalidated_on_layer_change(self):
+        model = _model()
+        before = model.prepared_layers()
+        model.layers = list(model.layers[:-1])
+        after = model.prepared_layers()
+        assert after is not before
+        assert len(after) == len(model.layers)
+
+    def test_forward_unchanged_by_repeated_calls(self):
+        model = _model()
+        x = np.random.default_rng(2).standard_normal((2, 1, 8, 8))
+        model.calibrate(x)
+        first = model.forward(x)
+        second = model.forward(x)
+        assert np.array_equal(first, second)
+
+    def test_inplace_weight_mutation_invalidates_cache(self):
+        """The seed re-quantised every forward; mutation must still bite."""
+        model = _model()
+        x = np.random.default_rng(5).standard_normal((2, 1, 8, 8))
+        model.calibrate(x)
+        before = model.forward(x)
+        model.layers[0].weights[:] *= 2.0  # frozen spec, mutable array
+        after = model.forward(x)
+        fresh = _model()
+        fresh.layers[0].weights[:] *= 2.0
+        fresh.calibrate(x)
+        assert np.array_equal(after, fresh.forward(x))
+        assert not np.array_equal(before, after)
