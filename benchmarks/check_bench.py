@@ -1,0 +1,82 @@
+"""Benchmark gate: bit-identity and speedup assertions over BENCH JSON.
+
+One script usable locally and in CI (it replaces the inline heredoc
+gates the workflow used to carry)::
+
+    python benchmarks/check_bench.py BENCH_search.json BENCH_accuracy.json
+    python benchmarks/check_bench.py BENCH_search.json --min-speedup 3.0
+
+Each report must carry ``all_identical: true`` (bit-identity is the
+*hard* gate — an engine that diverges from the serial reference is
+wrong, not slow) and a speedup at or above ``--min-speedup``
+(``min_speedup`` for multi-problem reports like ``BENCH_search.json``,
+``speedup`` for single-number reports like ``BENCH_accuracy.json``).
+
+The default speedup bar is deliberately loose (1.5x): smoke runs on
+shared CI runners see multi-x timer noise, so identity is enforced
+strictly and throughput only sanity-checked.  Nightly paper-scale runs
+pass a higher bar explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def check_report(path: str, min_speedup: float) -> List[str]:
+    """Validate one BENCH report; returns a list of failure messages."""
+    failures: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable report ({exc})"]
+
+    name = report.get("benchmark", path)
+    identical = report.get("all_identical")
+    if identical is not True:
+        failures.append(
+            f"{name}: all_identical={identical!r} — engine diverged from "
+            "the serial reference"
+        )
+
+    speedup = report.get("min_speedup", report.get("speedup"))
+    if speedup is None:
+        failures.append(f"{name}: report carries no speedup field")
+    elif speedup < min_speedup:
+        failures.append(
+            f"{name}: speedup {speedup} below the {min_speedup}x gate"
+        )
+
+    if not failures:
+        print(f"ok: {name} — identical=True, speedup={speedup}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Enforce bit-identity and speedup gates on BENCH_*.json"
+    )
+    parser.add_argument(
+        "reports", nargs="+", metavar="REPORT.json",
+        help="benchmark report files to check",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="minimum acceptable speedup (default: 1.5, the smoke bar)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    for path in args.reports:
+        failures.extend(check_report(path, args.min_speedup))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.accuracy.predictor import AccuracyPredictor
-from repro.approx.library import ApproxLibrary, build_library
+from repro.approx.library import ApproxLibrary
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 
 

@@ -293,9 +293,10 @@ def build_library(
         use_cache: reuse a previously built identical library.
         engine: population-evaluation policy for the NSGA-II searches
             (every mode returns bit-identical libraries, so it is not
-            part of the memo key).  ``process`` is downgraded to
-            ``thread``: the pruning evaluator closes over live circuit
-            state and cannot cross a process boundary.
+            part of the memo key).  ``process`` and ``batch`` are
+            downgraded to ``thread``: the pruning evaluator closes over
+            live circuit state that cannot cross a process boundary,
+            and it has no batch fast path.
         cache_dir: optional directory for the on-disk objective cache,
             so rebuilding the same library in a fresh process (or a
             forked grid worker) skips re-simulating pruned circuits.
@@ -307,7 +308,13 @@ def build_library(
     )
     if use_cache and key in _LIBRARY_CACHE:
         return _LIBRARY_CACHE[key]
-    if engine is not None and engine.mode == "process":
+    if engine is not None and engine.mode in ("process", "batch"):
+        # process: the pruning evaluator closes over live circuit state
+        # and cannot cross a process boundary.  batch: the pruning
+        # search has no batch_evaluate callable (that fast path belongs
+        # to the architecture GA), so the setting would be rejected at
+        # evaluator construction.  Either way thread mode returns a
+        # bit-identical library.
         engine = EngineConfig(
             mode="thread", workers=engine.workers, chunk_size=engine.chunk_size
         )

@@ -12,9 +12,28 @@ Exposes the headline flows without writing Python::
 
 ``--fast`` shrinks every search for smoke runs; omit it for the
 paper-scale settings used in EXPERIMENTS.md.  The experiment commands
-accept ``--grid-mode {auto,serial,thread,process}``, ``--grid-workers``
-and ``--shards`` to control how the harness's cells are sharded across
-the persistent worker pool (every mode prints identical results).
+accept ``--grid-mode {auto,serial,thread,process,remote}``,
+``--grid-workers`` and ``--shards`` to control which execution backend
+runs the harness's cells and how they are sharded (every backend prints
+identical results).
+
+Multi-node runs use the ``remote`` backend: the harness process becomes
+a TCP coordinator and worker daemons pull cells from it::
+
+    # single machine, 2 locally spawned worker daemons
+    python -m repro pareto-sweep --fast --grid-mode remote \
+        --coordinator 127.0.0.1:0 --grid-workers 2
+
+    # multi-node: bind a routable address, spawn no local workers ...
+    python -m repro fig3 --grid-mode remote \
+        --coordinator 0.0.0.0:7777 --grid-workers 0
+
+    # ... and attach workers from any machine that shares the code
+    python -m repro.engine.worker --connect COORDINATOR_HOST:7777
+
+Workers may join mid-run; a worker that dies mid-cell has its cell
+reassigned.  Results are bit-identical to ``--grid-mode serial`` in
+every case.
 """
 
 from __future__ import annotations
@@ -39,7 +58,15 @@ def _settings(args: argparse.Namespace):
         overrides["grid_workers"] = args.grid_workers
     if getattr(args, "shards", None) is not None:
         overrides["grid_shards"] = args.shards
-    return replace(settings, **overrides) if overrides else settings
+    if getattr(args, "coordinator", None) is not None:
+        overrides["grid_coordinator"] = args.coordinator
+    if overrides:
+        settings = replace(settings, **overrides)
+        # surface invalid grid options (e.g. --coordinator without
+        # --grid-mode remote) now, not after the minutes-long library
+        # build that every harness runs first
+        settings.grid_runner()
+    return settings
 
 
 def _write(path: Optional[str], text: str) -> None:
@@ -195,18 +222,30 @@ def build_parser() -> argparse.ArgumentParser:
         if json_out:
             p.add_argument("--json", default=None, help="write results JSON")
         if grid_opts:
+            from repro.engine.grid import grid_modes
+
             p.add_argument(
                 "--grid-mode", default=None,
-                choices=["auto", "serial", "thread", "process"],
-                help="how experiment cells are sharded (results identical)",
+                choices=list(grid_modes()),
+                help="execution backend for the experiment cells "
+                "(results identical for every choice)",
             )
             p.add_argument(
                 "--grid-workers", type=int, default=None,
-                help="worker count for the sharded grid modes",
+                help="worker count for the sharded grid modes; with "
+                "--grid-mode remote, the number of locally spawned "
+                "worker daemons (0 = external workers only)",
             )
             p.add_argument(
                 "--shards", type=int, default=None,
-                help="shard count override (default: one per worker)",
+                help="shard count override (default: one per worker, "
+                "or one per cell in remote mode)",
+            )
+            p.add_argument(
+                "--coordinator", default=None, metavar="HOST:PORT",
+                help="remote-mode bind address (default 127.0.0.1:0); "
+                "bind a routable host and attach workers with "
+                "'python -m repro.engine.worker --connect HOST:PORT'",
             )
 
     p = sub.add_parser("library", help="print the step-1 multiplier library")

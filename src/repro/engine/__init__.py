@@ -19,24 +19,44 @@ that make the searches fast without changing a single result:
 * :mod:`repro.engine.diskcache` — :class:`FitnessDiskCache`: opt-in
   on-disk memoisation keyed by a hash of (genome, network, node,
   constraints, grid) so repeated experiment runs warm-start;
+* :mod:`repro.engine.backends` — the pluggable dispatch layer:
+  :class:`ExecutorBackend` implementations (``serial`` / ``thread`` /
+  the persistent warm ``process`` pool / the TCP ``remote``
+  coordinator) shared by the grid runner and the population
+  evaluator, plus the registry that makes new strategies one-file
+  additions;
+* :mod:`repro.engine.worker` — the remote worker daemon
+  (``python -m repro.engine.worker --connect HOST:PORT``) that pulls
+  pickled cell shards from a coordinator and streams results back;
 * :mod:`repro.engine.grid` — :class:`GridRunner`: experiment cells
-  sharded across a persistent process pool (created once, reused
-  across designer runs) with deterministically ordered results
-  regardless of shard count.
+  sharded across the configured backend with deterministically ordered
+  results regardless of shard count, worker count, or worker failures.
 
 Every fast path keeps its serial counterpart in-tree as the reference
 implementation; the property tests under ``tests/engine`` assert exact
 agreement.
 """
 
+from repro.engine.backends import (
+    PROTOCOL_VERSION,
+    ExecutorBackend,
+    ProcessBackend,
+    RemoteBackend,
+    RemoteCoordinator,
+    SerialBackend,
+    ThreadBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+    shared_process_pool,
+    shared_remote_backend,
+    shutdown_remote_backends,
+    shutdown_shared_pools,
+    spawn_local_worker,
+)
 from repro.engine.batch import BatchNetworkEvaluator
 from repro.engine.diskcache import FitnessDiskCache
-from repro.engine.grid import (
-    GridConfig,
-    GridRunner,
-    shared_process_pool,
-    shutdown_shared_pools,
-)
+from repro.engine.grid import GridConfig, GridRunner
 from repro.engine.population import EngineConfig, PopulationEvaluator
 from repro.engine.vectorized import (
     crowding_distance_np,
@@ -51,7 +71,20 @@ __all__ = [
     "FitnessDiskCache",
     "GridConfig",
     "GridRunner",
+    "PROTOCOL_VERSION",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "RemoteBackend",
+    "RemoteCoordinator",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+    "spawn_local_worker",
     "shared_process_pool",
+    "shared_remote_backend",
+    "shutdown_remote_backends",
     "shutdown_shared_pools",
     "EngineConfig",
     "PopulationEvaluator",

@@ -1,0 +1,770 @@
+"""Pluggable execution backends for experiment-grid and population dispatch.
+
+Every parallel path in the engine — the experiment grids
+(:class:`~repro.engine.grid.GridRunner`) and the population evaluator
+(:class:`~repro.engine.population.PopulationEvaluator`) — reduces to the
+same operation: evaluate ``fn(*cell)`` for shards of picklable cells and
+return the per-shard result lists *in shard order*.  This module owns
+that operation behind a small :class:`ExecutorBackend` protocol, so the
+dispatch strategy is a plug-in:
+
+* :class:`SerialBackend`  — the in-process reference implementation;
+* :class:`ThreadBackend`  — a ``ThreadPoolExecutor`` over shards;
+* :class:`ProcessBackend` — the persistent warm process pool
+  (:func:`shared_process_pool`), with serial degradation inside pool
+  workers and on a broken pool;
+* :class:`RemoteBackend`  — a TCP coordinator
+  (:class:`RemoteCoordinator`) that hands shards to worker daemons
+  started with ``python -m repro.engine.worker --connect HOST:PORT``,
+  on this machine or any other that shares the code (and, ideally, the
+  on-disk objective/fitness caches).
+
+New strategies (asyncio, SSH fan-out, a cluster scheduler) are one
+class plus a :func:`register_backend` call — nothing in ``grid.py`` or
+``population.py`` changes.
+
+Determinism contract: for every backend, ``map_shards(fn, shards)``
+returns exactly ``[[fn(*cell) for cell in shard] for shard in shards]``
+— parallelism, worker death, and reassignment can change *where* and
+*when* a shard runs, never what is returned or in which slot.  Cells
+must be pure functions of their arguments (module-level callables,
+picklable argument tuples).
+
+Remote wire protocol (version :data:`PROTOCOL_VERSION`): length-prefixed
+pickles over TCP (8-byte big-endian length, then the pickled dict).
+The worker opens with ``{"type": "hello", "protocol": N}``; the
+coordinator answers ``welcome`` or ``reject`` (version mismatch, bad
+handshake) and then serves a pull loop: worker sends ``ready``,
+coordinator answers ``task`` (shard id + function + cells) or
+``shutdown``; worker answers ``result`` or ``error``.  A worker that
+dies holding a task has the task requeued (at most :data:`MAX_REQUEUES`
+times); a worker that connects mid-run simply starts pulling remaining
+tasks.  Pickle implies *trusted networks only* — the coordinator
+executes nothing, but workers unpickle and run what the coordinator
+sends, so treat the port like an SSH key, not a public API.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+Cell = Tuple[Any, ...]
+
+#: Version of the coordinator/worker wire protocol.  Bump on any change
+#: to the message shapes below; the coordinator rejects mismatched
+#: workers at handshake instead of failing mid-run on a bad unpickle.
+PROTOCOL_VERSION = 1
+
+#: A shard is requeued at most this many times after worker deaths
+#: before the run fails — a cell that reliably kills its executor must
+#: not consume workers forever.
+MAX_REQUEUES = 3
+
+
+# --------------------------------------------------------------------------
+# Shared warm process pool (moved here from repro.engine.grid, which
+# re-exports these names for compatibility).
+# --------------------------------------------------------------------------
+
+#: Pools kept alive across runs, keyed by configured worker count.
+_PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_POOL_LOCK = threading.Lock()
+#: Pid that owns the registry — forked children inherit the dict but
+#: not the executors' manager threads, so they must never reuse it.
+_POOL_OWNER_PID: Optional[int] = None
+#: Set (via the pool initializer) in every worker process.
+_IN_POOL_WORKER = False
+
+
+def _mark_pool_worker() -> None:
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+def in_pool_worker() -> bool:
+    """True inside a shared-pool worker process.
+
+    Work dispatched from a worker must not open nested process pools
+    (executor teardown across fork levels deadlocks at interpreter
+    exit, and N x M workers oversubscribe the machine) — callers
+    degrade to in-process execution instead, which returns identical
+    results because cells and fitness are pure functions.
+    """
+    return _IN_POOL_WORKER
+
+
+def shared_process_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent process pool for a worker count (created once).
+
+    Create it *after* heavyweight shared state (the step-1 library, the
+    shared predictor) exists in the parent: workers fork with those
+    memos warm and never rebuild them.  Thread-safe — concurrent
+    callers (e.g. thread-mode grid cells whose GAs fan out to
+    processes) share one pool instead of leaking duplicates.
+
+    A forked child (a grid worker whose cell itself requests process
+    fan-out) inherits the registry dict but not the executors' manager
+    threads; using an inherited executor deadlocks.  The registry is
+    therefore pid-stamped: the first call in a new process drops every
+    inherited entry and builds its own pool.
+    """
+    global _POOL_OWNER_PID
+    with _POOL_LOCK:
+        pid = os.getpid()
+        if _POOL_OWNER_PID != pid:
+            # references only — the executors belong to the parent
+            _PROCESS_POOLS.clear()
+            _POOL_OWNER_PID = pid
+        pool = _PROCESS_POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers, initializer=_mark_pool_worker
+            )
+            _PROCESS_POOLS[workers] = pool
+        return pool
+
+
+def discard_process_pool(workers: int) -> None:
+    """Drop (and shut down) one persistent pool, e.g. after a break."""
+    with _POOL_LOCK:
+        pool = _PROCESS_POOLS.pop(workers, None)
+        owned = _POOL_OWNER_PID == os.getpid()
+    if pool is not None and owned:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every persistent pool (test teardown / interpreter exit)."""
+    with _POOL_LOCK:
+        pools = list(_PROCESS_POOLS.values())
+        _PROCESS_POOLS.clear()
+        owned = _POOL_OWNER_PID == os.getpid()
+    for pool in pools:
+        if owned:  # inherited executors belong to the parent process
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_shared_pools)
+
+
+def run_shard(fn: Callable[..., Any], cells: Sequence[Cell]) -> List[Any]:
+    """Evaluate one shard serially (also the serial reference path)."""
+    return [fn(*cell) for cell in cells]
+
+
+# --------------------------------------------------------------------------
+# The backend protocol and the in-process strategies.
+# --------------------------------------------------------------------------
+
+
+class ExecutorBackend:
+    """Strategy interface: evaluate shards, results in shard order.
+
+    ``map_shards(fn, shards)`` must equal
+    ``[[fn(*cell) for cell in shard] for shard in shards]`` for every
+    implementation — that identity is what the engine's bit-identity
+    guarantees rest on, and what ``tests/engine/test_backends.py``
+    asserts per backend.
+    """
+
+    #: Registry key; also the user-facing ``--grid-mode`` value.
+    name = "abstract"
+
+    def map_shards(
+        self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
+    ) -> List[List[Any]]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process, in-order evaluation — the reference implementation."""
+
+    name = "serial"
+
+    def map_shards(
+        self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
+    ) -> List[List[Any]]:
+        return [run_shard(fn, shard) for shard in shards]
+
+
+class ThreadBackend(ExecutorBackend):
+    """One ``ThreadPoolExecutor`` per call, shards as tasks."""
+
+    name = "thread"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, workers)
+
+    def map_shards(
+        self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
+    ) -> List[List[Any]]:
+        if not shards:
+            return []
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(shards))
+        ) as pool:
+            return list(pool.map(run_shard, [fn] * len(shards), shards))
+
+
+class ProcessBackend(ExecutorBackend):
+    """The persistent warm process pool from :func:`shared_process_pool`.
+
+    Keyed by the *configured* worker count so every run shares one
+    canonical pool.  Degrades to the serial reference inside a pool
+    worker (no nested pools) and when the pool breaks — results are a
+    pure function of the cells, so the answer is the same, only slower.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, workers)
+
+    def map_shards(
+        self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
+    ) -> List[List[Any]]:
+        if not shards:
+            return []
+        if in_pool_worker():
+            return [run_shard(fn, shard) for shard in shards]
+        pool = shared_process_pool(self.workers)
+        try:
+            return list(pool.map(run_shard, [fn] * len(shards), shards))
+        except BrokenProcessPool:
+            discard_process_pool(self.workers)
+            return [run_shard(fn, shard) for shard in shards]
+
+
+# --------------------------------------------------------------------------
+# Remote backend: message framing, coordinator, worker spawning.
+# --------------------------------------------------------------------------
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``HOST:PORT`` (the only accepted form) into its parts."""
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ExperimentError(
+            f"coordinator address must be HOST:PORT, got {address!r}"
+        )
+    return host, int(port)
+
+
+def send_msg(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Frame and send one protocol message (8-byte length + pickle)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(struct.pack(">Q", len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one framed message; ``None`` on a cleanly closed peer."""
+    header = _recv_exact(sock, 8)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">Q", header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+def spawn_local_worker(
+    address: str, extra_path: Sequence[str] = ()
+) -> "subprocess.Popen[bytes]":
+    """Start a worker daemon on *this* machine, attached to ``address``.
+
+    The child runs ``python -m repro.engine.worker --connect address``
+    with a ``PYTHONPATH`` that guarantees the ``repro`` package (and any
+    ``extra_path`` entries — e.g. a test-helper directory whose cell
+    functions the coordinator will pickle by reference) resolve to the
+    same code the coordinator is running.
+    """
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    paths = [src_root, *extra_path]
+    if env.get("PYTHONPATH"):
+        paths.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    command = [
+        sys.executable,
+        "-m",
+        "repro.engine.worker",
+        "--connect",
+        address,
+    ]
+    return subprocess.Popen(command, env=env)
+
+
+class RemoteCoordinator:
+    """TCP work server: shards out, per-shard results back, in order.
+
+    Args:
+        bind: ``HOST:PORT`` to listen on; port ``0`` picks an ephemeral
+            port (read the resolved one back from :attr:`address`).
+
+    The coordinator accepts workers for its whole lifetime and serves
+    any number of consecutive :meth:`map_shards` runs: daemons may
+    attach before a run starts or join mid-run and immediately pull
+    remaining shards, and between runs they idle on the connection
+    (workers are only shut down by :meth:`close`).  Per-connection
+    handler threads serve the pull loop; all run state is guarded by
+    one condition variable.
+
+    Fault tolerance: a connection that drops while holding a shard has
+    that shard requeued (bounded by :data:`MAX_REQUEUES`); because cells
+    are pure functions, re-execution elsewhere returns the identical
+    result.  A worker-side *exception* (as opposed to worker death) is
+    deterministic and therefore fatal to the run, exactly like the
+    serial reference.
+    """
+
+    def __init__(self, bind: str = "127.0.0.1:0"):
+        host, port = parse_address(bind)
+        self._server = socket.create_server((host, port))
+        self._server.settimeout(0.2)
+        self.host = host
+        self.port = self._server.getsockname()[1]
+        self._state = threading.Condition()
+        self._fn: Optional[Callable[..., Any]] = None
+        self._shards: List[List[Cell]] = []
+        self._queue: "deque[int]" = deque()
+        self._results: Dict[int, List[Any]] = {}
+        self._requeues: Dict[int, int] = {}
+        self._failure: Optional[ExperimentError] = None
+        self._active = False  # a run is in flight
+        self._generation = 0  # bumped per run; stale messages are dropped
+        self._active_workers = 0
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        """The ``HOST:PORT`` workers should ``--connect`` to."""
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting workers and release the port (idempotent)."""
+        with self._state:
+            self._closed = True
+            self._state.notify_all()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteCoordinator":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- the run --------------------------------------------------------
+
+    def map_shards(
+        self,
+        fn: Callable[..., Any],
+        shards: Sequence[Sequence[Cell]],
+        liveness: Optional[Callable[[], bool]] = None,
+    ) -> List[List[Any]]:
+        """Dispatch shards to connected workers; block until complete.
+
+        Args:
+            fn: module-level cell function (pickled by reference).
+            shards: picklable cell tuples, grouped into tasks.
+            liveness: optional probe for backend-managed workers; when
+                no worker is connected and the probe says none can ever
+                return, the run aborts instead of waiting forever.
+        """
+        shards = [list(shard) for shard in shards]
+        if not shards:
+            return []
+        with self._state:
+            if self._closed:
+                raise ExperimentError("coordinator is closed")
+            if self._active:
+                raise ExperimentError("coordinator already has a run in flight")
+            self._fn = fn
+            self._shards = shards
+            self._results = {}
+            self._requeues = {}
+            self._failure = None
+            self._queue = deque(range(len(shards)))
+            self._active = True
+            self._generation += 1
+            self._state.notify_all()
+        return self._wait(liveness)
+
+    def _done_locked(self) -> bool:
+        return bool(self._shards) and len(self._results) == len(self._shards)
+
+    def _wait(
+        self, liveness: Optional[Callable[[], bool]]
+    ) -> List[List[Any]]:
+        with self._state:
+            while True:
+                if self._failure is not None:
+                    self._active = False  # stop assigning leftovers
+                    raise self._failure
+                if self._done_locked():
+                    self._active = False  # idle until the next run
+                    return [
+                        self._results[index]
+                        for index in range(len(self._shards))
+                    ]
+                if (
+                    liveness is not None
+                    and self._active_workers == 0
+                    and not liveness()
+                ):
+                    self._active = False  # unwedge for the next run
+                    raise ExperimentError(
+                        "remote run stalled: every worker exited with "
+                        f"{len(self._shards) - len(self._results)} "
+                        "shard(s) unfinished"
+                    )
+                self._state.wait(timeout=0.2)
+
+    # -- worker service -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            with self._state:
+                if self._closed:
+                    return
+            try:
+                conn, _peer = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_worker, args=(conn,), daemon=True
+            ).start()
+
+    def _handshake(self, conn: socket.socket) -> bool:
+        hello = recv_msg(conn)
+        if not isinstance(hello, dict) or hello.get("type") != "hello":
+            send_msg(conn, {"type": "reject", "reason": "bad handshake"})
+            return False
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            send_msg(
+                conn,
+                {
+                    "type": "reject",
+                    "reason": (
+                        f"protocol version {hello.get('protocol')!r} does "
+                        f"not match coordinator version {PROTOCOL_VERSION}"
+                    ),
+                },
+            )
+            return False
+        send_msg(conn, {"type": "welcome", "protocol": PROTOCOL_VERSION})
+        return True
+
+    def _next_task(
+        self,
+    ) -> Optional[Tuple[int, int, Callable[..., Any], List[Cell]]]:
+        """Block until a shard is assignable; ``None`` means shut down.
+
+        Between runs (and while a failed run unwinds) workers idle here
+        rather than being shut down, so a persistent backend reuses the
+        connected fleet across consecutive ``map_shards`` calls.
+        Returns ``(generation, task_id, fn, cells)``; the generation
+        stamp lets the handler drop results of, and skip requeues for,
+        a run that has since been superseded.
+        """
+        with self._state:
+            while True:
+                if self._closed:
+                    return None
+                if self._active and self._failure is None and self._queue:
+                    task_id = self._queue.popleft()
+                    assert self._fn is not None
+                    return (
+                        self._generation,
+                        task_id,
+                        self._fn,
+                        self._shards[task_id],
+                    )
+                self._state.wait(timeout=0.2)
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        task_id: Optional[int] = None
+        task_gen = 0
+        registered = False
+        try:
+            if not self._handshake(conn):
+                return
+            with self._state:
+                self._active_workers += 1
+                self._state.notify_all()
+            registered = True
+            while True:
+                message = recv_msg(conn)
+                if message is None:
+                    return  # peer closed; finally-block requeues
+                kind = message.get("type")
+                if kind == "ready":
+                    assignment = self._next_task()
+                    if assignment is None:
+                        send_msg(conn, {"type": "shutdown"})
+                        return
+                    task_gen, task_id, fn, cells = assignment
+                    send_msg(
+                        conn,
+                        {
+                            "type": "task",
+                            "task_id": task_id,
+                            "fn": fn,
+                            "cells": cells,
+                        },
+                    )
+                elif kind == "result":
+                    with self._state:
+                        if task_gen == self._generation:
+                            self._results[message["task_id"]] = (
+                                message["result"]
+                            )
+                        task_id = None
+                        self._state.notify_all()
+                elif kind == "error":
+                    with self._state:
+                        if task_gen == self._generation:
+                            self._failure = ExperimentError(
+                                f"remote worker failed on shard "
+                                f"{message['task_id']}: {message['error']}"
+                            )
+                        task_id = None
+                        self._state.notify_all()
+                    return
+                else:
+                    return  # protocol confusion: drop the connection
+        except (OSError, pickle.PickleError, EOFError, ConnectionError):
+            pass  # connection-level failure; finally-block requeues
+        finally:
+            with self._state:
+                if registered:
+                    self._active_workers -= 1
+                if task_id is not None and task_gen == self._generation:
+                    count = self._requeues.get(task_id, 0) + 1
+                    self._requeues[task_id] = count
+                    if count > MAX_REQUEUES:
+                        self._failure = ExperimentError(
+                            f"shard {task_id} killed {count} workers; "
+                            "giving up instead of consuming the fleet"
+                        )
+                    else:
+                        self._queue.append(task_id)
+                self._state.notify_all()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class RemoteBackend(ExecutorBackend):
+    """Persistent remote dispatch with optional local worker spawning.
+
+    Args:
+        coordinator: ``HOST:PORT`` to bind (default: loopback with an
+            ephemeral port — single-machine multi-process mode).
+        spawn: local worker daemons to keep attached (default 2);
+            ``0`` relies entirely on externally started workers, which
+            may connect at any point while a run is in flight.
+
+    The coordinator and spawned daemons persist across ``map_shards``
+    calls — a harness that maps several grids (or several harnesses
+    sharing one backend via :func:`shared_remote_backend`) pays daemon
+    start-up and per-worker library rebuilds once, mirroring the warm
+    process pool.  Daemons that died (or were killed by fault
+    injection) are respawned at the next call.  :meth:`close` shuts
+    the coordinator down and reaps the spawned daemons; external
+    workers receive ``shutdown`` and exit on their own.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self, coordinator: Optional[str] = None, spawn: Optional[int] = None
+    ):
+        self.bind = coordinator if coordinator else "127.0.0.1:0"
+        self.spawn = 2 if spawn is None else max(0, spawn)
+        self._lock = threading.Lock()
+        self._coordinator: Optional[RemoteCoordinator] = None
+        self._procs: List["subprocess.Popen[bytes]"] = []
+
+    def _ensure_up(
+        self,
+    ) -> Tuple[RemoteCoordinator, List["subprocess.Popen[bytes]"]]:
+        """Bind the coordinator once; top up daemons that have died."""
+        with self._lock:
+            if self._coordinator is None:
+                self._coordinator = RemoteCoordinator(self.bind)
+            self._procs = [
+                proc for proc in self._procs if proc.poll() is None
+            ]
+            while len(self._procs) < self.spawn:
+                self._procs.append(
+                    spawn_local_worker(self._coordinator.address)
+                )
+            return self._coordinator, list(self._procs)
+
+    def map_shards(
+        self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
+    ) -> List[List[Any]]:
+        if not shards:
+            return []
+        coordinator, workers = self._ensure_up()
+
+        def spawned_alive() -> bool:
+            return any(proc.poll() is None for proc in workers)
+
+        liveness = spawned_alive if workers else None
+        return coordinator.map_shards(fn, shards, liveness=liveness)
+
+    def close(self) -> None:
+        """Shut down the coordinator and reap spawned daemons."""
+        with self._lock:
+            if self._coordinator is not None:
+                self._coordinator.close()
+            self._coordinator = None
+            procs, self._procs = self._procs, []
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+#: Persistent remote backends, keyed by (bind, spawn, worker env) so a
+#: run never reuses a fleet spawned with a different PYTHONPATH.
+_REMOTE_BACKENDS: Dict[Tuple[str, int, str], RemoteBackend] = {}
+_REMOTE_LOCK = threading.Lock()
+_REMOTE_OWNER_PID: Optional[int] = None
+
+
+def shared_remote_backend(
+    coordinator: Optional[str] = None, spawn: Optional[int] = None
+) -> RemoteBackend:
+    """The persistent remote backend for an address/fleet spec.
+
+    Like :func:`shared_process_pool`, created once and reused across
+    runs (the coordinator keeps its port, spawned daemons keep their
+    warm library/predictor state) and pid-stamped so forked children
+    never reuse a parent's sockets.
+    """
+    global _REMOTE_OWNER_PID
+    bind = coordinator if coordinator else "127.0.0.1:0"
+    count = 2 if spawn is None else max(0, spawn)
+    key = (bind, count, os.environ.get("PYTHONPATH", ""))
+    with _REMOTE_LOCK:
+        pid = os.getpid()
+        if _REMOTE_OWNER_PID != pid:
+            _REMOTE_BACKENDS.clear()  # references belong to the parent
+            _REMOTE_OWNER_PID = pid
+        backend = _REMOTE_BACKENDS.get(key)
+        if backend is None:
+            backend = RemoteBackend(coordinator=bind, spawn=count)
+            _REMOTE_BACKENDS[key] = backend
+        return backend
+
+
+def shutdown_remote_backends() -> None:
+    """Close every persistent remote backend (teardown / exit)."""
+    with _REMOTE_LOCK:
+        backends = list(_REMOTE_BACKENDS.values())
+        _REMOTE_BACKENDS.clear()
+        owned = _REMOTE_OWNER_PID == os.getpid()
+    for backend in backends:
+        if owned:
+            backend.close()
+
+
+atexit.register(shutdown_remote_backends)
+
+
+# --------------------------------------------------------------------------
+# Backend registry — future strategies plug in here.
+# --------------------------------------------------------------------------
+
+BackendFactory = Callable[..., ExecutorBackend]
+
+_BACKEND_FACTORIES: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a dispatch strategy under a ``--grid-mode`` name.
+
+    ``factory`` is called with the keyword options ``workers``,
+    ``coordinator`` and ``spawn`` and may ignore whichever do not apply.
+    """
+    _BACKEND_FACTORIES[name] = factory
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered strategy names, stable order (registration order)."""
+    return tuple(_BACKEND_FACTORIES)
+
+
+def create_backend(
+    name: str,
+    workers: int = 1,
+    coordinator: Optional[str] = None,
+    spawn: Optional[int] = None,
+) -> ExecutorBackend:
+    """Instantiate a registered backend by name."""
+    factory = _BACKEND_FACTORIES.get(name)
+    if factory is None:
+        raise ExperimentError(
+            f"unknown execution backend {name!r}; "
+            f"registered: {backend_names()}"
+        )
+    return factory(workers=workers, coordinator=coordinator, spawn=spawn)
+
+
+register_backend("serial", lambda workers, coordinator, spawn: SerialBackend())
+register_backend(
+    "thread", lambda workers, coordinator, spawn: ThreadBackend(workers)
+)
+register_backend(
+    "process", lambda workers, coordinator, spawn: ProcessBackend(workers)
+)
+register_backend(
+    "remote",
+    lambda workers, coordinator, spawn: shared_remote_backend(
+        coordinator=coordinator, spawn=spawn
+    ),
+)

@@ -1,124 +1,60 @@
-"""Sharded experiment-grid execution with a warm process pool.
+"""Sharded experiment-grid execution over pluggable backends.
 
 Every experiment harness enumerates a grid of independent cells —
 (network, node, threshold, tier) combinations, each a deterministic
 function of its parameters — and the seed iterated them serially.
-:class:`GridRunner` shards those cells across a *persistent* process
-pool: the pool is created once per worker count and reused across
-harness (and designer) runs, so paper-scale sweeps amortise worker
-start-up instead of paying it per generation or per figure.  Workers
-forked from a warm parent inherit the in-process library/predictor
-memos, and cells that opt into ``cache_dir`` share the on-disk fitness
-cache (:class:`~repro.engine.diskcache.FitnessDiskCache`) as their
-cross-process store.
+:class:`GridRunner` shards those cells and hands the shards to an
+:class:`~repro.engine.backends.ExecutorBackend`: the in-process serial
+reference, a thread pool, the *persistent* warm process pool (created
+once per worker count, reused across harness and designer runs), or the
+TCP coordinator that fans shards out to ``repro.engine.worker`` daemons
+on other machines.  Cells that opt into ``cache_dir`` share the on-disk
+objective/fitness caches
+(:class:`~repro.engine.diskcache.FitnessDiskCache`) as their
+cross-process — and, on a shared filesystem, cross-node — store.
 
 Determinism contract: results are reassembled by shard index and cells
 keep their submission order inside each shard, so the returned list is
 identical — values and ordering — for one shard, two shards, N shards,
-and the serial reference mode.  Cells must be pure functions of their
-arguments (module-level callables, picklable argument tuples).
+every backend, and the serial reference mode.  Cells must be pure
+functions of their arguments (module-level callables, picklable
+argument tuples); that purity is also what makes the remote backend's
+fault tolerance free, because a reassigned cell recomputes the same
+answer anywhere.
+
+The warm-pool helpers (``shared_process_pool`` and friends) live in
+:mod:`repro.engine.backends` and are re-exported here for
+compatibility.
 """
 
 from __future__ import annotations
 
-import atexit
 import os
-import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence
 
+from repro.engine.backends import (  # noqa: F401  (compat re-exports)
+    Cell,
+    ExecutorBackend,
+    backend_names,
+    create_backend,
+    discard_process_pool,
+    in_pool_worker,
+    run_shard,
+    shared_process_pool,
+    shutdown_shared_pools,
+)
 from repro.errors import ExperimentError
 
-Cell = Tuple[Any, ...]
 
-_MODES = ("auto", "serial", "thread", "process")
+def grid_modes() -> tuple:
+    """Valid ``GridConfig.mode`` values — ``auto`` plus the registry.
 
-#: Pools kept alive across runs, keyed by configured worker count.
-_PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
-_POOL_LOCK = threading.Lock()
-#: Pid that owns the registry — forked children inherit the dict but
-#: not the executors' manager threads, so they must never reuse it.
-_POOL_OWNER_PID: Optional[int] = None
-#: Set (via the pool initializer) in every worker process.
-_IN_POOL_WORKER = False
-
-
-def _mark_pool_worker() -> None:
-    global _IN_POOL_WORKER
-    _IN_POOL_WORKER = True
-
-
-def in_pool_worker() -> bool:
-    """True inside a shared-pool worker process.
-
-    Work dispatched from a worker must not open nested process pools
-    (executor teardown across fork levels deadlocks at interpreter
-    exit, and N x M workers oversubscribe the machine) — callers
-    degrade to in-process execution instead, which returns identical
-    results because cells and fitness are pure functions.
+    Computed on demand so backends registered after this module was
+    imported (the whole point of :func:`register_backend`) become valid
+    modes immediately.
     """
-    return _IN_POOL_WORKER
-
-
-def shared_process_pool(workers: int) -> ProcessPoolExecutor:
-    """The persistent process pool for a worker count (created once).
-
-    Create it *after* heavyweight shared state (the step-1 library, the
-    shared predictor) exists in the parent: workers fork with those
-    memos warm and never rebuild them.  Thread-safe — concurrent
-    callers (e.g. thread-mode grid cells whose GAs fan out to
-    processes) share one pool instead of leaking duplicates.
-
-    A forked child (a grid worker whose cell itself requests process
-    fan-out) inherits the registry dict but not the executors' manager
-    threads; using an inherited executor deadlocks.  The registry is
-    therefore pid-stamped: the first call in a new process drops every
-    inherited entry and builds its own pool.
-    """
-    global _POOL_OWNER_PID
-    with _POOL_LOCK:
-        pid = os.getpid()
-        if _POOL_OWNER_PID != pid:
-            # references only — the executors belong to the parent
-            _PROCESS_POOLS.clear()
-            _POOL_OWNER_PID = pid
-        pool = _PROCESS_POOLS.get(workers)
-        if pool is None:
-            pool = ProcessPoolExecutor(
-                max_workers=workers, initializer=_mark_pool_worker
-            )
-            _PROCESS_POOLS[workers] = pool
-        return pool
-
-
-def discard_process_pool(workers: int) -> None:
-    """Drop (and shut down) one persistent pool, e.g. after a break."""
-    with _POOL_LOCK:
-        pool = _PROCESS_POOLS.pop(workers, None)
-        owned = _POOL_OWNER_PID == os.getpid()
-    if pool is not None and owned:
-        pool.shutdown(wait=False, cancel_futures=True)
-
-
-def shutdown_shared_pools() -> None:
-    """Shut down every persistent pool (test teardown / interpreter exit)."""
-    with _POOL_LOCK:
-        pools = list(_PROCESS_POOLS.values())
-        _PROCESS_POOLS.clear()
-        owned = _POOL_OWNER_PID == os.getpid()
-    for pool in pools:
-        if owned:  # inherited executors belong to the parent process
-            pool.shutdown(wait=True, cancel_futures=True)
-
-
-atexit.register(shutdown_shared_pools)
-
-
-def run_shard(fn: Callable[..., Any], cells: Sequence[Cell]) -> List[Any]:
-    """Evaluate one shard serially (also the serial reference path)."""
-    return [fn(*cell) for cell in cells]
+    return ("auto",) + backend_names()
 
 
 @dataclass(frozen=True)
@@ -126,28 +62,49 @@ class GridConfig:
     """Execution policy for experiment grids.
 
     Attributes:
-        mode: ``auto`` / ``serial`` / ``thread`` / ``process``.  ``auto``
-            resolves to ``process`` on multi-CPU machines with more than
-            one cell, else ``serial``.
+        mode: ``auto`` or a registered backend name (``serial`` /
+            ``thread`` / ``process`` / ``remote``).  ``auto`` resolves
+            to ``process`` on multi-CPU machines with more than one
+            cell, else ``serial``; it never resolves to ``remote``.
         workers: pool size for the parallel modes (default: CPU count).
+            In ``remote`` mode this is the number of *local* worker
+            daemons spawned for the run (default 2); ``0`` means no
+            local spawning — externally started workers
+            (``python -m repro.engine.worker --connect HOST:PORT``) do
+            all the work and may join while the run is in flight.
         shards: number of contiguous cell groups dispatched as units
-            (default: one per worker, capped at the cell count).  Shard
-            count changes scheduling granularity only, never results.
+            (default: one per worker; in ``remote`` mode one per cell,
+            so joining workers and reassignment stay fine-grained).
+            Shard count changes scheduling granularity only, never
+            results.
+        coordinator: ``HOST:PORT`` the remote coordinator binds
+            (default ``127.0.0.1:0`` — loopback, ephemeral port).  Bind
+            a routable host to accept workers from other machines.
     """
 
     mode: str = "auto"
     workers: Optional[int] = None
     shards: Optional[int] = None
+    coordinator: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.mode not in _MODES:
+        modes = grid_modes()
+        if self.mode not in modes:
             raise ExperimentError(
-                f"unknown grid mode {self.mode!r}; expected one of {_MODES}"
+                f"unknown grid mode {self.mode!r}; expected one of {modes}"
             )
-        if self.workers is not None and self.workers < 1:
-            raise ExperimentError(f"workers must be >= 1, got {self.workers}")
+        minimum_workers = 0 if self.mode == "remote" else 1
+        if self.workers is not None and self.workers < minimum_workers:
+            raise ExperimentError(
+                f"workers must be >= {minimum_workers}, got {self.workers}"
+            )
         if self.shards is not None and self.shards < 1:
             raise ExperimentError(f"shards must be >= 1, got {self.shards}")
+        if self.coordinator is not None and self.mode != "remote":
+            raise ExperimentError(
+                "coordinator is only meaningful with mode='remote', "
+                f"got mode={self.mode!r}"
+            )
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers is not None else (os.cpu_count() or 1)
@@ -162,9 +119,10 @@ class GridRunner:
     ``map(fn, cells)`` returns ``[fn(*cell) for cell in cells]`` in cell
     order for every mode and shard count; sharding can only change
     *where* and *when* a cell runs, never what is returned or in which
-    slot.  A broken process pool degrades to the serial reference
-    (results are a pure function of the cells, so the answer is the
-    same — only slower).
+    slot.  A broken process pool degrades to the serial reference, and
+    a remote worker dying mid-cell has the cell reassigned (results are
+    a pure function of the cells, so the answer is the same — only
+    slower).
     """
 
     def __init__(self, config: Optional[GridConfig] = None):
@@ -178,16 +136,24 @@ class GridRunner:
             return "process"
         return "serial"
 
-    def shard_cells(self, cells: Sequence[Cell]) -> List[List[Cell]]:
+    def shard_cells(
+        self, cells: Sequence[Cell], default_count: Optional[int] = None
+    ) -> List[List[Cell]]:
         """Split cells into contiguous shards preserving order.
 
         Concatenating the shards in index order restores the input
-        exactly; shard sizes differ by at most one cell.
+        exactly; shard sizes differ by at most one cell.  The shard
+        count is ``config.shards`` when set, else ``default_count``,
+        else one shard per resolved worker.
         """
         cells = list(cells)
         count = self.config.shards
         if count is None:
-            count = min(len(cells), self.config.resolved_workers())
+            count = (
+                default_count
+                if default_count is not None
+                else min(len(cells), self.config.resolved_workers())
+            )
         count = max(1, min(count, len(cells)))
         base, extra = divmod(len(cells), count)
         shards: List[List[Cell]] = []
@@ -198,36 +164,39 @@ class GridRunner:
             start = stop
         return shards
 
+    def backend(self, mode: str, n_shards: int) -> ExecutorBackend:
+        """Instantiate the executor backend for a resolved mode."""
+        workers = self.config.resolved_workers()
+        if mode == "thread":
+            workers = min(workers, max(1, n_shards))
+        return create_backend(
+            mode,
+            workers=workers,
+            coordinator=self.config.coordinator,
+            # remote: spawn exactly the configured count (0 = external
+            # workers only); None falls back to the backend default of 2
+            spawn=self.config.workers if mode == "remote" else None,
+        )
+
     def map(self, fn: Callable[..., Any], cells: Sequence[Cell]) -> List[Any]:
         """Evaluate ``fn(*cell)`` for every cell, results in cell order.
 
         ``fn`` must be a module-level callable and cells picklable
-        tuples (process mode ships both to the workers).
+        tuples (the process and remote backends ship both to the
+        workers).
         """
         cells = [tuple(cell) for cell in cells]
         if not cells:
             return []
         mode = self.resolved_mode(len(cells))
-        if mode == "process" and in_pool_worker():
-            mode = "serial"  # no nested pools — see in_pool_worker()
-        if mode == "serial" or len(cells) == 1:
+        if mode in ("process", "remote") and in_pool_worker():
+            mode = "serial"  # no nested fan-out — see in_pool_worker()
+        if mode == "serial" or (len(cells) == 1 and mode != "remote"):
             return run_shard(fn, cells)
 
-        shards = self.shard_cells(cells)
-        functions = [fn] * len(shards)
-        if mode == "thread":
-            with ThreadPoolExecutor(
-                max_workers=min(self.config.resolved_workers(), len(shards))
-            ) as pool:
-                shard_results = list(pool.map(run_shard, functions, shards))
-        else:
-            # keyed by the *configured* count (not clamped to the shard
-            # count) so every run shares one canonical warm pool
-            workers = self.config.resolved_workers()
-            pool = shared_process_pool(workers)
-            try:
-                shard_results = list(pool.map(run_shard, functions, shards))
-            except BrokenProcessPool:
-                discard_process_pool(workers)
-                return run_shard(fn, cells)
+        shards = self.shard_cells(
+            cells, default_count=len(cells) if mode == "remote" else None
+        )
+        backend = self.backend(mode, n_shards=len(shards))
+        shard_results = backend.map_shards(fn, shards)
         return [result for shard in shard_results for result in shard]

@@ -10,9 +10,10 @@ identical results:
 * ``batch``  — delegate the whole generation to a vectorized
   ``batch_evaluate`` callable (see
   :meth:`repro.ga.fitness.FitnessEvaluator.evaluate_population`);
-* ``thread`` / ``process`` — fan the cache misses out over a
-  ``concurrent.futures`` pool; results are re-assembled by index, so
-  completion order cannot leak into the outcome;
+* ``thread`` / ``process`` — fan the cache misses out over the
+  matching :mod:`repro.engine.backends` executor; results are
+  re-assembled by index, so completion order cannot leak into the
+  outcome;
 * ``auto``   — ``batch`` when a batch callable exists, else ``thread``
   when the machine has more than one CPU, else ``serial``.
 
@@ -24,29 +25,15 @@ the genuinely new evaluations.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.backends import ProcessBackend, ThreadBackend
 from repro.errors import OptimizationError
 
 Genome = Tuple[int, ...]
 
 _MODES = ("auto", "serial", "batch", "thread", "process")
-
-
-def _evaluate_chunk(
-    evaluate: Callable[[Genome], Any], genomes: Sequence[Genome]
-) -> List[Any]:
-    """One process-pool task: a chunk of genomes through ``evaluate``.
-
-    The evaluate callable ships with each chunk (it can be megabytes —
-    a fitness evaluator closes over a multiplier library), so chunks
-    amortise both IPC and that pickling; the pool itself is the shared
-    warm pool from :mod:`repro.engine.grid`, reused across designer
-    runs instead of rebuilt per generation.
-    """
-    return [evaluate(genome) for genome in genomes]
 
 
 @dataclass(frozen=True)
@@ -145,10 +132,13 @@ class PopulationEvaluator:
             if mode == "serial" or len(misses) == 1:
                 results = [self.evaluate(g) for g in misses]
             elif mode == "thread":
-                with ThreadPoolExecutor(
-                    max_workers=min(self.config.resolved_workers(), len(misses))
-                ) as pool:
-                    results = list(pool.map(self.evaluate, misses))
+                backend = ThreadBackend(
+                    min(self.config.resolved_workers(), len(misses))
+                )
+                shard_results = backend.map_shards(
+                    self.evaluate, [[(genome,)] for genome in misses]
+                )
+                results = [shard[0] for shard in shard_results]
             else:  # process: warm shared pool, chunked dispatch
                 results = self._process_map(misses)
                 if self.store is not None:
@@ -162,8 +152,9 @@ class PopulationEvaluator:
         """Fan misses out over the persistent shared process pool.
 
         Chunks are reassembled in submission order, so completion order
-        cannot leak into the outcome; a broken pool degrades to the
-        serial reference (same results, just slower).
+        cannot leak into the outcome; :class:`ProcessBackend` degrades
+        to the serial reference inside a pool worker (no nested pools)
+        and on a broken pool (same results, just slower).
 
         Caveat: ``evaluate`` must be a pure function of the genome and
         module state as importable in a worker.  Callers that
@@ -172,18 +163,6 @@ class PopulationEvaluator:
         the patch or outlive it; those harnesses demote themselves to
         thread mode (see ``experiments/sensitivity.py``).
         """
-        from concurrent.futures.process import BrokenProcessPool
-
-        from repro.engine.grid import (
-            discard_process_pool,
-            in_pool_worker,
-            shared_process_pool,
-        )
-
-        if in_pool_worker():
-            # no nested pools — see repro.engine.grid.in_pool_worker()
-            return [self.evaluate(g) for g in misses]
-
         # keyed by the configured count so every run shares one pool
         workers = self.config.resolved_workers()
         # chunk_size is a *minimum* granularity: never split into more
@@ -191,16 +170,10 @@ class PopulationEvaluator:
         # evaluate callable is pickled at most once per worker per
         # generation rather than once per chunk_size genomes
         chunk = max(self.config.chunk_size, -(-len(misses) // workers))
-        chunks = [
-            misses[start : start + chunk]
+        shards = [
+            [(genome,) for genome in misses[start : start + chunk]]
             for start in range(0, len(misses), chunk)
         ]
-        pool = shared_process_pool(workers)
-        try:
-            chunk_results = list(
-                pool.map(_evaluate_chunk, [self.evaluate] * len(chunks), chunks)
-            )
-        except BrokenProcessPool:
-            discard_process_pool(workers)
-            return [self.evaluate(g) for g in misses]
-        return [result for chunk in chunk_results for result in chunk]
+        backend = ProcessBackend(workers)
+        shard_results = backend.map_shards(self.evaluate, shards)
+        return [result for shard in shard_results for result in shard]

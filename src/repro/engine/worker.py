@@ -1,0 +1,194 @@
+"""Remote grid-worker daemon.
+
+Attach any machine that shares the code (and, ideally, the on-disk
+objective/fitness caches) to a running coordinator::
+
+    PYTHONPATH=src python -m repro.engine.worker --connect HOST:PORT
+
+The daemon speaks the pull protocol of
+:class:`repro.engine.backends.RemoteCoordinator`: handshake (protocol
+version check), then ``ready`` -> ``task``/``shutdown`` -> ``result``
+until the coordinator shuts it down or the connection drops.  Cells are
+pure functions, so a worker holds no run state: killing one mid-task
+only costs the re-execution of that task elsewhere, and starting one
+mid-run immediately adds capacity.
+
+Exit codes: ``0`` normal shutdown, ``1`` connection/protocol failure,
+``2`` rejected at handshake (e.g. protocol-version mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+import traceback
+from typing import List, Optional
+
+from repro.engine.backends import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_msg,
+    run_shard,
+    send_msg,
+)
+from repro.errors import ReproError
+
+
+def connect(
+    address: str, attempts: int = 40, retry_interval: float = 0.25
+) -> socket.socket:
+    """Dial the coordinator, retrying while it is still coming up."""
+    host, port = parse_address(address)
+    last_error: Optional[OSError] = None
+    for attempt in range(max(1, attempts)):
+        try:
+            return socket.create_connection((host, port))
+        except OSError as exc:
+            last_error = exc
+            if attempt + 1 < attempts:
+                time.sleep(retry_interval)
+    raise OSError(
+        f"could not reach coordinator at {address}: {last_error}"
+    ) from last_error
+
+
+def serve(
+    sock: socket.socket,
+    protocol: int = PROTOCOL_VERSION,
+    verbose: bool = False,
+) -> int:
+    """Run the pull loop on an open coordinator connection."""
+
+    def log(message: str) -> None:
+        if verbose:
+            print(f"[worker {os.getpid()}] {message}", file=sys.stderr)
+
+    send_msg(sock, {"type": "hello", "protocol": protocol, "pid": os.getpid()})
+    greeting = recv_msg(sock)
+    if greeting is None:
+        print("coordinator closed during handshake", file=sys.stderr)
+        return 1
+    if greeting.get("type") == "reject":
+        print(f"rejected by coordinator: {greeting.get('reason')}",
+              file=sys.stderr)
+        return 2
+    if greeting.get("type") != "welcome":
+        print(f"unexpected greeting {greeting.get('type')!r}", file=sys.stderr)
+        return 1
+    log("connected")
+
+    while True:
+        send_msg(sock, {"type": "ready"})
+        message = recv_msg(sock)
+        if message is None:
+            log("coordinator gone; exiting")
+            return 0
+        kind = message.get("type")
+        if kind == "shutdown":
+            log("shutdown received")
+            return 0
+        if kind != "task":
+            print(f"unexpected message {kind!r}", file=sys.stderr)
+            return 1
+        task_id = message["task_id"]
+        log(f"task {task_id}: {len(message['cells'])} cell(s)")
+        try:
+            result = run_shard(message["fn"], message["cells"])
+        except Exception as exc:
+            # deterministic cell failures are reported, not retried —
+            # the coordinator fails the run exactly like the serial path
+            log(f"task {task_id} raised: {exc!r}")
+            send_msg(
+                sock,
+                {
+                    "type": "error",
+                    "task_id": task_id,
+                    "error": "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip(),
+                },
+            )
+            continue
+        send_msg(sock, {"type": "result", "task_id": task_id, "result": result})
+
+
+def run_worker(
+    address: str,
+    attempts: int = 40,
+    retry_interval: float = 0.25,
+    protocol: int = PROTOCOL_VERSION,
+    verbose: bool = False,
+) -> int:
+    """Connect and serve; returns the process exit code."""
+    try:
+        sock = connect(address, attempts=attempts, retry_interval=retry_interval)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        return serve(sock, protocol=protocol, verbose=verbose)
+    except (OSError, ConnectionError, EOFError):
+        # the coordinator vanished mid-exchange; nothing to clean up —
+        # any task this worker held is requeued coordinator-side
+        return 0
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.worker",
+        description="Pull-mode experiment-grid worker for the remote "
+        "execution backend.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (e.g. 192.168.1.10:7777)",
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=40,
+        metavar="N",
+        help="connection attempts before giving up (default: 40)",
+    )
+    parser.add_argument(
+        "--retry-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="pause between connection attempts (default: 0.25)",
+    )
+    parser.add_argument(
+        "--protocol",
+        type=int,
+        default=PROTOCOL_VERSION,
+        help=argparse.SUPPRESS,  # test hook: announce a fake version
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log task activity to stderr"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_worker(
+        args.connect,
+        attempts=args.retry,
+        retry_interval=args.retry_interval,
+        protocol=args.protocol,
+        verbose=args.verbose,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -5,9 +5,11 @@ default reproduces the paper's setup, while :func:`fast_settings`
 shrinks the searches for unit tests and CI smoke runs.  The settings
 also carry the execution policy: the population engine for individual
 GA runs (``engine_mode``), the on-disk fitness cache (``cache_dir``),
-and the grid-sharding policy (``grid_mode``/``grid_workers``/
-``grid_shards``) used by :class:`~repro.engine.grid.GridRunner` to fan
-experiment cells out over the persistent process pool.
+and the grid-dispatch policy (``grid_mode``/``grid_workers``/
+``grid_shards``/``grid_coordinator``) used by
+:class:`~repro.engine.grid.GridRunner` to fan experiment cells out over
+the configured execution backend — the persistent local process pool or
+the multi-node remote coordinator.
 """
 
 from __future__ import annotations
@@ -48,11 +50,18 @@ class ExperimentSettings:
             re-running a harness (or another harness sharing settings)
             warm-starts instead of re-simulating.  Also feeds the step-1
             library build, whose NSGA-II objectives persist per context.
-        grid_mode: cell-sharding mode for the experiment grids
-            (``auto`` / ``serial`` / ``thread`` / ``process``; every
-            mode returns identical, identically ordered results).
-        grid_workers: worker count for the sharded grid modes.
-        grid_shards: shard count override (default: one per worker).
+        grid_mode: execution backend for the experiment grids
+            (``auto`` / ``serial`` / ``thread`` / ``process`` /
+            ``remote``; every backend returns identical, identically
+            ordered results).
+        grid_workers: worker count for the sharded grid modes; in
+            ``remote`` mode the number of locally spawned worker
+            daemons (``0`` = external workers only).
+        grid_shards: shard count override (default: one per worker;
+            one per cell in ``remote`` mode).
+        grid_coordinator: ``HOST:PORT`` the remote coordinator binds
+            (default loopback/ephemeral); bind a routable host to let
+            workers on other machines connect.
     """
 
     nodes_nm: Tuple[int, ...] = (7, 14, 28)
@@ -70,6 +79,7 @@ class ExperimentSettings:
     grid_mode: str = "auto"
     grid_workers: Optional[int] = None
     grid_shards: Optional[int] = None
+    grid_coordinator: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.nodes_nm or not self.networks:
@@ -109,12 +119,13 @@ class ExperimentSettings:
         return {"engine": self.engine(), "cache_dir": self.cache_dir}
 
     def grid_runner(self) -> GridRunner:
-        """Cell-sharding policy for the experiment grids."""
+        """Cell-dispatch policy for the experiment grids."""
         return GridRunner(
             GridConfig(
                 mode=self.grid_mode,
                 workers=self.grid_workers,
                 shards=self.grid_shards,
+                coordinator=self.grid_coordinator,
             )
         )
 

@@ -6,13 +6,11 @@ from repro.accuracy.predictor import AccuracyPredictor
 from repro.approx.library import build_library
 from repro.core.baselines import (
     approximate_only_sweep,
-    design_point_for,
     exact_sweep,
     smallest_exact_meeting_fps,
 )
 from repro.core.cdp import carbon_delay_product
 from repro.core.designer import CarbonAwareDesigner
-from repro.core.results import DesignPoint
 from repro.errors import ConstraintError, OptimizationError
 from repro.ga.engine import GaConfig
 

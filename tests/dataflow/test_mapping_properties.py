@@ -1,6 +1,5 @@
 """Property-based tests of mapping and performance invariants."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,50 @@
+"""Cell functions for the remote-backend tests.
+
+Top-level module (not a ``test_*`` file) so that spawned worker daemons
+can unpickle the functions by ``module.qualname`` reference — the
+directory holding this file is prepended to the workers' ``PYTHONPATH``
+by the tests.
+"""
+
+import os
+import time
+
+
+def square_offset(value, offset):
+    return value * value + offset
+
+
+def slow_square(value, delay):
+    time.sleep(delay)
+    return value * value
+
+
+def tag_worker_pid(value):
+    """Returns (value, executing pid) — for fleet-reuse checks."""
+    return value, os.getpid()
+
+
+def raise_value_error(value):
+    raise ValueError(f"deterministic cell failure for {value}")
+
+
+def die_once_at(value, trigger, sentinel_path):
+    """Kill the executing worker the first time the trigger cell runs.
+
+    The sentinel file makes the fault injection deterministic: the
+    worker that picks up the ``value == trigger`` cell creates the
+    sentinel and dies with ``os._exit`` (no exception handling, no
+    socket shutdown — a hard crash); the reassigned execution finds the
+    sentinel and returns the normal pure-function result.  Non-trigger
+    cells never die, so exactly one worker is lost per run.
+    """
+    if value == trigger and not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        os._exit(17)
+    return value * value
+
+
+def die_always(value):
+    """Hard-kill whichever worker executes this cell, every time."""
+    os._exit(21)

@@ -1,0 +1,309 @@
+"""Tests for the pluggable execution-backend layer.
+
+Covers the backend protocol (every strategy returns
+``[[fn(*cell) for cell in shard] for shard in shards]``), the remote
+coordinator/worker wire protocol (handshake, version rejection), and
+the remote backend's fault tolerance: a worker killed mid-grid has its
+shard reassigned and the run still returns the serial reference
+results; a worker joining mid-run picks up remaining shards.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import remote_cells
+from repro.engine.backends import (
+    MAX_REQUEUES,
+    ProcessBackend,
+    RemoteCoordinator,
+    SerialBackend,
+    ThreadBackend,
+    backend_names,
+    create_backend,
+    parse_address,
+    recv_msg,
+    register_backend,
+    send_msg,
+    spawn_local_worker,
+)
+from repro.engine.grid import GridConfig, GridRunner
+from repro.errors import ExperimentError
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+CELLS = [(value, 100) for value in range(9)]
+SHARDS = [CELLS[:3], CELLS[3:4], CELLS[4:]]
+EXPECTED = [[value * value + 100 for value, _ in shard] for shard in SHARDS]
+
+
+@pytest.fixture(autouse=True)
+def worker_pythonpath(monkeypatch):
+    """Let spawned workers import ``remote_cells`` by reference."""
+    existing = os.environ.get("PYTHONPATH")
+    merged = HERE if not existing else HERE + os.pathsep + existing
+    monkeypatch.setenv("PYTHONPATH", merged)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            message = {"type": "task", "task_id": 3, "cells": [(1, 2)] * 100}
+            send_msg(left, message)
+            assert recv_msg(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_msg(right) is None
+        finally:
+            right.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8000") == ("127.0.0.1", 8000)
+        for bad in ("localhost", ":80", "host:", "host:abc"):
+            with pytest.raises(ExperimentError, match="HOST:PORT"):
+                parse_address(bad)
+
+
+class TestLocalBackends:
+    def test_registry_names(self):
+        assert set(backend_names()) >= {"serial", "thread", "process", "remote"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown execution backend"):
+            create_backend("banana")
+
+    def test_late_registered_backend_is_a_valid_grid_mode(self):
+        """Plugins registered after import work end to end."""
+        from repro.engine import backends as backends_module
+
+        register_backend(
+            "echo", lambda workers, coordinator, spawn: SerialBackend()
+        )
+        try:
+            runner = GridRunner(GridConfig(mode="echo", workers=2))
+            assert runner.map(remote_cells.square_offset, CELLS) == [
+                value * value + 100 for value, _ in CELLS
+            ]
+        finally:
+            backends_module._BACKEND_FACTORIES.pop("echo", None)
+        with pytest.raises(ExperimentError, match="unknown grid mode"):
+            GridConfig(mode="echo")
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ThreadBackend(4), ProcessBackend(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_map_shards_identity(self, backend):
+        result = backend.map_shards(remote_cells.square_offset, SHARDS)
+        assert result == EXPECTED
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ThreadBackend(4), ProcessBackend(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_empty_shards(self, backend):
+        assert backend.map_shards(remote_cells.square_offset, []) == []
+
+
+class TestGridConfigRemote:
+    def test_remote_allows_zero_workers(self):
+        config = GridConfig(mode="remote", workers=0)
+        assert config.resolved_workers() == 0
+
+    def test_local_modes_still_require_workers(self):
+        with pytest.raises(ExperimentError, match="workers"):
+            GridConfig(mode="process", workers=0)
+
+    def test_coordinator_requires_remote_mode(self):
+        with pytest.raises(ExperimentError, match="coordinator"):
+            GridConfig(mode="process", coordinator="127.0.0.1:0")
+        GridConfig(mode="remote", coordinator="127.0.0.1:0")  # accepted
+
+
+class TestRemoteBackend:
+    def test_grid_runner_remote_identical_to_serial(self):
+        serial = GridRunner(GridConfig(mode="serial"))
+        remote = GridRunner(
+            GridConfig(mode="remote", workers=2, coordinator="127.0.0.1:0")
+        )
+        expected = serial.map(remote_cells.square_offset, CELLS)
+        assert remote.map(remote_cells.square_offset, CELLS) == expected
+
+    def test_worker_death_reassigns_shard(self, tmp_path):
+        """Kill a worker mid-grid; the run completes, results serial-equal."""
+        sentinel = str(tmp_path / "die-once")
+        cells = [(value, 3, sentinel) for value in range(6)]
+        serial_results = [value * value for value in range(6)]
+        remote = GridRunner(
+            GridConfig(mode="remote", workers=2, coordinator="127.0.0.1:0")
+        )
+        assert remote.map(remote_cells.die_once_at, cells) == serial_results
+        # the fault actually fired: one worker died holding a cell
+        assert os.path.exists(sentinel)
+
+    def test_worker_joining_midrun_picks_up_cells(self):
+        """Start the run with no workers; attach one while in flight."""
+        worker = None
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            outcome = {}
+
+            def run():
+                outcome["result"] = coordinator.map_shards(
+                    remote_cells.square_offset, SHARDS
+                )
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            time.sleep(0.3)  # the run is live, nobody is serving it
+            assert "result" not in outcome
+            worker = spawn_local_worker(coordinator.address)
+            thread.join(timeout=60)
+            assert outcome["result"] == EXPECTED
+        # workers idle between runs; closing the coordinator (the
+        # context exit above) is what shuts them down
+        worker.wait(timeout=10)
+
+    def test_persistent_fleet_reused_across_runs(self):
+        """Consecutive maps share one coordinator and worker fleet."""
+        backend = create_backend(
+            "remote", coordinator="127.0.0.1:0", spawn=1
+        )
+        first = backend.map_shards(remote_cells.tag_worker_pid, [[(1,)], [(2,)]])
+        second = backend.map_shards(remote_cells.tag_worker_pid, [[(3,)]])
+        # same daemon process served both runs (no cold respawn)
+        assert first[0][0][1] == second[0][0][1]
+        # and the registry hands back the same backend instance
+        assert (
+            create_backend("remote", coordinator="127.0.0.1:0", spawn=1)
+            is backend
+        )
+
+    def test_cell_exception_fails_run(self):
+        remote = GridRunner(
+            GridConfig(mode="remote", workers=1, coordinator="127.0.0.1:0")
+        )
+        with pytest.raises(ExperimentError, match="deterministic cell failure"):
+            remote.map(remote_cells.raise_value_error, [(1,), (2,)])
+
+    def test_poison_shard_gives_up_after_requeue_cap(self):
+        """A cell that always kills its worker must not loop forever."""
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            procs = [
+                spawn_local_worker(coordinator.address)
+                for _ in range(MAX_REQUEUES + 2)
+            ]
+            try:
+                with pytest.raises(ExperimentError, match="killed"):
+                    coordinator.map_shards(
+                        remote_cells.die_always, [[(1,)]]
+                    )
+            finally:
+                coordinator.close()
+                for proc in procs:
+                    try:
+                        proc.wait(timeout=10)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+
+
+class TestProtocolHandshake:
+    def test_version_mismatch_rejected_raw_socket(self):
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            with socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5
+            ) as sock:
+                send_msg(sock, {"type": "hello", "protocol": 999})
+                reply = recv_msg(sock)
+        assert reply["type"] == "reject"
+        assert "999" in reply["reason"]
+
+    def test_bad_handshake_rejected(self):
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            with socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5
+            ) as sock:
+                send_msg(sock, {"type": "ready"})
+                reply = recv_msg(sock)
+        assert reply["type"] == "reject"
+        assert "handshake" in reply["reason"]
+
+    def test_worker_daemon_exits_2_on_version_mismatch(self):
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            process = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.engine.worker",
+                    "--connect",
+                    coordinator.address,
+                    "--protocol",
+                    "999",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+        assert process.returncode == 2
+        assert "rejected" in process.stderr
+
+    def test_worker_daemon_exits_1_when_unreachable(self):
+        process = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.engine.worker",
+                "--connect",
+                "127.0.0.1:1",
+                "--retry",
+                "1",
+                "--retry-interval",
+                "0",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert process.returncode == 1
+        assert "could not reach coordinator" in process.stderr
+
+
+class TestCoordinatorLifecycle:
+    def test_closed_coordinator_rejects_runs(self):
+        coordinator = RemoteCoordinator("127.0.0.1:0")
+        coordinator.close()
+        with pytest.raises(ExperimentError, match="closed"):
+            coordinator.map_shards(remote_cells.square_offset, SHARDS)
+
+    def test_empty_shards_short_circuit(self):
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            assert coordinator.map_shards(remote_cells.square_offset, []) == []
+
+    def test_stalled_run_aborts_when_fleet_dead(self):
+        """liveness probe: all spawned workers gone -> abort, not hang."""
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            with pytest.raises(ExperimentError, match="stalled"):
+                coordinator.map_shards(
+                    remote_cells.square_offset, SHARDS, liveness=lambda: False
+                )
+            # the abort must not wedge the coordinator: a later run on
+            # the same (persistent) instance completes once workers exist
+            worker = spawn_local_worker(coordinator.address)
+            assert (
+                coordinator.map_shards(remote_cells.square_offset, SHARDS)
+                == EXPECTED
+            )
+        worker.wait(timeout=10)

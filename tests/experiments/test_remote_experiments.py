@@ -1,0 +1,155 @@
+"""Remote-backend identity for the experiment harnesses.
+
+The acceptance bar for the multi-node backend: every harness returns
+bit-identical results whether its grid cells run serially, on the local
+process pool, or through the TCP coordinator with worker daemons —
+including when a worker is killed while the grid is in flight.  The
+settings share an on-disk objective/fitness cache directory, which is
+exactly how a multi-node deployment shares state (the cache can only
+change speed, never results).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.engine.backends import spawn_local_worker
+from repro.engine.grid import GridConfig, GridRunner
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig2 import fig2_scatter
+from repro.experiments.fig3 import fig3_comparison
+from repro.experiments.pareto_sweep import pareto_sweep
+from repro.experiments.sensitivity import grid_sensitivity
+
+
+@pytest.fixture(scope="module")
+def settings(tmp_path_factory):
+    """Tiny searches + a shared disk cache (the multi-node store)."""
+    s = ExperimentSettings(
+        nodes_nm=(7, 14),
+        networks=("vgg16",),
+        fps_thresholds=(30.0,),
+        drop_tiers_percent=(1.0, 2.0),
+        library_population=12,
+        library_generations=4,
+        ga_population=8,
+        ga_generations=4,
+        cache_dir=str(tmp_path_factory.mktemp("remote-cache")),
+    )
+    s.library()  # warm the parent-side memo and the disk cache
+    return s
+
+
+def serial_runner() -> GridRunner:
+    return GridRunner(GridConfig(mode="serial"))
+
+
+def process_runner() -> GridRunner:
+    return GridRunner(GridConfig(mode="process", workers=2, shards=2))
+
+
+def remote_runner() -> GridRunner:
+    return GridRunner(
+        GridConfig(mode="remote", workers=2, coordinator="127.0.0.1:0")
+    )
+
+
+def point_key(point):
+    return (
+        point.carbon_g,
+        point.fps,
+        point.accuracy_drop_percent,
+        point.config.describe(),
+    )
+
+
+class TestRemoteIdentity:
+    def test_pareto_sweep_serial_process_remote(self, settings):
+        serial = pareto_sweep(settings=settings, runner=serial_runner())
+        process = pareto_sweep(settings=settings, runner=process_runner())
+        remote = pareto_sweep(settings=settings, runner=remote_runner())
+        assert list(serial.cells) == list(process.cells) == list(remote.cells)
+        for key in serial.cells:
+            assert (
+                point_key(serial.cells[key])
+                == point_key(process.cells[key])
+                == point_key(remote.cells[key])
+            )
+
+    def test_fig2_scatter(self, settings):
+        serial = fig2_scatter(settings=settings, runner=serial_runner())
+        process = fig2_scatter(settings=settings, runner=process_runner())
+        remote = fig2_scatter(settings=settings, runner=remote_runner())
+        assert serial.series() == process.series() == remote.series()
+
+    def test_fig3(self, settings):
+        serial = fig3_comparison(settings=settings, runner=serial_runner())
+        process = fig3_comparison(settings=settings, runner=process_runner())
+        remote = fig3_comparison(settings=settings, runner=remote_runner())
+        assert list(serial.cells) == list(process.cells) == list(remote.cells)
+        for key in serial.cells:
+            assert (
+                serial.cells[key].normalised
+                == process.cells[key].normalised
+                == remote.cells[key].normalised
+            )
+
+    def test_grid_sensitivity(self, settings):
+        serial = grid_sensitivity(settings=settings, runner=serial_runner())
+        process = grid_sensitivity(settings=settings, runner=process_runner())
+        remote = grid_sensitivity(settings=settings, runner=remote_runner())
+        assert serial.rows == process.rows == remote.rows
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestRemoteFaultTolerance:
+    def test_pareto_sweep_survives_worker_kill(self, settings):
+        """Kill an attached worker while the sweep is in flight.
+
+        One backend-spawned worker guarantees completion; the victim we
+        attach and kill exercises mid-run connection loss at harness
+        scale.  Whether the victim dies holding a cell (reassigned) or
+        idle (nothing lost), the results must equal the serial
+        reference.
+        """
+        serial = pareto_sweep(settings=settings, runner=serial_runner())
+
+        port = _free_port()
+        address = f"127.0.0.1:{port}"
+        runner = GridRunner(
+            GridConfig(mode="remote", workers=1, coordinator=address)
+        )
+        outcome = {}
+
+        def run():
+            outcome["sweep"] = pareto_sweep(settings=settings, runner=runner)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+
+        # wait for the coordinator to come up, then attach the victim
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+                break
+            except OSError:
+                time.sleep(0.05)
+        victim = spawn_local_worker(address)
+        time.sleep(1.0)
+        victim.kill()
+        victim.wait()
+
+        thread.join(timeout=300)
+        assert "sweep" in outcome, "remote sweep did not finish after kill"
+        remote = outcome["sweep"]
+        assert list(serial.cells) == list(remote.cells)
+        for key in serial.cells:
+            assert point_key(serial.cells[key]) == point_key(remote.cells[key])

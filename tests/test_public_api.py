@@ -48,10 +48,13 @@ class TestSubpackagesImportable:
             "repro.core",
             "repro.core.io",
             "repro.engine",
+            "repro.engine.backends",
             "repro.engine.batch",
             "repro.engine.population",
             "repro.engine.vectorized",
             "repro.engine.diskcache",
+            "repro.engine.grid",
+            "repro.engine.worker",
             "repro.experiments",
             "repro.experiments.sensitivity",
             "repro.experiments.pareto_sweep",
