@@ -9,18 +9,46 @@ which scores every uncached multiplier in one stacked inference
 (:meth:`~repro.nn.inference.QuantCNN.forward_stack`) instead of one full
 inference per multiplier; :meth:`drop_percent` stays as the scalar
 reference the property tests compare against.
+
+The accuracy stage is a full engine client: the stacked inference
+itself tiles across threads (the ``stack_workers`` knob), and a
+validator given a :class:`~repro.engine.grid.GridRunner` shards the
+uncached multipliers into contiguous *sub-stacks* dispatched through
+the :class:`~repro.engine.backends.ExecutorBackend` registry — the
+warm process pool or a remote worker fleet score a paper-scale library
+exactly like the GA grids, with results bit-identical to the
+in-process path (accuracy per multiplier is independent of the stack
+it rides in).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.approx.library import ApproxMultiplier
+from repro.engine.grid import GridRunner
 from repro.errors import AccuracyModelError
 from repro.nn.synthetic import SyntheticTask, make_task
+
+
+def _accuracy_batch_cell(
+    luts: Sequence,
+    task: SyntheticTask,
+    stack_workers: Optional[Union[int, str]],
+) -> List[float]:
+    """One sub-stack accuracy cell (module-level so backends pickle it).
+
+    Pure in its arguments: every backend computes the identical float
+    accuracies for a given sub-stack, so sharding cannot change
+    results, only where the stacked inference runs.
+    """
+    return [
+        float(value)
+        for value in task.accuracy_batch(luts, stack_workers=stack_workers)
+    ]
 
 
 @dataclass
@@ -30,9 +58,18 @@ class BehavioralValidator:
     Attributes:
         task: the synthetic classification task (built lazily with the
             default seed when not supplied).
+        stack_workers: thread-tiling knob for the stacked inference
+            (``"auto"`` / positive int / ``None`` for the process
+            default); bit-identical for every value.
+        runner: optional grid runner; when set, library-wide queries
+            shard multiplier sub-stacks through its execution backend
+            (serial / thread / process / remote).  ``None`` keeps the
+            single in-process stacked pass.
     """
 
     task: Optional[SyntheticTask] = None
+    stack_workers: Optional[Union[int, str]] = None
+    runner: Optional[GridRunner] = None
     _cache: Dict[str, float] = field(default_factory=dict, repr=False)
     _exact_accuracy: Optional[float] = field(default=None, repr=False)
 
@@ -74,10 +111,15 @@ class BehavioralValidator:
     ) -> List[float]:
         """Measured drops for many multipliers via one stacked inference.
 
-        All uncached multipliers are run through the quantised CNN in a
-        single library-batched pass; returned values are bit-identical
-        to calling :meth:`drop_percent` per multiplier (and populate the
-        same cache).  Mixed operand widths fall back to the scalar loop.
+        All uncached multipliers are run through the quantised CNN in
+        library-batched passes; returned values are bit-identical to
+        calling :meth:`drop_percent` per multiplier (and populate the
+        same cache).  With a :attr:`runner`, the uncached stack is
+        split into contiguous sub-stacks dispatched through the
+        configured execution backend; accuracy per multiplier does not
+        depend on which sub-stack carries it, so every backend and
+        sub-stack count returns the in-process result bit for bit.
+        Mixed operand widths fall back to the scalar loop.
         """
         pending: List[ApproxMultiplier] = []
         seen = set()
@@ -91,7 +133,16 @@ class BehavioralValidator:
             luts = [m.lut for m in pending]
             widths = {(lut.a_width, lut.b_width) for lut in luts}
             if len(widths) == 1:
-                accuracies = task.accuracy_batch(luts)
+                if self.runner is None:
+                    accuracies = _accuracy_batch_cell(
+                        luts, task, self.stack_workers
+                    )
+                else:
+                    accuracies = self.runner.map_batches(
+                        _accuracy_batch_cell,
+                        luts,
+                        extra=(task, self.stack_workers),
+                    )
             else:  # mixed geometries have no shared stack index space
                 accuracies = np.array([task.accuracy(lut) for lut in luts])
             for multiplier, approx in zip(pending, accuracies):

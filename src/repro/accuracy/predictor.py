@@ -80,20 +80,42 @@ class AccuracyPredictor:
 
     # --- behavioural cross-check ------------------------------------------
 
-    def behavioral_agreement(self, library: ApproxLibrary) -> float:
+    def ensure_validator(
+        self, validator: Optional[BehavioralValidator] = None
+    ) -> BehavioralValidator:
+        """Install (or lazily create) the behavioural cross-check engine.
+
+        Harnesses pass a validator configured with their execution
+        policy (``stack_workers`` thread tiling and/or a grid runner
+        that shards sub-stacks over an execution backend); the default
+        is the plain in-process validator.  Every configuration returns
+        bit-identical drops, so swapping validators only changes where
+        the stacked inference runs.
+        """
+        if validator is not None:
+            self.validator = validator
+        elif self.validator is None:
+            self.validator = BehavioralValidator()
+        return self.validator
+
+    def behavioral_agreement(
+        self,
+        library: ApproxLibrary,
+        validator: Optional[BehavioralValidator] = None,
+    ) -> float:
         """Spearman correlation of analytical vs behavioural ranking.
 
         Uses a small synthetic network as the behavioural workload; the
         analytical drops are computed for the same shallow depth so both
         sides describe the same setting.  The behavioural side scores
-        the whole library in one stacked inference
+        the whole library through stacked inference
         (:meth:`BehavioralValidator.drop_percents`) rather than one full
-        CNN run per multiplier.
+        CNN run per multiplier — sharded over the validator's execution
+        backend when one is configured.
         """
-        if self.validator is None:
-            self.validator = BehavioralValidator()
+        checker = self.ensure_validator(validator)
         multipliers = list(library)
         analytical = [
             self.model.drop_percent("vgg16", m) for m in multipliers
         ]
-        return self.validator.ranking_agreement(multipliers, analytical)
+        return checker.ranking_agreement(multipliers, analytical)

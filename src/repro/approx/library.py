@@ -32,6 +32,7 @@ from repro.approx.precision import truncate_inputs
 from repro.approx.pruning import PruningSpace
 from repro.circuits.area import netlist_area_um2, netlist_delay_ps, netlist_ge
 from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
+from repro.engine.backends import register_pool_context_provider
 from repro.engine.diskcache import FitnessDiskCache, context_fingerprint
 from repro.engine.population import EngineConfig
 from repro.engine.vectorized import pareto_front_np
@@ -427,3 +428,19 @@ def _pareto_entries(entries: List[ApproxMultiplier]) -> List[ApproxMultiplier]:
 
 
 _LIBRARY_CACHE: Dict[tuple, ApproxLibrary] = {}
+
+
+def _library_pool_context() -> Tuple[tuple, ...]:
+    """Warm-pool fingerprint: which library settings exist in-process.
+
+    Shared-pool workers fork with the parent's library memo; a harness
+    that later builds a library for *different* settings would find
+    workers forked before it existed, each rebuilding it per task.
+    Exposing the memo keys as pool context makes
+    :func:`repro.engine.backends.shared_process_pool` refork instead
+    (results were never affected — only throughput).
+    """
+    return tuple(sorted(_LIBRARY_CACHE, key=repr))
+
+
+register_pool_context_provider("approx-library", _library_pool_context)

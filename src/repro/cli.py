@@ -4,6 +4,7 @@ Exposes the headline flows without writing Python::
 
     python -m repro library                      # step-1 Pareto library
     python -m repro design --network vgg16 --node 7 --fps 30 --drop 1
+    python -m repro accuracy     [--fast] [--json out.json]
     python -m repro fig2-scatter [--fast]
     python -m repro fig2-table   [--fast] [--json out.json]
     python -m repro fig3         [--fast] [--json out.json]
@@ -34,6 +35,15 @@ a TCP coordinator and worker daemons pull cells from it::
 Workers may join mid-run; a worker that dies mid-cell has its cell
 reassigned.  Results are bit-identical to ``--grid-mode serial`` in
 every case.
+
+The ``accuracy`` command runs the behavioural accuracy study (measured
+drop per library multiplier plus the analytical-vs-behavioural rank
+agreement) and exposes the accuracy-stage execution knobs:
+``--stack-workers`` tiles the stacked LUT inference across threads, and
+``--accuracy-mode/--accuracy-workers/--accuracy-shards`` shard the
+library into multiplier sub-stacks dispatched over the same execution
+backends as the grids (``remote`` via ``--coordinator``).  Every
+combination prints bit-identical drops.
 """
 
 from __future__ import annotations
@@ -51,21 +61,35 @@ def _settings(args: argparse.Namespace):
     from repro.experiments.common import DEFAULT_SETTINGS, fast_settings
 
     settings = fast_settings() if args.fast else DEFAULT_SETTINGS
-    overrides = {}
+    grid_overrides = {}
     if getattr(args, "grid_mode", None) is not None:
-        overrides["grid_mode"] = args.grid_mode
+        grid_overrides["grid_mode"] = args.grid_mode
     if getattr(args, "grid_workers", None) is not None:
-        overrides["grid_workers"] = args.grid_workers
+        grid_overrides["grid_workers"] = args.grid_workers
     if getattr(args, "shards", None) is not None:
-        overrides["grid_shards"] = args.shards
+        grid_overrides["grid_shards"] = args.shards
     if getattr(args, "coordinator", None) is not None:
-        overrides["grid_coordinator"] = args.coordinator
-    if overrides:
-        settings = replace(settings, **overrides)
-        # surface invalid grid options (e.g. --coordinator without
+        grid_overrides["grid_coordinator"] = args.coordinator
+    accuracy_overrides = {}
+    if getattr(args, "stack_workers", None) is not None:
+        accuracy_overrides["stack_workers"] = args.stack_workers
+    if getattr(args, "accuracy_mode", None) is not None:
+        accuracy_overrides["accuracy_mode"] = args.accuracy_mode
+    if getattr(args, "accuracy_workers", None) is not None:
+        accuracy_overrides["accuracy_workers"] = args.accuracy_workers
+    if getattr(args, "accuracy_shards", None) is not None:
+        accuracy_overrides["accuracy_shards"] = args.accuracy_shards
+    if getattr(args, "accuracy_coordinator", None) is not None:
+        accuracy_overrides["accuracy_coordinator"] = args.accuracy_coordinator
+    if grid_overrides or accuracy_overrides:
+        settings = replace(settings, **grid_overrides, **accuracy_overrides)
+        # surface invalid options (e.g. --coordinator without
         # --grid-mode remote) now, not after the minutes-long library
         # build that every harness runs first
-        settings.grid_runner()
+        if grid_overrides:
+            settings.grid_runner()
+        if accuracy_overrides:
+            settings.accuracy_runner()
     return settings
 
 
@@ -145,6 +169,58 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.accuracy import AccuracyPredictor
+    from repro.experiments.report import render_table
+
+    settings = _settings(args)
+    library = settings.library()
+    validator = settings.validator()
+    predictor = AccuracyPredictor(validator=validator)
+
+    multipliers = list(library)
+    measured = validator.drop_percents(multipliers)
+    analytical = [predictor.drop_percent("vgg16", m) for m in multipliers]
+    rho = predictor.behavioral_agreement(library)
+
+    rows = [
+        [
+            entry.name[:30],
+            entry.origin,
+            round(analytical[index], 3),
+            round(measured[index], 3),
+        ]
+        for index, entry in enumerate(multipliers)
+    ]
+    print(
+        render_table(
+            ["name", "origin", "analytical_drop_%", "behavioral_drop_%"],
+            rows,
+            # no execution knobs in the output: every mode/worker
+            # combination must print byte-identical results (CI diffs it)
+            title=f"Behavioural accuracy study ({len(multipliers)} multipliers)",
+        )
+    )
+    print(f"analytical-vs-behavioural Spearman rho: {rho:.4f}")
+    if args.json:
+        import json
+
+        payload = {
+            "multipliers": [
+                {
+                    "name": entry.name,
+                    "origin": entry.origin,
+                    "analytical_drop_percent": analytical[index],
+                    "behavioral_drop_percent": measured[index],
+                }
+                for index, entry in enumerate(multipliers)
+            ],
+            "spearman_rho": rho,
+        }
+        _write(args.json, json.dumps(payload, indent=2) + "\n")
+    return 0
+
+
 def _cmd_fig2_scatter(args: argparse.Namespace) -> int:
     from repro.experiments.fig2 import fig2_scatter
 
@@ -214,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
         p: argparse.ArgumentParser,
         json_out: bool = True,
         grid_opts: bool = False,
+        accuracy_opts: bool = False,
     ) -> None:
         p.add_argument(
             "--fast", action="store_true",
@@ -221,6 +298,40 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if json_out:
             p.add_argument("--json", default=None, help="write results JSON")
+        if accuracy_opts:
+            from repro.engine.grid import grid_modes
+
+            p.add_argument(
+                "--stack-workers", type=int, default=None, metavar="N",
+                help="threads tiling the stacked LUT inference "
+                "(default: auto = one per CPU; 1 = the serial "
+                "reference; results identical for every value)",
+            )
+            p.add_argument(
+                "--accuracy-mode", default=None,
+                choices=list(grid_modes()),
+                help="execution backend that scores the multiplier "
+                "library as sharded sub-stacks (drops identical for "
+                "every choice)",
+            )
+            p.add_argument(
+                "--accuracy-workers", type=int, default=None,
+                help="worker count for the sharded accuracy modes; "
+                "with --accuracy-mode remote, the number of locally "
+                "spawned worker daemons (0 = external workers only)",
+            )
+            p.add_argument(
+                "--accuracy-shards", type=int, default=None,
+                help="multiplier sub-stack count override "
+                "(default: one per worker)",
+            )
+            p.add_argument(
+                "--coordinator", dest="accuracy_coordinator",
+                default=None, metavar="HOST:PORT",
+                help="remote accuracy-mode bind address (default "
+                "127.0.0.1:0); attach workers with 'python -m "
+                "repro.engine.worker --connect HOST:PORT'",
+            )
         if grid_opts:
             from repro.engine.grid import grid_modes
 
@@ -261,6 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_cmd_design)
+
+    p = sub.add_parser(
+        "accuracy",
+        help="behavioural accuracy study over the engine-backed stage",
+    )
+    common(p, accuracy_opts=True)
+    p.set_defaults(handler=_cmd_accuracy)
 
     p = sub.add_parser("fig2-scatter", help="regenerate Fig. 2 scatter")
     common(p, grid_opts=True)

@@ -21,10 +21,13 @@ that make the searches fast without changing a single result:
   constraints, grid) so repeated experiment runs warm-start;
 * :mod:`repro.engine.backends` — the pluggable dispatch layer:
   :class:`ExecutorBackend` implementations (``serial`` / ``thread`` /
-  the persistent warm ``process`` pool / the TCP ``remote``
-  coordinator) shared by the grid runner and the population
-  evaluator, plus the registry that makes new strategies one-file
-  additions;
+  the persistent warm ``process`` pool — context-fingerprinted so a
+  library-settings change reforks stale workers — / the TCP
+  ``remote`` coordinator) shared by the grid runner, the population
+  evaluator, and the behavioural accuracy stage
+  (:meth:`repro.accuracy.behavioral.BehavioralValidator.drop_percents`
+  shards multiplier sub-stacks over them), plus the registry that
+  makes new strategies one-file additions;
 * :mod:`repro.engine.worker` — the remote worker daemon
   (``python -m repro.engine.worker --connect HOST:PORT``) that pulls
   pickled cell shards from a coordinator and streams results back;
@@ -47,7 +50,9 @@ from repro.engine.backends import (
     ThreadBackend,
     backend_names,
     create_backend,
+    current_pool_context,
     register_backend,
+    register_pool_context_provider,
     shared_process_pool,
     shared_remote_backend,
     shutdown_remote_backends,
@@ -80,7 +85,9 @@ __all__ = [
     "RemoteCoordinator",
     "backend_names",
     "create_backend",
+    "current_pool_context",
     "register_backend",
+    "register_pool_context_provider",
     "spawn_local_worker",
     "shared_process_pool",
     "shared_remote_backend",

@@ -81,12 +81,44 @@ MAX_REQUEUES = 3
 
 #: Pools kept alive across runs, keyed by configured worker count.
 _PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+#: Context fingerprint each pool's workers were forked under.
+_POOL_CONTEXTS: Dict[int, Tuple[Tuple[str, Any], ...]] = {}
 _POOL_LOCK = threading.Lock()
 #: Pid that owns the registry — forked children inherit the dict but
 #: not the executors' manager threads, so they must never reuse it.
 _POOL_OWNER_PID: Optional[int] = None
 #: Set (via the pool initializer) in every worker process.
 _IN_POOL_WORKER = False
+
+#: Named providers consulted at warm-pool checkout; see
+#: :func:`register_pool_context_provider`.
+_POOL_CONTEXT_PROVIDERS: Dict[str, Callable[[], Any]] = {}
+
+
+def register_pool_context_provider(
+    name: str, provider: Callable[[], Any]
+) -> None:
+    """Register a fingerprint source for the warm-pool context.
+
+    The persistent pool forks its workers once; heavyweight parent
+    state built *after* that fork (e.g. a step-1 multiplier library for
+    different settings) is invisible to them, so every worker would
+    rebuild it per task — results unchanged, time wasted (the PERF.md
+    stale-pool caveat).  A provider returns a small hashable token
+    describing such fork-inherited state; :func:`shared_process_pool`
+    compares the combined token tuple at checkout and refork-replaces a
+    pool whose workers were forked under a different context.
+    Registration is idempotent per name (latest provider wins).
+    """
+    _POOL_CONTEXT_PROVIDERS[name] = provider
+
+
+def current_pool_context() -> Tuple[Tuple[str, Any], ...]:
+    """The combined fork-context fingerprint, stable provider order."""
+    return tuple(
+        (name, _POOL_CONTEXT_PROVIDERS[name]())
+        for name in sorted(_POOL_CONTEXT_PROVIDERS)
+    )
 
 
 def _mark_pool_worker() -> None:
@@ -120,27 +152,52 @@ def shared_process_pool(workers: int) -> ProcessPoolExecutor:
     threads; using an inherited executor deadlocks.  The registry is
     therefore pid-stamped: the first call in a new process drops every
     inherited entry and builds its own pool.
+
+    Checkout also compares the pool's fork-context fingerprint
+    (:func:`current_pool_context`) against the current one: a pool
+    whose workers were forked before a library-settings change would
+    silently rebuild the new library in every worker, so it is shut
+    down and reforked instead — the same cure as calling
+    :func:`shutdown_shared_pools` between harnesses, applied
+    automatically.
     """
     global _POOL_OWNER_PID
+    stale: Optional[ProcessPoolExecutor] = None
     with _POOL_LOCK:
+        # computed under the lock so two racing checkouts agree on one
+        # context and cannot thrash refork; providers are plain state
+        # reads and never call back into the pool registry
+        context = current_pool_context()
         pid = os.getpid()
         if _POOL_OWNER_PID != pid:
             # references only — the executors belong to the parent
             _PROCESS_POOLS.clear()
+            _POOL_CONTEXTS.clear()
             _POOL_OWNER_PID = pid
         pool = _PROCESS_POOLS.get(workers)
+        if pool is not None and _POOL_CONTEXTS.get(workers) != context:
+            stale = _PROCESS_POOLS.pop(workers)
+            _POOL_CONTEXTS.pop(workers, None)
+            pool = None
         if pool is None:
             pool = ProcessPoolExecutor(
                 max_workers=workers, initializer=_mark_pool_worker
             )
             _PROCESS_POOLS[workers] = pool
-        return pool
+            _POOL_CONTEXTS[workers] = context
+    if stale is not None:
+        # no cancel_futures: a concurrent thread may still be draining
+        # work on the stale pool (its results stay correct — cells are
+        # pure); the executor winds down once that work finishes
+        stale.shutdown(wait=False)
+    return pool
 
 
 def discard_process_pool(workers: int) -> None:
     """Drop (and shut down) one persistent pool, e.g. after a break."""
     with _POOL_LOCK:
         pool = _PROCESS_POOLS.pop(workers, None)
+        _POOL_CONTEXTS.pop(workers, None)
         owned = _POOL_OWNER_PID == os.getpid()
     if pool is not None and owned:
         pool.shutdown(wait=False, cancel_futures=True)
@@ -151,6 +208,7 @@ def shutdown_shared_pools() -> None:
     with _POOL_LOCK:
         pools = list(_PROCESS_POOLS.values())
         _PROCESS_POOLS.clear()
+        _POOL_CONTEXTS.clear()
         owned = _POOL_OWNER_PID == os.getpid()
     for pool in pools:
         if owned:  # inherited executors belong to the parent process

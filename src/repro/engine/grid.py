@@ -200,3 +200,41 @@ class GridRunner:
         backend = self.backend(mode, n_shards=len(shards))
         shard_results = backend.map_shards(fn, shards)
         return [result for shard in shard_results for result in shard]
+
+    def map_batches(
+        self,
+        fn: Callable[..., List[Any]],
+        items: Sequence[Any],
+        extra: Sequence[Any] = (),
+    ) -> List[Any]:
+        """Evaluate ``fn(batch, *extra)`` over contiguous item batches.
+
+        For callables that are *batch-decomposable* — ``fn`` returns one
+        result per item of its batch and ``fn(a + b) == fn(a) + fn(b)``
+        — this fans a single large batch out over the configured
+        backend as contiguous sub-batches (one cell per sub-batch,
+        sized by ``config.shards`` or one per resolved worker) and
+        concatenates the per-batch results in item order.  The batched
+        accuracy stage uses it to shard a multiplier stack into
+        sub-stacks that each keep the one-pass
+        :meth:`~repro.nn.inference.QuantCNN.forward_stack` advantage.
+
+        Returns exactly ``list(fn(items, *extra))`` for every mode,
+        batch count, and backend; in ``serial`` resolution the single
+        full-batch call is used directly.
+        """
+        items = list(items)
+        if not items:
+            return []
+        extra = tuple(extra)
+        mode = self.resolved_mode(len(items))
+        if mode in ("process", "remote") and in_pool_worker():
+            mode = "serial"  # no nested fan-out — see in_pool_worker()
+        if mode == "serial":
+            return list(fn(items, *extra))
+        batches = self.shard_cells(items)
+        if len(batches) == 1:
+            return list(fn(items, *extra))
+        cells = [(batch,) + extra for batch in batches]
+        results = self.map(fn, cells)
+        return [value for batch_result in results for value in batch_result]

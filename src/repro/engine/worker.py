@@ -13,8 +13,15 @@ pure functions, so a worker holds no run state: killing one mid-task
 only costs the re-execution of that task elsewhere, and starting one
 mid-run immediately adds capacity.
 
-Exit codes: ``0`` normal shutdown, ``1`` connection/protocol failure,
-``2`` rejected at handshake (e.g. protocol-version mismatch).
+A worker may be started *before* its coordinator binds: the dial
+retries with bounded exponential backoff (``--retry`` attempts,
+``--retry-interval`` seed pause doubling per ``--retry-backoff`` up to
+``--retry-max-interval``) instead of dying on the first refused
+connection.
+
+Exit codes: ``0`` normal shutdown, ``1`` connection/protocol failure
+(including an unreachable coordinator after the retry budget), ``2``
+rejected at handshake (e.g. protocol-version mismatch).
 """
 
 from __future__ import annotations
@@ -37,21 +44,59 @@ from repro.engine.backends import (
 from repro.errors import ReproError
 
 
+def backoff_intervals(
+    attempts: int,
+    base: float = 0.25,
+    factor: float = 2.0,
+    cap: float = 5.0,
+) -> List[float]:
+    """Pause schedule between connection attempts (``attempts - 1`` long).
+
+    Exponential backoff capped at ``cap`` seconds: quick retries while
+    a coordinator is (re)binding, without hammering the host when the
+    worker was started well before the run.  ``factor=1.0`` recovers
+    the old fixed-interval schedule.
+    """
+    intervals: List[float] = []
+    pause = base
+    for _ in range(max(0, attempts - 1)):
+        intervals.append(min(pause, cap) if cap > 0 else pause)
+        pause *= factor
+    return intervals
+
+
 def connect(
-    address: str, attempts: int = 40, retry_interval: float = 0.25
+    address: str,
+    attempts: int = 40,
+    retry_interval: float = 0.25,
+    backoff: float = 2.0,
+    max_interval: float = 5.0,
 ) -> socket.socket:
-    """Dial the coordinator, retrying while it is still coming up."""
+    """Dial the coordinator, retrying with bounded exponential backoff.
+
+    A worker daemon is routinely started *before* the coordinator binds
+    (provisioning scripts bring machines up in any order), so a refused
+    connection is retried ``attempts`` times with the
+    :func:`backoff_intervals` schedule rather than dying immediately.
+    Exhausting the budget raises ``OSError`` — the daemon exits 1,
+    distinct from exit 2 (rejected at handshake, e.g. a protocol
+    version mismatch).
+    """
     host, port = parse_address(address)
+    pauses = backoff_intervals(
+        max(1, attempts), retry_interval, backoff, max_interval
+    )
     last_error: Optional[OSError] = None
     for attempt in range(max(1, attempts)):
         try:
             return socket.create_connection((host, port))
         except OSError as exc:
             last_error = exc
-            if attempt + 1 < attempts:
-                time.sleep(retry_interval)
+            if attempt < len(pauses):
+                time.sleep(pauses[attempt])
     raise OSError(
-        f"could not reach coordinator at {address}: {last_error}"
+        f"could not reach coordinator at {address} "
+        f"after {max(1, attempts)} attempts: {last_error}"
     ) from last_error
 
 
@@ -119,12 +164,20 @@ def run_worker(
     address: str,
     attempts: int = 40,
     retry_interval: float = 0.25,
+    backoff: float = 2.0,
+    max_interval: float = 5.0,
     protocol: int = PROTOCOL_VERSION,
     verbose: bool = False,
 ) -> int:
     """Connect and serve; returns the process exit code."""
     try:
-        sock = connect(address, attempts=attempts, retry_interval=retry_interval)
+        sock = connect(
+            address,
+            attempts=attempts,
+            retry_interval=retry_interval,
+            backoff=backoff,
+            max_interval=max_interval,
+        )
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -165,7 +218,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         metavar="SECONDS",
-        help="pause between connection attempts (default: 0.25)",
+        help="initial pause between connection attempts (default: 0.25)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="multiplicative backoff applied to the retry pause "
+        "(default: 2.0; 1.0 = fixed interval)",
+    )
+    parser.add_argument(
+        "--retry-max-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="ceiling for the backed-off retry pause (default: 5.0)",
     )
     parser.add_argument(
         "--protocol",
@@ -185,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.connect,
         attempts=args.retry,
         retry_interval=args.retry_interval,
+        backoff=args.retry_backoff,
+        max_interval=args.retry_max_interval,
         protocol=args.protocol,
         verbose=args.verbose,
     )

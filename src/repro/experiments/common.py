@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
+from repro.accuracy.behavioral import BehavioralValidator
 from repro.accuracy.predictor import AccuracyPredictor
 from repro.approx.library import ApproxLibrary, build_library
 from repro.core.designer import CarbonAwareDesigner
@@ -25,6 +26,8 @@ from repro.engine.grid import GridConfig, GridRunner
 from repro.engine.population import EngineConfig
 from repro.errors import ExperimentError
 from repro.ga.engine import GaConfig
+from repro.nn.inference import resolve_stack_workers
+from repro.nn.synthetic import SyntheticTask
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,19 @@ class ExperimentSettings:
         grid_coordinator: ``HOST:PORT`` the remote coordinator binds
             (default loopback/ephemeral); bind a routable host to let
             workers on other machines connect.
+        stack_workers: thread-tiling knob for the stacked LUT inference
+            (``"auto"`` / positive int / ``None`` for the process
+            default); every value returns bit-identical drops.
+        accuracy_mode: execution backend for the behavioural accuracy
+            stage (``auto`` / ``serial`` / ``thread`` / ``process`` /
+            ``remote``) — library scoring shards multiplier sub-stacks
+            across it, bit-identical to serial in every mode.
+        accuracy_workers: worker count for the sharded accuracy modes;
+            in ``remote`` mode the number of locally spawned daemons.
+        accuracy_shards: sub-stack count override for the accuracy
+            stage (default: one per worker).
+        accuracy_coordinator: ``HOST:PORT`` for a ``remote`` accuracy
+            stage (falls back to ``grid_coordinator``).
     """
 
     nodes_nm: Tuple[int, ...] = (7, 14, 28)
@@ -80,12 +96,19 @@ class ExperimentSettings:
     grid_workers: Optional[int] = None
     grid_shards: Optional[int] = None
     grid_coordinator: Optional[str] = None
+    stack_workers: Optional[Union[int, str]] = None
+    accuracy_mode: str = "auto"
+    accuracy_workers: Optional[int] = None
+    accuracy_shards: Optional[int] = None
+    accuracy_coordinator: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.nodes_nm or not self.networks:
             raise ExperimentError("settings need at least one node and network")
         if not self.fps_thresholds or not self.drop_tiers_percent:
             raise ExperimentError("settings need thresholds and tiers")
+        if self.stack_workers is not None:
+            resolve_stack_workers(self.stack_workers)  # fail fast on typos
 
     def library(self) -> ApproxLibrary:
         """The (cached) step-1 multiplier library for these settings.
@@ -127,6 +150,46 @@ class ExperimentSettings:
                 shards=self.grid_shards,
                 coordinator=self.grid_coordinator,
             )
+        )
+
+    def accuracy_runner(self) -> GridRunner:
+        """Sub-stack dispatch policy for the behavioural accuracy stage."""
+        if self.accuracy_coordinator is not None and self.accuracy_mode != "remote":
+            # mirror GridConfig's check: an explicitly configured
+            # coordinator must not be silently ignored while the user's
+            # worker fleet waits on a stage that runs locally
+            raise ExperimentError(
+                "accuracy_coordinator is only meaningful with "
+                f"accuracy_mode='remote', got accuracy_mode={self.accuracy_mode!r}"
+            )
+        # grid_coordinator doubles as the fallback bind address, but only
+        # once the accuracy stage itself opted into remote dispatch
+        coordinator = self.accuracy_coordinator or self.grid_coordinator
+        return GridRunner(
+            GridConfig(
+                mode=self.accuracy_mode,
+                workers=self.accuracy_workers,
+                shards=self.accuracy_shards,
+                coordinator=(
+                    coordinator if self.accuracy_mode == "remote" else None
+                ),
+            )
+        )
+
+    def validator(
+        self, task: Optional[SyntheticTask] = None
+    ) -> BehavioralValidator:
+        """A behavioural validator wired to these settings' execution policy.
+
+        The returned validator tiles the stacked inference across
+        ``stack_workers`` threads and shards library-wide queries over
+        the ``accuracy_mode`` backend; drops are bit-identical to the
+        plain in-process validator for every configuration.
+        """
+        return BehavioralValidator(
+            task=task,
+            stack_workers=self.stack_workers,
+            runner=self.accuracy_runner(),
         )
 
 

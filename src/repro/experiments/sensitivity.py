@@ -15,6 +15,7 @@ to the big unknowns:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
@@ -79,6 +80,33 @@ def _ga_vs_exact(
     ).run().best
     saving = 100.0 * (1.0 - ga.carbon_g / exact.carbon_g)
     return exact.carbon_g, ga.carbon_g, saving
+
+
+def _reject_fitness_cache(
+    settings: ExperimentSettings, sweep: str
+) -> ExperimentSettings:
+    """Disable the on-disk fitness cache for a global-patching sweep.
+
+    The yield and bandwidth sweeps patch module globals
+    (``DEFAULT_YIELD_MODEL`` / ``DRAM_BANDWIDTH_GB_S``) that the disk
+    cache's context fingerprint cannot see: fitness computed under a
+    patched global would be stored — and later served — under the
+    *unpatched* context, silently corrupting both this sweep and every
+    later run sharing the cache directory.  A comment used to be the
+    only guard; now a ``cache_dir`` is stripped with a loud warning
+    before any cell runs.
+    """
+    if settings.cache_dir is None:
+        return settings
+    warnings.warn(
+        f"{sweep} patches module globals the fitness disk cache cannot "
+        f"fingerprint; ignoring cache_dir={settings.cache_dir!r} for this "
+        "sweep (cached results would be computed under patched models and "
+        "corrupt later runs)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return replace(settings, cache_dir=None)
 
 
 def _patch_local_settings(settings: ExperimentSettings) -> ExperimentSettings:
@@ -196,6 +224,7 @@ def yield_sensitivity(
     """
     from repro.carbon.nodes import technology_node
 
+    settings = _reject_fitness_cache(settings, "yield_sensitivity")
     settings.library()  # build before any pool forks, so workers inherit
     base_density = technology_node(node_nm).defect_density_per_cm2
     cells = [
@@ -224,6 +253,7 @@ def bandwidth_sensitivity(
     """Exact-family FPS and GA saving across DRAM bandwidths."""
     if not bandwidths_gb_s:
         raise ExperimentError("need at least one bandwidth")
+    settings = _reject_fitness_cache(settings, "bandwidth_sensitivity")
     settings.library()  # build before any pool forks, so workers inherit
     cells = [
         (settings, network, node_nm, bandwidth, 500 + index)

@@ -20,6 +20,14 @@ Two execution paths share the same prepared (pre-quantised) layers:
   behavioural accuracy study score a whole multiplier library in one
   inference instead of ~library-size full inferences.
 
+The stacked hot loop additionally fans out across cores: the
+``stack_workers`` knob (default ``"auto"`` — one thread per CPU, serial
+inside shared-pool workers) tiles the gather/accumulate work over the
+multiplier and row-block axes into a preallocated output slab.  Integer
+gather+add is exact in any order, so the parallel tiling is
+bit-identical to the serial reference by construction; ``1`` selects
+the serial loop, which stays in-tree as that reference.
+
 The engine deliberately supports only what the behavioural accuracy
 study needs (conv + ReLU + max-pool + dense on small images); the big
 zoo networks are never executed here — see DESIGN.md for why.
@@ -27,6 +35,8 @@ zoo networks are never executed here — see DESIGN.md for why.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -292,8 +302,81 @@ class _LutStack:
         ).reshape(-1)
 
 
+#: Process-wide default for the ``stack_workers`` knob.  ``"auto"``
+#: resolves to one thread per CPU (and degrades to serial inside
+#: shared-pool workers, which must not oversubscribe their machine);
+#: the ``REPRO_STACK_WORKERS`` environment variable overrides it.
+DEFAULT_STACK_WORKERS: Union[int, str] = "auto"
+
+#: Minimum rows per parallel tile — smaller blocks are dominated by
+#: thread dispatch and per-tile sub-table regathering.
+_MIN_TILE_ROWS = 2048
+
+
+def resolve_stack_workers(value: Optional[Union[int, str]] = None) -> int:
+    """Resolve a ``stack_workers`` knob value to a concrete count.
+
+    ``None`` defers to ``REPRO_STACK_WORKERS`` (when set) and then to
+    :data:`DEFAULT_STACK_WORKERS`; ``"auto"`` resolves to the CPU count
+    — except inside a shared-pool worker process, where it degrades to
+    the serial reference so process fan-out and thread tiling do not
+    multiply.  Every resolution returns bit-identical results; only
+    throughput changes.
+    """
+    if value is None:
+        value = os.environ.get("REPRO_STACK_WORKERS") or DEFAULT_STACK_WORKERS
+    if isinstance(value, str):
+        if value == "auto":
+            from repro.engine.backends import in_pool_worker
+
+            return 1 if in_pool_worker() else (os.cpu_count() or 1)
+        if not value.isdigit():
+            raise AccuracyModelError(
+                f"stack_workers must be 'auto' or a positive integer, "
+                f"got {value!r}"
+            )
+        value = int(value)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise AccuracyModelError(
+            f"stack_workers must be 'auto' or a positive integer, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _stack_tiles(
+    m_count: int, rows: int, workers: int
+) -> List[Tuple[int, int, int]]:
+    """(multiplier, row_start, row_stop) tiles for the parallel matmul.
+
+    The multiplier axis is tiled first (each multiplier's sub-table
+    gather happens exactly once); the row axis is split only when there
+    are fewer multipliers than workers, and never below
+    :data:`_MIN_TILE_ROWS` rows per tile so the per-tile sub-table
+    regather stays amortised.
+    """
+    if m_count < 1 or rows < 1:
+        return []
+    row_blocks = 1
+    if m_count < workers:
+        row_blocks = min(
+            -(-workers // m_count),  # ceil: enough tiles for every worker
+            max(1, rows // _MIN_TILE_ROWS),
+        )
+    bounds = np.linspace(0, rows, row_blocks + 1).astype(int)
+    return [
+        (m, int(bounds[block]), int(bounds[block + 1]))
+        for m in range(m_count)
+        for block in range(row_blocks)
+        if bounds[block + 1] > bounds[block]
+    ]
+
+
 def _lut_matmul_stack(
-    activations: np.ndarray, w_index: np.ndarray, stack: _LutStack
+    activations: np.ndarray,
+    w_index: np.ndarray,
+    stack: _LutStack,
+    workers: int = 1,
 ) -> np.ndarray:
     """Matrix product of M LUT multipliers in one pass.
 
@@ -303,6 +386,8 @@ def _lut_matmul_stack(
             first layer) or M (diverged activations per multiplier).
         w_index: (k, cols) pre-shifted weight-byte indices.
         stack: the stacked signed-product tables.
+        workers: resolved thread count for the tiled fan-out; ``1``
+            keeps the serial reference loop.
 
     Returns:
         (M, rows, cols) int64 accumulators; slice ``[i]`` is identical
@@ -315,8 +400,10 @@ def _lut_matmul_stack(
     accumulates it in place — per-MAC work collapses to one gathered
     add instead of index arithmetic plus a scalar gather from the full
     64 K-entry LUT.  The extra leading axis selects the multiplier.
-    Integer accumulation is exact, so neither the iteration order nor
-    the (narrowest-exact) accumulator dtype can change the result.
+    Integer accumulation is exact, so neither the iteration order, the
+    (narrowest-exact) accumulator dtype, nor the thread tiling can
+    change the result: parallel tiles compute the same per-element
+    gather+add chains into disjoint slabs of one preallocated output.
     """
     m_count = stack.count
     ma, rows, k = activations.shape
@@ -334,10 +421,39 @@ def _lut_matmul_stack(
     )
     sum_dtype = stack.accum_dtype(k)
     out = np.empty((m_count, rows, cols), dtype=np.int64)
+
+    tiles = _stack_tiles(m_count, rows, workers) if workers > 1 else []
+    if len(tiles) > 1:
+        # hoisted once when all multipliers share activations — tiles
+        # slice it read-only instead of re-deriving it per multiplier
+        shared_tile_bytes = (
+            (activations[0] & 0xFF).astype(np.intp) if ma == 1 else None
+        )
+
+        def run_tile(tile: Tuple[int, int, int]) -> None:
+            m, start, stop = tile
+            sub_tables = stack.tables[m][gather_index]
+            if shared_tile_bytes is not None:
+                a_bytes = shared_tile_bytes[start:stop]
+            else:
+                a_bytes = (activations[m][start:stop] & 0xFF).astype(np.intp)
+            accum = np.zeros((stop - start, cols), dtype=sum_dtype)
+            for position in range(k):
+                accum += sub_tables[position][a_bytes[:, position]]
+            out[m, start:stop] = accum
+
+        # numpy's gather and in-place add release the GIL, so thread
+        # tiling scales without pickling the (large) activation stacks
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(tiles))
+        ) as pool:
+            # list() drains the iterator so worker exceptions propagate
+            list(pool.map(run_tile, tiles))
+        return out
+
     shared_bytes = (
         (activations[0] & 0xFF).astype(np.intp) if ma == 1 else None
     )
-
     for m in range(m_count):
         sub_tables = stack.tables[m][gather_index]
         a_bytes = (
@@ -504,13 +620,21 @@ class QuantCNN:
     # --- stacked (library-batched) path ---------------------------------
 
     def forward_stack(
-        self, x: np.ndarray, multipliers: Sequence[LutMultiplier]
+        self,
+        x: np.ndarray,
+        multipliers: Sequence[LutMultiplier],
+        stack_workers: Optional[Union[int, str]] = None,
     ) -> np.ndarray:
         """Run a float batch under a stack of M LUT multipliers at once.
 
         Args:
             x: inputs shaped (N, C, H, W).
             multipliers: LUT multipliers sharing one operand geometry.
+            stack_workers: thread count for the tiled gather fan-out —
+                ``"auto"`` (one per CPU), a positive integer, or
+                ``None`` to defer to :data:`DEFAULT_STACK_WORKERS` /
+                ``REPRO_STACK_WORKERS``.  ``1`` is the serial
+                reference; every value returns bit-identical logits.
 
         Returns:
             Float logits (M, N, classes); slice ``[i]`` is bit-identical
@@ -523,6 +647,7 @@ class QuantCNN:
         """
         self._check_input(x)
         stack = _LutStack(multipliers)
+        workers = resolve_stack_workers(stack_workers)
 
         codes = quantize_tensor(x, self.input_params)
         # int16 activations: lossless for int8-range codes, and byte
@@ -532,19 +657,29 @@ class QuantCNN:
 
         for layer in self.prepared_layers():
             if isinstance(layer, _PreparedConv):
-                value, scales = self._conv_stack(value, scales, layer, stack)
+                value, scales = self._conv_stack(
+                    value, scales, layer, stack, workers
+                )
             elif isinstance(layer, PoolSpec):
                 value = self._pool_stack(value, layer)
             else:
-                value, scales = self._dense_stack(value, scales, layer, stack)
+                value, scales = self._dense_stack(
+                    value, scales, layer, stack, workers
+                )
         tail = (scales.shape[0],) + (1,) * (value.ndim - 1)
         return value.astype(np.float64) * scales.reshape(tail)
 
     def predict_stack(
-        self, x: np.ndarray, multipliers: Sequence[LutMultiplier]
+        self,
+        x: np.ndarray,
+        multipliers: Sequence[LutMultiplier],
+        stack_workers: Optional[Union[int, str]] = None,
     ) -> np.ndarray:
         """Argmax predictions (M, N) under a stack of LUT multipliers."""
-        return np.argmax(self.forward_stack(x, multipliers), axis=2)
+        return np.argmax(
+            self.forward_stack(x, multipliers, stack_workers=stack_workers),
+            axis=2,
+        )
 
     # --- layer implementations ------------------------------------------
 
@@ -599,6 +734,7 @@ class QuantCNN:
         scales: np.ndarray,
         layer: _PreparedConv,
         stack: _LutStack,
+        workers: int = 1,
     ) -> Tuple[np.ndarray, np.ndarray]:
         ma, n = value.shape[0], value.shape[1]
         if value.shape[2] != layer.in_c:
@@ -611,7 +747,7 @@ class QuantCNN:
         )
         cols = cols.reshape(ma, n * out_h * out_w, cols.shape[2])
 
-        accum = _lut_matmul_stack(cols, layer.w_index, stack)
+        accum = _lut_matmul_stack(cols, layer.w_index, stack, workers)
         m_count = stack.count
         accum = accum.reshape(m_count, n, out_h * out_w, layer.out_c)
 
@@ -682,6 +818,7 @@ class QuantCNN:
         scales: np.ndarray,
         layer: _PreparedDense,
         stack: _LutStack,
+        workers: int = 1,
     ) -> Tuple[np.ndarray, np.ndarray]:
         ma, n = value.shape[0], value.shape[1]
         flat = value.reshape(ma, n, -1)
@@ -689,7 +826,7 @@ class QuantCNN:
             raise AccuracyModelError(
                 f"dense expects {layer.in_f} features, got {flat.shape[2]}"
             )
-        accum = _lut_matmul_stack(flat, layer.w_index, stack)
+        accum = _lut_matmul_stack(flat, layer.w_index, stack, workers)
         if layer.bias is not None:
             factors = scales * layer.w_scale
             bias_codes = np.round(

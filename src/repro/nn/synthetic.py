@@ -62,18 +62,24 @@ class SyntheticTask:
         predictions = self.model.predict(self.test_x, fn)
         return float(np.mean(predictions == self.test_y))
 
-    def accuracy_batch(self, multipliers) -> np.ndarray:
+    def accuracy_batch(self, multipliers, stack_workers=None) -> np.ndarray:
         """Top-1 accuracy under a stack of LUT multipliers, one pass.
 
         Args:
             multipliers: :class:`~repro.approx.lut.LutMultiplier`
                 sequence sharing one operand geometry.
+            stack_workers: thread-tiling knob forwarded to
+                :meth:`~repro.nn.inference.QuantCNN.predict_stack`
+                (``"auto"``, a positive integer, or ``None`` for the
+                process default; every value is bit-identical).
 
         Returns:
             Float accuracies (M,); entry ``i`` equals
             ``accuracy(multipliers[i])`` bit for bit.
         """
-        predictions = self.model.predict_stack(self.test_x, multipliers)
+        predictions = self.model.predict_stack(
+            self.test_x, multipliers, stack_workers=stack_workers
+        )
         return np.mean(predictions == self.test_y[np.newaxis, :], axis=1)
 
 

@@ -67,9 +67,27 @@ class TestCliParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("library", "design", "fig2-scatter", "fig2-table",
-                        "fig3", "sensitivity"):
+        for command in ("library", "design", "accuracy", "fig2-scatter",
+                        "fig2-table", "fig3", "sensitivity"):
             assert command in text
+
+    def test_accuracy_flags_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["accuracy", "--help"])
+        text = capsys.readouterr().out
+        for flag in ("--stack-workers", "--accuracy-mode",
+                     "--accuracy-workers", "--accuracy-shards",
+                     "--coordinator"):
+            assert flag in text
+
+    def test_accuracy_mode_choices(self):
+        args = build_parser().parse_args(
+            ["accuracy", "--accuracy-mode", "thread", "--stack-workers", "2"]
+        )
+        assert args.accuracy_mode == "thread"
+        assert args.stack_workers == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["accuracy", "--accuracy-mode", "bogus"])
 
     def test_design_defaults(self):
         args = build_parser().parse_args(["design"])
@@ -105,6 +123,29 @@ class TestCliExecution:
         assert "saving" in out
         rows = load_design_rows(out_path.read_text())
         assert {row["label"] for row in rows} == {"exact", "ga_cdp"}
+
+    def test_accuracy_fast_serial_vs_thread_identical(self, tmp_path, capsys):
+        """The CLI accuracy study prints identical drops in every mode."""
+        serial_json = tmp_path / "serial.json"
+        code = main([
+            "accuracy", "--fast", "--accuracy-mode", "serial",
+            "--json", str(serial_json),
+        ])
+        assert code == 0
+        serial_out = capsys.readouterr().out
+        assert "Behavioural accuracy study" in serial_out
+        assert "Spearman rho" in serial_out
+
+        thread_json = tmp_path / "thread.json"
+        code = main([
+            "accuracy", "--fast", "--accuracy-mode", "thread",
+            "--accuracy-workers", "2", "--stack-workers", "2",
+            "--json", str(thread_json),
+        ])
+        assert code == 0
+        serial_payload = json.loads(serial_json.read_text())
+        thread_payload = json.loads(thread_json.read_text())
+        assert serial_payload == thread_payload
 
     def test_impossible_design_returns_error_code(self, capsys):
         code = main([

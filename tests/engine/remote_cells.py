@@ -48,3 +48,8 @@ def die_once_at(value, trigger, sentinel_path):
 def die_always(value):
     """Hard-kill whichever worker executes this cell, every time."""
     os._exit(21)
+
+
+def square_batch(values, offset):
+    """Batch-decomposable cell for ``GridRunner.map_batches`` tests."""
+    return [value * value + offset for value in values]

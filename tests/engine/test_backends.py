@@ -135,6 +135,21 @@ class TestGridConfigRemote:
 
 
 class TestRemoteBackend:
+    def test_map_batches_remote_identical_to_serial(self):
+        """Batched dispatch over the remote fleet == the serial call."""
+        from repro.engine.backends import shutdown_remote_backends
+
+        items = [value for value, _ in CELLS]
+        expected = remote_cells.square_batch(items, 100)
+        runner = GridRunner(GridConfig(mode="remote", workers=2))
+        try:
+            got = runner.map_batches(
+                remote_cells.square_batch, items, extra=(100,)
+            )
+            assert got == expected
+        finally:
+            shutdown_remote_backends()
+
     def test_grid_runner_remote_identical_to_serial(self):
         serial = GridRunner(GridConfig(mode="serial"))
         remote = GridRunner(
@@ -279,6 +294,51 @@ class TestProtocolHandshake:
         )
         assert process.returncode == 1
         assert "could not reach coordinator" in process.stderr
+
+
+class TestConnectBackoff:
+    """Workers started before the coordinator binds retry with backoff."""
+
+    def test_backoff_schedule(self):
+        from repro.engine.worker import backoff_intervals
+
+        assert backoff_intervals(7, 0.25, 2.0, 5.0) == [
+            0.25, 0.5, 1.0, 2.0, 4.0, 5.0,
+        ]
+        assert backoff_intervals(1, 0.25) == []
+        assert backoff_intervals(0, 0.25) == []
+        # factor 1.0 recovers the old fixed-interval behaviour
+        assert backoff_intervals(4, 0.5, 1.0, 5.0) == [0.5, 0.5, 0.5]
+
+    def test_connect_exhausts_attempts_with_distinct_error(self):
+        from repro.engine.worker import connect
+
+        start = time.monotonic()
+        with pytest.raises(OSError, match="after 3 attempts"):
+            connect("127.0.0.1:1", attempts=3, retry_interval=0.01)
+        assert time.monotonic() - start < 5.0  # bounded, no hang
+
+    def test_worker_started_before_coordinator_binds(self):
+        """The daemon must survive the pre-bind window and then serve."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # free the port for the late-binding coordinator
+
+        worker = spawn_local_worker(f"127.0.0.1:{port}")
+        try:
+            time.sleep(1.0)  # the worker is now retrying against nothing
+            assert worker.poll() is None, "worker died before the bind"
+            with RemoteCoordinator(f"127.0.0.1:{port}") as coordinator:
+                assert (
+                    coordinator.map_shards(remote_cells.square_offset, SHARDS)
+                    == EXPECTED
+                )
+            worker.wait(timeout=10)
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait()
 
 
 class TestCoordinatorLifecycle:

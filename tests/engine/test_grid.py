@@ -28,8 +28,14 @@ def tag_pid(value):
     return value, os.getpid()
 
 
+def square_batch(values, offset):
+    """Batch-decomposable callable for map_batches tests."""
+    return [value * value + offset for value in values]
+
+
 CELLS = [(value, 100) for value in range(11)]
 EXPECTED = [value * value + 100 for value in range(11)]
+ITEMS = list(range(11))
 
 
 class TestGridConfig:
@@ -114,3 +120,76 @@ class TestWarmPoolReuse:
         after = shared_process_pool(2)
         assert after is not before
         shutdown_shared_pools()
+
+
+class TestPoolContextRefork:
+    """A library-settings change must refork stale warm-pool workers."""
+
+    def _provider_token(self):
+        return self._token
+
+    def test_context_change_reforks_pool(self):
+        from repro.engine.backends import (
+            _POOL_CONTEXT_PROVIDERS,
+            current_pool_context,
+            register_pool_context_provider,
+        )
+
+        self._token = "harness-A"
+        register_pool_context_provider("test-context", self._provider_token)
+        try:
+            pool_a = shared_process_pool(2)
+            assert shared_process_pool(2) is pool_a  # same context: reuse
+            self._token = "harness-B"
+            assert ("test-context", "harness-B") in current_pool_context()
+            pool_b = shared_process_pool(2)
+            assert pool_b is not pool_a  # context change: refork
+            assert shared_process_pool(2) is pool_b  # stable again
+        finally:
+            _POOL_CONTEXT_PROVIDERS.pop("test-context", None)
+            shutdown_shared_pools()
+
+    def test_back_to_back_library_settings_refork(self):
+        """Two harness-style runs with different libraries refork once."""
+        from repro.approx.library import build_library
+
+        fast = dict(generations=2, hybrid=False, structural=False)
+        shutdown_shared_pools()
+        try:
+            build_library(width=8, seed=123, population=8, **fast)
+            pool_a = shared_process_pool(2)
+            assert shared_process_pool(2) is pool_a
+            # second "harness" builds a different step-1 library: the
+            # next checkout must hand back freshly forked workers that
+            # inherit it, instead of the stale pre-library fleet
+            build_library(width=8, seed=124, population=8, **fast)
+            pool_b = shared_process_pool(2)
+            assert pool_b is not pool_a
+            # results through the reforked pool stay the reference's
+            runner = GridRunner(GridConfig(mode="process", workers=2))
+            assert runner.map(square_offset, CELLS) == EXPECTED
+        finally:
+            shutdown_shared_pools()
+
+
+class TestMapBatches:
+    """map_batches == fn(items) for every mode and batch count."""
+
+    def test_serial_reference(self):
+        runner = GridRunner(GridConfig(mode="serial"))
+        assert runner.map_batches(square_batch, ITEMS, extra=(100,)) == EXPECTED
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    @pytest.mark.parametrize("shards", [1, 2, 5, 11])
+    def test_parallel_modes_identical(self, mode, shards):
+        runner = GridRunner(GridConfig(mode=mode, workers=2, shards=shards))
+        assert runner.map_batches(square_batch, ITEMS, extra=(100,)) == EXPECTED
+        shutdown_shared_pools()
+
+    def test_empty_items(self):
+        runner = GridRunner(GridConfig(mode="thread", workers=2))
+        assert runner.map_batches(square_batch, [], extra=(100,)) == []
+
+    def test_single_item(self):
+        runner = GridRunner(GridConfig(mode="thread", workers=4))
+        assert runner.map_batches(square_batch, [3], extra=(7,)) == [16]

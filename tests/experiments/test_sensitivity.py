@@ -74,6 +74,49 @@ class TestBandwidthSensitivity:
             bandwidth_sensitivity(settings=settings, bandwidths_gb_s=())
 
 
+class TestFitnessCacheRejection:
+    """Global-patching sweeps must not read/write the fitness disk cache.
+
+    The yield and bandwidth sweeps patch ``DEFAULT_YIELD_MODEL`` /
+    ``DRAM_BANDWIDTH_GB_S``, which change fitness without changing the
+    cache's context fingerprint — cached results would be silently
+    wrong here and would poison later unpatched runs.  A ``cache_dir``
+    is therefore stripped with a warning before any cell runs.
+    """
+
+    def _cached_settings(self, tmp_path):
+        from dataclasses import replace
+
+        return replace(fast_settings(), cache_dir=str(tmp_path))
+
+    def test_yield_sweep_warns_and_ignores_cache_dir(self, tmp_path):
+        settings = self._cached_settings(tmp_path)
+        with pytest.warns(RuntimeWarning, match="cache_dir"):
+            cached = yield_sensitivity(
+                settings=settings, defect_multipliers=(2.0,)
+            )
+        clean = yield_sensitivity(
+            settings=fast_settings(), defect_multipliers=(2.0,)
+        )
+        assert cached.rows == clean.rows  # identical to the uncached run
+        assert not list(tmp_path.glob("fitness-*.pkl"))  # nothing persisted
+
+    def test_bandwidth_sweep_warns_and_ignores_cache_dir(self, tmp_path):
+        settings = self._cached_settings(tmp_path)
+        with pytest.warns(RuntimeWarning, match="cache_dir"):
+            bandwidth_sensitivity(settings=settings, bandwidths_gb_s=(25.6,))
+        assert not list(tmp_path.glob("fitness-*.pkl"))
+
+    def test_grid_sweep_keeps_cache_dir(self, tmp_path, recwarn):
+        """The grid sweep patches nothing — its cache stays legitimate."""
+        settings = self._cached_settings(tmp_path)
+        grid_sensitivity(settings=settings)
+        cache_warnings = [
+            w for w in recwarn.list if "cache_dir" in str(w.message)
+        ]
+        assert not cache_warnings
+
+
 class TestFpsTable:
     def test_covers_networks_and_family(self, settings):
         table = network_fps_table(settings=settings)

@@ -19,6 +19,8 @@ from repro.nn.inference import (
     QuantCNN,
     _im2col,
     _LutStack,
+    _stack_tiles,
+    resolve_stack_workers,
 )
 from repro.nn.synthetic import make_task
 
@@ -135,6 +137,108 @@ class TestForwardStackBitIdentity:
             assert np.array_equal(
                 batched[index], task.model.predict(task.test_x, lut)
             )
+
+
+class TestStackWorkers:
+    """The thread-tiled stack must equal the serial reference bit for bit."""
+
+    def test_parallel_matches_serial_on_random_cnns(self):
+        """stack_workers=1 == stack_workers=N across model/data seeds."""
+        luts = _lut_library(seed=11, count=4)
+        for seed in range(3):
+            model = _model(seed=seed + 20)
+            x = np.random.default_rng(seed + 40).standard_normal((5, 1, 8, 8))
+            model.calibrate(x)
+            serial = model.forward_stack(x, luts, stack_workers=1)
+            for workers in (2, 3, 8):
+                parallel = model.forward_stack(x, luts, stack_workers=workers)
+                assert np.array_equal(serial, parallel), (seed, workers)
+
+    def test_single_multiplier_stack_parallel(self):
+        """A one-entry stack with many workers still row-tiles correctly."""
+        model = _model()
+        x = np.random.default_rng(7).standard_normal((6, 1, 8, 8))
+        model.calibrate(x)
+        lut = _lut_library()[3]
+        serial = model.forward_stack(x, [lut], stack_workers=1)
+        parallel = model.forward_stack(x, [lut], stack_workers=4)
+        assert np.array_equal(serial, parallel)
+        assert np.array_equal(serial[0], model.forward(x, lut))
+
+    def test_empty_stack_rejected_any_workers(self):
+        model = _model()
+        model.calibrate(np.zeros((1, 1, 8, 8)))
+        for workers in (1, 4):
+            with pytest.raises(AccuracyModelError, match="empty"):
+                model.forward_stack(
+                    np.zeros((1, 1, 8, 8)), [], stack_workers=workers
+                )
+
+    def test_non_contiguous_input(self):
+        """Sliced/transposed (non-C-contiguous) inputs match contiguous."""
+        model = _model()
+        rng = np.random.default_rng(13)
+        base = rng.standard_normal((8, 8, 1, 12))
+        views = {
+            "transposed": base.transpose(0, 2, 1, 3)[..., ::2],
+            "strided": rng.standard_normal((12, 1, 8, 16))[::2, :, :, ::2],
+            "reversed": rng.standard_normal((6, 1, 8, 8))[::-1],
+        }
+        luts = _lut_library(seed=3, count=3)
+        for label, x in views.items():
+            assert not x.flags["C_CONTIGUOUS"], label
+            contiguous = np.ascontiguousarray(x)
+            model.calibrate(contiguous)
+            want = model.forward_stack(contiguous, luts, stack_workers=1)
+            for workers in (1, 4):
+                got = model.forward_stack(x, luts, stack_workers=workers)
+                assert np.array_equal(got, want), (label, workers)
+
+    def test_predict_stack_workers_identity(self):
+        task = make_task(seed=5, n_train_per_class=5, n_test_per_class=4)
+        luts = _lut_library(seed=8, count=4)
+        serial = task.model.predict_stack(task.test_x, luts, stack_workers=1)
+        parallel = task.model.predict_stack(task.test_x, luts, stack_workers=3)
+        assert np.array_equal(serial, parallel)
+
+    def test_accuracy_batch_workers_identity(self):
+        task = make_task(seed=6, n_train_per_class=5, n_test_per_class=4)
+        luts = _lut_library(seed=9, count=3)
+        serial = task.accuracy_batch(luts, stack_workers=1)
+        parallel = task.accuracy_batch(luts, stack_workers=4)
+        assert np.array_equal(serial, parallel)
+
+    def test_invalid_stack_workers_rejected(self):
+        for bad in (0, -2, 1.5, "bananas", False):
+            with pytest.raises(AccuracyModelError, match="stack_workers"):
+                resolve_stack_workers(bad)
+
+    def test_resolve_defaults_and_env(self, monkeypatch):
+        assert resolve_stack_workers(3) == 3
+        assert resolve_stack_workers("4") == 4
+        monkeypatch.setenv("REPRO_STACK_WORKERS", "2")
+        assert resolve_stack_workers() == 2
+        monkeypatch.setenv("REPRO_STACK_WORKERS", "auto")
+        assert resolve_stack_workers() >= 1
+
+    def test_auto_degrades_inside_pool_workers(self, monkeypatch):
+        """Pool workers must not multiply process x thread fan-out."""
+        import repro.engine.backends as backends
+
+        monkeypatch.setattr(backends, "_IN_POOL_WORKER", True)
+        assert resolve_stack_workers("auto") == 1
+
+    def test_tiles_partition_the_output(self):
+        """Tiles cover every (multiplier, row) slot exactly once."""
+        for m_count, rows, workers in [
+            (1, 10000, 4), (3, 5000, 8), (5, 100, 2), (4, 1, 16), (2, 4096, 3),
+        ]:
+            tiles = _stack_tiles(m_count, rows, workers)
+            slots = np.zeros((m_count, rows), dtype=int)
+            for m, start, stop in tiles:
+                assert stop > start
+                slots[m, start:stop] += 1
+            assert (slots == 1).all(), (m_count, rows, workers)
 
 
 class TestForwardStackValidation:
