@@ -16,7 +16,7 @@ models are plain LUTs (:mod:`repro.approx.lut`), and
 from repro.approx.metrics import ErrorMetrics, compute_error_metrics
 from repro.approx.lut import LutMultiplier
 from repro.approx.precision import precision_scaled_multiplier
-from repro.approx.pruning import PruningSpace
+from repro.approx.pruning import BatchedPruningObjectives, PruningSpace
 from repro.approx.nsga2 import Nsga2, Nsga2Config, pareto_front
 from repro.approx.library import ApproxLibrary, ApproxMultiplier, build_library
 
@@ -25,6 +25,7 @@ __all__ = [
     "compute_error_metrics",
     "LutMultiplier",
     "precision_scaled_multiplier",
+    "BatchedPruningObjectives",
     "PruningSpace",
     "Nsga2",
     "Nsga2Config",

@@ -29,10 +29,13 @@ from repro.approx.metrics import (
 )
 from repro.approx.nsga2 import Nsga2, Nsga2Config
 from repro.approx.precision import truncate_inputs
-from repro.approx.pruning import PruningSpace
+from repro.approx.pruning import BatchedPruningObjectives, PruningSpace
 from repro.circuits.area import netlist_area_um2, netlist_delay_ps, netlist_ge
+from repro.engine.backends import (
+    ThreadBackend,
+    register_pool_context_provider,
+)
 from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
-from repro.engine.backends import register_pool_context_provider
 from repro.engine.diskcache import FitnessDiskCache, context_fingerprint
 from repro.engine.population import EngineConfig
 from repro.engine.vectorized import pareto_front_np
@@ -190,6 +193,14 @@ def _pruning_pareto(
 ) -> List[ApproxMultiplier]:
     """NSGA-II search over pruning masks of one base circuit.
 
+    The search runs on the population-batched circuit engine by
+    default (engine modes ``auto``/``batch``): the base circuit is
+    compiled once and every generation is simulated in one pass, with
+    per-genome areas from the vectorized constant-propagation sweep —
+    bit-identical objectives to the per-genome reference path, which
+    stays selectable via engine mode ``serial`` (or ``thread`` for
+    per-genome fan-out).
+
     With ``cache_dir`` set, genome objectives persist on disk under a
     fingerprint of everything they depend on; cached hits skip circuit
     simulation, and the (deterministic) circuit artifacts of the final
@@ -211,6 +222,7 @@ def _pruning_pareto(
     )
 
     def evaluate(genome: Tuple[int, ...]) -> Tuple[float, float]:
+        """Per-genome prune-then-simulate reference path (bit-exact)."""
         if disk is not None:
             cached = disk.get(genome)
             if cached is not None:
@@ -227,6 +239,55 @@ def _pruning_pareto(
     def random_genome(rng: np.random.Generator) -> Tuple[int, ...]:
         return space.random_genome(rng)
 
+    engine_config = engine or EngineConfig(mode="auto")
+    batch_evaluate = None
+    if engine_config.mode in ("auto", "batch"):
+        workers = engine_config.resolved_workers()
+        if workers > 1:
+            # oversized populations shard across the thread backend;
+            # the evaluator closes over live circuit state, so the
+            # process/remote strategies do not apply here
+            backend = ThreadBackend(workers)
+            # floor of 8: splitting below that trades away the batch
+            # amortisation the engine exists for (a 64-core runner must
+            # not degenerate to per-genome shards)
+            shard_size = min(64, max(8, -(-population // workers)))
+        else:
+            backend = None
+            shard_size = 64
+        batched: List[BatchedPruningObjectives] = []
+
+        def batch_evaluate(
+            genomes: Sequence[Tuple[int, ...]],
+        ) -> List[Tuple[float, float]]:
+            """Generation fast path: disk hits, then one batched pass."""
+            results: List[Optional[Tuple[float, float]]] = [None] * len(
+                genomes
+            )
+            misses: List[Tuple[int, ...]] = []
+            miss_at: List[int] = []
+            for index, genome in enumerate(genomes):
+                cached = disk.get(genome) if disk is not None else None
+                if cached is None:
+                    misses.append(genome)
+                    miss_at.append(index)
+                else:
+                    results[index] = cached
+            if misses:
+                if not batched:  # built lazily: warm disk runs skip it
+                    batched.append(
+                        BatchedPruningObjectives(
+                            space, shard_size=shard_size, backend=backend
+                        )
+                    )
+                for index, objectives in zip(
+                    miss_at, batched[0](misses)
+                ):
+                    results[index] = objectives
+                    if disk is not None:
+                        disk.put(genomes[index], objectives)
+            return results  # type: ignore[return-value]
+
     search = Nsga2(
         evaluate,
         random_genome,
@@ -235,11 +296,23 @@ def _pruning_pareto(
             generations=generations,
             seed=seed,
         ),
-        engine=engine,
+        engine=engine_config,
+        batch_evaluate=batch_evaluate,
     )
     front = search.run()
     if disk is not None:
         disk.flush()
+
+    # exact pruned netlists are materialised only for the Pareto
+    # survivors; their truth tables come from one batched pass when
+    # the engine is up (bit-identical to circuit.truth_table())
+    missing = [
+        genome for genome, _objectives in front if genome not in artifacts
+    ]
+    if missing and batch_evaluate is not None and batched:
+        tables = batched[0].truth_tables(missing)
+        for index, genome in enumerate(missing):
+            artifacts[genome] = (space.apply(genome), tables[index])
 
     entries: List[ApproxMultiplier] = []
     for rank, (genome, _objectives) in enumerate(front):
@@ -294,10 +367,14 @@ def build_library(
         use_cache: reuse a previously built identical library.
         engine: population-evaluation policy for the NSGA-II searches
             (every mode returns bit-identical libraries, so it is not
-            part of the memo key).  ``process`` and ``batch`` are
-            downgraded to ``thread``: the pruning evaluator closes over
-            live circuit state that cannot cross a process boundary,
-            and it has no batch fast path.
+            part of the memo key).  ``auto`` (the default) and
+            ``batch`` run the population-batched circuit engine —
+            one compiled pass per generation; ``serial`` keeps the
+            per-genome prune-then-simulate reference, ``thread`` fans
+            the reference path out per genome.  ``process`` is
+            downgraded to ``thread``: the pruning evaluator closes
+            over live circuit state that cannot cross a process
+            boundary.
         cache_dir: optional directory for the on-disk objective cache,
             so rebuilding the same library in a fresh process (or a
             forked grid worker) skips re-simulating pruned circuits.
@@ -309,13 +386,10 @@ def build_library(
     )
     if use_cache and key in _LIBRARY_CACHE:
         return _LIBRARY_CACHE[key]
-    if engine is not None and engine.mode in ("process", "batch"):
-        # process: the pruning evaluator closes over live circuit state
-        # and cannot cross a process boundary.  batch: the pruning
-        # search has no batch_evaluate callable (that fast path belongs
-        # to the architecture GA), so the setting would be rejected at
-        # evaluator construction.  Either way thread mode returns a
-        # bit-identical library.
+    if engine is not None and engine.mode == "process":
+        # the pruning evaluator closes over live circuit state and
+        # cannot cross a process boundary; thread mode returns a
+        # bit-identical library
         engine = EngineConfig(
             mode="thread", workers=engine.workers, chunk_size=engine.chunk_size
         )

@@ -23,11 +23,21 @@ moments for its error-propagation estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+#: Memoised exact-result and uniform case-weight tables.  The step-1
+#: pruning search calls :func:`compute_error_metrics` for thousands of
+#: candidate multipliers with the same operand widths; rebuilding the
+#: 65536-entry product table and the tiled weight vector per candidate
+#: used to dominate the metric cost.  Cached arrays are returned
+#: read-only so a caller cannot corrupt later computations.
+_EXACT_PRODUCTS: Dict[Tuple[int, int], np.ndarray] = {}
+_EXACT_SUMS: Dict[Tuple[int, int], np.ndarray] = {}
+_UNIFORM_WEIGHTS: Dict[Tuple[int, int], np.ndarray] = {}
 
 
 @dataclass(frozen=True)
@@ -61,19 +71,39 @@ class ErrorMetrics:
 
 
 def exact_products(a_width: int, b_width: int) -> np.ndarray:
-    """Exact product table indexed by ``a + (b << a_width)``."""
-    cases = np.arange(1 << (a_width + b_width), dtype=np.int64)
-    a = cases & ((1 << a_width) - 1)
-    b = cases >> a_width
-    return a * b
+    """Exact product table indexed by ``a + (b << a_width)``.
+
+    Memoised per width pair; the returned array is read-only (copy it
+    before mutating).
+    """
+    key = (a_width, b_width)
+    table = _EXACT_PRODUCTS.get(key)
+    if table is None:
+        cases = np.arange(1 << (a_width + b_width), dtype=np.int64)
+        a = cases & ((1 << a_width) - 1)
+        b = cases >> a_width
+        table = a * b
+        table.setflags(write=False)
+        _EXACT_PRODUCTS[key] = table
+    return table
 
 
 def exact_sums(a_width: int, b_width: int) -> np.ndarray:
-    """Exact sum table indexed by ``a + (b << a_width)``."""
-    cases = np.arange(1 << (a_width + b_width), dtype=np.int64)
-    a = cases & ((1 << a_width) - 1)
-    b = cases >> a_width
-    return a + b
+    """Exact sum table indexed by ``a + (b << a_width)``.
+
+    Memoised per width pair; the returned array is read-only (copy it
+    before mutating).
+    """
+    key = (a_width, b_width)
+    table = _EXACT_SUMS.get(key)
+    if table is None:
+        cases = np.arange(1 << (a_width + b_width), dtype=np.int64)
+        a = cases & ((1 << a_width) - 1)
+        b = cases >> a_width
+        table = a + b
+        table.setflags(write=False)
+        _EXACT_SUMS[key] = table
+    return table
 
 
 def compute_error_metrics(
@@ -150,10 +180,34 @@ def _case_weights(
     n_a = 1 << a_width
     n_b = 1 << b_width
 
+    if a_probabilities is None and b_probabilities is None:
+        # the uniform weights every pruning candidate shares: memoise
+        # the tiled vector once per width pair (read-only, see above)
+        key = (a_width, b_width)
+        weights = _UNIFORM_WEIGHTS.get(key)
+        if weights is None:
+            a_p = _normalised(None, n_a, "a_probabilities")
+            b_p = _normalised(None, n_b, "b_probabilities")
+            weights = np.tile(a_p, n_b) * np.repeat(b_p, n_a)
+            weights.setflags(write=False)
+            _UNIFORM_WEIGHTS[key] = weights
+        return weights
+
     a_p = _normalised(a_probabilities, n_a, "a_probabilities")
     b_p = _normalised(b_probabilities, n_b, "b_probabilities")
     # case index = a + (b << a_width): A varies fastest
     return np.tile(a_p, n_b) * np.repeat(b_p, n_a)
+
+
+def uniform_case_weights(a_width: int, b_width: int) -> np.ndarray:
+    """The memoised uniform per-case weights (read-only).
+
+    Exactly the weights :func:`compute_error_metrics` applies when no
+    operand distribution is given; the population-batched pruning
+    evaluator shares them so batched error moments use the identical
+    per-case factors.
+    """
+    return _case_weights(a_width, b_width, None, None)
 
 
 def _normalised(

@@ -159,6 +159,10 @@ class Nsga2:
         engine: population-evaluation policy; defaults to the serial
             reference path.  Thread/process fan-out changes when cache
             misses are computed, never the returned front.
+        batch_evaluate: optional genomes -> objectives fast path (e.g.
+            the population-batched pruning evaluator).  Must return
+            objectives bit-identical to mapping ``evaluate``; selected
+            by engine modes ``batch`` and ``auto``.
     """
 
     def __init__(
@@ -169,6 +173,9 @@ class Nsga2:
         mutate: Callable[[Genome, np.random.Generator], Genome] | None = None,
         crossover: Callable[[Genome, Genome, np.random.Generator], Genome] | None = None,
         engine: Optional[EngineConfig] = None,
+        batch_evaluate: Optional[
+            Callable[[Sequence[Genome]], Sequence[Objectives]]
+        ] = None,
     ):
         self.config = config or Nsga2Config()
         self._evaluate_fn = evaluate
@@ -176,8 +183,12 @@ class Nsga2:
         self._mutate_fn = mutate or self._default_mutate
         self._crossover_fn = crossover or self._default_crossover
         self._cache: Dict[Genome, Objectives] = {}
+        self._batch_fn = batch_evaluate
         self._population_evaluator = PopulationEvaluator(
             self._evaluate,
+            batch_evaluate=(
+                None if batch_evaluate is None else self._batch_evaluate
+            ),
             config=engine or EngineConfig(mode="serial"),
             store=self._record_external,
         )
@@ -212,6 +223,14 @@ class Nsga2:
         objectives = tuple(float(v) for v in self._evaluate_fn(genome))
         self._cache[genome] = objectives
         return objectives
+
+    def _batch_evaluate(self, genomes: Sequence[Genome]) -> List[Objectives]:
+        """Coerce the batch fast path exactly like :meth:`_evaluate`."""
+        assert self._batch_fn is not None
+        return [
+            tuple(float(v) for v in objectives)
+            for objectives in self._batch_fn(genomes)
+        ]
 
     def _record_external(self, genome: Genome, objectives: Objectives) -> None:
         """Backfill the memo for results computed out-of-process."""

@@ -8,6 +8,10 @@ from a logic-synthesis tool, implemented from scratch:
   (:mod:`repro.circuits.synthesis`),
 * a vectorised simulator able to evaluate an 8x8 multiplier on all
   65536 input pairs in milliseconds (:mod:`repro.circuits.simulate`),
+* a population-batched evaluator that scores a whole generation of
+  pruning genomes against one compiled base circuit — truth tables
+  and simplified areas bit-identical to the per-genome path
+  (:mod:`repro.circuits.batched`),
 * netlist rewrites used by gate-level pruning
   (:mod:`repro.circuits.transform`),
 * area / delay estimation per technology node
@@ -17,6 +21,7 @@ from a logic-synthesis tool, implemented from scratch:
 
 from repro.circuits.gates import Gate, GateKind, GATE_LIBRARY
 from repro.circuits.netlist import Netlist
+from repro.circuits.batched import BatchedCircuitEvaluator
 from repro.circuits.simulate import CompiledNetlist, simulate, exhaustive_table
 from repro.circuits.synthesis import (
     ripple_carry_adder,
@@ -39,6 +44,7 @@ __all__ = [
     "GateKind",
     "GATE_LIBRARY",
     "Netlist",
+    "BatchedCircuitEvaluator",
     "CompiledNetlist",
     "simulate",
     "exhaustive_table",

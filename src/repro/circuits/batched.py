@@ -1,0 +1,652 @@
+"""Population-batched evaluation of pruning genomes on one netlist.
+
+The step-1 pruning search scores thousands of genomes, and every genome
+is the *same* base circuit with a few wires tied to constants.  The
+per-genome reference path pays, for each genome,
+
+* ``prune_wires`` — a Python constant-propagation fixpoint plus
+  dead-gate removal (:mod:`repro.circuits.transform`),
+* a netlist re-compile (:class:`repro.circuits.simulate.CompiledNetlist`),
+* an exhaustive packed simulation of the pruned netlist.
+
+:class:`BatchedCircuitEvaluator` compiles the **base** circuit once and
+evaluates a whole NSGA-II generation in one pass:
+
+* **Simulation** replays the compiled program with a population axis:
+  every wire slab has shape ``(P, n_words)`` uint64 (64 packed cases
+  per word, one row per genome).  Immediately after a prunable wire's
+  gate executes, the rows of genomes that tie it are overwritten with
+  the constant's packed pattern, so downstream gates consume exactly
+  the tied value ``prune_wires`` would feed them.  Gate-level pruning
+  followed by simplification is function-preserving, so the resulting
+  truth tables are bit-identical to simulating each pruned netlist.
+* **Area** comes from a vectorized constant-propagation + backward-
+  liveness sweep over the same compiled program.  Per wire and per
+  genome the sweep tracks the known constant value, the alias
+  representative, and the (possibly rewritten) gate kind, applying the
+  exact gate algebra of :func:`repro.circuits.transform.simplify_gate`
+  as masked numpy operations across the population.  Passes repeat to
+  the same fixpoint (and the same 16-pass cap) as
+  :func:`repro.circuits.transform.simplify`; a final reverse sweep
+  marks the gates reachable from the outputs.  Because every cell size
+  is a multiple of 0.25 gate equivalents, the per-genome sums are
+  exact in float64 and therefore equal
+  :func:`repro.circuits.area.netlist_ge` of the materialised pruned
+  netlist bit for bit.
+
+The per-genome ``prune_wires`` + ``simulate`` path stays in-tree as the
+bit-exact reference; ``tests/circuits/test_batched.py`` pins both
+outputs of this engine against it over random genomes.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.area import netlist_ge
+from repro.circuits.gates import GATE_LIBRARY, GateKind
+from repro.circuits.simulate import CompiledNetlist, packed_input_patterns
+from repro.circuits.synthesis import ArithmeticCircuit
+from repro.errors import NetlistError, SimulationError
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Fixed gate-kind codes used by the vectorized sweep.
+_KINDS: Tuple[GateKind, ...] = tuple(GateKind)
+_CODE: Dict[GateKind, int] = {kind: i for i, kind in enumerate(_KINDS)}
+_ARITY = np.array([GATE_LIBRARY[k].n_inputs for k in _KINDS], dtype=np.int8)
+_GE = np.array(
+    [GATE_LIBRARY[k].nand2_equivalents for k in _KINDS], dtype=np.float64
+)
+_K_NOT = _CODE[GateKind.NOT]
+_K_BUF = _CODE[GateKind.BUF]
+_K_AND = _CODE[GateKind.AND]
+_K_OR = _CODE[GateKind.OR]
+_K_NAND = _CODE[GateKind.NAND]
+_K_NOR = _CODE[GateKind.NOR]
+_K_XOR = _CODE[GateKind.XOR]
+_K_XNOR = _CODE[GateKind.XNOR]
+_K_MUX = _CODE[GateKind.MUX]
+
+
+class BatchedCircuitEvaluator:
+    """Evaluate populations of pruning genomes against one base circuit.
+
+    Args:
+        circuit: the base :class:`ArithmeticCircuit` being pruned.
+        candidates: ordered ``(wire, constant)`` pairs; a genome is a
+            0/1 mask over this sequence selecting which wires to tie.
+            Every wire must be a gate output of the base netlist.
+
+    Determinism contract: for any genome, :meth:`truth_tables` equals
+    the truth table of ``prune_wires(netlist, assignments)`` and
+    :meth:`area_ge` equals its :func:`~repro.circuits.area.netlist_ge`,
+    bit for bit.  The only intentional divergence is the empty genome,
+    for which callers that mirror ``PruningSpace.apply`` (which returns
+    the *unsimplified* base circuit) should use the base circuit's own
+    area; :attr:`base_area_ge` carries it.
+    """
+
+    def __init__(
+        self,
+        circuit: ArithmeticCircuit,
+        candidates: Sequence[Tuple[str, int]],
+    ):
+        self.circuit = circuit
+        netlist = circuit.netlist
+        self.compiled = CompiledNetlist(netlist)
+        self.n_slots = self.compiled.n_slots
+
+        flat_inputs = list(circuit.a_wires) + list(circuit.b_wires)
+        if sorted(flat_inputs) != sorted(netlist.inputs):
+            raise SimulationError(
+                "operand buses must cover every primary input exactly once"
+            )
+        patterns, self.n_cases, self.n_words = packed_input_patterns(
+            len(flat_inputs)
+        )
+        self._input_patterns: List[Tuple[int, np.ndarray]] = [
+            (self.compiled.slot_of(wire), patterns[i])
+            for i, wire in enumerate(flat_inputs)
+        ]
+
+        self.candidates: Tuple[Tuple[str, int], ...] = tuple(
+            (str(wire), int(value)) for wire, value in candidates
+        )
+        for wire, value in self.candidates:
+            if wire not in netlist.gates:
+                raise NetlistError(
+                    f"cannot prune '{wire}': not a gate output in "
+                    f"{netlist.name}"
+                )
+            if value not in (0, 1):
+                raise NetlistError(
+                    f"prune value for '{wire}' must be 0/1, got {value!r}"
+                )
+        self._cand_slots = np.array(
+            [self.compiled.slot_of(w) for w, _ in self.candidates],
+            dtype=np.int32,
+        )
+        self._cand_consts = np.array(
+            [v for _, v in self.candidates], dtype=np.int8
+        )
+
+        program = self.compiled.program
+        self._program = program
+        self.n_gates = len(program)
+
+        # ties to apply right after each program step produces its slab
+        ties_by_slot: Dict[int, List[Tuple[int, int]]] = {}
+        for index, (slot, const) in enumerate(
+            zip(self._cand_slots, self._cand_consts)
+        ):
+            ties_by_slot.setdefault(int(slot), []).append(
+                (index, int(const))
+            )
+        self._step_ties: List[Tuple[Tuple[int, int], ...]] = [
+            tuple(ties_by_slot.get(out_slot, ()))
+            for _evaluate, out_slot, _in_slots in program
+        ]
+
+        # slab-freeing plan: drop each gate slab after its last reader
+        # (outputs and inputs are never freed; input slabs are
+        # broadcast views and cost nothing)
+        keep = {slot for _, slot in self.compiled.output_slots}
+        keep.update(self.compiled.slot_of(w) for w in circuit.result_wires)
+        keep.update(slot for slot, _ in self._input_patterns)
+        keep.update(slot for slot, _ in self.compiled.const_slots)
+        last_use = {}
+        for step, (_evaluate, out_slot, in_slots) in enumerate(program):
+            last_use[out_slot] = step
+            for slot in in_slots:
+                last_use[slot] = step
+        free_after: List[List[int]] = [[] for _ in program]
+        for slot, step in last_use.items():
+            if slot not in keep:
+                free_after[step].append(slot)
+        self._free_after = [tuple(slots) for slots in free_after]
+
+        # --- static tables for the area sweep --------------------------
+        self._gate_out = np.array(
+            [out_slot for _evaluate, out_slot, _ins in program],
+            dtype=np.int32,
+        )
+        kinds = []
+        ins0 = np.zeros((self.n_gates, 3), dtype=np.int32)
+        dup = np.zeros(self.n_gates, dtype=bool)
+        order = [netlist.gates[w] for w in netlist.topological_order()]
+        gate_of_slot = {
+            self.compiled.slot_of(g.output): g for g in order
+        }
+        for g, (_evaluate, out_slot, in_slots) in enumerate(program):
+            gate = gate_of_slot[out_slot]
+            kinds.append(_CODE[gate.kind])
+            for k, slot in enumerate(in_slots):
+                ins0[g, k] = slot
+            dup[g] = len(set(in_slots)) != len(in_slots)
+        self._kind0 = np.array(kinds, dtype=np.int8)
+        self._ins0 = ins0
+        self._dup0 = dup
+
+        val0 = np.full(self.n_slots, -1, dtype=np.int8)
+        for slot, value in self.compiled.const_slots:
+            val0[slot] = value
+        self._val0 = val0
+        is_gate0 = np.zeros(self.n_slots, dtype=bool)
+        is_gate0[self._gate_out] = True
+        self._is_gate0 = is_gate0
+        self._netlist_out_slots = np.array(
+            [slot for _, slot in self.compiled.output_slots], dtype=np.int32
+        )
+
+        # static consumer adjacency (slot -> gate indices reading it)
+        # and the always-dirty seed gates: BUF aliases unconditionally,
+        # duplicate-input gates trigger the x == y algebra, and gates
+        # reading a base constant fold in pass 1 even with no ties
+        consumers0: List[List[int]] = [[] for _ in range(self.n_slots)]
+        for g in range(self.n_gates):
+            for k in range(int(_ARITY[self._kind0[g]])):
+                consumers0[int(ins0[g, k])].append(g)
+        self._consumers0 = [tuple(c) for c in consumers0]
+        seed_dirty = np.zeros(self.n_gates, dtype=bool)
+        seed_dirty |= self._kind0 == _K_BUF
+        seed_dirty |= dup
+        for slot, _value in self.compiled.const_slots:
+            for g in consumers0[slot]:
+                seed_dirty[g] = True
+        self._seed_dirty = seed_dirty
+
+        #: Area of the unsimplified base circuit (the empty-genome case).
+        self.base_area_ge: float = netlist_ge(netlist)
+
+        if len(circuit.result_wires) > 64:
+            raise SimulationError(
+                f"result bus has {len(circuit.result_wires)} wires; "
+                "uint64 tables support at most 64"
+            )
+        #: Narrowest unsigned dtype the result bus fits (what
+        #: :meth:`evaluate` tables carry, empty populations included).
+        n_bytes = -(-len(circuit.result_wires) // 8)
+        self.table_dtype = {
+            1: np.uint8, 2: np.uint16, 3: np.uint32, 4: np.uint32,
+        }.get(n_bytes, np.uint64)
+
+    # ------------------------------------------------------------------
+
+    def genome_matrix(self, genomes: Sequence[Sequence[int]]) -> np.ndarray:
+        """Validate genomes and stack them into a (P, n_candidates) mask."""
+        n = len(self.candidates)
+        for genome in genomes:
+            if len(genome) != n:
+                raise SimulationError(
+                    f"genome length {len(genome)} != {n} candidates"
+                )
+        if not genomes:
+            return np.zeros((0, n), dtype=bool)
+        return np.asarray(genomes, dtype=bool).reshape(len(genomes), n)
+
+    def truth_tables(self, genomes: Sequence[Sequence[int]]) -> np.ndarray:
+        """Per-genome exhaustive result tables, shape ``(P, n_cases)``.
+
+        Row ``i`` is bit-identical (as uint64, the reference dtype) to
+        ``space.apply(genomes[i]).truth_table()``.
+        """
+        ties = self.genome_matrix(genomes)
+        if not len(ties):
+            return np.zeros((0, self.n_cases), dtype=np.uint64)
+        return self._tables(self._simulate(ties), len(ties)).astype(
+            np.uint64
+        )
+
+    def area_ge(self, genomes: Sequence[Sequence[int]]) -> np.ndarray:
+        """Per-genome pruned-and-simplified area in gate equivalents.
+
+        Row ``i`` equals ``netlist_ge(prune_wires(netlist,
+        assignments_i))`` exactly (see the class docstring for the
+        empty-genome caveat).
+        """
+        ties = self.genome_matrix(genomes)
+        if not len(ties):
+            return np.zeros(0, dtype=np.float64)
+        return self._sweep_ge(ties)
+
+    def evaluate(
+        self, genomes: Sequence[Sequence[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One-call fast path: ``(tables, area_ge)`` per genome.
+
+        Tables carry the same values as :meth:`truth_tables` in the
+        narrowest unsigned dtype that fits the result bus (uint16 for
+        an 8x8 multiplier) — widen with ``astype(np.uint64)`` when the
+        reference dtype matters.
+        """
+        ties = self.genome_matrix(genomes)
+        if not len(ties):
+            return (
+                np.zeros((0, self.n_cases), dtype=self.table_dtype),
+                np.zeros(0, dtype=np.float64),
+            )
+        tables = self._tables(self._simulate(ties), len(ties))
+        return tables, self._sweep_ge(ties)
+
+    # --- population simulation ----------------------------------------
+
+    def _simulate(self, ties: np.ndarray) -> List[Optional[np.ndarray]]:
+        """Run the compiled program over (P, n_words) slabs."""
+        population = ties.shape[0]
+        shape = (population, self.n_words)
+        storage: List[Optional[np.ndarray]] = [None] * self.n_slots
+
+        for slot, pattern in self._input_patterns:
+            storage[slot] = np.broadcast_to(pattern, shape)
+        zero = np.broadcast_to(np.zeros(self.n_words, dtype=np.uint64), shape)
+        ones = np.broadcast_to(
+            np.full(self.n_words, _ALL_ONES, dtype=np.uint64), shape
+        )
+        for slot, value in self.compiled.const_slots:
+            storage[slot] = ones if value else zero
+
+        for step, (evaluate, out_slot, in_slots) in enumerate(self._program):
+            operands = tuple(storage[s] for s in in_slots)
+            out = evaluate(operands)  # type: ignore[arg-type]
+            for cand_index, const in self._step_ties[step]:
+                rows = ties[:, cand_index]
+                if rows.any():
+                    out[rows] = _ALL_ONES if const else np.uint64(0)
+            storage[out_slot] = out
+            for slot in self._free_after[step]:
+                storage[slot] = None
+        return storage
+
+    def _tables(
+        self, storage: List[Optional[np.ndarray]], population: int
+    ) -> np.ndarray:
+        """Combine output slabs into per-genome result tables
+        (narrowest unsigned dtype that fits the result bus).
+
+        Unpacks each result wire into a per-case bit plane, re-packs
+        the planes across the wire axis (eight planes per byte), and
+        byte-stores the packed planes straight into the little-endian
+        uint64 table — the same value :func:`bus_to_uint` computes,
+        without a 64-bit temporary per wire.
+        """
+        wires = self.circuit.result_wires
+        # accumulate one uint8 plane per result *byte* (wires 0-7 in
+        # plane 0, 8-15 in plane 1, ...) — all the shift/OR traffic
+        # stays in the narrowest possible lane — then interleave the
+        # planes into the final little-endian integer table
+        n_bytes = -(-len(wires) // 8)
+        planes = [
+            np.zeros((population, self.n_cases), dtype=np.uint8)
+            for _ in range(n_bytes)
+        ]
+        for i, wire in enumerate(wires):
+            packed = storage[self.compiled.slot_of(wire)]
+            assert packed is not None
+            as_bytes = (
+                np.ascontiguousarray(packed, dtype=np.uint64)
+                .astype("<u8")
+                .view(np.uint8)
+                .reshape(population, self.n_words * 8)
+            )
+            bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[
+                :, : self.n_cases
+            ]
+            plane = planes[i // 8]
+            if i % 8:
+                np.bitwise_or(plane, bits << np.uint8(i % 8), out=plane)
+            else:
+                np.bitwise_or(plane, bits, out=plane)
+        if n_bytes == 1:
+            return planes[0]
+        dtype = self.table_dtype
+        table = np.zeros((population, self.n_cases), dtype=dtype)
+        if sys.byteorder == "little":
+            table_bytes = table.view(np.uint8).reshape(
+                population, self.n_cases, np.dtype(dtype).itemsize
+            )
+            for b, plane in enumerate(planes):
+                table_bytes[:, :, b] = plane
+        else:  # pragma: no cover - no big-endian CI runner
+            for b, plane in enumerate(planes):
+                table |= plane.astype(dtype) << dtype(8 * b)
+        return table
+
+    # --- vectorized constant propagation + liveness -------------------
+
+    def _sweep_ge(self, ties: np.ndarray) -> np.ndarray:
+        """Per-genome ``netlist_ge`` of the pruned-and-simplified netlist.
+
+        Mirrors :func:`repro.circuits.transform.simplify` pass for pass
+        (constant propagation to fixpoint, 16-pass cap, dead-gate
+        removal), with every per-wire state carried across the
+        population axis.
+        """
+        population = ties.shape[0]
+        pidx = np.arange(population)
+        n_gates = self.n_gates
+
+        val = np.repeat(self._val0[:, None], population, axis=1)
+        is_gate = np.repeat(self._is_gate0[:, None], population, axis=1)
+        rep = np.repeat(
+            np.arange(self.n_slots, dtype=np.int32)[:, None],
+            population,
+            axis=1,
+        )
+        kind = np.repeat(self._kind0[:, None], population, axis=1)
+        ins = np.repeat(self._ins0[:, :, None], population, axis=2)
+
+        # prune_wires: drop the tied gates, tie their wires to constants
+        for index in range(len(self._cand_slots)):
+            rows = ties[:, index]
+            if rows.any():
+                slot = self._cand_slots[index]
+                is_gate[slot, rows] = False
+                val[slot, rows] = self._cand_consts[index]
+
+        gate_out = self._gate_out
+
+        # Dirty-set pass scheduling.  Processing a gate is the identity
+        # unless an input's state changed since it was last processed,
+        # or the gate itself was rewritten (its new form may enable a
+        # new rule), or it belongs to the always-dirty seed (BUF,
+        # duplicate inputs, base-constant readers).  Changes propagate
+        # downstream *within* a pass — exactly as the reference's
+        # in-topological-order sweep sees them — by marking consumers
+        # dirty for the current pass (consumers always sit later in the
+        # program), so pass k applies exactly the reference's pass k.
+        consumers: List[List[int]] = [
+            list(c) for c in self._consumers0
+        ]
+        dirty = self._seed_dirty.copy()
+        selected = ties.any(axis=0)
+        for index in np.nonzero(selected)[0]:
+            for g in self._consumers0[self._cand_slots[index]]:
+                dirty[g] = True
+
+        for _pass in range(16):
+            changed = False
+            dirty_next = np.zeros(n_gates, dtype=bool)
+            for g in range(n_gates):
+                if not dirty[g]:
+                    continue
+                w = gate_out[g]
+                active = is_gate[w]
+                if not active.any():
+                    continue
+                kw = kind[g]
+                ar = _ARITY[kw]
+                i0 = ins[g, 0]
+                i1 = ins[g, 1]
+                i2 = ins[g, 2]
+                r0 = rep[i0, pidx]
+                r1 = rep[i1, pidx]
+                r2 = rep[i2, pidx]
+                v0 = val[r0, pidx]
+                v1 = val[r1, pidx]
+                v2 = val[r2, pidx]
+
+                ch0 = active & (r0 != i0)
+                ch1 = active & (ar >= 2) & (r1 != i1)
+                ch2 = active & (ar >= 3) & (r2 != i2)
+                rewired = bool((ch0 | ch1 | ch2).any())
+                if rewired:
+                    changed = True
+                    dirty_next[g] = True
+                    ins[g, 0][ch0] = r0[ch0]
+                    ins[g, 1][ch1] = r1[ch1]
+                    ins[g, 2][ch2] = r2[ch2]
+                    for rk, chk in ((r0, ch0), (r1, ch1), (r2, ch2)):
+                        for slot in np.unique(rk[chk]):
+                            consumers[slot].append(g)
+
+                touched, rewritten = self._apply_rules(
+                    g, w, active, kw, r0, r1, r2, v0, v1, v2,
+                    val, is_gate, rep, kind, ins, pidx,
+                )
+                if touched:
+                    # w's value/alias changed: consumers later in the
+                    # program must see it this pass, like the reference
+                    changed = True
+                    for c in consumers[w]:
+                        dirty[c] = True
+                if rewritten:
+                    changed = True
+                    dirty_next[g] = True
+            dirty = dirty_next
+            if not changed:
+                break
+
+        # path-compress alias chains formed across passes, then resolve
+        # the primary outputs per genome
+        while True:
+            compressed = rep[rep, pidx[None, :]]
+            if np.array_equal(compressed, rep):
+                break
+            rep = compressed
+
+        live = np.zeros((self.n_slots, population), dtype=bool)
+        out_rep = rep[self._netlist_out_slots, :]
+        live[out_rep, pidx[None, :]] = True
+        for g in range(n_gates - 1, -1, -1):
+            w = gate_out[g]
+            mask = live[w] & is_gate[w]
+            if not mask.any():
+                continue
+            ar = _ARITY[kind[g]]
+            for k in range(3):
+                mk = mask & (ar > k)
+                if mk.any():
+                    live[ins[g, k][mk], pidx[mk]] = True
+
+        alive = live[gate_out] & is_gate[gate_out]
+        return np.sum(_GE[kind] * alive, axis=0)
+
+    def _apply_rules(
+        self, g, w, active, kw, r0, r1, r2, v0, v1, v2,
+        val, is_gate, rep, kind, ins, pidx,
+    ) -> Tuple[bool, bool]:
+        """One :func:`simplify_gate` step for every genome of one gate.
+
+        Returns ``(touched, rewritten)``: ``touched`` when any genome's
+        gate folded to a constant or aliased away (consumer-visible —
+        they must reprocess this pass), ``rewritten`` when any genome's
+        gate changed kind or inputs (self-visible — it must reprocess
+        next pass).
+        """
+        touched = False
+        rewritten = False
+
+        def fold(mask: np.ndarray, values: np.ndarray) -> None:
+            nonlocal touched
+            if mask.any():
+                touched = True
+                val[w, mask] = values[mask] if values.ndim else values
+                is_gate[w, mask] = False
+
+        def alias(mask: np.ndarray, target: np.ndarray) -> None:
+            nonlocal touched
+            if mask.any():
+                touched = True
+                rep[w, mask] = target[mask]
+                is_gate[w, mask] = False
+
+        def rewrite1(mask: np.ndarray, target: np.ndarray) -> None:
+            nonlocal rewritten
+            if mask.any():
+                rewritten = True
+                kind[g, mask] = _K_NOT
+                ins[g, 0][mask] = target[mask]
+
+        def rewrite2(
+            mask: np.ndarray, code: int, a: np.ndarray, b: np.ndarray
+        ) -> None:
+            nonlocal rewritten
+            if mask.any():
+                rewritten = True
+                kind[g, mask] = code
+                ins[g, 0][mask] = a[mask]
+                ins[g, 1][mask] = b[mask]
+
+        if bool((kw == kw[0]).all()):
+            codes = (int(kw[0]),)  # the common case: one kind everywhere
+        else:
+            codes = np.unique(kw[active])
+        for code in codes:
+            group = active & (kw == code)
+
+            if code == _K_NOT:
+                fold(group & (v0 >= 0), 1 - v0)
+                continue
+            if code == _K_BUF:
+                known = group & (v0 >= 0)
+                fold(known, v0)
+                alias(group & ~known, r0)
+                continue
+            if code == _K_MUX:
+                und = group.copy()
+                k0 = v0 >= 0
+                k1 = v1 >= 0
+                k2 = v2 >= 0
+                allc = und & k0 & k1 & k2
+                fold(allc, np.where(v2 == 1, v1, v0))
+                und &= ~allc
+                sel0 = und & k2 & (v2 == 0)
+                fold(sel0 & k0, v0)
+                alias(sel0 & ~k0, r0)
+                und &= ~sel0
+                sel1 = und & k2 & (v2 == 1)
+                fold(sel1 & k1, v1)
+                alias(sel1 & ~k1, r1)
+                und &= ~sel1
+                same = und & (r0 == r1)
+                fold(same & k0, v0)
+                alias(same & ~k0, r0)
+                und &= ~same
+                to_sel = und & k0 & (v0 == 0) & k1 & (v1 == 1)
+                alias(to_sel, r2)
+                und &= ~to_sel
+                to_not = und & k0 & (v0 == 1) & k1 & (v1 == 0)
+                rewrite1(to_not, r2)
+                und &= ~to_not
+                to_and = und & k0 & (v0 == 0)
+                rewrite2(to_and, _K_AND, r1, r2)
+                und &= ~to_and
+                to_or = und & k1 & (v1 == 1)
+                rewrite2(to_or, _K_OR, r0, r2)
+                continue
+
+            # two-input commutative kinds: normalise a constant first
+            k0 = v0 >= 0
+            k1 = v1 >= 0
+            und = group.copy()
+            allc = und & k0 & k1
+            if allc.any():
+                if code == _K_AND:
+                    out = v0 & v1
+                elif code == _K_OR:
+                    out = v0 | v1
+                elif code == _K_NAND:
+                    out = 1 - (v0 & v1)
+                elif code == _K_NOR:
+                    out = 1 - (v0 | v1)
+                elif code == _K_XOR:
+                    out = v0 ^ v1
+                else:  # XNOR
+                    out = 1 - (v0 ^ v1)
+                fold(allc, out.astype(np.int8))
+                und &= ~allc
+            swap = und & k1 & ~k0
+            x = np.where(swap, r1, r0)
+            vx = np.where(swap, v1, v0)
+            y = np.where(swap, r0, r1)
+            kx = k0 | k1  # post-swap: vx known iff either side known
+
+            if code == _K_AND:
+                fold(und & kx & (vx == 0), np.zeros_like(vx))
+                alias(und & kx & (vx == 1), y)
+                alias(und & ~kx & (x == y), x)
+            elif code == _K_OR:
+                fold(und & kx & (vx == 1), np.ones_like(vx))
+                alias(und & kx & (vx == 0), y)
+                alias(und & ~kx & (x == y), x)
+            elif code == _K_NAND:
+                fold(und & kx & (vx == 0), np.ones_like(vx))
+                rewrite1(und & kx & (vx == 1), y)
+                rewrite1(und & ~kx & (x == y), x)
+            elif code == _K_NOR:
+                fold(und & kx & (vx == 1), np.zeros_like(vx))
+                rewrite1(und & kx & (vx == 0), y)
+                rewrite1(und & ~kx & (x == y), x)
+            elif code == _K_XOR:
+                alias(und & kx & (vx == 0), y)
+                rewrite1(und & kx & (vx == 1), y)
+                fold(und & ~kx & (x == y), np.zeros_like(vx))
+            elif code == _K_XNOR:
+                rewrite1(und & kx & (vx == 0), y)
+                alias(und & kx & (vx == 1), y)
+                fold(und & ~kx & (x == y), np.ones_like(vx))
+        return touched, rewritten

@@ -133,6 +133,38 @@ class CompiledNetlist:
         storage = self._execute(inputs)
         return {wire: storage[slot] for wire, slot in self._slot_of.items()}
 
+    # --- introspection hooks (population-batched execution) ------------
+
+    @property
+    def program(self) -> Tuple[Tuple[object, int, Tuple[int, ...]], ...]:
+        """The lowered program: ``(evaluate, out_slot, in_slots)`` steps.
+
+        :mod:`repro.circuits.batched` replays this program with a
+        population axis added to every wire slab; exposing it (rather
+        than re-deriving a topological order) guarantees the batched
+        engine executes the exact gate sequence the reference does.
+        """
+        return tuple(self._program)
+
+    def slot_of(self, wire: str) -> int:
+        """Storage slot of a wire (inputs, constants, and gate outputs)."""
+        return self._slot_of[wire]
+
+    @property
+    def input_slots(self) -> Tuple[Tuple[str, int], ...]:
+        """(wire, slot) for every primary input, in declaration order."""
+        return tuple(self._input_slots)
+
+    @property
+    def output_slots(self) -> Tuple[Tuple[str, int], ...]:
+        """(wire, slot) for every primary output, in declaration order."""
+        return tuple(self._output_slots)
+
+    @property
+    def const_slots(self) -> Tuple[Tuple[int, int], ...]:
+        """(slot, value) for every netlist constant."""
+        return tuple(self._const_slots)
+
 
 def _constants_like(template: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Return (all-zero, all-one) arrays matching the template encoding."""
@@ -199,6 +231,33 @@ def unpack_cases(packed: np.ndarray, n_cases: int) -> np.ndarray:
     return bits[:n_cases].astype(bool)
 
 
+#: Per-byte set-bit counts, the popcount fallback for numpy < 2.0
+#: (which lacks ``np.bitwise_count``).
+_BYTE_POPCOUNT = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1, dtype=np.int64)
+
+
+def popcount_cases(packed: np.ndarray, n_cases: int) -> int:
+    """Number of 1-cases in a packed wire value, without unpacking.
+
+    Counting bits directly on the uint64 words replaces the
+    64x-larger bool expansion :func:`unpack_cases` would materialise;
+    :func:`signal_probabilities` rides on it so the pruning-space
+    setup stays packed end to end.
+    """
+    flat = np.ascontiguousarray(packed, dtype=np.uint64).reshape(-1)
+    if n_cases % 64:
+        # fewer cases than one word holds: mask the exhaustive input
+        # patterns' repeating garbage above bit ``n_cases``
+        flat = flat.copy()
+        flat[n_cases // 64] &= np.uint64((1 << (n_cases % 64)) - 1)
+        flat[n_cases // 64 + 1 :] = 0
+    if hasattr(np, "bitwise_count"):
+        return int(np.bitwise_count(flat).sum())
+    return int(_BYTE_POPCOUNT[flat.view(np.uint8)].sum())
+
+
 def exhaustive_table(
     netlist: Netlist, input_buses: Sequence[Sequence[str]]
 ) -> Dict[str, np.ndarray]:
@@ -249,6 +308,10 @@ def signal_probabilities(
     The gate-level pruning heuristic uses these to decide which constant
     to tie a wire to (the more likely value) and how costly the tie is
     (the probability of the less likely value).
+
+    Probabilities come from popcounts over the packed words — the
+    exact integer one-counts divided by ``n_cases`` — so no per-wire
+    bool expansion is ever materialised.
     """
     flat: List[str] = [wire for bus_wires in input_buses for wire in bus_wires]
     if sorted(flat) != sorted(netlist.inputs):
@@ -259,7 +322,7 @@ def signal_probabilities(
     inputs = {wire: patterns[i] for i, wire in enumerate(flat)}
     all_wires = CompiledNetlist(netlist).run_all(inputs)
     return {
-        wire: float(unpack_cases(packed, n_cases).mean())
+        wire: popcount_cases(packed, n_cases) / n_cases
         for wire, packed in all_wires.items()
     }
 

@@ -33,7 +33,7 @@ _ALIAS = lambda w: (None, w, None)  # noqa: E731
 _GATE = lambda k, ins: (None, None, (k, ins))  # noqa: E731
 
 
-def _simplify_gate(
+def simplify_gate(
     kind: GateKind,
     ins: Tuple[str, ...],
     vals: Tuple[Optional[int], ...],
@@ -44,6 +44,13 @@ def _simplify_gate(
     Complement tracking (x AND NOT x) is deliberately out of scope: the
     pruning flow only ever introduces constants, which these rules fully
     absorb.
+
+    Public because it *is* the gate-algebra contract: the
+    population-batched sweep in :mod:`repro.circuits.batched` applies
+    these exact rules vectorized across a population, and its property
+    tests cross-check against this scalar form.  Returns a triple of
+    which exactly one field is not None:
+    ``(constant, alias_target, (kind, inputs))``.
     """
     if all(v is not None for v in vals):
         return _CONST(gate_output_for_constants(kind, tuple(vals)))  # type: ignore[arg-type]
@@ -148,7 +155,7 @@ def propagate_constants(netlist: Netlist) -> Netlist:
         gate = netlist.gates[wire]
         ins = tuple(resolve(w) for w in gate.inputs)
         vals = tuple(values.get(w) for w in ins)
-        const, target, rewritten = _simplify_gate(gate.kind, ins, vals)
+        const, target, rewritten = simplify_gate(gate.kind, ins, vals)
         if const is not None:
             values[wire] = const
         elif target is not None:

@@ -7,9 +7,10 @@ is a pure function of the genome — so every execution mode returns
 identical results:
 
 * ``serial`` — the reference: one genome at a time, in order;
-* ``batch``  — delegate the whole generation to a vectorized
+* ``batch``  — delegate the generation's cache misses to a vectorized
   ``batch_evaluate`` callable (see
-  :meth:`repro.ga.fitness.FitnessEvaluator.evaluate_population`);
+  :meth:`repro.ga.fitness.FitnessEvaluator.evaluate_population` and
+  :class:`repro.approx.pruning.BatchedPruningObjectives`);
 * ``thread`` / ``process`` — fan the cache misses out over the
   matching :mod:`repro.engine.backends` executor; results are
   re-assembled by index, so completion order cannot leak into the
@@ -79,10 +80,11 @@ class PopulationEvaluator:
             return results bit-identical to mapping ``evaluate``.
         config: execution policy.
         store: optional parent-side backfill hook, called as
-            ``store(genome, result)`` for every miss computed in a
-            worker *process* — the one mode where ``evaluate``'s own
-            side effects (memo dicts, disk caches, counters) happen in
-            a child and would otherwise be lost.
+            ``store(genome, result)`` for every miss computed outside
+            ``evaluate`` itself — in a worker *process*, or by the
+            ``batch`` fast path — the modes where ``evaluate``'s own
+            side effects (memo dicts, disk caches, counters) would
+            otherwise be lost.
 
     Determinism: for a fixed genome sequence the returned list is
     identical in every mode — parallelism only changes *when* a miss is
@@ -123,13 +125,25 @@ class PopulationEvaluator:
 
     def __call__(self, genomes: Sequence[Genome]) -> List[Any]:
         mode = self.resolved_mode()
-        if mode == "batch":
-            assert self.batch_evaluate is not None
-            return list(self.batch_evaluate(list(genomes)))
-
         misses = [g for g in dict.fromkeys(genomes) if g not in self._memo]
         if misses:
-            if mode == "serial" or len(misses) == 1:
+            if mode == "batch":
+                assert self.batch_evaluate is not None
+                results = list(self.batch_evaluate(misses))
+                if len(results) != len(misses):
+                    raise OptimizationError(
+                        f"batch_evaluate returned {len(results)} results "
+                        f"for {len(misses)} genomes"
+                    )
+                # callables that already persist their own misses (e.g.
+                # FitnessEvaluator.evaluate_population) opt out of the
+                # backfill by marking themselves self_storing
+                if self.store is not None and not getattr(
+                    self.batch_evaluate, "self_storing", False
+                ):
+                    for genome, result in zip(misses, results):
+                        self.store(genome, result)
+            elif mode == "serial" or len(misses) == 1:
                 results = [self.evaluate(g) for g in misses]
             elif mode == "thread":
                 backend = ThreadBackend(

@@ -220,6 +220,10 @@ class FitnessEvaluator:
                 )
         return [self._cache[g] for g in genomes]
 
+    # evaluate_population persists every miss through self.store, so
+    # PopulationEvaluator's batch mode must not backfill it again
+    evaluate_population.self_storing = True
+
     # -- shared internals ---------------------------------------------------
 
     def _batch_evaluator(self) -> BatchNetworkEvaluator:

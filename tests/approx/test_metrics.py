@@ -150,3 +150,37 @@ def test_property_metric_consistency(seed, scale):
     assert metrics.variance >= -1e-9
     assert 0.0 <= metrics.error_rate <= 1.0
     assert abs(metrics.bias) <= metrics.med + 1e-12
+
+
+class TestMemoisedTables:
+    def test_exact_products_cached_and_read_only(self):
+        first = exact_products(8, 8)
+        second = exact_products(8, 8)
+        assert first is second
+        with pytest.raises(ValueError):
+            first[0] = 1
+
+    def test_exact_sums_cached_and_read_only(self):
+        from repro.approx.metrics import exact_sums
+
+        first = exact_sums(4, 4)
+        assert first is exact_sums(4, 4)
+        with pytest.raises(ValueError):
+            first[0] = 1
+
+    def test_uniform_weights_cached_and_consistent(self):
+        from repro.approx.metrics import uniform_case_weights
+
+        weights = uniform_case_weights(8, 8)
+        assert weights is uniform_case_weights(8, 8)
+        assert weights.shape == (65536,)
+        assert float(weights.sum()) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            weights[0] = 0.0
+
+    def test_metrics_unchanged_by_memoisation(self):
+        """Weighted and unweighted paths still agree with a hand calc."""
+        table = exact_products(2, 2) + 1
+        metrics = compute_error_metrics(table, 2, 2)
+        assert metrics.med == 1.0
+        assert metrics.error_rate == 1.0

@@ -1,0 +1,251 @@
+"""Property suite: population-batched evaluation == per-genome reference.
+
+The contract under test is total bit-identity: for every genome,
+:class:`repro.circuits.batched.BatchedCircuitEvaluator` must reproduce
+``prune_wires`` + ``CompiledNetlist`` simulation exactly — truth
+tables, and the gate-equivalent area of the pruned-and-simplified
+netlist — across random genomes, the empty genome, all-ties, and
+degenerate population shapes.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.approx.pruning import PruningSpace
+from repro.circuits.area import netlist_ge
+from repro.circuits.batched import BatchedCircuitEvaluator
+from repro.circuits.gates import GateKind
+from repro.circuits.netlist import Netlist, declare_input_bus
+from repro.circuits.simulate import CompiledNetlist
+from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
+from repro.circuits.transform import prune_wires, simplify
+from repro.errors import NetlistError, SimulationError
+
+
+def reference_objectives(space, genome):
+    """The per-genome prune-then-simulate reference."""
+    circuit = space.apply(genome)
+    return circuit.truth_table(), netlist_ge(circuit.netlist)
+
+
+def make_evaluator(circuit, max_candidates=48):
+    space = PruningSpace(circuit, max_candidates=max_candidates)
+    return space, BatchedCircuitEvaluator(circuit, space.tie_candidates())
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("kind", ["wallace", "dadda", "array"])
+    def test_random_population_6x6(self, kind):
+        space, evaluator = make_evaluator(make_multiplier(6, 6, kind=kind))
+        rng = np.random.default_rng(3)
+        genomes = [space.random_genome(rng) for _ in range(16)]
+        tables, areas = evaluator.evaluate(genomes)
+        for i, genome in enumerate(genomes):
+            ref_table, ref_ge = reference_objectives(space, genome)
+            assert np.array_equal(tables[i].astype(np.uint64), ref_table)
+            if any(genome):
+                assert float(areas[i]) == ref_ge
+
+    def test_random_population_8x8(self):
+        space, evaluator = make_evaluator(
+            make_multiplier(8, 8), max_candidates=96
+        )
+        rng = np.random.default_rng(11)
+        genomes = [space.random_genome(rng) for _ in range(10)]
+        tables, areas = evaluator.evaluate(genomes)
+        for i, genome in enumerate(genomes):
+            ref_table, ref_ge = reference_objectives(space, genome)
+            assert np.array_equal(tables[i].astype(np.uint64), ref_table)
+            if any(genome):
+                assert float(areas[i]) == ref_ge
+
+    def test_empty_genome(self):
+        space, evaluator = make_evaluator(make_multiplier(6, 6))
+        empty = tuple([0] * space.genome_length)
+        tables = evaluator.truth_tables([empty])
+        assert np.array_equal(tables[0], space.circuit.truth_table())
+        # PruningSpace.apply returns the unsimplified base for the
+        # empty genome; the engine carries its area separately and the
+        # sweep returns the simplified base's area
+        assert evaluator.base_area_ge == netlist_ge(space.circuit.netlist)
+        swept = float(evaluator.area_ge([empty])[0])
+        assert swept == netlist_ge(
+            simplify(space.circuit.netlist.copy())
+        )
+
+    def test_all_ties_genome(self):
+        space, evaluator = make_evaluator(make_multiplier(6, 6))
+        full = tuple([1] * space.genome_length)
+        tables, areas = evaluator.evaluate([full])
+        ref_table, ref_ge = reference_objectives(space, full)
+        assert np.array_equal(tables[0].astype(np.uint64), ref_table)
+        assert float(areas[0]) == ref_ge
+
+    def test_single_member_population(self):
+        space, evaluator = make_evaluator(make_multiplier(6, 6))
+        rng = np.random.default_rng(5)
+        genome = space.random_genome(rng, density=0.2)
+        tables, areas = evaluator.evaluate([genome])
+        assert tables.shape[0] == 1
+        ref_table, ref_ge = reference_objectives(space, genome)
+        assert np.array_equal(tables[0].astype(np.uint64), ref_table)
+        assert float(areas[0]) == ref_ge
+
+    def test_duplicate_genomes_get_identical_rows(self):
+        space, evaluator = make_evaluator(make_multiplier(6, 6))
+        rng = np.random.default_rng(8)
+        genome = space.random_genome(rng, density=0.25)
+        tables, areas = evaluator.evaluate([genome, genome, genome])
+        assert np.array_equal(tables[0], tables[1])
+        assert np.array_equal(tables[0], tables[2])
+        assert areas[0] == areas[1] == areas[2]
+
+    def test_population_rows_independent_of_batch(self):
+        """Evaluating together == evaluating alone, row for row."""
+        space, evaluator = make_evaluator(make_multiplier(6, 6))
+        rng = np.random.default_rng(13)
+        genomes = [space.random_genome(rng) for _ in range(6)]
+        tables, areas = evaluator.evaluate(genomes)
+        for i, genome in enumerate(genomes):
+            solo_tables, solo_areas = evaluator.evaluate([genome])
+            assert np.array_equal(tables[i], solo_tables[0])
+            assert areas[i] == solo_areas[0]
+
+    def test_truncated_base(self):
+        """The hybrid flow prunes an input-truncated base circuit."""
+        from repro.approx.precision import truncate_inputs
+
+        base = truncate_inputs(make_multiplier(8, 8), 1, 1)
+        space, evaluator = make_evaluator(base, max_candidates=96)
+        rng = np.random.default_rng(21)
+        genomes = [space.random_genome(rng) for _ in range(8)]
+        tables, areas = evaluator.evaluate(genomes)
+        for i, genome in enumerate(genomes):
+            ref_table, ref_ge = reference_objectives(space, genome)
+            assert np.array_equal(tables[i].astype(np.uint64), ref_table)
+            if any(genome):
+                assert float(areas[i]) == ref_ge
+
+
+class TestMuxAndRewrites:
+    """Gate-algebra coverage beyond what multiplier netlists contain."""
+
+    def build_mux_circuit(self):
+        nl = Netlist("muxy")
+        a = declare_input_bus(nl, "a", 3)
+        b = declare_input_bus(nl, "b", 3)
+        nl.add_gate(GateKind.AND, (a[0], b[0]), "w1")
+        nl.add_gate(GateKind.MUX, ("w1", a[1], b[1]), "w2")
+        nl.add_gate(GateKind.MUX, (a[2], a[2], "w2"), "w3")
+        nl.add_gate(GateKind.XOR, ("w2", "w3"), "w4")
+        nl.add_gate(GateKind.MUX, ("w4", b[2], "w1"), "w5")
+        nl.add_gate(GateKind.NAND, ("w5", "w3"), "w6")
+        nl.add_gate(GateKind.NOR, ("w6", "w4"), "w7")
+        nl.add_gate(GateKind.BUF, ("w4",), "w8")
+        nl.add_gate(GateKind.XNOR, ("w8", "w5"), "w9")
+        for wire in ("w5", "w6", "w7", "w9"):
+            nl.add_output(wire)
+        return nl, ArithmeticCircuit(
+            nl, tuple(a), tuple(b), tuple(nl.outputs)
+        )
+
+    def test_exhaustive_mux_genomes(self):
+        netlist, circuit = self.build_mux_circuit()
+        candidates = [
+            (wire, const)
+            for wire in ("w1", "w2", "w3", "w4")
+            for const in (0, 1)
+        ]
+        evaluator = BatchedCircuitEvaluator(circuit, candidates)
+        genomes = list(itertools.product((0, 1), repeat=len(candidates)))
+        tables, areas = evaluator.evaluate(genomes)
+        for i, genome in enumerate(genomes):
+            assignments = {}
+            for (wire, const), bit in zip(candidates, genome):
+                if bit:
+                    assignments[wire] = const
+            if not assignments:
+                continue
+            pruned = prune_wires(netlist, assignments)
+            reference = ArithmeticCircuit(
+                pruned,
+                circuit.a_wires,
+                circuit.b_wires,
+                tuple(pruned.outputs),
+            )
+            assert np.array_equal(
+                tables[i].astype(np.uint64), reference.truth_table()
+            )
+            assert float(areas[i]) == netlist_ge(pruned)
+
+
+class TestApiContracts:
+    def test_truth_tables_are_uint64(self):
+        space, evaluator = make_evaluator(make_multiplier(4, 4))
+        genome = tuple(
+            1 if i == 0 else 0 for i in range(space.genome_length)
+        )
+        tables = evaluator.truth_tables([genome])
+        assert tables.dtype == np.uint64
+
+    def test_evaluate_tables_match_truth_tables(self):
+        space, evaluator = make_evaluator(make_multiplier(4, 4))
+        rng = np.random.default_rng(0)
+        genomes = [space.random_genome(rng) for _ in range(4)]
+        narrow, _areas = evaluator.evaluate(genomes)
+        assert np.array_equal(
+            narrow.astype(np.uint64), evaluator.truth_tables(genomes)
+        )
+
+    def test_empty_population(self):
+        space, evaluator = make_evaluator(make_multiplier(4, 4))
+        tables, areas = evaluator.evaluate([])
+        assert tables.shape == (0, evaluator.n_cases)
+        assert areas.shape == (0,)
+        # empty shards carry the same narrow dtype as populated ones
+        genome = tuple([0] * space.genome_length)
+        assert tables.dtype == evaluator.evaluate([genome])[0].dtype
+        assert tables.dtype == evaluator.table_dtype
+
+    def test_genome_length_checked(self):
+        space, evaluator = make_evaluator(make_multiplier(4, 4))
+        with pytest.raises(SimulationError, match="genome length"):
+            evaluator.evaluate([(1, 0)])
+
+    def test_non_gate_candidate_rejected(self):
+        circuit = make_multiplier(4, 4)
+        with pytest.raises(NetlistError, match="not a gate output"):
+            BatchedCircuitEvaluator(circuit, [("a0", 0)])
+
+    def test_bad_constant_rejected(self):
+        circuit = make_multiplier(4, 4)
+        wire = next(iter(circuit.netlist.gates))
+        with pytest.raises(NetlistError, match="must be 0/1"):
+            BatchedCircuitEvaluator(circuit, [(wire, 2)])
+
+
+class TestCompiledNetlistHooks:
+    def test_program_matches_topological_order(self):
+        circuit = make_multiplier(4, 4)
+        compiled = CompiledNetlist(circuit.netlist)
+        program_wires = []
+        slot_to_wire = {
+            compiled.slot_of(w): w for w in circuit.netlist.gates
+        }
+        for _evaluate, out_slot, _ins in compiled.program:
+            program_wires.append(slot_to_wire[out_slot])
+        assert program_wires == circuit.netlist.topological_order()
+
+    def test_slot_maps_cover_interface(self):
+        circuit = make_multiplier(4, 4)
+        compiled = CompiledNetlist(circuit.netlist)
+        assert [w for w, _ in compiled.input_slots] == list(
+            circuit.netlist.inputs
+        )
+        assert [w for w, _ in compiled.output_slots] == list(
+            circuit.netlist.outputs
+        )
+        for wire, slot in compiled.input_slots:
+            assert compiled.slot_of(wire) == slot

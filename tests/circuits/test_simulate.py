@@ -184,3 +184,51 @@ class TestExhaustive:
         for a in range(4):
             for b in range(4):
                 assert table[a + (b << 2)] == a * b
+
+
+class TestPopcountCases:
+    def test_matches_unpack_mean(self):
+        from repro.circuits.simulate import popcount_cases
+
+        rng = np.random.default_rng(0)
+        for n_bits in (3, 5, 6, 8, 12, 16):
+            n_cases = 1 << n_bits
+            n_words = max(1, n_cases // 64)
+            packed = rng.integers(
+                0, 1 << 63, size=n_words, dtype=np.uint64
+            ) | (rng.integers(0, 2, size=n_words, dtype=np.uint64) << 63)
+            count = popcount_cases(packed, n_cases)
+            assert count == int(unpack_cases(packed, n_cases).sum())
+            # division by the power-of-two case count is exact, so the
+            # probability equals the bool-mean bit for bit
+            assert count / n_cases == float(
+                unpack_cases(packed, n_cases).mean()
+            )
+
+    def test_partial_word_masks_garbage(self):
+        from repro.circuits.simulate import popcount_cases
+
+        packed = np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert popcount_cases(packed, 8) == 8
+
+    def test_signal_probabilities_match_legacy(self):
+        from repro.circuits.simulate import signal_probabilities
+        from repro.circuits.synthesis import make_multiplier
+
+        mul = make_multiplier(4, 4)
+        probs = signal_probabilities(
+            mul.netlist, [mul.a_wires, mul.b_wires]
+        )
+        compiled = CompiledNetlist(mul.netlist)
+        patterns, n_cases, _ = packed_input_patterns(8)
+        inputs = {
+            wire: patterns[i]
+            for i, wire in enumerate(
+                list(mul.a_wires) + list(mul.b_wires)
+            )
+        }
+        legacy = {
+            wire: float(unpack_cases(value, n_cases).mean())
+            for wire, value in compiled.run_all(inputs).items()
+        }
+        assert probs == legacy

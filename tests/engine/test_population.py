@@ -129,6 +129,61 @@ class TestProcessMode:
             PopulationEvaluator(_gene_sum, config=EngineConfig(mode="batch"))
 
 
+class TestBatchMode:
+    def test_batch_receives_only_misses(self):
+        calls = []
+
+        def batch(genomes):
+            calls.append(list(genomes))
+            return [sum(g) for g in genomes]
+
+        evaluator = PopulationEvaluator(
+            _gene_sum, batch_evaluate=batch,
+            config=EngineConfig(mode="batch"),
+        )
+        assert evaluator([(1, 2), (1, 2), (3, 4)]) == [3, 3, 7]
+        assert evaluator([(1, 2), (5, 6)]) == [3, 11]
+        # dedup within a generation, memo across generations
+        assert calls == [[(1, 2), (3, 4)], [(5, 6)]]
+        assert evaluator.evaluations == 3
+
+    def test_batch_backfills_store(self):
+        backfilled = {}
+        evaluator = PopulationEvaluator(
+            _gene_sum,
+            batch_evaluate=lambda gs: [sum(g) for g in gs],
+            config=EngineConfig(mode="batch"),
+            store=backfilled.__setitem__,
+        )
+        evaluator([(1, 2), (3, 4), (1, 2)])
+        assert backfilled == {(1, 2): 3, (3, 4): 7}
+
+    def test_self_storing_batch_skips_backfill(self):
+        """A callable that persists its own misses is not double-stored."""
+        stored = []
+
+        def batch(genomes):
+            return [sum(g) for g in genomes]
+
+        batch.self_storing = True
+        evaluator = PopulationEvaluator(
+            _gene_sum, batch_evaluate=batch,
+            config=EngineConfig(mode="batch"),
+            store=lambda g, r: stored.append((g, r)),
+        )
+        assert evaluator([(1, 2), (3, 4)]) == [3, 7]
+        assert stored == []
+
+    def test_batch_length_mismatch_rejected(self):
+        evaluator = PopulationEvaluator(
+            _gene_sum,
+            batch_evaluate=lambda gs: [0],
+            config=EngineConfig(mode="batch"),
+        )
+        with pytest.raises(OptimizationError, match="batch_evaluate"):
+            evaluator([(1, 2), (3, 4)])
+
+
 class TestGaDeterminism:
     """Same seed, every execution mode => identical GaOutcome."""
 
