@@ -5,6 +5,8 @@ gates the workflow used to carry)::
 
     python benchmarks/check_bench.py BENCH_search.json BENCH_accuracy.json
     python benchmarks/check_bench.py BENCH_search.json --min-speedup 3.0
+    python benchmarks/check_bench.py BENCH_search.json \
+        --max-checkpoint-overhead 0.05
 
 Each report must carry ``all_identical: true`` (bit-identity is the
 *hard* gate — an engine that diverges from the serial reference is
@@ -12,10 +14,17 @@ wrong, not slow) and a speedup at or above ``--min-speedup``
 (``min_speedup`` for multi-problem reports like ``BENCH_search.json``,
 ``speedup`` for single-number reports like ``BENCH_accuracy.json``).
 
+Reports that price crash safety additionally carry
+``max_checkpoint_overhead`` (relative slowdown of the checkpointed
+engine run, e.g. ``0.03`` = 3%); pass ``--max-checkpoint-overhead`` to
+gate it.  Reports without the field are skipped by that gate, so the
+flag is safe to apply to a mixed report list.
+
 The default speedup bar is deliberately loose (1.5x): smoke runs on
 shared CI runners see multi-x timer noise, so identity is enforced
 strictly and throughput only sanity-checked.  Nightly paper-scale runs
-pass a higher bar explicitly.
+pass a higher bar explicitly — same for the checkpoint-overhead gate
+(loose in smoke, 0.05 nightly per PERF.md).
 """
 
 from __future__ import annotations
@@ -26,7 +35,11 @@ import sys
 from typing import List, Optional
 
 
-def check_report(path: str, min_speedup: float) -> List[str]:
+def check_report(
+    path: str,
+    min_speedup: float,
+    max_checkpoint_overhead: Optional[float] = None,
+) -> List[str]:
     """Validate one BENCH report; returns a list of failure messages."""
     failures: List[str] = []
     try:
@@ -51,8 +64,17 @@ def check_report(path: str, min_speedup: float) -> List[str]:
             f"{name}: speedup {speedup} below the {min_speedup}x gate"
         )
 
+    overhead = report.get("max_checkpoint_overhead")
+    if max_checkpoint_overhead is not None and overhead is not None:
+        if overhead > max_checkpoint_overhead:
+            failures.append(
+                f"{name}: checkpoint overhead {overhead} above the "
+                f"{max_checkpoint_overhead} gate"
+            )
+
     if not failures:
-        print(f"ok: {name} — identical=True, speedup={speedup}")
+        extra = "" if overhead is None else f", checkpoint_overhead={overhead}"
+        print(f"ok: {name} — identical=True, speedup={speedup}{extra}")
     return failures
 
 
@@ -68,11 +90,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--min-speedup", type=float, default=1.5,
         help="minimum acceptable speedup (default: 1.5, the smoke bar)",
     )
+    parser.add_argument(
+        "--max-checkpoint-overhead", type=float, default=None,
+        metavar="FRACTION",
+        help="maximum acceptable checkpoint overhead as a fraction "
+        "(e.g. 0.05 = 5%%); off by default, reports without the "
+        "field are skipped",
+    )
     args = parser.parse_args(argv)
 
     failures: List[str] = []
     for path in args.reports:
-        failures.extend(check_report(path, args.min_speedup))
+        failures.extend(
+            check_report(path, args.min_speedup, args.max_checkpoint_overhead)
+        )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -36,6 +36,7 @@ from repro.engine.backends import (
     register_pool_context_provider,
 )
 from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
+from repro.engine.checkpoint import CheckpointStore, checkpoint_fingerprint
 from repro.engine.diskcache import FitnessDiskCache, context_fingerprint
 from repro.engine.population import EngineConfig
 from repro.engine.vectorized import pareto_front_np
@@ -190,6 +191,8 @@ def _pruning_pareto(
     kind: str = "wallace",
     engine: Optional[EngineConfig] = None,
     cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[ApproxMultiplier]:
     """NSGA-II search over pruning masks of one base circuit.
 
@@ -206,6 +209,13 @@ def _pruning_pareto(
     simulation, and the (deterministic) circuit artifacts of the final
     front are re-derived on demand for entries whose objectives came
     from the cache.
+
+    With ``checkpoint_dir`` set, the NSGA-II loop snapshots its state
+    after every generation; ``resume=True`` additionally picks a killed
+    search back up at the last finished generation (bit-identical front
+    — see :mod:`repro.engine.checkpoint`).  The checkpoint slot is
+    keyed by the same identity as the objective cache, so a search
+    resumed under changed settings refuses loudly instead of splicing.
     """
     space = PruningSpace(base, max_candidates=max_candidates)
     artifacts: Dict[Tuple[int, ...], Tuple[ArithmeticCircuit, np.ndarray]] = {}
@@ -218,6 +228,18 @@ def _pruning_pareto(
             ),
         )
         if cache_dir is not None
+        else None
+    )
+    store = (
+        CheckpointStore(
+            checkpoint_dir,
+            name=f"pruning-{origin}-{base.netlist.name}",
+            fingerprint=checkpoint_fingerprint(
+                "library-pruning", width, kind, origin,
+                seed, population, generations, max_candidates,
+            ),
+        )
+        if checkpoint_dir is not None
         else None
     )
 
@@ -298,6 +320,8 @@ def _pruning_pareto(
         ),
         engine=engine_config,
         batch_evaluate=batch_evaluate,
+        checkpoint=store,
+        resume_from=store if resume else None,
     )
     front = search.run()
     if disk is not None:
@@ -348,6 +372,8 @@ def build_library(
     use_cache: bool = True,
     engine: Optional[EngineConfig] = None,
     cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ApproxLibrary:
     """Run the full step-1 flow and return the Pareto library.
 
@@ -378,6 +404,16 @@ def build_library(
         cache_dir: optional directory for the on-disk objective cache,
             so rebuilding the same library in a fresh process (or a
             forked grid worker) skips re-simulating pruned circuits.
+        checkpoint_dir: optional directory for per-generation search
+            checkpoints; each pruning search (``pruned`` and, with
+            ``hybrid``, the second search) owns one atomically-replaced
+            slot there.  Like ``cache_dir``, checkpointing changes
+            speed after a crash, never results, so it is not part of
+            the memo key.
+        resume: resume killed searches from their ``checkpoint_dir``
+            slots; the finished library is bit-identical to an
+            uninterrupted build (mismatched settings refuse with
+            :class:`~repro.errors.CheckpointError`).
     """
     key = (
         width, kind, seed, population, generations, max_candidates,
@@ -443,6 +479,7 @@ def build_library(
             exact_circuit, width, dnn_weights, "pruned",
             seed, population, generations, max_candidates,
             kind=kind, engine=engine, cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir, resume=resume,
         )
     )
 
@@ -454,6 +491,7 @@ def build_library(
                 seed + 1, max(population // 2, 8), max(generations // 2, 6),
                 max_candidates,
                 kind=kind, engine=engine, cache_dir=cache_dir,
+                checkpoint_dir=checkpoint_dir, resume=resume,
             )
         )
 

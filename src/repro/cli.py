@@ -61,6 +61,15 @@ def _settings(args: argparse.Namespace):
     from repro.experiments.common import DEFAULT_SETTINGS, fast_settings
 
     settings = fast_settings() if args.fast else DEFAULT_SETTINGS
+    checkpoint_overrides = {}
+    if getattr(args, "checkpoint_dir", None) is not None:
+        checkpoint_overrides["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "resume", False):
+        checkpoint_overrides["resume"] = True
+    if checkpoint_overrides:
+        # replace() re-runs __post_init__, which rejects --resume
+        # without --checkpoint-dir before any search starts
+        settings = replace(settings, **checkpoint_overrides)
     grid_overrides = {}
     if getattr(args, "grid_mode", None) is not None:
         grid_overrides["grid_mode"] = args.grid_mode
@@ -153,6 +162,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
             generations=settings.ga_generations,
             seed=args.seed,
         ),
+        **settings.designer_kwargs(),
     )
     best = designer.run().best
     saving = 100.0 * (1.0 - best.carbon_g / baseline.carbon_g)
@@ -295,6 +305,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--fast", action="store_true",
             help="reduced search sizes for smoke runs",
+        )
+        p.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="snapshot every search generation under DIR (atomic "
+            "writes; a killed run keeps its finished generations)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="resume killed searches from --checkpoint-dir; results "
+            "are bit-identical to an uninterrupted run, and a "
+            "checkpoint written under different settings is refused",
         )
         if json_out:
             p.add_argument("--json", default=None, help="write results JSON")

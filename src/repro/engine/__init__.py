@@ -33,7 +33,15 @@ that make the searches fast without changing a single result:
   pickled cell shards from a coordinator and streams results back;
 * :mod:`repro.engine.grid` — :class:`GridRunner`: experiment cells
   sharded across the configured backend with deterministically ordered
-  results regardless of shard count, worker count, or worker failures.
+  results regardless of shard count, worker count, or worker failures;
+* :mod:`repro.engine.checkpoint` — :class:`CheckpointStore`:
+  versioned, atomically-replaced per-generation search snapshots
+  (population, objectives, exact RNG state) behind a settings
+  fingerprint, so killed searches resume bit-identically and
+  mismatched-settings resumes refuse loudly;
+* :mod:`repro.engine.faults` — deterministic fault injection
+  (``REPRO_FAULTS=kill@gen:N`` and friends) driving the chaos tests
+  and the ``chaos`` CI job.
 
 Every fast path keeps its serial counterpart in-tree as the reference
 implementation; the property tests under ``tests/engine`` assert exact
@@ -42,10 +50,13 @@ agreement.
 
 from repro.engine.backends import (
     PROTOCOL_VERSION,
+    CoordinatorConfig,
     ExecutorBackend,
+    FallbackBackend,
     ProcessBackend,
     RemoteBackend,
     RemoteCoordinator,
+    RemoteRunError,
     SerialBackend,
     ThreadBackend,
     backend_names,
@@ -60,7 +71,15 @@ from repro.engine.backends import (
     spawn_local_worker,
 )
 from repro.engine.batch import BatchNetworkEvaluator
+from repro.engine.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    capture_rng_state,
+    checkpoint_fingerprint,
+    restore_rng_state,
+)
 from repro.engine.diskcache import FitnessDiskCache
+from repro.engine.faults import FaultInjector, InjectedDrop, parse_faults
 from repro.engine.grid import GridConfig, GridRunner
 from repro.engine.population import EngineConfig, PopulationEvaluator
 from repro.engine.vectorized import (
@@ -73,9 +92,15 @@ from repro.engine.vectorized import (
 
 __all__ = [
     "BatchNetworkEvaluator",
+    "Checkpoint",
+    "CheckpointStore",
+    "CoordinatorConfig",
+    "FaultInjector",
+    "FallbackBackend",
     "FitnessDiskCache",
     "GridConfig",
     "GridRunner",
+    "InjectedDrop",
     "PROTOCOL_VERSION",
     "ExecutorBackend",
     "SerialBackend",
@@ -83,6 +108,11 @@ __all__ = [
     "ProcessBackend",
     "RemoteBackend",
     "RemoteCoordinator",
+    "RemoteRunError",
+    "capture_rng_state",
+    "checkpoint_fingerprint",
+    "parse_faults",
+    "restore_rng_state",
     "backend_names",
     "create_backend",
     "current_pool_context",

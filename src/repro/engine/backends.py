@@ -54,9 +54,11 @@ import struct
 import subprocess
 import sys
 import threading
+import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
@@ -72,6 +74,90 @@ PROTOCOL_VERSION = 1
 #: before the run fails — a cell that reliably kills its executor must
 #: not consume workers forever.
 MAX_REQUEUES = 3
+
+
+def _env_float(name: str, default: float) -> float:
+    """A positive float from the environment, or the default on junk."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {name}={raw!r}", RuntimeWarning, stacklevel=3
+        )
+        return default
+    return value if value > 0 else default
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Timing knobs for the remote coordinator and its worker fleet.
+
+    These used to be hard-coded constants (the 0.2 s condition-variable
+    poll, the 5 s worker-teardown wait); slow shared CI containers need
+    them tunable — a stall-abort probe that fires on schedule for a
+    laptop is a flake generator for an oversubscribed runner.
+
+    Attributes:
+        poll_interval: seconds between coordinator wake-ups (accept
+            loop timeout, run-completion and task-queue condition
+            polls).  Smaller = snappier scheduling, more idle wake-ups.
+        shutdown_timeout: seconds :meth:`RemoteBackend.close` waits for
+            a spawned worker daemon to exit before killing it.
+
+    Environment overrides (read by :meth:`from_env`):
+    ``REPRO_COORDINATOR_POLL_S`` and
+    ``REPRO_COORDINATOR_SHUTDOWN_S``.  Timing knobs can change how
+    long runs and teardowns take, never their results.
+    """
+
+    poll_interval: float = 0.2
+    shutdown_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ExperimentError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.shutdown_timeout <= 0:
+            raise ExperimentError(
+                f"shutdown_timeout must be positive, got {self.shutdown_timeout}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "CoordinatorConfig":
+        """Defaults overridden by the ``REPRO_COORDINATOR_*`` variables."""
+        return cls(
+            poll_interval=_env_float("REPRO_COORDINATOR_POLL_S", 0.2),
+            shutdown_timeout=_env_float("REPRO_COORDINATOR_SHUTDOWN_S", 5.0),
+        )
+
+
+class RemoteRunError(ExperimentError):
+    """A remote ``map_shards`` run failed; carries what *did* finish.
+
+    Attributes:
+        completed: shard index -> per-cell results for every shard that
+            completed before the failure (cells are pure, so these are
+            exactly what any backend would have returned for them).
+        recoverable: True for infrastructure failures (requeue budget
+            exhausted, stall abort — the work itself is fine, the fleet
+            is not) where :class:`FallbackBackend` may drain the
+            remaining shards locally; False for deterministic
+            cell exceptions, which would fail identically anywhere.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        completed: Optional[Dict[int, List[Any]]] = None,
+        recoverable: bool = False,
+    ):
+        super().__init__(message)
+        self.completed: Dict[int, List[Any]] = dict(completed or {})
+        self.recoverable = recoverable
 
 
 # --------------------------------------------------------------------------
@@ -386,6 +472,8 @@ class RemoteCoordinator:
     Args:
         bind: ``HOST:PORT`` to listen on; port ``0`` picks an ephemeral
             port (read the resolved one back from :attr:`address`).
+        config: timing knobs (defaults to
+            :meth:`CoordinatorConfig.from_env`).
 
     The coordinator accepts workers for its whole lifetime and serves
     any number of consecutive :meth:`map_shards` runs: daemons may
@@ -403,10 +491,15 @@ class RemoteCoordinator:
     serial reference.
     """
 
-    def __init__(self, bind: str = "127.0.0.1:0"):
+    def __init__(
+        self,
+        bind: str = "127.0.0.1:0",
+        config: Optional[CoordinatorConfig] = None,
+    ):
+        self.config = config or CoordinatorConfig.from_env()
         host, port = parse_address(bind)
         self._server = socket.create_server((host, port))
-        self._server.settimeout(0.2)
+        self._server.settimeout(self.config.poll_interval)
         self.host = host
         self.port = self._server.getsockname()[1]
         self._state = threading.Condition()
@@ -415,7 +508,7 @@ class RemoteCoordinator:
         self._queue: "deque[int]" = deque()
         self._results: Dict[int, List[Any]] = {}
         self._requeues: Dict[int, int] = {}
-        self._failure: Optional[ExperimentError] = None
+        self._failure: Optional[RemoteRunError] = None
         self._active = False  # a run is in flight
         self._generation = 0  # bumped per run; stale messages are dropped
         self._active_workers = 0
@@ -494,7 +587,14 @@ class RemoteCoordinator:
             while True:
                 if self._failure is not None:
                     self._active = False  # stop assigning leftovers
-                    raise self._failure
+                    failure = self._failure
+                    # attach what did finish so FallbackBackend (or a
+                    # caller) can drain only the missing shards
+                    failure.completed = {
+                        index: list(result)
+                        for index, result in self._results.items()
+                    }
+                    raise failure
                 if self._done_locked():
                     self._active = False  # idle until the next run
                     return [
@@ -507,12 +607,17 @@ class RemoteCoordinator:
                     and not liveness()
                 ):
                     self._active = False  # unwedge for the next run
-                    raise ExperimentError(
+                    raise RemoteRunError(
                         "remote run stalled: every worker exited with "
                         f"{len(self._shards) - len(self._results)} "
-                        "shard(s) unfinished"
+                        "shard(s) unfinished",
+                        completed={
+                            index: list(result)
+                            for index, result in self._results.items()
+                        },
+                        recoverable=True,
                     )
-                self._state.wait(timeout=0.2)
+                self._state.wait(timeout=self.config.poll_interval)
 
     # -- worker service -------------------------------------------------
 
@@ -576,7 +681,7 @@ class RemoteCoordinator:
                         self._fn,
                         self._shards[task_id],
                     )
-                self._state.wait(timeout=0.2)
+                self._state.wait(timeout=self.config.poll_interval)
 
     def _serve_worker(self, conn: socket.socket) -> None:
         task_id: Optional[int] = None
@@ -620,9 +725,13 @@ class RemoteCoordinator:
                 elif kind == "error":
                     with self._state:
                         if task_gen == self._generation:
-                            self._failure = ExperimentError(
+                            # a worker-side exception is deterministic —
+                            # the cell would fail anywhere, so draining
+                            # elsewhere cannot help
+                            self._failure = RemoteRunError(
                                 f"remote worker failed on shard "
-                                f"{message['task_id']}: {message['error']}"
+                                f"{message['task_id']}: {message['error']}",
+                                recoverable=False,
                             )
                         task_id = None
                         self._state.notify_all()
@@ -639,9 +748,12 @@ class RemoteCoordinator:
                     count = self._requeues.get(task_id, 0) + 1
                     self._requeues[task_id] = count
                     if count > MAX_REQUEUES:
-                        self._failure = ExperimentError(
+                        # worker *death* is an infrastructure failure;
+                        # the surviving shards can still run elsewhere
+                        self._failure = RemoteRunError(
                             f"shard {task_id} killed {count} workers; "
-                            "giving up instead of consuming the fleet"
+                            "giving up instead of consuming the fleet",
+                            recoverable=True,
                         )
                     else:
                         self._queue.append(task_id)
@@ -675,10 +787,14 @@ class RemoteBackend(ExecutorBackend):
     name = "remote"
 
     def __init__(
-        self, coordinator: Optional[str] = None, spawn: Optional[int] = None
+        self,
+        coordinator: Optional[str] = None,
+        spawn: Optional[int] = None,
+        config: Optional[CoordinatorConfig] = None,
     ):
         self.bind = coordinator if coordinator else "127.0.0.1:0"
         self.spawn = 2 if spawn is None else max(0, spawn)
+        self.config = config or CoordinatorConfig.from_env()
         self._lock = threading.Lock()
         self._coordinator: Optional[RemoteCoordinator] = None
         self._procs: List["subprocess.Popen[bytes]"] = []
@@ -689,7 +805,9 @@ class RemoteBackend(ExecutorBackend):
         """Bind the coordinator once; top up daemons that have died."""
         with self._lock:
             if self._coordinator is None:
-                self._coordinator = RemoteCoordinator(self.bind)
+                self._coordinator = RemoteCoordinator(
+                    self.bind, config=self.config
+                )
             self._procs = [
                 proc for proc in self._procs if proc.poll() is None
             ]
@@ -721,10 +839,81 @@ class RemoteBackend(ExecutorBackend):
             procs, self._procs = self._procs, []
         for proc in procs:
             try:
-                proc.wait(timeout=5)
+                proc.wait(timeout=self.config.shutdown_timeout)
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait()
+
+
+class FallbackBackend(ExecutorBackend):
+    """Graceful degradation: finish a failed remote run locally.
+
+    Wraps a primary backend (typically :class:`RemoteBackend`).  When a
+    run dies of an *infrastructure* failure — the requeue budget is
+    exhausted or the stall-abort probe fires
+    (:class:`RemoteRunError` with ``recoverable=True``) — the shards
+    that never completed are drained on a local fallback backend with a
+    :class:`RuntimeWarning`, instead of losing the whole run minutes
+    in.  Completed shards are *not* re-executed: cells are pure, so the
+    remote partial results are exactly what the fallback would compute.
+
+    Deterministic cell exceptions (``recoverable=False``) re-raise
+    unchanged — they would fail identically on the fallback, and
+    papering over them would turn a real bug into a slow mystery.
+
+    Args:
+        primary: the backend to try first.
+        fallback: local drain target (default :class:`SerialBackend`);
+            must honour the same determinism contract.
+    """
+
+    name = "fallback"
+
+    def __init__(
+        self,
+        primary: ExecutorBackend,
+        fallback: Optional[ExecutorBackend] = None,
+    ):
+        self.primary = primary
+        self.fallback = fallback or SerialBackend()
+
+    def map_shards(
+        self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
+    ) -> List[List[Any]]:
+        shards = [list(shard) for shard in shards]
+        try:
+            return self.primary.map_shards(fn, shards)
+        except RemoteRunError as exc:
+            if not exc.recoverable:
+                raise
+            missing = [
+                index
+                for index in range(len(shards))
+                if index not in exc.completed
+            ]
+            warnings.warn(
+                f"remote run failed ({exc}); draining {len(missing)} of "
+                f"{len(shards)} shard(s) on the local "
+                f"{type(self.fallback).__name__}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            drained = self.fallback.map_shards(
+                fn, [shards[index] for index in missing]
+            )
+            merged: List[List[Any]] = []
+            for index in range(len(shards)):
+                if index in exc.completed:
+                    merged.append(exc.completed[index])
+                else:
+                    merged.append(drained[missing.index(index)])
+            return merged
+
+    def close(self) -> None:
+        """Release the primary backend's resources (if it has any)."""
+        close = getattr(self.primary, "close", None)
+        if close is not None:
+            close()
 
 
 #: Persistent remote backends, keyed by (bind, spawn, worker env) so a
@@ -824,5 +1013,11 @@ register_backend(
     "remote",
     lambda workers, coordinator, spawn: shared_remote_backend(
         coordinator=coordinator, spawn=spawn
+    ),
+)
+register_backend(
+    "remote-fallback",
+    lambda workers, coordinator, spawn: FallbackBackend(
+        shared_remote_backend(coordinator=coordinator, spawn=spawn)
     ),
 )

@@ -16,7 +16,12 @@ file; a stale cache can therefore alter *speed* but never *results*.
 
 The cache is deliberately simple: one pickle file per context under the
 cache directory, loaded on first touch, written atomically (tempfile +
-rename) on :meth:`flush`.
+``fsync`` + rename) on :meth:`flush`.  A corrupt or truncated cache
+file — a crashed writer on a filesystem without atomic rename, a
+partial copy, disk damage — is *quarantined* (renamed aside with a
+warning) rather than crashing the run or silently poisoning the shared
+multi-node store: the run restarts from a cold cache and rewrites a
+healthy file on the next flush.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from typing import Any, Dict, Optional, Tuple
 
 Genome = Tuple[int, ...]
@@ -37,6 +43,65 @@ def context_fingerprint(*parts: Any) -> str:
     """Stable SHA-256 hex digest of a tuple of primitive parts."""
     digest = hashlib.sha256(repr((SCHEMA_VERSION,) + parts).encode("utf-8"))
     return digest.hexdigest()[:32]
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Durably replace ``path`` with ``payload`` (temp + fsync + rename).
+
+    The payload is written to a sibling temp file, fsynced, and moved
+    into place with :func:`os.replace`, so readers only ever observe
+    the old complete file or the new complete file — a crash (even
+    SIGKILL) mid-write cannot leave a truncated file under ``path``.
+    The containing directory is fsynced afterwards where the platform
+    allows, making the rename itself durable across power loss.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}-"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except OSError:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory handles; rename is still atomic
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def quarantine_corrupt_file(path: str, reason: str) -> None:
+    """Move a damaged store file aside (best effort) with a warning.
+
+    The quarantined copy keeps a ``.corrupt-<pid>`` suffix for
+    post-mortems; concurrent readers that lost the rename race simply
+    find the file gone and proceed cold.
+    """
+    quarantined = f"{path}.corrupt-{os.getpid()}"
+    try:
+        os.replace(path, quarantined)
+        where = f"; quarantined as {quarantined}"
+    except OSError:
+        where = "; quarantine rename failed (another process may have won)"
+    warnings.warn(
+        f"discarding corrupt store file {path} ({reason}){where}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class FitnessDiskCache:
@@ -61,9 +126,30 @@ class FitnessDiskCache:
             try:
                 with open(self.path, "rb") as handle:
                     payload = pickle.load(handle)
-                self._data = dict(payload) if isinstance(payload, dict) else {}
-            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            except FileNotFoundError:
                 self._data = {}
+            except (
+                OSError,
+                pickle.UnpicklingError,
+                EOFError,
+                ValueError,
+                AttributeError,
+                ImportError,
+                MemoryError,
+            ) as exc:
+                # a truncated or damaged pickle must not crash the run
+                # (nor keep poisoning the shared multi-node cache):
+                # quarantine it and start cold — speed, never results
+                quarantine_corrupt_file(self.path, repr(exc))
+                self._data = {}
+            else:
+                if isinstance(payload, dict):
+                    self._data = dict(payload)
+                else:
+                    quarantine_corrupt_file(
+                        self.path, f"expected a dict, got {type(payload).__name__}"
+                    )
+                    self._data = {}
         return self._data
 
     # -- mapping interface ---------------------------------------------
@@ -81,21 +167,17 @@ class FitnessDiskCache:
             self._dirty = True
 
     def flush(self) -> None:
-        """Atomically persist pending entries (no-op when clean)."""
+        """Atomically persist pending entries (no-op when clean).
+
+        Routed through :func:`atomic_write_bytes`, so a crash mid-flush
+        (even SIGKILL) leaves the previous complete file in place —
+        never a truncated pickle that would poison every process
+        sharing the cache directory.
+        """
         if not self._dirty or self._data is None:
             return
-        os.makedirs(self.cache_dir, exist_ok=True)
-        fd, temp_path = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=f".fitness-{self.context}-"
+        atomic_write_bytes(
+            self.path,
+            pickle.dumps(self._data, protocol=pickle.HIGHEST_PROTOCOL),
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(self._data, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_path, self.path)
-        except OSError:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
         self._dirty = False

@@ -47,6 +47,11 @@ from repro.engine.backends import (  # noqa: F401  (compat re-exports)
 from repro.errors import ExperimentError
 
 
+#: Modes that dispatch through the remote coordinator (and therefore
+#: accept ``coordinator=``, ``workers=0``, and per-cell sharding).
+REMOTE_MODES = ("remote", "remote-fallback")
+
+
 def grid_modes() -> tuple:
     """Valid ``GridConfig.mode`` values — ``auto`` plus the registry.
 
@@ -93,16 +98,16 @@ class GridConfig:
             raise ExperimentError(
                 f"unknown grid mode {self.mode!r}; expected one of {modes}"
             )
-        minimum_workers = 0 if self.mode == "remote" else 1
+        minimum_workers = 0 if self.mode in REMOTE_MODES else 1
         if self.workers is not None and self.workers < minimum_workers:
             raise ExperimentError(
                 f"workers must be >= {minimum_workers}, got {self.workers}"
             )
         if self.shards is not None and self.shards < 1:
             raise ExperimentError(f"shards must be >= 1, got {self.shards}")
-        if self.coordinator is not None and self.mode != "remote":
+        if self.coordinator is not None and self.mode not in REMOTE_MODES:
             raise ExperimentError(
-                "coordinator is only meaningful with mode='remote', "
+                f"coordinator is only meaningful with modes {REMOTE_MODES}, "
                 f"got mode={self.mode!r}"
             )
 
@@ -175,7 +180,7 @@ class GridRunner:
             coordinator=self.config.coordinator,
             # remote: spawn exactly the configured count (0 = external
             # workers only); None falls back to the backend default of 2
-            spawn=self.config.workers if mode == "remote" else None,
+            spawn=self.config.workers if mode in REMOTE_MODES else None,
         )
 
     def map(self, fn: Callable[..., Any], cells: Sequence[Cell]) -> List[Any]:
@@ -189,13 +194,13 @@ class GridRunner:
         if not cells:
             return []
         mode = self.resolved_mode(len(cells))
-        if mode in ("process", "remote") and in_pool_worker():
+        if (mode == "process" or mode in REMOTE_MODES) and in_pool_worker():
             mode = "serial"  # no nested fan-out — see in_pool_worker()
-        if mode == "serial" or (len(cells) == 1 and mode != "remote"):
+        if mode == "serial" or (len(cells) == 1 and mode not in REMOTE_MODES):
             return run_shard(fn, cells)
 
         shards = self.shard_cells(
-            cells, default_count=len(cells) if mode == "remote" else None
+            cells, default_count=len(cells) if mode in REMOTE_MODES else None
         )
         backend = self.backend(mode, n_shards=len(shards))
         shard_results = backend.map_shards(fn, shards)
@@ -228,7 +233,7 @@ class GridRunner:
             return []
         extra = tuple(extra)
         mode = self.resolved_mode(len(items))
-        if mode in ("process", "remote") and in_pool_worker():
+        if (mode == "process" or mode in REMOTE_MODES) and in_pool_worker():
             mode = "serial"  # no nested fan-out — see in_pool_worker()
         if mode == "serial":
             return list(fn(items, *extra))

@@ -41,6 +41,7 @@ from repro.engine.backends import (
     run_shard,
     send_msg,
 )
+from repro.engine.faults import InjectedDrop, active_injector
 from repro.errors import ReproError
 
 
@@ -105,14 +106,22 @@ def serve(
     protocol: int = PROTOCOL_VERSION,
     verbose: bool = False,
 ) -> int:
-    """Run the pull loop on an open coordinator connection."""
+    """Run the pull loop on an open coordinator connection.
+
+    Fault-injection hooks (active only when :data:`FAULTS_ENV` is set
+    in *this worker's* environment) fire after every received protocol
+    message (``recv`` ordinals count from the handshake greeting), on
+    task receipt (``shard``), and before task execution (``slow``).
+    """
 
     def log(message: str) -> None:
         if verbose:
             print(f"[worker {os.getpid()}] {message}", file=sys.stderr)
 
+    injector = active_injector()
     send_msg(sock, {"type": "hello", "protocol": protocol, "pid": os.getpid()})
     greeting = recv_msg(sock)
+    injector.on_recv()
     if greeting is None:
         print("coordinator closed during handshake", file=sys.stderr)
         return 1
@@ -128,6 +137,7 @@ def serve(
     while True:
         send_msg(sock, {"type": "ready"})
         message = recv_msg(sock)
+        injector.on_recv()
         if message is None:
             log("coordinator gone; exiting")
             return 0
@@ -139,8 +149,10 @@ def serve(
             print(f"unexpected message {kind!r}", file=sys.stderr)
             return 1
         task_id = message["task_id"]
+        injector.on_shard(task_id)
         log(f"task {task_id}: {len(message['cells'])} cell(s)")
         try:
+            injector.on_task_execute()
             result = run_shard(message["fn"], message["cells"])
         except Exception as exc:
             # deterministic cell failures are reported, not retried —
@@ -183,6 +195,10 @@ def run_worker(
         return 1
     try:
         return serve(sock, protocol=protocol, verbose=verbose)
+    except InjectedDrop:
+        # chaos harness: behave exactly like a crashed worker — close
+        # the socket (finally-block) so the coordinator requeues
+        return 0
     except (OSError, ConnectionError, EOFError):
         # the coordinator vanished mid-exchange; nothing to clean up —
         # any task this worker held is requeued coordinator-side

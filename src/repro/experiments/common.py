@@ -53,6 +53,14 @@ class ExperimentSettings:
             re-running a harness (or another harness sharing settings)
             warm-starts instead of re-simulating.  Also feeds the step-1
             library build, whose NSGA-II objectives persist per context.
+        checkpoint_dir: optional directory for per-generation search
+            checkpoints (library NSGA-II and every GA-CDP run); a
+            killed harness keeps its finished generations.
+        resume: resume killed searches from their ``checkpoint_dir``
+            slots — bit-identical results to an uninterrupted run;
+            requires ``checkpoint_dir``, and a slot written under
+            different settings refuses with
+            :class:`~repro.errors.CheckpointError`.
         grid_mode: execution backend for the experiment grids
             (``auto`` / ``serial`` / ``thread`` / ``process`` /
             ``remote``; every backend returns identical, identically
@@ -92,6 +100,8 @@ class ExperimentSettings:
     grid: str = "taiwan"
     engine_mode: str = "auto"
     cache_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
     grid_mode: str = "auto"
     grid_workers: Optional[int] = None
     grid_shards: Optional[int] = None
@@ -109,6 +119,11 @@ class ExperimentSettings:
             raise ExperimentError("settings need thresholds and tiers")
         if self.stack_workers is not None:
             resolve_stack_workers(self.stack_workers)  # fail fast on typos
+        if self.resume and self.checkpoint_dir is None:
+            raise ExperimentError(
+                "resume=True needs checkpoint_dir: there is nowhere to "
+                "resume from"
+            )
 
     def library(self) -> ApproxLibrary:
         """The (cached) step-1 multiplier library for these settings.
@@ -123,6 +138,8 @@ class ExperimentSettings:
             seed=self.seed,
             engine=self.engine(),
             cache_dir=self.cache_dir,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
         )
 
     def ga_config(self, seed_offset: int = 0) -> GaConfig:
@@ -138,8 +155,13 @@ class ExperimentSettings:
         return EngineConfig(mode=self.engine_mode)
 
     def designer_kwargs(self) -> dict:
-        """Engine/cache keyword arguments shared by every GA-CDP run."""
-        return {"engine": self.engine(), "cache_dir": self.cache_dir}
+        """Engine/cache/checkpoint kwargs shared by every GA-CDP run."""
+        return {
+            "engine": self.engine(),
+            "cache_dir": self.cache_dir,
+            "checkpoint_dir": self.checkpoint_dir,
+            "resume": self.resume,
+        }
 
     def grid_runner(self) -> GridRunner:
         """Cell-dispatch policy for the experiment grids."""

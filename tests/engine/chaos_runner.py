@@ -1,0 +1,55 @@
+"""Subprocess target for the SIGKILL-and-resume chaos tests.
+
+Top-level module (not a ``test_*`` file) so the chaos suite can run it
+as ``python chaos_runner.py CHECKPOINT_DIR [--resume]`` in a separate
+process whose environment carries a ``REPRO_FAULTS`` spec — the kill
+injector then SIGKILLs *this* process mid-search, exactly like a
+crashed job, while the pytest process stays alive to assert on the
+wreckage.
+
+Prints ``library <fingerprint>`` on success; the fingerprint digests
+every entry's name, origin, area, and full truth table, so two
+libraries share a fingerprint only if they are bit-identical.
+"""
+
+import hashlib
+import sys
+
+
+def library_fingerprint(library) -> str:
+    digest = hashlib.sha256()
+    for entry in library:
+        digest.update(
+            f"{entry.name}|{entry.origin}|{entry.area_ge!r}|".encode()
+        )
+        digest.update(entry.lut.table.tobytes())
+    return digest.hexdigest()
+
+
+def build(checkpoint_dir, resume):
+    from repro.approx.library import build_library
+
+    return build_library(
+        width=4,
+        population=8,
+        generations=4,
+        max_candidates=24,
+        truncations=((1, 0), (0, 1), (1, 1)),
+        hybrid=False,
+        structural=False,
+        use_cache=False,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+
+
+def main(argv):
+    checkpoint_dir = argv[1] if len(argv) > 1 else None
+    resume = "--resume" in argv
+    library = build(checkpoint_dir, resume)
+    print(f"library {library_fingerprint(library)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

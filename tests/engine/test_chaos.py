@@ -1,0 +1,336 @@
+"""Chaos suite: real SIGKILLs against checkpointed searches and workers.
+
+Three properties are pinned here, each against *genuine* process death
+(``os.kill(pid, SIGKILL)`` — no atexit, no finally blocks, no flushing):
+
+1. **Bit-identical resume** — a ``build_library`` subprocess SIGKILLed
+   at a seeded-random generation, then resumed, produces a library
+   fingerprint identical to an uninterrupted run's.
+2. **Protocol-state coverage** — a remote worker killed at *every*
+   protocol message ordinal (handshake greeting, each task, ...) never
+   changes the run's results; the fleet's survivors finish the shards.
+3. **Graceful degradation** — when the whole remote fleet dies,
+   :class:`FallbackBackend` drains the unfinished shards locally with a
+   warning instead of losing the run.
+
+Every test carries a hard ``SIGALRM`` timeout so an injected fault that
+wedges a loop fails loudly instead of hanging CI.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+import remote_cells
+from repro.engine.backends import (
+    CoordinatorConfig,
+    FallbackBackend,
+    RemoteBackend,
+    RemoteCoordinator,
+    RemoteRunError,
+    SerialBackend,
+    backend_names,
+    spawn_local_worker,
+)
+from repro.engine.faults import FAULTS_ENV, reset_active_injector
+from repro.errors import ExperimentError
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(os.path.dirname(os.path.dirname(HERE)), "src")
+
+CELLS = [(value, 100) for value in range(6)]
+SHARDS = [CELLS[:2], CELLS[2:4], CELLS[4:]]
+EXPECTED = [[value * value + 100 for value, _ in shard] for shard in SHARDS]
+
+#: Per-test wall-clock budget; a wedged protocol loop must fail, not hang.
+TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    """SIGALRM circuit breaker (no pytest-timeout dependency needed)."""
+
+    def on_alarm(signum, frame):  # pragma: no cover - only on a hang
+        raise TimeoutError(f"chaos test exceeded {TEST_TIMEOUT_S}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(TEST_TIMEOUT_S)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def isolated_faults(monkeypatch):
+    """Keep fault specs out of (and reset the cache of) this process."""
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    reset_active_injector()
+    yield
+    reset_active_injector()
+
+
+@pytest.fixture(autouse=True)
+def worker_pythonpath(monkeypatch):
+    """Let spawned workers import ``remote_cells`` by reference."""
+    existing = os.environ.get("PYTHONPATH")
+    merged = HERE if not existing else HERE + os.pathsep + existing
+    monkeypatch.setenv("PYTHONPATH", merged)
+
+
+def _run_chaos_runner(checkpoint_dir, resume=False, faults=None, seed=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if faults is not None:
+        env[FAULTS_ENV] = faults
+    else:
+        env.pop(FAULTS_ENV, None)
+    command = [sys.executable, os.path.join(HERE, "chaos_runner.py"),
+               str(checkpoint_dir)]
+    if resume:
+        command.append("--resume")
+    return subprocess.run(
+        command, env=env, capture_output=True, text=True, timeout=100
+    )
+
+
+def _fingerprint(completed: subprocess.CompletedProcess) -> str:
+    for line in completed.stdout.splitlines():
+        if line.startswith("library "):
+            return line.split(" ", 1)[1]
+    raise AssertionError(
+        f"no library fingerprint in output:\n{completed.stdout}\n"
+        f"{completed.stderr}"
+    )
+
+
+class TestSigkillResume:
+    def test_sigkill_at_seeded_generation_resumes_bit_identically(
+        self, tmp_path
+    ):
+        """The tentpole property, end to end against a real SIGKILL."""
+        reference = _run_chaos_runner(tmp_path / "ref")
+        assert reference.returncode == 0, reference.stderr
+
+        # the runner's search has 4 generations (checkpoints 0..4);
+        # the seeded draw picks the kill generation reproducibly
+        chaos_dir = tmp_path / "chaos"
+        killed = _run_chaos_runner(
+            chaos_dir, faults="kill@gen:rand:1337:4"
+        )
+        assert killed.returncode == -signal.SIGKILL
+        assert "library" not in killed.stdout  # died mid-search
+        snapshots = os.listdir(chaos_dir)
+        assert snapshots, "SIGKILL before any checkpoint was written"
+        assert all(name.endswith(".ckpt") for name in snapshots)
+
+        resumed = _run_chaos_runner(chaos_dir, resume=True)
+        assert resumed.returncode == 0, resumed.stderr
+        assert _fingerprint(resumed) == _fingerprint(reference)
+
+    def test_double_kill_then_resume(self, tmp_path):
+        """Crashing twice at different generations still converges."""
+        reference = _run_chaos_runner(tmp_path / "ref")
+        chaos_dir = tmp_path / "chaos"
+        first = _run_chaos_runner(chaos_dir, faults="kill@gen:1")
+        assert first.returncode == -signal.SIGKILL
+        second = _run_chaos_runner(
+            chaos_dir, resume=True, faults="kill@gen:3"
+        )
+        assert second.returncode == -signal.SIGKILL
+        final = _run_chaos_runner(chaos_dir, resume=True)
+        assert final.returncode == 0, final.stderr
+        assert _fingerprint(final) == _fingerprint(reference)
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        """--resume against an empty directory is a normal cold run."""
+        run = _run_chaos_runner(tmp_path / "empty", resume=True)
+        assert run.returncode == 0, run.stderr
+        assert _fingerprint(run) == _fingerprint(
+            _run_chaos_runner(tmp_path / "ref")
+        )
+
+
+class TestWorkerKillSweep:
+    """SIGKILL a worker at every protocol message ordinal.
+
+    Ordinal 0 is the handshake greeting (worker dies registered but
+    idle); ordinal N >= 1 is the Nth post-handshake message — task
+    assignments and, eventually, shutdown.  For every strike point the
+    surviving worker must finish the shards with unchanged results.
+    """
+
+    @pytest.mark.parametrize("ordinal", [0, 1, 2, 3])
+    def test_kill_at_protocol_ordinal(self, monkeypatch, ordinal):
+        import threading
+
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            outcome = {}
+
+            def run():
+                outcome["result"] = coordinator.map_shards(
+                    remote_cells.square_offset, SHARDS
+                )
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            # the faulty worker serves the run *alone*, so with three
+            # shards it deterministically receives the greeting
+            # (ordinal 0) and then one message per task — every swept
+            # ordinal is reached, and the strike always lands
+            monkeypatch.setenv(FAULTS_ENV, f"kill@recv:{ordinal}")
+            faulty = spawn_local_worker(coordinator.address)
+            monkeypatch.delenv(FAULTS_ENV)
+            healthy = None
+            try:
+                assert faulty.wait(timeout=30) == -signal.SIGKILL
+                healthy = spawn_local_worker(coordinator.address)
+                thread.join(timeout=60)
+                assert outcome.get("result") == EXPECTED
+            finally:
+                coordinator.close()
+                for proc in (faulty, healthy):
+                    if proc is None:
+                        continue
+                    try:
+                        proc.wait(timeout=10)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+
+    def test_injected_drop_is_a_clean_worker_exit(self, monkeypatch):
+        """drop faults close the connection; the worker exits 0."""
+        import threading
+
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            outcome = {}
+
+            def run():
+                outcome["result"] = coordinator.map_shards(
+                    remote_cells.square_offset, SHARDS
+                )
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            monkeypatch.setenv(FAULTS_ENV, "drop@recv:1")
+            dropping = spawn_local_worker(coordinator.address)
+            monkeypatch.delenv(FAULTS_ENV)
+            healthy = None
+            try:
+                # solo worker: its first task is deterministically
+                # recv ordinal 1, so the drop always fires — and unlike
+                # a kill it exits cleanly
+                assert dropping.wait(timeout=30) == 0
+                healthy = spawn_local_worker(coordinator.address)
+                thread.join(timeout=60)
+                assert outcome.get("result") == EXPECTED
+            finally:
+                coordinator.close()
+                for proc in (dropping, healthy):
+                    if proc is None:
+                        continue
+                    try:
+                        proc.wait(timeout=10)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+
+
+class _FailingPrimary:
+    """Scripted stand-in for a remote backend that lost its fleet."""
+
+    def __init__(self, error):
+        self.error = error
+        self.calls = 0
+
+    def map_shards(self, fn, shards):
+        self.calls += 1
+        raise self.error
+
+
+class TestFallbackBackend:
+    def test_recoverable_failure_drains_missing_shards(self):
+        completed = {1: EXPECTED[1]}  # shard 1 finished before the abort
+        primary = _FailingPrimary(
+            RemoteRunError("fleet died", completed=completed, recoverable=True)
+        )
+        backend = FallbackBackend(primary, SerialBackend())
+        with pytest.warns(RuntimeWarning, match="draining 2 of 3"):
+            result = backend.map_shards(remote_cells.square_offset, SHARDS)
+        assert result == EXPECTED
+
+    def test_unrecoverable_failure_reraises(self):
+        primary = _FailingPrimary(
+            RemoteRunError("cell raised ValueError", recoverable=False)
+        )
+        backend = FallbackBackend(primary, SerialBackend())
+        with pytest.raises(RemoteRunError, match="cell raised"):
+            backend.map_shards(remote_cells.square_offset, SHARDS)
+
+    def test_healthy_primary_passes_through(self):
+        backend = FallbackBackend(SerialBackend(), SerialBackend())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no spurious degradation noise
+            assert backend.map_shards(remote_cells.square_offset, SHARDS) == (
+                EXPECTED
+            )
+
+    def test_registered_as_grid_mode(self):
+        assert "remote-fallback" in backend_names()
+
+    def test_end_to_end_fleet_death_drains_locally(self, monkeypatch):
+        """A spawned fleet whose every worker dies still returns results."""
+        monkeypatch.setenv(FAULTS_ENV, "kill@recv:1")  # die on first task
+        primary = RemoteBackend(coordinator="127.0.0.1:0", spawn=1)
+        backend = FallbackBackend(primary, SerialBackend())
+        try:
+            with pytest.warns(RuntimeWarning, match="draining"):
+                assert (
+                    backend.map_shards(remote_cells.square_offset, SHARDS)
+                    == EXPECTED
+                )
+        finally:
+            monkeypatch.delenv(FAULTS_ENV, raising=False)
+            backend.close()
+
+
+class TestCoordinatorConfig:
+    def test_defaults(self):
+        config = CoordinatorConfig()
+        assert config.poll_interval == 0.2
+        assert config.shutdown_timeout == 5.0
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COORDINATOR_POLL_S", "0.05")
+        monkeypatch.setenv("REPRO_COORDINATOR_SHUTDOWN_S", "11")
+        config = CoordinatorConfig.from_env()
+        assert config.poll_interval == 0.05
+        assert config.shutdown_timeout == 11.0
+
+    def test_junk_env_warns_and_uses_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COORDINATOR_POLL_S", "fast")
+        with pytest.warns(RuntimeWarning, match="non-numeric"):
+            assert CoordinatorConfig.from_env().poll_interval == 0.2
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ExperimentError, match="poll_interval"):
+            CoordinatorConfig(poll_interval=0.0)
+        with pytest.raises(ExperimentError, match="shutdown_timeout"):
+            CoordinatorConfig(shutdown_timeout=-1.0)
+
+    def test_coordinator_honours_config(self):
+        config = CoordinatorConfig(poll_interval=0.05)
+        with RemoteCoordinator("127.0.0.1:0", config=config) as coordinator:
+            assert coordinator.config.poll_interval == 0.05
+            worker = spawn_local_worker(coordinator.address)
+            try:
+                assert (
+                    coordinator.map_shards(remote_cells.square_offset, SHARDS)
+                    == EXPECTED
+                )
+            finally:
+                coordinator.close()
+                worker.wait(timeout=10)

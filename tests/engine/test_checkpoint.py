@@ -1,0 +1,344 @@
+"""Tests for the generation-level checkpoint store and resume hooks.
+
+The load-bearing property is *bit-identical resume*: a search killed
+after any generation and resumed from its checkpoint must finish with
+exactly the outcome of an uninterrupted run — same winners, same
+histories, same evaluation counts — because the RNG state is captured
+and restored exactly.  The second property is *refusal*: a checkpoint
+written under different settings (fingerprint), a different schema
+version, or a different algorithm must raise, never splice.
+"""
+
+import os
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    capture_rng_state,
+    checkpoint_fingerprint,
+    restore_rng_state,
+)
+from repro.engine.diskcache import (
+    FitnessDiskCache,
+    atomic_write_bytes,
+    quarantine_corrupt_file,
+)
+from repro.errors import CheckpointError
+from repro.ga.chromosome import ChromosomeSpace
+from repro.ga.engine import GaConfig, GeneticAlgorithm
+from repro.ga.fitness import FitnessResult
+from repro.approx.nsga2 import Nsga2, Nsga2Config
+
+
+class TestRngSnapshots:
+    def test_numpy_roundtrip_is_exact(self):
+        rng = np.random.default_rng(7)
+        rng.random(13)  # advance into the stream
+        snapshot = capture_rng_state(rng)
+        expected = rng.random(8).tolist()
+        other = np.random.default_rng(999)
+        restore_rng_state(other, snapshot)
+        assert other.random(8).tolist() == expected
+
+    def test_python_random_roundtrip_is_exact(self):
+        rng = random.Random(7)
+        rng.random()
+        snapshot = capture_rng_state(rng)
+        expected = [rng.random() for _ in range(8)]
+        other = random.Random(0)
+        restore_rng_state(other, snapshot)
+        assert [other.random() for _ in range(8)] == expected
+
+    def test_unknown_rng_rejected(self):
+        with pytest.raises(CheckpointError, match="cannot capture"):
+            capture_rng_state(object())
+
+    def test_mismatched_snapshot_kind_rejected(self):
+        snapshot = capture_rng_state(random.Random(1))
+        with pytest.raises(CheckpointError, match="does not match"):
+            restore_rng_state(np.random.default_rng(1), snapshot)
+
+
+class TestCheckpointStore:
+    def store(self, tmp_path, fingerprint="fp", name="slot"):
+        return CheckpointStore(str(tmp_path), name, fingerprint)
+
+    def test_missing_checkpoint_loads_none(self, tmp_path):
+        store = self.store(tmp_path)
+        assert not store.exists()
+        assert store.load() is None
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = self.store(tmp_path)
+        rng = np.random.default_rng(3)
+        store.save("ga", 5, rng, {"population": [(1, 2)], "best": 9})
+        assert store.exists()
+        state = store.load(algorithm="ga")
+        assert state.generation == 5
+        assert state.payload == {"population": [(1, 2)], "best": 9}
+        restored = np.random.default_rng(0)
+        restore_rng_state(restored, state.rng_state)
+        assert restored.random() == rng.random()
+
+    def test_save_replaces_previous_generation(self, tmp_path):
+        store = self.store(tmp_path)
+        rng = np.random.default_rng(0)
+        store.save("ga", 1, rng, {"gen": 1})
+        store.save("ga", 2, rng, {"gen": 2})
+        assert store.load().generation == 2
+        assert len(os.listdir(tmp_path)) == 1  # one slot, atomic replace
+
+    def test_fingerprint_mismatch_refuses(self, tmp_path):
+        self.store(tmp_path, fingerprint="old").save(
+            "ga", 1, np.random.default_rng(0), {}
+        )
+        with pytest.raises(CheckpointError, match="different\\s+settings"):
+            self.store(tmp_path, fingerprint="new").load()
+
+    def test_algorithm_mismatch_refuses(self, tmp_path):
+        store = self.store(tmp_path)
+        store.save("nsga2", 1, np.random.default_rng(0), {})
+        with pytest.raises(CheckpointError, match="belongs to algorithm"):
+            store.load(algorithm="ga")
+
+    def test_version_mismatch_refuses(self, tmp_path):
+        store = self.store(tmp_path)
+        store.save("ga", 1, np.random.default_rng(0), {})
+        with open(store.path, "rb") as handle:
+            record = pickle.load(handle)
+        record["version"] = CHECKPOINT_VERSION + 1
+        with open(store.path, "wb") as handle:
+            pickle.dump(record, handle)
+        with pytest.raises(CheckpointError, match="schema version"):
+            store.load()
+
+    def test_corrupt_checkpoint_quarantined_not_fatal(self, tmp_path):
+        store = self.store(tmp_path)
+        with open(store.path, "wb") as handle:
+            handle.write(b"\x80\x05 definitely not a pickle")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.load() is None
+        assert not store.exists()  # moved aside, slot free for a fresh run
+        assert any(".corrupt-" in name for name in os.listdir(tmp_path))
+
+    def test_clear_is_idempotent(self, tmp_path):
+        store = self.store(tmp_path)
+        store.save("ga", 1, np.random.default_rng(0), {})
+        store.clear()
+        store.clear()
+        assert store.load() is None
+
+    def test_name_sanitised_for_filesystem(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "a/b:c d*e", "fp")
+        store.save("ga", 0, np.random.default_rng(0), {})
+        assert os.path.basename(store.path) == "a_b_c_d_e.ckpt"
+
+    def test_fingerprint_is_stable_and_sensitive(self):
+        assert checkpoint_fingerprint("a", 1) == checkpoint_fingerprint("a", 1)
+        assert checkpoint_fingerprint("a", 1) != checkpoint_fingerprint("a", 2)
+
+
+# -- search-level resume equivalence ---------------------------------------
+
+
+def _space():
+    return ChromosomeSpace(n_multipliers=4)
+
+
+def _fitness(genome):
+    cdp = sum((gene - 2) ** 2 for gene in genome) * 0.5 + 1.0
+    return FitnessResult(
+        genome=genome,
+        cdp=cdp,
+        carbon_g=cdp * 2.0,
+        fps=30.0,
+        accuracy_drop_percent=0.0,
+        violation=0.0,
+    )
+
+
+class _CrashAfter:
+    """Evaluator that raises once a call budget is spent (a 'crash')."""
+
+    def __init__(self, evaluate, budget):
+        self.evaluate = evaluate
+        self.remaining = budget
+
+    def __call__(self, genome):
+        if self.remaining <= 0:
+            raise RuntimeError("injected crash")
+        self.remaining -= 1
+        return self.evaluate(genome)
+
+
+def _outcome_key(outcome):
+    return (
+        outcome.best.genome,
+        outcome.best.cdp,
+        [record.cdp for record in outcome.history],
+        outcome.evaluations,
+    )
+
+
+class TestGaResume:
+    CONFIG = GaConfig(population_size=8, generations=6, seed=11)
+
+    def test_resume_after_crash_is_bit_identical(self, tmp_path):
+        reference = GeneticAlgorithm(_space(), _fitness, self.CONFIG).run()
+        store = CheckpointStore(str(tmp_path), "ga", "fp")
+        # crash mid-way: enough budget for the initial population and a
+        # couple of generations, then die inside generation 3
+        with pytest.raises(RuntimeError, match="injected crash"):
+            GeneticAlgorithm(
+                _space(),
+                _CrashAfter(_fitness, budget=3 * 8),
+                self.CONFIG,
+                checkpoint=store,
+            ).run()
+        crashed_at = store.load(algorithm="ga").generation
+        assert 0 < crashed_at < self.CONFIG.generations
+        resumed = GeneticAlgorithm(
+            _space(), _fitness, self.CONFIG,
+            checkpoint=store, resume_from=store,
+        ).run()
+        assert _outcome_key(resumed) == _outcome_key(reference)
+        # the resumed run checkpointed through to the final generation
+        assert store.load().generation == self.CONFIG.generations
+
+    def test_resume_of_finished_run_runs_zero_generations(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "ga", "fp")
+        first = GeneticAlgorithm(
+            _space(), _fitness, self.CONFIG, checkpoint=store
+        ).run()
+
+        def must_not_evaluate(genome):
+            raise AssertionError("resume of a finished run re-evaluated")
+
+        resumed = GeneticAlgorithm(
+            _space(), must_not_evaluate, self.CONFIG, resume_from=store
+        ).run()
+        assert _outcome_key(resumed) == _outcome_key(first)
+
+    def test_resume_under_different_config_refuses(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "ga", "fp")
+        GeneticAlgorithm(
+            _space(), _fitness, self.CONFIG, checkpoint=store
+        ).run()
+        other = GaConfig(population_size=8, generations=6, seed=12)
+        with pytest.raises(CheckpointError, match="cannot resume"):
+            GeneticAlgorithm(
+                _space(), _fitness, other, resume_from=store
+            ).run()
+
+    def test_no_checkpoint_store_means_no_files(self, tmp_path):
+        GeneticAlgorithm(_space(), _fitness, self.CONFIG).run()
+        assert os.listdir(tmp_path) == []
+
+
+def _nsga_objectives(genome):
+    total = sum(genome)
+    return (float(total), float(len(genome) * 4 - total))
+
+
+def _nsga_random(rng):
+    return tuple(int(value) for value in rng.integers(0, 2, size=6))
+
+
+class TestNsga2Resume:
+    CONFIG = Nsga2Config(population_size=8, generations=6, seed=5)
+
+    def test_resume_after_crash_is_bit_identical(self, tmp_path):
+        reference = Nsga2(_nsga_objectives, _nsga_random, self.CONFIG)
+        expected = reference.run()
+        store = CheckpointStore(str(tmp_path), "nsga2", "fp")
+        crashing = Nsga2(
+            _CrashAfter(_nsga_objectives, budget=20),
+            _nsga_random,
+            self.CONFIG,
+            checkpoint=store,
+        )
+        with pytest.raises(RuntimeError, match="injected crash"):
+            crashing.run()
+        assert 0 < store.load(algorithm="nsga2").generation < self.CONFIG.generations
+        resumed_search = Nsga2(
+            _nsga_objectives, _nsga_random, self.CONFIG,
+            checkpoint=store, resume_from=store,
+        )
+        assert resumed_search.run() == expected
+        # the evaluation memo came back with the population, so the
+        # distinct-evaluation count matches the uninterrupted run too
+        assert resumed_search.evaluations == reference.evaluations
+
+    def test_resume_under_different_config_refuses(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "nsga2", "fp")
+        Nsga2(
+            _nsga_objectives, _nsga_random, self.CONFIG, checkpoint=store
+        ).run()
+        other = Nsga2Config(population_size=8, generations=9, seed=5)
+        with pytest.raises(CheckpointError, match="cannot resume"):
+            Nsga2(
+                _nsga_objectives, _nsga_random, other, resume_from=store
+            ).run()
+
+
+# -- the hardened disk stores ----------------------------------------------
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_and_leaves_no_temp(self, tmp_path):
+        path = str(tmp_path / "store.pkl")
+        atomic_write_bytes(path, b"first")
+        atomic_write_bytes(path, b"second")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"second"
+        assert os.listdir(tmp_path) == ["store.pkl"]
+
+    def test_atomic_write_creates_parents(self, tmp_path):
+        path = str(tmp_path / "deep" / "down" / "store.pkl")
+        atomic_write_bytes(path, b"payload")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"payload"
+
+    def test_quarantine_moves_file_aside(self, tmp_path):
+        path = str(tmp_path / "bad.pkl")
+        with open(path, "wb") as handle:
+            handle.write(b"junk")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            quarantine_corrupt_file(path, "test damage")
+        assert not os.path.exists(path)
+        assert os.path.exists(f"{path}.corrupt-{os.getpid()}")
+
+
+class TestDiskCacheCorruption:
+    def test_truncated_pickle_quarantined_and_run_continues(self, tmp_path):
+        cache = FitnessDiskCache(str(tmp_path), "ctx")
+        cache.put((1, 2), "value")
+        cache.flush()
+        with open(cache.path, "rb") as handle:
+            healthy = handle.read()
+        with open(cache.path, "wb") as handle:
+            handle.write(healthy[: len(healthy) // 2])  # torn write
+        fresh = FitnessDiskCache(str(tmp_path), "ctx")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert fresh.get((1, 2)) is None  # cold, not crashed
+        fresh.put((3, 4), "other")
+        fresh.flush()  # rewrites a healthy file
+        assert FitnessDiskCache(str(tmp_path), "ctx").get((3, 4)) == "other"
+
+    def test_wrong_payload_type_quarantined(self, tmp_path):
+        cache = FitnessDiskCache(str(tmp_path), "ctx")
+        with open(cache.path, "wb") as handle:
+            pickle.dump(["not", "a", "dict"], handle)
+        with pytest.warns(RuntimeWarning, match="expected a dict"):
+            assert len(cache) == 0
+
+    def test_flush_write_is_atomic_no_temp_residue(self, tmp_path):
+        cache = FitnessDiskCache(str(tmp_path), "ctx")
+        cache.put((1,), "v")
+        cache.flush()
+        assert os.listdir(tmp_path) == [os.path.basename(cache.path)]

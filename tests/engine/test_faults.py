@@ -1,0 +1,122 @@
+"""Tests for the deterministic fault-injection harness.
+
+No process is killed here — the SIGKILL path is exercised for real by
+``test_chaos.py`` against subprocesses.  These tests pin the spec
+grammar, the seeded-ordinal resolution (same seed, same strike point),
+and the injector's counter/hook semantics that the chaos suite and CI
+job build on.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.engine.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    InjectedDrop,
+    active_injector,
+    parse_faults,
+    reset_active_injector,
+)
+from repro.errors import ExperimentError
+
+
+class TestSpecGrammar:
+    def test_parse_single(self):
+        (fault,) = parse_faults("kill@shard:3")
+        assert fault == FaultSpec(kind="kill", point="shard", at=3)
+
+    def test_parse_many_with_whitespace(self):
+        faults = parse_faults(" drop@recv:1 , slow@task:0.5 ,")
+        assert faults == (
+            FaultSpec("drop", "recv", 1),
+            FaultSpec("slow", "task", 0.5),
+        )
+
+    def test_seeded_ordinal_is_reproducible(self):
+        first = parse_faults("kill@gen:rand:42:10")
+        second = parse_faults("kill@gen:rand:42:10")
+        assert first == second
+        assert 0 <= first[0].at < 10
+        assert first[0].at == random.Random(42).randrange(10)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "kill@shard",          # no ordinal
+            "explode@shard:1",     # unknown kind
+            "kill@nowhere:1",      # unknown point
+            "kill@shard:abc",      # non-numeric ordinal
+            "kill@shard:1.5",      # non-integer event ordinal
+            "slow@shard:1",        # slow only supports task
+            "rand:1:2",            # no kind/point at all
+            "kill@gen:rand:42",    # seeded ordinal missing HI
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ExperimentError):
+            parse_faults(bad)
+
+    def test_empty_spec_is_inert(self):
+        assert parse_faults("") == ()
+        assert not FaultInjector(())
+
+
+class TestInjectorHooks:
+    def test_drop_at_recv_ordinal(self):
+        injector = FaultInjector(parse_faults("drop@recv:2"))
+        injector.on_recv()  # 0
+        injector.on_recv()  # 1
+        with pytest.raises(InjectedDrop):
+            injector.on_recv()  # 2 — strike
+
+    def test_drop_at_shard_id(self):
+        injector = FaultInjector(parse_faults("drop@shard:5"))
+        injector.on_shard(4)
+        with pytest.raises(InjectedDrop):
+            injector.on_shard(5)
+
+    def test_slow_task_sleeps(self):
+        injector = FaultInjector(parse_faults("slow@task:0.05"))
+        start = time.monotonic()
+        injector.on_task_execute()
+        assert time.monotonic() - start >= 0.05
+
+    def test_inert_injector_is_free(self):
+        injector = FaultInjector(())
+        injector.on_recv()
+        injector.on_shard(0)
+        injector.on_task_execute()
+        injector.on_checkpoint_saved(0)  # no strikes, no errors
+
+    def test_gen_hook_matches_generation_not_counter(self):
+        injector = FaultInjector(parse_faults("drop@gen:3"))
+        injector.on_checkpoint_saved(1)
+        injector.on_checkpoint_saved(2)
+        with pytest.raises(InjectedDrop):
+            injector.on_checkpoint_saved(3)
+
+
+class TestEnvPlumbing:
+    def test_from_env_reads_spec(self):
+        injector = FaultInjector.from_env({FAULTS_ENV: "drop@recv:0"})
+        with pytest.raises(InjectedDrop):
+            injector.on_recv()
+
+    def test_from_env_without_spec_is_inert(self):
+        assert not FaultInjector.from_env({})
+
+    def test_active_injector_cached_and_resettable(self, monkeypatch):
+        reset_active_injector()
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        try:
+            assert not active_injector()
+            monkeypatch.setenv(FAULTS_ENV, "drop@recv:0")
+            assert not active_injector()  # cached: env read once
+            reset_active_injector()
+            assert active_injector()  # re-read after reset
+        finally:
+            reset_active_injector()
