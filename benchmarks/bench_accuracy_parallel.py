@@ -10,6 +10,10 @@ step-1 library) through every execution tier of the accuracy stage:
   ``stack_workers=1`` (PR 2's batched engine, the parallel reference);
 * the **parallel stack** — the same pass thread-tiled over the
   multiplier/row-block axes (``stack_workers=N``);
+* the **kernel stack** — the serial stacked pass on the best available
+  compiled kernel tier (``auto``; see :mod:`repro.engine.kernels`).
+  The numpy tiers are pinned to ``kernel_tier="numpy"`` so the
+  compiled tier is measured against a genuine numpy baseline;
 * the **backend-sharded stage** — ``drop_percents`` splitting the
   library into sub-stacks dispatched over the ``thread`` and
   ``process`` execution backends (the engine clients' path).
@@ -47,6 +51,11 @@ import numpy as np
 from repro.accuracy.behavioral import BehavioralValidator
 from repro.approx.library import build_library
 from repro.engine.backends import shutdown_shared_pools
+from repro.engine.kernels import (
+    get_kernel,
+    kernel_availability,
+    resolve_kernel_tier,
+)
 from repro.engine.grid import GridConfig, GridRunner
 from repro.nn.synthetic import make_task
 
@@ -127,11 +136,27 @@ def main() -> int:
     task.model.forward(task.test_x, warm[0])
 
     scalar = _timed_scalar(task, multipliers)
+    # the numpy tiers are pinned so a machine where the compiled tier
+    # resolves by default still benches a genuine numpy baseline
     stack_serial = _timed_drops(
-        lambda: BehavioralValidator(task=task, stack_workers=1), multipliers
+        lambda: BehavioralValidator(
+            task=task, stack_workers=1, kernel_tier="numpy"
+        ),
+        multipliers,
     )
     stack_parallel = _timed_drops(
-        lambda: BehavioralValidator(task=task, stack_workers=workers),
+        lambda: BehavioralValidator(
+            task=task, stack_workers=workers, kernel_tier="numpy"
+        ),
+        multipliers,
+    )
+    # None defers to REPRO_KERNEL_TIER (then auto), so a nightly run
+    # can force e.g. the numba tier without editing the benchmark
+    kernel_tier = resolve_kernel_tier(None)
+    stack_kernel = _timed_drops(
+        lambda: BehavioralValidator(
+            task=task, stack_workers=1, kernel_tier=kernel_tier
+        ),
         multipliers,
     )
     backends = {}
@@ -139,7 +164,7 @@ def main() -> int:
         runner = GridRunner(GridConfig(mode=mode, workers=workers))
         backends[mode] = _timed_drops(
             lambda runner=runner: BehavioralValidator(
-                task=task, stack_workers=1, runner=runner
+                task=task, stack_workers=1, kernel_tier="numpy", runner=runner
             ),
             multipliers,
         )
@@ -149,6 +174,7 @@ def main() -> int:
     tiers = {
         "stack_serial": stack_serial,
         "stack_parallel": stack_parallel,
+        "stack_kernel": stack_kernel,
         **{f"backend_{mode}": entry for mode, entry in backends.items()},
     }
     identical = {name: entry["drops"] == reference for name, entry in tiers.items()}
@@ -174,6 +200,13 @@ def main() -> int:
                 stack_serial["s"] / stack_parallel["s"], 2
             ),
         },
+        # compiled tier vs the numpy tier on the SAME engine shape
+        # (serial stack), so thread scaling cannot flatter it
+        "kernel_tier": kernel_tier,
+        "kernel_version": get_kernel(kernel_tier).version,
+        "kernels": kernel_availability(),
+        "stack_kernel_s": stack_kernel["s"],
+        "kernel_speedup": round(stack_serial["s"] / stack_kernel["s"], 2),
         "backends": {
             mode: {
                 "s": entry["s"],

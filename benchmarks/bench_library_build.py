@@ -15,12 +15,20 @@ the step-1 execution tiers:
   generation plus the vectorized constant-propagation/liveness area
   sweep;
 * **batched_thread** — the same engine with generation shards
-  dispatched over the ``thread`` execution backend.
+  dispatched over the ``thread`` execution backend;
+* **batched_kernel** — the batched engine on the best available
+  compiled kernel tier (``auto``; see :mod:`repro.engine.kernels`).
+  The numpy tiers above are pinned to ``kernel_tier="numpy"`` so the
+  compiled tier always has a genuine baseline to beat.
 
 Every tier must produce a bit-identical library (names, areas, both
 error-metric blocks, and exhaustive truth tables) — the hard gate; the
-report records per-tier best-of-N timings and the headline ``speedup``
-of the batched engine over the reference.
+report records per-tier best-of-N timings, the headline ``speedup`` of
+the batched engine over the reference, and ``kernel_speedup`` — the
+compiled tier's gain over the numpy batched tier — plus the active
+kernel tier/version and the availability map (so the nightly gate can
+tell "compiled tier regressed" apart from "no compiler on this
+runner").
 
 Usage::
 
@@ -41,6 +49,11 @@ import time
 from typing import Dict, List
 
 from repro.approx.library import build_library
+from repro.engine.kernels import (
+    get_kernel,
+    kernel_availability,
+    resolve_kernel_tier,
+)
 from repro.engine.population import EngineConfig
 
 
@@ -97,17 +110,32 @@ def main() -> int:
     else:
         settings = dict(width=8, seed=0)
 
+    # the numpy tiers are pinned so a machine where the compiled tier
+    # resolves by default still benches a genuine numpy baseline
     reference_s, reference_fp, size = timed_build(
-        settings, EngineConfig(mode="serial"), args.trials
+        settings, EngineConfig(mode="serial", kernel_tier="numpy"), args.trials
     )
-    batched_s, batched_fp, _ = timed_build(settings, None, args.trials)
+    batched_s, batched_fp, _ = timed_build(
+        settings, EngineConfig(mode="batch", kernel_tier="numpy"), args.trials
+    )
     thread_s, thread_fp, _ = timed_build(
-        settings, EngineConfig(mode="batch", workers=2), args.trials
+        settings,
+        EngineConfig(mode="batch", workers=2, kernel_tier="numpy"),
+        args.trials,
+    )
+    # None defers to REPRO_KERNEL_TIER (then auto), so a nightly run
+    # can force e.g. the numba tier without editing the benchmark
+    kernel_tier = resolve_kernel_tier(None)
+    kernel_s, kernel_fp, _ = timed_build(
+        settings,
+        EngineConfig(mode="batch", kernel_tier=kernel_tier),
+        args.trials,
     )
 
     identical = {
         "batched": batched_fp == reference_fp,
         "batched_thread": thread_fp == reference_fp,
+        "batched_kernel": kernel_fp == reference_fp,
     }
     report = {
         "benchmark": "library_build",
@@ -131,6 +159,14 @@ def main() -> int:
         # applies to this number
         "speedup": round(reference_s / batched_s, 2),
         "thread_speedup": round(reference_s / thread_s, 2),
+        # the active compiled tier and what else this machine had; the
+        # kernel gate compares compiled vs numpy on the SAME engine
+        # shape (plain batched), so thread scaling cannot flatter it
+        "kernel_tier": kernel_tier,
+        "kernel_version": get_kernel(kernel_tier).version,
+        "kernels": kernel_availability(),
+        "batched_kernel_s": kernel_s,
+        "kernel_speedup": round(batched_s / kernel_s, 2),
         "identical": identical,
         "all_identical": all(identical.values()),
     }

@@ -20,6 +20,21 @@ engine run, e.g. ``0.03`` = 3%); pass ``--max-checkpoint-overhead`` to
 gate it.  Reports without the field are skipped by that gate, so the
 flag is safe to apply to a mixed report list.
 
+Reports from the kernel-aware benchmarks carry ``kernel_speedup`` (the
+compiled kernel tier's gain over the numpy tier on the same engine
+shape) plus the ``kernels`` availability map; pass
+``--min-kernel-speedup`` to gate it.  The flag takes either one global
+bar (``--min-kernel-speedup 1.5``) or per-benchmark bars keyed by the
+report's ``benchmark`` field (``--min-kernel-speedup
+library_build=2.5 accuracy_parallel=1.3``) — the two hot loops have
+very different numpy baselines to beat, so one bar would either
+water down the circuit gate or fail the LUT gate.  When the report
+shows that only the numpy tier was available on the benchmarking
+machine (no compiler, no numba) the gate is *skipped with a visible
+notice* instead of failing — "nothing to compare" is a provisioning
+condition, not a perf regression.  Reports without the field, or
+benchmarks without a bar in per-benchmark form, are likewise skipped.
+
 The default speedup bar is deliberately loose (1.5x): smoke runs on
 shared CI runners see multi-x timer noise, so identity is enforced
 strictly and throughput only sanity-checked.  Nightly paper-scale runs
@@ -39,6 +54,7 @@ def check_report(
     path: str,
     min_speedup: float,
     max_checkpoint_overhead: Optional[float] = None,
+    min_kernel_speedup=None,
 ) -> List[str]:
     """Validate one BENCH report; returns a list of failure messages."""
     failures: List[str] = []
@@ -72,9 +88,43 @@ def check_report(
                 f"{max_checkpoint_overhead} gate"
             )
 
+    kernel_speedup = report.get("kernel_speedup")
+    kernel_extra = ""
+    if isinstance(min_kernel_speedup, dict):
+        min_kernel_speedup = min_kernel_speedup.get(name)
+    if min_kernel_speedup is not None and kernel_speedup is not None:
+        kernels = report.get("kernels") or {}
+        compiled = sorted(
+            tier
+            for tier, available in kernels.items()
+            if available and tier != "numpy"
+        )
+        if not compiled:
+            # only numpy was available where the bench ran: there is no
+            # compiled tier to hold to the bar, so skip — loudly, so a
+            # misprovisioned nightly runner is visible in the log
+            print(
+                f"notice: {name} — kernel-speedup gate SKIPPED: only the "
+                f"numpy tier was available (kernels={kernels})"
+            )
+        elif kernel_speedup < min_kernel_speedup:
+            failures.append(
+                f"{name}: kernel_speedup {kernel_speedup} "
+                f"(tier {report.get('kernel_tier')!r}) below the "
+                f"{min_kernel_speedup}x gate"
+            )
+        else:
+            kernel_extra = (
+                f", kernel_speedup={kernel_speedup} "
+                f"({report.get('kernel_tier')})"
+            )
+
     if not failures:
         extra = "" if overhead is None else f", checkpoint_overhead={overhead}"
-        print(f"ok: {name} — identical=True, speedup={speedup}{extra}")
+        print(
+            f"ok: {name} — identical=True, speedup={speedup}"
+            f"{extra}{kernel_extra}"
+        )
     return failures
 
 
@@ -97,12 +147,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(e.g. 0.05 = 5%%); off by default, reports without the "
         "field are skipped",
     )
+    parser.add_argument(
+        "--min-kernel-speedup", nargs="+", default=None,
+        metavar="X | BENCH=X",
+        help="minimum acceptable compiled-kernel speedup over the numpy "
+        "tier; off by default.  One bare number applies to every "
+        "report; NAME=X pairs apply per report 'benchmark' field "
+        "(unlisted benchmarks are not gated).  Skipped with a notice "
+        "when the report shows only the numpy tier was available, or "
+        "carries no kernel_speedup field",
+    )
     args = parser.parse_args(argv)
+
+    min_kernel_speedup = None
+    if args.min_kernel_speedup is not None:
+        values = args.min_kernel_speedup
+        if len(values) == 1 and "=" not in values[0]:
+            min_kernel_speedup = float(values[0])
+        else:
+            min_kernel_speedup = {}
+            for item in values:
+                bench, _, bar = item.partition("=")
+                if not bar:
+                    parser.error(
+                        "--min-kernel-speedup takes one number or "
+                        f"NAME=X pairs, got {item!r}"
+                    )
+                min_kernel_speedup[bench] = float(bar)
 
     failures: List[str] = []
     for path in args.reports:
         failures.extend(
-            check_report(path, args.min_speedup, args.max_checkpoint_overhead)
+            check_report(
+                path,
+                args.min_speedup,
+                args.max_checkpoint_overhead,
+                min_kernel_speedup,
+            )
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

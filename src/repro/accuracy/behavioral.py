@@ -38,16 +38,21 @@ def _accuracy_batch_cell(
     luts: Sequence,
     task: SyntheticTask,
     stack_workers: Optional[Union[int, str]],
+    kernel_tier: Optional[str] = None,
 ) -> List[float]:
     """One sub-stack accuracy cell (module-level so backends pickle it).
 
     Pure in its arguments: every backend computes the identical float
     accuracies for a given sub-stack, so sharding cannot change
-    results, only where the stacked inference runs.
+    results, only where the stacked inference runs.  ``kernel_tier``
+    picks the compiled gather kernel (bit-identical across tiers; an
+    unavailable tier degrades to numpy in the executing process).
     """
     return [
         float(value)
-        for value in task.accuracy_batch(luts, stack_workers=stack_workers)
+        for value in task.accuracy_batch(
+            luts, stack_workers=stack_workers, kernel_tier=kernel_tier
+        )
     ]
 
 
@@ -61,6 +66,9 @@ class BehavioralValidator:
         stack_workers: thread-tiling knob for the stacked inference
             (``"auto"`` / positive int / ``None`` for the process
             default); bit-identical for every value.
+        kernel_tier: compiled-kernel tier for the stacked gather loop
+            (``None`` = ambient default; every tier is bit-identical,
+            see :mod:`repro.engine.kernels`).
         runner: optional grid runner; when set, library-wide queries
             shard multiplier sub-stacks through its execution backend
             (serial / thread / process / remote).  ``None`` keeps the
@@ -69,6 +77,7 @@ class BehavioralValidator:
 
     task: Optional[SyntheticTask] = None
     stack_workers: Optional[Union[int, str]] = None
+    kernel_tier: Optional[str] = None
     runner: Optional[GridRunner] = None
     _cache: Dict[str, float] = field(default_factory=dict, repr=False)
     _exact_accuracy: Optional[float] = field(default=None, repr=False)
@@ -135,13 +144,13 @@ class BehavioralValidator:
             if len(widths) == 1:
                 if self.runner is None:
                     accuracies = _accuracy_batch_cell(
-                        luts, task, self.stack_workers
+                        luts, task, self.stack_workers, self.kernel_tier
                     )
                 else:
                     accuracies = self.runner.map_batches(
                         _accuracy_batch_cell,
                         luts,
-                        extra=(task, self.stack_workers),
+                        extra=(task, self.stack_workers, self.kernel_tier),
                     )
             else:  # mixed geometries have no shared stack index space
                 accuracies = np.array([task.accuracy(lut) for lut in luts])

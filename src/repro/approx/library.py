@@ -299,7 +299,10 @@ def _pruning_pareto(
                 if not batched:  # built lazily: warm disk runs skip it
                     batched.append(
                         BatchedPruningObjectives(
-                            space, shard_size=shard_size, backend=backend
+                            space,
+                            shard_size=shard_size,
+                            backend=backend,
+                            kernel_tier=engine_config.kernel_tier,
                         )
                     )
                 for index, objectives in zip(
@@ -427,7 +430,10 @@ def build_library(
         # cannot cross a process boundary; thread mode returns a
         # bit-identical library
         engine = EngineConfig(
-            mode="thread", workers=engine.workers, chunk_size=engine.chunk_size
+            mode="thread",
+            workers=engine.workers,
+            chunk_size=engine.chunk_size,
+            kernel_tier=engine.kernel_tier,
         )
 
     dnn_weights = gaussian_operand_distribution(width, dnn_sigma_fraction)

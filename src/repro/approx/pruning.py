@@ -157,6 +157,9 @@ class BatchedPruningObjectives:
             the shards are dispatched through (``serial`` / ``thread``;
             the evaluator closes over live circuit state, so it cannot
             cross a process boundary).  Defaults to in-process serial.
+        kernel_tier: compiled-kernel tier forwarded to the batched
+            evaluator (``None`` = ambient default; every tier is
+            bit-identical, see :mod:`repro.engine.kernels`).
     """
 
     def __init__(
@@ -164,6 +167,7 @@ class BatchedPruningObjectives:
         space: PruningSpace,
         shard_size: int = 64,
         backend: Optional[ExecutorBackend] = None,
+        kernel_tier: Optional[str] = None,
     ):
         if shard_size < 1:
             raise OptimizationError(
@@ -173,7 +177,7 @@ class BatchedPruningObjectives:
         self.shard_size = shard_size
         self.backend = backend or SerialBackend()
         self._engine = BatchedCircuitEvaluator(
-            space.circuit, space.tie_candidates()
+            space.circuit, space.tie_candidates(), kernel_tier=kernel_tier
         )
         circuit = space.circuit
         exact = exact_products(circuit.a_width, circuit.b_width)

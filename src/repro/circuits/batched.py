@@ -50,6 +50,7 @@ from repro.circuits.area import netlist_ge
 from repro.circuits.gates import GATE_LIBRARY, GateKind
 from repro.circuits.simulate import CompiledNetlist, packed_input_patterns
 from repro.circuits.synthesis import ArithmeticCircuit
+from repro.engine import kernels as _kernels
 from repro.errors import NetlistError, SimulationError
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -94,7 +95,15 @@ class BatchedCircuitEvaluator:
         self,
         circuit: ArithmeticCircuit,
         candidates: Sequence[Tuple[str, int]],
+        kernel_tier: Optional[str] = None,
     ):
+        _kernels.validate_kernel_tier(kernel_tier)
+        #: Kernel-tier request (None = ambient default / ``auto``);
+        #: resolved per call so late tier loads and test-forced
+        #: degradation both behave.
+        self.kernel_tier = kernel_tier
+        self._slab_plan_cache: Optional[_kernels.SlabPlan] = None
+        self._sweep_plan_cache: Optional[_kernels.SweepPlan] = None
         self.circuit = circuit
         netlist = circuit.netlist
         self.compiled = CompiledNetlist(netlist)
@@ -257,6 +266,9 @@ class BatchedCircuitEvaluator:
         ties = self.genome_matrix(genomes)
         if not len(ties):
             return np.zeros((0, self.n_cases), dtype=np.uint64)
+        impl = _kernels.get_kernel(self.kernel_tier)
+        if impl.simulate_tables is not None:
+            return impl.simulate_tables(self._slab_plan(), ties)
         return self._tables(self._simulate(ties), len(ties)).astype(
             np.uint64
         )
@@ -271,6 +283,9 @@ class BatchedCircuitEvaluator:
         ties = self.genome_matrix(genomes)
         if not len(ties):
             return np.zeros(0, dtype=np.float64)
+        impl = _kernels.get_kernel(self.kernel_tier)
+        if impl.sweep_ge is not None:
+            return impl.sweep_ge(self._sweep_plan(), ties)
         return self._sweep_ge(ties)
 
     def evaluate(
@@ -289,8 +304,130 @@ class BatchedCircuitEvaluator:
                 np.zeros((0, self.n_cases), dtype=self.table_dtype),
                 np.zeros(0, dtype=np.float64),
             )
-        tables = self._tables(self._simulate(ties), len(ties))
+        impl = _kernels.get_kernel(self.kernel_tier)
+        if impl.simulate_tables is not None:
+            # uint64 -> table_dtype is value-preserving: the bus fits
+            tables = impl.simulate_tables(self._slab_plan(), ties).astype(
+                self.table_dtype
+            )
+        else:
+            tables = self._tables(self._simulate(ties), len(ties))
+        if impl.sweep_ge is not None:
+            return tables, impl.sweep_ge(self._sweep_plan(), ties)
         return tables, self._sweep_ge(ties)
+
+    # --- compiled-kernel plans ----------------------------------------
+
+    def _slab_plan(self) -> "_kernels.SlabPlan":
+        """Flat register-allocated program for compiled simulate tiers.
+
+        Gate slabs are assigned to reusable workspace buffers from the
+        same slab-freeing plan the numpy path uses (kept slots —
+        outputs, result wires — never free theirs), so a native kernel
+        peaks at exactly the numpy path's live-slab footprint.  A
+        freed buffer only becomes reusable on the *next* step, like the
+        numpy path, which allocates each step's output before dropping
+        the operands it frees.
+        """
+        if self._slab_plan_cache is not None:
+            return self._slab_plan_cache
+        program = self._program
+        n_steps = len(program)
+
+        slot_src: Dict[int, Tuple[int, int]] = {}
+        for i, (slot, _pattern) in enumerate(self._input_patterns):
+            slot_src[slot] = (_kernels.SRC_PATTERN, i)
+        for slot, value in self.compiled.const_slots:
+            slot_src[slot] = (
+                _kernels.SRC_ONES if value else _kernels.SRC_ZERO,
+                0,
+            )
+        patterns = np.ascontiguousarray(
+            np.stack([pattern for _, pattern in self._input_patterns]),
+            dtype=np.uint64,
+        )
+
+        out_buf = np.zeros(n_steps, dtype=np.int32)
+        in_src = np.full((n_steps, 3), _kernels.SRC_ZERO, dtype=np.uint8)
+        in_index = np.zeros((n_steps, 3), dtype=np.int32)
+        tie_offsets = np.zeros(n_steps + 1, dtype=np.int64)
+        tie_cand: List[int] = []
+        tie_const: List[int] = []
+        buf_of: Dict[int, int] = {}
+        free: List[int] = []
+        n_buffers = 0
+        for step, (_evaluate, out_slot, in_slots) in enumerate(program):
+            for j, slot in enumerate(in_slots):
+                if slot in buf_of:
+                    in_src[step, j] = _kernels.SRC_BUFFER
+                    in_index[step, j] = buf_of[slot]
+                else:
+                    in_src[step, j], in_index[step, j] = slot_src[slot]
+            if free:
+                buffer = free.pop()
+            else:
+                buffer = n_buffers
+                n_buffers += 1
+            buf_of[out_slot] = buffer
+            out_buf[step] = buffer
+            for cand_index, const in self._step_ties[step]:
+                tie_cand.append(cand_index)
+                tie_const.append(const)
+            tie_offsets[step + 1] = len(tie_cand)
+            for slot in self._free_after[step]:
+                freed = buf_of.pop(slot, None)
+                if freed is not None:
+                    free.append(freed)
+
+        res_src = np.zeros(len(self.circuit.result_wires), dtype=np.uint8)
+        res_index = np.zeros(len(self.circuit.result_wires), dtype=np.int32)
+        for i, wire in enumerate(self.circuit.result_wires):
+            slot = self.compiled.slot_of(wire)
+            if slot in buf_of:
+                res_src[i] = _kernels.SRC_BUFFER
+                res_index[i] = buf_of[slot]
+            else:
+                res_src[i], res_index[i] = slot_src[slot]
+
+        self._slab_plan_cache = _kernels.SlabPlan(
+            n_cases=self.n_cases,
+            n_words=self.n_words,
+            n_cands=len(self.candidates),
+            n_buffers=n_buffers,
+            op_kind=np.ascontiguousarray(self._kind0),
+            out_buf=out_buf,
+            in_src=in_src,
+            in_index=in_index,
+            patterns=patterns,
+            tie_offsets=tie_offsets,
+            tie_cand=np.asarray(tie_cand, dtype=np.int32),
+            tie_const=np.asarray(tie_const, dtype=np.uint8),
+            res_src=res_src,
+            res_index=res_index,
+        )
+        return self._slab_plan_cache
+
+    def _sweep_plan(self) -> "_kernels.SweepPlan":
+        """Flat views of the sweep's static tables for compiled tiers."""
+        if self._sweep_plan_cache is None:
+            self._sweep_plan_cache = _kernels.SweepPlan(
+                n_slots=self.n_slots,
+                n_cands=len(self.candidates),
+                max_passes=16,
+                gate_out=np.ascontiguousarray(self._gate_out),
+                kind0=np.ascontiguousarray(self._kind0),
+                ins0=np.ascontiguousarray(self._ins0),
+                val0=np.ascontiguousarray(self._val0),
+                is_gate0=np.ascontiguousarray(
+                    self._is_gate0, dtype=np.uint8
+                ),
+                cand_slots=np.ascontiguousarray(self._cand_slots),
+                cand_consts=np.ascontiguousarray(self._cand_consts),
+                out_slots=np.ascontiguousarray(self._netlist_out_slots),
+                arity=np.ascontiguousarray(_ARITY),
+                ge=np.ascontiguousarray(_GE),
+            )
+        return self._sweep_plan_cache
 
     # --- population simulation ----------------------------------------
 

@@ -61,6 +61,15 @@ def _settings(args: argparse.Namespace):
     from repro.experiments.common import DEFAULT_SETTINGS, fast_settings
 
     settings = fast_settings() if args.fast else DEFAULT_SETTINGS
+    if getattr(args, "kernel_tier", None) is not None:
+        import os
+
+        from repro.engine.kernels import KERNEL_TIER_ENV
+
+        # validated by replace() via __post_init__; exported so spawned
+        # pool/remote workers inherit the same tier
+        settings = replace(settings, kernel_tier=args.kernel_tier)
+        os.environ[KERNEL_TIER_ENV] = args.kernel_tier
     checkpoint_overrides = {}
     if getattr(args, "checkpoint_dir", None) is not None:
         checkpoint_overrides["checkpoint_dir"] = args.checkpoint_dir
@@ -316,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="resume killed searches from --checkpoint-dir; results "
             "are bit-identical to an uninterrupted run, and a "
             "checkpoint written under different settings is refused",
+        )
+        p.add_argument(
+            "--kernel-tier", default=None, metavar="TIER",
+            help="compiled-kernel tier for the batched hot loops "
+            "(auto/numpy/numba/c; default: $REPRO_KERNEL_TIER or "
+            "auto = fastest available; every tier is bit-identical, "
+            "and an unavailable tier degrades to numpy with a warning)",
         )
         if json_out:
             p.add_argument("--json", default=None, help="write results JSON")

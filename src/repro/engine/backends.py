@@ -513,6 +513,10 @@ class RemoteCoordinator:
         self._generation = 0  # bumped per run; stale messages are dropped
         self._active_workers = 0
         self._closed = False
+        # kernel-availability maps already warned about, so a fleet of
+        # identical numpy-only workers produces one heads-up, not one
+        # per connection
+        self._warned_kernel_maps: set = set()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True
         )
@@ -653,8 +657,45 @@ class RemoteCoordinator:
                 },
             )
             return False
+        self._check_worker_kernels(hello)
         send_msg(conn, {"type": "welcome", "protocol": PROTOCOL_VERSION})
         return True
+
+    def _check_worker_kernels(self, hello: Dict[str, Any]) -> None:
+        """Warn (never reject) when a worker lacks a local kernel tier.
+
+        Results are bit-identical across tiers, so a mixed fleet is a
+        performance footgun, not a correctness problem: a numpy-only
+        worker simply becomes the slow straggler.  Pre-kernel workers
+        that send no ``kernels`` field are accepted silently —
+        PROTOCOL_VERSION is unchanged.
+        """
+        advertised = hello.get("kernels")
+        if not isinstance(advertised, dict):
+            return
+        from repro.engine.kernels import kernel_availability
+
+        local = kernel_availability()
+        missing = sorted(
+            name
+            for name, available in local.items()
+            if available and not advertised.get(name, False)
+        )
+        if not missing:
+            return
+        key = tuple(sorted((k, bool(v)) for k, v in advertised.items()))
+        with self._state:
+            if key in self._warned_kernel_maps:
+                return
+            self._warned_kernel_maps.add(key)
+        warnings.warn(
+            f"remote worker pid={hello.get('pid')} lacks kernel tier(s) "
+            f"{', '.join(missing)} available on the coordinator; the "
+            "fleet stays bit-identical but that worker falls back to "
+            "slower tiers",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     def _next_task(
         self,

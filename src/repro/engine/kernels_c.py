@@ -1,0 +1,655 @@
+"""The ``c`` kernel tier: a tiny C library compiled at load time.
+
+The three hot loops (population circuit simulation + table packing,
+the per-genome constant-propagation/liveness area sweep, and the LUT
+gather+accumulate tile) are scalar transcriptions of the in-tree numpy
+reference — same operation order, same rule chains, same 16-pass cap —
+so their outputs are bit-identical by construction and pinned by the
+self-test in :mod:`repro.engine.kernels` plus the property suite in
+``tests/engine/test_kernels.py``.
+
+The source below is compiled once per source hash with whatever of
+``cc``/``gcc``/``clang`` exists on the host (``-O3 -march=native``,
+dropped automatically where unsupported; ``-shared -fPIC``)
+into a cached shared object (``REPRO_KERNEL_CACHE`` or a per-user
+directory under the system temp dir) and bound through ctypes.  ctypes
+releases the GIL around every call, so the tile kernel composes with
+the existing thread tiling in :mod:`repro.nn.inference`.  No compiler,
+a failed compile, or a failed self-test all surface as "tier
+unavailable" — callers degrade to numpy.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+from repro.engine.kernels import (
+    KernelError,
+    KernelImpl,
+    SlabPlan,
+    SweepPlan,
+    self_test_kernel,
+)
+
+#: Cache-directory override for the compiled shared object.
+KERNEL_CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Operand/result source codes — mirror repro.engine.kernels.SRC_*. */
+#define SRC_BUFFER  0
+#define SRC_PATTERN 1
+#define SRC_ZERO    2
+#define SRC_ONES    3
+
+#define K_NOT  0
+#define K_BUF  1
+#define K_AND  2
+#define K_OR   3
+#define K_NAND 4
+#define K_NOR  5
+#define K_XOR  6
+#define K_XNOR 7
+#define K_MUX  8
+
+#define ALL_ONES 0xFFFFFFFFFFFFFFFFULL
+#define MAX_RESULTS 64
+
+/* In-place 64x64 bit-matrix transpose (recursive block swap): bit j of
+ * a[i] moves to bit i of a[j].  Exact by construction — pure bit
+ * rearrangement, no arithmetic. */
+static void transpose64(uint64_t a[64])
+{
+    /* constant shift/mask per level so the compiler vectorizes each
+     * level's pair loop (a variable-j formulation runs ~2x slower) */
+#define T64_LEVEL(J, M) \
+    for (int k = 0; k < 64; k += 2 * (J)) \
+        for (int i = k; i < k + (J); i++) { \
+            uint64_t t = (a[i + (J)] ^ (a[i] >> (J))) & (M); \
+            a[i + (J)] ^= t; \
+            a[i] ^= t << (J); \
+        }
+    T64_LEVEL(32, 0x00000000FFFFFFFFULL)
+    T64_LEVEL(16, 0x0000FFFF0000FFFFULL)
+    T64_LEVEL(8,  0x00FF00FF00FF00FFULL)
+    T64_LEVEL(4,  0x0F0F0F0F0F0F0F0FULL)
+    T64_LEVEL(2,  0x3333333333333333ULL)
+    T64_LEVEL(1,  0x5555555555555555ULL)
+#undef T64_LEVEL
+}
+
+/* ---------------------------------------------------------------- */
+/* Population circuit simulation + result-table packing.             */
+/* One genome at a time through a register-allocated uint64          */
+/* workspace; ties overwrite the producing step's row exactly where  */
+/* the numpy path overwrites masked population rows.                 */
+/* ---------------------------------------------------------------- */
+
+/* block_base is the word offset of the current block inside the full
+ * pattern rows; buffer rows are block-local (stride ws_stride). */
+static const uint64_t *resolve_src(
+    int src, int32_t index,
+    const uint64_t *workspace, int64_t ws_stride,
+    const uint64_t *patterns, int64_t n_words, int64_t block_base,
+    const uint64_t *zeros_row, const uint64_t *ones_row)
+{
+    switch (src) {
+    case SRC_BUFFER:  return workspace + (int64_t)index * ws_stride;
+    case SRC_PATTERN: return patterns + (int64_t)index * n_words + block_base;
+    case SRC_ZERO:    return zeros_row;
+    default:          return ones_row;
+    }
+}
+
+/* The word axis is processed in blocks of block_words so the whole
+ * register-allocated workspace (n_buffers * ws_stride words; the
+ * caller sizes block_words to keep it cache-resident, with ws_stride
+ * padded off the power-of-two stride) stays hot across all steps —
+ * every gate op is elementwise across words, so blocking the word
+ * loop cannot change a single bit. */
+void repro_simulate_tables(
+    int64_t population, int64_t n_cases, int64_t n_words,
+    int64_t block_words, int64_t ws_stride,
+    int64_t n_steps, int64_t n_cands, int64_t n_results,
+    const int8_t *op_kind, const int32_t *out_buf,
+    const uint8_t *in_src, const int32_t *in_index,
+    const uint64_t *patterns,
+    const int64_t *tie_offsets, const int32_t *tie_cand,
+    const uint8_t *tie_const,
+    const uint8_t *res_src, const int32_t *res_index,
+    const uint8_t *ties,
+    uint64_t *workspace,
+    const uint64_t *zeros_row, const uint64_t *ones_row,
+    uint64_t *tables)
+{
+    for (int64_t p = 0; p < population; p++) {
+        const uint8_t *genome = ties + p * n_cands;
+        uint64_t *row = tables + p * n_cases;
+        for (int64_t base_w = 0; base_w < n_words; base_w += block_words) {
+            int64_t W = n_words - base_w;
+            if (W > block_words) W = block_words;
+            for (int64_t s = 0; s < n_steps; s++) {
+                uint64_t *out =
+                    workspace + (int64_t)out_buf[s] * ws_stride;
+                const uint64_t *a = resolve_src(
+                    in_src[s * 3 + 0], in_index[s * 3 + 0],
+                    workspace, ws_stride, patterns, n_words, base_w,
+                    zeros_row, ones_row);
+                const uint64_t *b = resolve_src(
+                    in_src[s * 3 + 1], in_index[s * 3 + 1],
+                    workspace, ws_stride, patterns, n_words, base_w,
+                    zeros_row, ones_row);
+                const uint64_t *c = resolve_src(
+                    in_src[s * 3 + 2], in_index[s * 3 + 2],
+                    workspace, ws_stride, patterns, n_words, base_w,
+                    zeros_row, ones_row);
+                switch (op_kind[s]) {
+                case K_NOT:
+                    for (int64_t w = 0; w < W; w++) out[w] = ~a[w];
+                    break;
+                case K_BUF:
+                    for (int64_t w = 0; w < W; w++) out[w] = a[w];
+                    break;
+                case K_AND:
+                    for (int64_t w = 0; w < W; w++) out[w] = a[w] & b[w];
+                    break;
+                case K_OR:
+                    for (int64_t w = 0; w < W; w++) out[w] = a[w] | b[w];
+                    break;
+                case K_NAND:
+                    for (int64_t w = 0; w < W; w++) out[w] = ~(a[w] & b[w]);
+                    break;
+                case K_NOR:
+                    for (int64_t w = 0; w < W; w++) out[w] = ~(a[w] | b[w]);
+                    break;
+                case K_XOR:
+                    for (int64_t w = 0; w < W; w++) out[w] = a[w] ^ b[w];
+                    break;
+                case K_XNOR:
+                    for (int64_t w = 0; w < W; w++) out[w] = ~(a[w] ^ b[w]);
+                    break;
+                default: /* K_MUX: b if sel else a, ins (a, b, sel) */
+                    for (int64_t w = 0; w < W; w++)
+                        out[w] = (a[w] & ~c[w]) | (b[w] & c[w]);
+                    break;
+                }
+                for (int64_t t = tie_offsets[s]; t < tie_offsets[s + 1]; t++) {
+                    if (!genome[tie_cand[t]]) continue;
+                    uint64_t fill = tie_const[t] ? ALL_ONES : 0;
+                    for (int64_t w = 0; w < W; w++) out[w] = fill;
+                }
+            }
+            /* Result packing: the tables row needs bit i of case c to
+             * be case c of result wire i — a bit-matrix transpose.
+             * Doing it per 64-case word via transpose64 replaces the
+             * naive n_results * n_cases shift-or chain (the former hot
+             * spot at paper scale) with ~6*64 word ops per word.
+             * n_results <= 64 is structural: the packed table value
+             * itself is a uint64. */
+            const uint64_t *wires[MAX_RESULTS];
+            for (int64_t i = 0; i < n_results; i++)
+                wires[i] = resolve_src(
+                    res_src[i], res_index[i],
+                    workspace, ws_stride, patterns, n_words, base_w,
+                    zeros_row, ones_row);
+            for (int64_t wd = 0; wd < W; wd++) {
+                uint64_t block[64];
+                for (int64_t i = 0; i < n_results; i++)
+                    block[i] = wires[i][wd];
+                for (int64_t i = n_results; i < 64; i++) block[i] = 0;
+                transpose64(block);
+                int64_t base = (base_w + wd) << 6;
+                int64_t limit = n_cases - base;
+                if (limit > 64) limit = 64;
+                for (int64_t j = 0; j < limit; j++) row[base + j] = block[j];
+            }
+        }
+    }
+}
+
+/* ---------------------------------------------------------------- */
+/* Per-genome constant propagation + liveness area sweep.            */
+/* Scalar simplify_gate over every gate every pass (processing an    */
+/* unchanged gate is the identity, so this reaches the exact same    */
+/* pass-k states as the reference's and the numpy tier's sweeps),    */
+/* same 16-pass cap, then alias compression, backward liveness and   */
+/* an exact float64 GE sum.                                          */
+/* ---------------------------------------------------------------- */
+
+void repro_sweep_ge(
+    int64_t population, int64_t n_slots, int64_t n_gates,
+    int64_t n_cands, int64_t max_passes, int64_t n_outs,
+    const int32_t *gate_out, const int8_t *kind0, const int32_t *ins0,
+    const int8_t *val0, const uint8_t *is_gate0,
+    const int32_t *cand_slots, const int8_t *cand_consts,
+    const int32_t *out_slots,
+    const int8_t *arity, const double *ge,
+    const uint8_t *ties,
+    int8_t *val, uint8_t *is_gate, int32_t *rep,
+    int8_t *kind, int32_t *ins, uint8_t *live,
+    double *areas)
+{
+    for (int64_t p = 0; p < population; p++) {
+        memcpy(val, val0, (size_t)n_slots * sizeof(int8_t));
+        memcpy(is_gate, is_gate0, (size_t)n_slots * sizeof(uint8_t));
+        for (int64_t s = 0; s < n_slots; s++) rep[s] = (int32_t)s;
+        memcpy(kind, kind0, (size_t)n_gates * sizeof(int8_t));
+        memcpy(ins, ins0, (size_t)n_gates * 3 * sizeof(int32_t));
+
+        const uint8_t *genome = ties + p * n_cands;
+        for (int64_t c = 0; c < n_cands; c++) {
+            if (!genome[c]) continue;
+            int32_t slot = cand_slots[c];
+            is_gate[slot] = 0;
+            val[slot] = cand_consts[c];
+        }
+
+        for (int64_t pass = 0; pass < max_passes; pass++) {
+            int changed = 0;
+            for (int64_t g = 0; g < n_gates; g++) {
+                int32_t w = gate_out[g];
+                if (!is_gate[w]) continue;
+                int k = kind[g];
+                int ar = arity[k];
+                int32_t i0 = ins[g * 3 + 0];
+                int32_t r0 = rep[i0];
+                if (r0 != i0) { ins[g * 3 + 0] = r0; changed = 1; }
+                int32_t r1 = -1, r2 = -1;
+                int v1 = -1, v2 = -1;
+                int v0 = val[r0];
+                if (ar >= 2) {
+                    int32_t i1 = ins[g * 3 + 1];
+                    r1 = rep[i1];
+                    if (r1 != i1) { ins[g * 3 + 1] = r1; changed = 1; }
+                    v1 = val[r1];
+                }
+                if (ar >= 3) {
+                    int32_t i2 = ins[g * 3 + 2];
+                    r2 = rep[i2];
+                    if (r2 != i2) { ins[g * 3 + 2] = r2; changed = 1; }
+                    v2 = val[r2];
+                }
+
+                /* one simplify_gate step; at most one rule fires */
+#define FOLD(value) \
+    { val[w] = (int8_t)(value); is_gate[w] = 0; changed = 1; continue; }
+#define ALIAS(target) \
+    { rep[w] = (target); is_gate[w] = 0; changed = 1; continue; }
+#define REWRITE1(target) \
+    { kind[g] = K_NOT; ins[g * 3 + 0] = (target); changed = 1; continue; }
+#define REWRITE2(code, ra, rb) \
+    { kind[g] = (code); ins[g * 3 + 0] = (ra); ins[g * 3 + 1] = (rb); \
+      changed = 1; continue; }
+
+                if (k == K_NOT) {
+                    if (v0 >= 0) FOLD(1 - v0);
+                    continue;
+                }
+                if (k == K_BUF) {
+                    if (v0 >= 0) FOLD(v0);
+                    ALIAS(r0);
+                }
+                if (k == K_MUX) {
+                    if (v0 >= 0 && v1 >= 0 && v2 >= 0)
+                        FOLD(v2 == 1 ? v1 : v0);
+                    if (v2 == 0) {
+                        if (v0 >= 0) FOLD(v0);
+                        ALIAS(r0);
+                    }
+                    if (v2 == 1) {
+                        if (v1 >= 0) FOLD(v1);
+                        ALIAS(r1);
+                    }
+                    if (r0 == r1) {
+                        if (v0 >= 0) FOLD(v0);
+                        ALIAS(r0);
+                    }
+                    if (v0 == 0 && v1 == 1) ALIAS(r2);
+                    if (v0 == 1 && v1 == 0) REWRITE1(r2);
+                    if (v0 == 0) REWRITE2(K_AND, r1, r2);
+                    if (v1 == 1) REWRITE2(K_OR, r0, r2);
+                    continue;
+                }
+
+                /* two-input commutative kinds */
+                if (v0 >= 0 && v1 >= 0) {
+                    int out;
+                    switch (k) {
+                    case K_AND:  out = v0 & v1; break;
+                    case K_OR:   out = v0 | v1; break;
+                    case K_NAND: out = 1 - (v0 & v1); break;
+                    case K_NOR:  out = 1 - (v0 | v1); break;
+                    case K_XOR:  out = v0 ^ v1; break;
+                    default:     out = 1 - (v0 ^ v1); break; /* XNOR */
+                    }
+                    FOLD(out);
+                }
+                int32_t x = r0, y = r1;
+                int vx = v0;
+                if (v1 >= 0 && v0 < 0) { x = r1; vx = v1; y = r0; }
+                int kx = (v0 >= 0) || (v1 >= 0);
+
+                switch (k) {
+                case K_AND:
+                    if (kx && vx == 0) FOLD(0);
+                    if (kx && vx == 1) ALIAS(y);
+                    if (!kx && x == y) ALIAS(x);
+                    break;
+                case K_OR:
+                    if (kx && vx == 1) FOLD(1);
+                    if (kx && vx == 0) ALIAS(y);
+                    if (!kx && x == y) ALIAS(x);
+                    break;
+                case K_NAND:
+                    if (kx && vx == 0) FOLD(1);
+                    if (kx && vx == 1) REWRITE1(y);
+                    if (!kx && x == y) REWRITE1(x);
+                    break;
+                case K_NOR:
+                    if (kx && vx == 1) FOLD(0);
+                    if (kx && vx == 0) REWRITE1(y);
+                    if (!kx && x == y) REWRITE1(x);
+                    break;
+                case K_XOR:
+                    if (kx && vx == 0) ALIAS(y);
+                    if (kx && vx == 1) REWRITE1(y);
+                    if (!kx && x == y) FOLD(0);
+                    break;
+                default: /* K_XNOR */
+                    if (kx && vx == 0) REWRITE1(y);
+                    if (kx && vx == 1) ALIAS(y);
+                    if (!kx && x == y) FOLD(1);
+                    break;
+                }
+#undef FOLD
+#undef ALIAS
+#undef REWRITE1
+#undef REWRITE2
+            }
+            if (!changed) break;
+        }
+
+        /* alias chains point strictly backwards, so one ascending
+         * rewrite pass fully compresses them */
+        for (int64_t s = 0; s < n_slots; s++) rep[s] = rep[rep[s]];
+
+        memset(live, 0, (size_t)n_slots);
+        for (int64_t o = 0; o < n_outs; o++) live[rep[out_slots[o]]] = 1;
+        for (int64_t g = n_gates - 1; g >= 0; g--) {
+            int32_t w = gate_out[g];
+            if (!live[w] || !is_gate[w]) continue;
+            int ar = arity[kind[g]];
+            for (int j = 0; j < ar; j++) live[ins[g * 3 + j]] = 1;
+        }
+
+        double area = 0.0;
+        for (int64_t g = 0; g < n_gates; g++) {
+            int32_t w = gate_out[g];
+            if (live[w] && is_gate[w]) area += ge[kind[g]];
+        }
+        areas[p] = area;
+    }
+}
+
+/* ---------------------------------------------------------------- */
+/* LUT gather+accumulate tile: out[r][c] = sum_k                     */
+/*   table[(acts[r][k] & 0xFF) + w_index[k][c]]                      */
+/* Integer adds are exact in any order, so this matches the numpy    */
+/* gather path bit for bit.                                          */
+/* ---------------------------------------------------------------- */
+
+void repro_lut_tile_i32(
+    const int32_t *table, const int64_t *w_index,
+    const int16_t *acts, int64_t *out,
+    int64_t rows, int64_t k, int64_t cols)
+{
+    for (int64_t r = 0; r < rows; r++) {
+        int64_t *orow = out + r * cols;
+        for (int64_t c = 0; c < cols; c++) orow[c] = 0;
+        for (int64_t kk = 0; kk < k; kk++) {
+            const int32_t *base = table + (acts[r * k + kk] & 0xFF);
+            const int64_t *wrow = w_index + kk * cols;
+            for (int64_t c = 0; c < cols; c++)
+                orow[c] += (int64_t)base[wrow[c]];
+        }
+    }
+}
+
+void repro_lut_tile_i64(
+    const int64_t *table, const int64_t *w_index,
+    const int16_t *acts, int64_t *out,
+    int64_t rows, int64_t k, int64_t cols)
+{
+    for (int64_t r = 0; r < rows; r++) {
+        int64_t *orow = out + r * cols;
+        for (int64_t c = 0; c < cols; c++) orow[c] = 0;
+        for (int64_t kk = 0; kk < k; kk++) {
+            const int64_t *base = table + (acts[r * k + kk] & 0xFF);
+            const int64_t *wrow = w_index + kk * cols;
+            for (int64_t c = 0; c < cols; c++)
+                orow[c] += base[wrow[c]];
+        }
+    }
+}
+"""
+
+
+def _cache_dir() -> str:
+    override = os.environ.get(KERNEL_CACHE_ENV, "").strip()
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-kernels-{uid}")
+
+
+def _find_compiler() -> str:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    raise KernelError("no C compiler (cc/gcc/clang) on PATH")
+
+
+#: ``-march=native`` is safe for bit-identity here: every kernel is
+#: integer except the area sum, whose float64 adds stay sequential
+#: (reassociation needs ``-ffast-math``, which is never passed).
+_CFLAGS = ["-O3", "-march=native", "-shared", "-fPIC", "-std=c99"]
+
+
+def _compile() -> tuple[str, str]:
+    """Compile (or reuse) the shared object; returns (path, compiler)."""
+    compiler = _find_compiler()
+    digest = hashlib.sha256(
+        " ".join(_CFLAGS).encode() + b"\0" + _C_SOURCE.encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"repro_kernels_{digest}.so")
+    if os.path.exists(so_path):
+        return so_path, compiler
+    os.makedirs(cache, exist_ok=True)
+    src_path = os.path.join(cache, f"repro_kernels_{digest}.c")
+    with open(src_path, "w") as handle:
+        handle.write(_C_SOURCE)
+    tmp_path = f"{so_path}.tmp.{os.getpid()}"
+    # some toolchains (older aarch64 gcc) reject -march=native; the
+    # flag is a speed hint, so retry without it before giving up
+    flag_sets = [_CFLAGS, [f for f in _CFLAGS if f != "-march=native"]]
+    result = None
+    for flags in flag_sets:
+        result = subprocess.run(
+            [compiler, *flags, src_path, "-o", tmp_path],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if result.returncode == 0:
+            break
+    if result is None or result.returncode != 0:
+        raise KernelError(
+            f"C kernel compile failed with {compiler}: "
+            f"{result.stderr.strip()[:500]}"
+        )
+    os.replace(tmp_path, so_path)  # atomic vs concurrent compilers
+    return so_path, compiler
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+class _CKernels:
+    """ctypes bindings over the compiled shared object."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+        for name in (
+            "repro_simulate_tables",
+            "repro_sweep_ge",
+            "repro_lut_tile_i32",
+            "repro_lut_tile_i64",
+        ):
+            fn = getattr(lib, name)
+            fn.restype = None
+
+    # -- circuit slabs -------------------------------------------------
+
+    def simulate_tables(self, plan: SlabPlan, ties: np.ndarray) -> np.ndarray:
+        population = ties.shape[0]
+        ties_u8 = np.ascontiguousarray(ties, dtype=np.uint8)
+        n_buffers = max(1, plan.n_buffers)
+        # size the word blocks so the whole workspace stays ~L2-resident
+        # (the gate ops then hit cache instead of streaming every slab
+        # through memory once per step); pad the stride one cache line
+        # off the block size so buffer rows don't alias in the L1 sets
+        block_words = min(
+            plan.n_words, max(64, (128 * 1024 // 8) // n_buffers)
+        )
+        ws_stride = block_words + 8
+        workspace = np.empty(n_buffers * ws_stride, dtype=np.uint64)
+        zeros_row = np.zeros(block_words, dtype=np.uint64)
+        ones_row = np.full(
+            block_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64
+        )
+        tables = np.empty((population, plan.n_cases), dtype=np.uint64)
+        self._lib.repro_simulate_tables(
+            ctypes.c_int64(population),
+            ctypes.c_int64(plan.n_cases),
+            ctypes.c_int64(plan.n_words),
+            ctypes.c_int64(block_words),
+            ctypes.c_int64(ws_stride),
+            ctypes.c_int64(len(plan.op_kind)),
+            ctypes.c_int64(plan.n_cands),
+            ctypes.c_int64(len(plan.res_src)),
+            _ptr(plan.op_kind),
+            _ptr(plan.out_buf),
+            _ptr(plan.in_src),
+            _ptr(plan.in_index),
+            _ptr(plan.patterns),
+            _ptr(plan.tie_offsets),
+            _ptr(plan.tie_cand),
+            _ptr(plan.tie_const),
+            _ptr(plan.res_src),
+            _ptr(plan.res_index),
+            _ptr(ties_u8),
+            _ptr(workspace),
+            _ptr(zeros_row),
+            _ptr(ones_row),
+            _ptr(tables),
+        )
+        return tables
+
+    # -- area sweep ----------------------------------------------------
+
+    def sweep_ge(self, plan: SweepPlan, ties: np.ndarray) -> np.ndarray:
+        population = ties.shape[0]
+        ties_u8 = np.ascontiguousarray(ties, dtype=np.uint8)
+        n_gates = len(plan.gate_out)
+        val = np.empty(plan.n_slots, dtype=np.int8)
+        is_gate = np.empty(plan.n_slots, dtype=np.uint8)
+        rep = np.empty(plan.n_slots, dtype=np.int32)
+        kind = np.empty(n_gates, dtype=np.int8)
+        ins = np.empty((n_gates, 3), dtype=np.int32)
+        live = np.empty(plan.n_slots, dtype=np.uint8)
+        areas = np.empty(population, dtype=np.float64)
+        self._lib.repro_sweep_ge(
+            ctypes.c_int64(population),
+            ctypes.c_int64(plan.n_slots),
+            ctypes.c_int64(n_gates),
+            ctypes.c_int64(plan.n_cands),
+            ctypes.c_int64(plan.max_passes),
+            ctypes.c_int64(len(plan.out_slots)),
+            _ptr(plan.gate_out),
+            _ptr(plan.kind0),
+            _ptr(plan.ins0),
+            _ptr(plan.val0),
+            _ptr(plan.is_gate0),
+            _ptr(plan.cand_slots),
+            _ptr(plan.cand_consts),
+            _ptr(plan.out_slots),
+            _ptr(plan.arity),
+            _ptr(plan.ge),
+            _ptr(ties_u8),
+            _ptr(val),
+            _ptr(is_gate),
+            _ptr(rep),
+            _ptr(kind),
+            _ptr(ins),
+            _ptr(live),
+            _ptr(areas),
+        )
+        return areas
+
+    # -- LUT tile ------------------------------------------------------
+
+    def lut_tile(
+        self,
+        table: np.ndarray,
+        w_index: np.ndarray,
+        activations: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        rows, k = activations.shape
+        cols = w_index.shape[1]
+        if table.dtype == np.int32:
+            fn = self._lib.repro_lut_tile_i32
+        elif table.dtype == np.int64:
+            fn = self._lib.repro_lut_tile_i64
+        else:  # pragma: no cover - stacks only carry int32/int64 tables
+            raise KernelError(f"unsupported LUT table dtype {table.dtype}")
+        fn(
+            _ptr(table),
+            _ptr(w_index),
+            _ptr(activations),
+            _ptr(out),
+            ctypes.c_int64(rows),
+            ctypes.c_int64(k),
+            ctypes.c_int64(cols),
+        )
+
+
+def load() -> KernelImpl:
+    """Compile, bind, and self-test the C tier (raises when impossible)."""
+    so_path, compiler = _compile()
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError as exc:
+        raise KernelError(f"cannot load {so_path}: {exc}") from exc
+    kernels = _CKernels(lib)
+    impl = KernelImpl(
+        name="c",
+        version=f"c ({os.path.basename(compiler)})",
+        simulate_tables=kernels.simulate_tables,
+        sweep_ge=kernels.sweep_ge,
+        lut_tile=kernels.lut_tile,
+    )
+    self_test_kernel(impl)
+    return impl

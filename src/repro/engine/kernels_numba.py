@@ -1,0 +1,461 @@
+"""The ``numba`` kernel tier: nopython transcriptions of the hot loops.
+
+Same scalar algorithms as the C tier in :mod:`repro.engine.kernels_c`
+(and therefore the same bit-identity argument versus the numpy
+reference), compiled with ``@njit(nopython)`` at load time.  The
+population loops of the circuit kernels use ``prange`` — every genome
+owns private scratch, so the iterations are embarrassingly parallel.
+
+The module never imports numba at module level: :func:`load` performs
+the import, compiles, and runs the shared self-test, so a host without
+numba (or with a broken numba) simply reports the tier unavailable and
+callers degrade to numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.kernels import (
+    SRC_BUFFER,
+    SRC_PATTERN,
+    SRC_ZERO,
+    KernelImpl,
+    SlabPlan,
+    SweepPlan,
+    self_test_kernel,
+)
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _build(numba):  # noqa: C901 - one long kernel-definition block
+    njit = numba.njit
+    prange = numba.prange
+
+    @njit(cache=False, nogil=True)
+    def _load_operand(src, index, workspace, patterns, zeros_row, ones_row):
+        if src == SRC_BUFFER:
+            return workspace[index]
+        if src == SRC_PATTERN:
+            return patterns[index]
+        if src == SRC_ZERO:
+            return zeros_row
+        return ones_row
+
+    @njit(cache=False, nogil=True)
+    def _transpose64(block):
+        # 64x64 bit-matrix transpose, one unrolled level per constant
+        # shift (same scheme as the C tier's transpose64)
+        for j, m in (
+            (np.uint64(32), np.uint64(0x00000000FFFFFFFF)),
+            (np.uint64(16), np.uint64(0x0000FFFF0000FFFF)),
+            (np.uint64(8), np.uint64(0x00FF00FF00FF00FF)),
+            (np.uint64(4), np.uint64(0x0F0F0F0F0F0F0F0F)),
+            (np.uint64(2), np.uint64(0x3333333333333333)),
+            (np.uint64(1), np.uint64(0x5555555555555555)),
+        ):
+            step = np.int64(j)
+            k = 0
+            while k < 64:
+                for i in range(k, k + step):
+                    t = (block[i + step] ^ (block[i] >> j)) & m
+                    block[i + step] ^= t
+                    block[i] ^= t << j
+                k += 2 * step
+
+    @njit(cache=False, nogil=True, parallel=True)
+    def _simulate_tables(
+        n_cases,
+        n_words,
+        n_buffers,
+        op_kind,
+        out_buf,
+        in_src,
+        in_index,
+        patterns,
+        tie_offsets,
+        tie_cand,
+        tie_const,
+        res_src,
+        res_index,
+        ties,
+        tables,
+    ):
+        population = ties.shape[0]
+        n_steps = op_kind.shape[0]
+        n_results = res_src.shape[0]
+        zeros_row = np.zeros(n_words, dtype=np.uint64)
+        ones_row = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+        for p in prange(population):
+            workspace = np.empty((n_buffers, n_words), dtype=np.uint64)
+            for s in range(n_steps):
+                out = workspace[out_buf[s]]
+                a = _load_operand(
+                    in_src[s, 0], in_index[s, 0],
+                    workspace, patterns, zeros_row, ones_row,
+                )
+                b = _load_operand(
+                    in_src[s, 1], in_index[s, 1],
+                    workspace, patterns, zeros_row, ones_row,
+                )
+                c = _load_operand(
+                    in_src[s, 2], in_index[s, 2],
+                    workspace, patterns, zeros_row, ones_row,
+                )
+                code = op_kind[s]
+                if code == 0:  # NOT
+                    for w in range(n_words):
+                        out[w] = ~a[w]
+                elif code == 1:  # BUF
+                    for w in range(n_words):
+                        out[w] = a[w]
+                elif code == 2:  # AND
+                    for w in range(n_words):
+                        out[w] = a[w] & b[w]
+                elif code == 3:  # OR
+                    for w in range(n_words):
+                        out[w] = a[w] | b[w]
+                elif code == 4:  # NAND
+                    for w in range(n_words):
+                        out[w] = ~(a[w] & b[w])
+                elif code == 5:  # NOR
+                    for w in range(n_words):
+                        out[w] = ~(a[w] | b[w])
+                elif code == 6:  # XOR
+                    for w in range(n_words):
+                        out[w] = a[w] ^ b[w]
+                elif code == 7:  # XNOR
+                    for w in range(n_words):
+                        out[w] = ~(a[w] ^ b[w])
+                else:  # MUX: b if sel else a, ins (a, b, sel)
+                    for w in range(n_words):
+                        out[w] = (a[w] & ~c[w]) | (b[w] & c[w])
+                for t in range(tie_offsets[s], tie_offsets[s + 1]):
+                    if ties[p, tie_cand[t]]:
+                        fill = _ALL_ONES if tie_const[t] else np.uint64(0)
+                        for w in range(n_words):
+                            out[w] = fill
+            # Result packing via a per-word 64x64 bit-matrix transpose
+            # (same scheme as the C tier, replacing the naive
+            # n_results * n_cases shift-or chain): bit i of case c must
+            # become case c of result wire i.  n_results <= 64 is
+            # structural — the packed value itself is a uint64.
+            block = np.empty(64, dtype=np.uint64)
+            for wd in range(n_words):
+                for i in range(n_results):
+                    wire = _load_operand(
+                        res_src[i], res_index[i],
+                        workspace, patterns, zeros_row, ones_row,
+                    )
+                    block[i] = wire[wd]
+                for i in range(n_results, 64):
+                    block[i] = np.uint64(0)
+                # in-place transpose: recursive block swap, exact bit
+                # rearrangement (bit j of block[i] -> bit i of
+                # block[j]); levels written out with constant
+                # shifts/masks so LLVM vectorizes each pair loop
+                _transpose64(block)
+                base = wd << 6
+                limit = n_cases - base
+                if limit > 64:
+                    limit = 64
+                for case in range(limit):
+                    tables[p, base + case] = block[case]
+
+    @njit(cache=False, nogil=True, parallel=True)
+    def _sweep_ge(
+        n_slots,
+        max_passes,
+        gate_out,
+        kind0,
+        ins0,
+        val0,
+        is_gate0,
+        cand_slots,
+        cand_consts,
+        out_slots,
+        arity,
+        ge,
+        ties,
+        areas,
+    ):
+        population = ties.shape[0]
+        n_gates = gate_out.shape[0]
+        n_cands = cand_slots.shape[0]
+        for p in prange(population):
+            val = val0.copy()
+            is_gate = is_gate0.copy()
+            rep = np.arange(n_slots, dtype=np.int32)
+            kind = kind0.copy()
+            ins = ins0.copy()
+            for c in range(n_cands):
+                if ties[p, c]:
+                    slot = cand_slots[c]
+                    is_gate[slot] = 0
+                    val[slot] = cand_consts[c]
+
+            for _pass in range(max_passes):
+                changed = False
+                for g in range(n_gates):
+                    w = gate_out[g]
+                    if not is_gate[w]:
+                        continue
+                    k = kind[g]
+                    ar = arity[k]
+                    i0 = ins[g, 0]
+                    r0 = rep[i0]
+                    if r0 != i0:
+                        ins[g, 0] = r0
+                        changed = True
+                    r1 = np.int32(-1)
+                    r2 = np.int32(-1)
+                    v0 = val[r0]
+                    v1 = np.int8(-1)
+                    v2 = np.int8(-1)
+                    if ar >= 2:
+                        i1 = ins[g, 1]
+                        r1 = rep[i1]
+                        if r1 != i1:
+                            ins[g, 1] = r1
+                            changed = True
+                        v1 = val[r1]
+                    if ar >= 3:
+                        i2 = ins[g, 2]
+                        r2 = rep[i2]
+                        if r2 != i2:
+                            ins[g, 2] = r2
+                            changed = True
+                        v2 = val[r2]
+
+                    # one simplify_gate step: fold / alias / rewrite
+                    fold_value = np.int8(-1)
+                    alias_to = np.int32(-1)
+                    not_of = np.int32(-1)
+                    if k == 0:  # NOT
+                        if v0 >= 0:
+                            fold_value = np.int8(1 - v0)
+                    elif k == 1:  # BUF
+                        if v0 >= 0:
+                            fold_value = v0
+                        else:
+                            alias_to = r0
+                    elif k == 8:  # MUX
+                        if v0 >= 0 and v1 >= 0 and v2 >= 0:
+                            fold_value = v1 if v2 == 1 else v0
+                        elif v2 == 0:
+                            if v0 >= 0:
+                                fold_value = v0
+                            else:
+                                alias_to = r0
+                        elif v2 == 1:
+                            if v1 >= 0:
+                                fold_value = v1
+                            else:
+                                alias_to = r1
+                        elif r0 == r1:
+                            if v0 >= 0:
+                                fold_value = v0
+                            else:
+                                alias_to = r0
+                        elif v0 == 0 and v1 == 1:
+                            alias_to = r2
+                        elif v0 == 1 and v1 == 0:
+                            not_of = r2
+                        elif v0 == 0:
+                            kind[g] = 2  # AND(b, sel)
+                            ins[g, 0] = r1
+                            ins[g, 1] = r2
+                            changed = True
+                        elif v1 == 1:
+                            kind[g] = 3  # OR(a, sel)
+                            ins[g, 0] = r0
+                            ins[g, 1] = r2
+                            changed = True
+                    else:  # two-input commutative kinds
+                        if v0 >= 0 and v1 >= 0:
+                            if k == 2:
+                                out = v0 & v1
+                            elif k == 3:
+                                out = v0 | v1
+                            elif k == 4:
+                                out = 1 - (v0 & v1)
+                            elif k == 5:
+                                out = 1 - (v0 | v1)
+                            elif k == 6:
+                                out = v0 ^ v1
+                            else:
+                                out = 1 - (v0 ^ v1)
+                            fold_value = np.int8(out)
+                        else:
+                            x = r0
+                            vx = v0
+                            y = r1
+                            if v1 >= 0 and v0 < 0:
+                                x = r1
+                                vx = v1
+                                y = r0
+                            kx = (v0 >= 0) or (v1 >= 0)
+                            if k == 2:  # AND
+                                if kx and vx == 0:
+                                    fold_value = np.int8(0)
+                                elif kx and vx == 1:
+                                    alias_to = y
+                                elif (not kx) and x == y:
+                                    alias_to = x
+                            elif k == 3:  # OR
+                                if kx and vx == 1:
+                                    fold_value = np.int8(1)
+                                elif kx and vx == 0:
+                                    alias_to = y
+                                elif (not kx) and x == y:
+                                    alias_to = x
+                            elif k == 4:  # NAND
+                                if kx and vx == 0:
+                                    fold_value = np.int8(1)
+                                elif kx and vx == 1:
+                                    not_of = y
+                                elif (not kx) and x == y:
+                                    not_of = x
+                            elif k == 5:  # NOR
+                                if kx and vx == 1:
+                                    fold_value = np.int8(0)
+                                elif kx and vx == 0:
+                                    not_of = y
+                                elif (not kx) and x == y:
+                                    not_of = x
+                            elif k == 6:  # XOR
+                                if kx and vx == 0:
+                                    alias_to = y
+                                elif kx and vx == 1:
+                                    not_of = y
+                                elif (not kx) and x == y:
+                                    fold_value = np.int8(0)
+                            else:  # XNOR
+                                if kx and vx == 0:
+                                    not_of = y
+                                elif kx and vx == 1:
+                                    alias_to = y
+                                elif (not kx) and x == y:
+                                    fold_value = np.int8(1)
+
+                    if fold_value >= 0:
+                        val[w] = fold_value
+                        is_gate[w] = 0
+                        changed = True
+                    elif alias_to >= 0:
+                        rep[w] = alias_to
+                        is_gate[w] = 0
+                        changed = True
+                    elif not_of >= 0:
+                        kind[g] = 0
+                        ins[g, 0] = not_of
+                        changed = True
+                if not changed:
+                    break
+
+            # alias chains point strictly backwards: one ascending
+            # rewrite fully compresses them
+            for s in range(n_slots):
+                rep[s] = rep[rep[s]]
+
+            live = np.zeros(n_slots, dtype=np.uint8)
+            for o in range(out_slots.shape[0]):
+                live[rep[out_slots[o]]] = 1
+            for g in range(n_gates - 1, -1, -1):
+                w = gate_out[g]
+                if not live[w] or not is_gate[w]:
+                    continue
+                ar = arity[kind[g]]
+                for j in range(ar):
+                    live[ins[g, j]] = 1
+
+            area = 0.0
+            for g in range(n_gates):
+                w = gate_out[g]
+                if live[w] and is_gate[w]:
+                    area += ge[kind[g]]
+            areas[p] = area
+
+    @njit(cache=False, nogil=True)
+    def _lut_tile(table, w_index, acts, out):
+        rows, k = acts.shape
+        cols = w_index.shape[1]
+        for r in range(rows):
+            for c in range(cols):
+                out[r, c] = 0
+            for kk in range(k):
+                base = np.int64(acts[r, kk] & 0xFF)
+                for c in range(cols):
+                    out[r, c] += np.int64(table[base + w_index[kk, c]])
+
+    return _simulate_tables, _sweep_ge, _lut_tile
+
+
+def load() -> KernelImpl:
+    """Import numba, compile the kernels, and self-test the tier."""
+    import numba  # deliberately lazy: absence == tier unavailable
+
+    simulate_jit, sweep_jit, lut_jit = _build(numba)
+
+    def simulate_tables(plan: SlabPlan, ties: np.ndarray) -> np.ndarray:
+        population = ties.shape[0]
+        ties_u8 = np.ascontiguousarray(ties, dtype=np.uint8)
+        tables = np.empty((population, plan.n_cases), dtype=np.uint64)
+        simulate_jit(
+            plan.n_cases,
+            plan.n_words,
+            max(1, plan.n_buffers),
+            plan.op_kind,
+            plan.out_buf,
+            plan.in_src,
+            plan.in_index,
+            plan.patterns,
+            plan.tie_offsets,
+            plan.tie_cand,
+            plan.tie_const,
+            plan.res_src,
+            plan.res_index,
+            ties_u8,
+            tables,
+        )
+        return tables
+
+    def sweep_ge(plan: SweepPlan, ties: np.ndarray) -> np.ndarray:
+        ties_u8 = np.ascontiguousarray(ties, dtype=np.uint8)
+        areas = np.empty(ties.shape[0], dtype=np.float64)
+        sweep_jit(
+            plan.n_slots,
+            plan.max_passes,
+            plan.gate_out,
+            plan.kind0,
+            plan.ins0,
+            plan.val0,
+            plan.is_gate0,
+            plan.cand_slots,
+            plan.cand_consts,
+            plan.out_slots,
+            plan.arity,
+            plan.ge,
+            ties_u8,
+            areas,
+        )
+        return areas
+
+    def lut_tile(
+        table: np.ndarray,
+        w_index: np.ndarray,
+        activations: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        lut_jit(table, w_index, activations, out)
+
+    impl = KernelImpl(
+        name="numba",
+        version=f"numba {numba.__version__}",
+        simulate_tables=simulate_tables,
+        sweep_ge=sweep_ge,
+        lut_tile=lut_tile,
+    )
+    self_test_kernel(impl)
+    return impl

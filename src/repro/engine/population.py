@@ -46,11 +46,17 @@ class EngineConfig:
             ``process``.
         workers: pool size for the parallel modes (default: CPU count).
         chunk_size: genomes per task in ``process`` mode (amortises IPC).
+        kernel_tier: compiled-kernel tier for the batched hot loops
+            (see :mod:`repro.engine.kernels`): ``None`` defers to
+            ``REPRO_KERNEL_TIER`` / ``auto``; an unavailable tier
+            degrades to numpy with a warning.  Every tier returns
+            bit-identical results.
     """
 
     mode: str = "auto"
     workers: Optional[int] = None
     chunk_size: int = 8
+    kernel_tier: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -65,6 +71,9 @@ class EngineConfig:
             raise OptimizationError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
             )
+        from repro.engine.kernels import validate_kernel_tier
+
+        validate_kernel_tier(self.kernel_tier)
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers is not None else (os.cpu_count() or 1)

@@ -42,6 +42,7 @@ from repro.engine.backends import (
     send_msg,
 )
 from repro.engine.faults import InjectedDrop, active_injector
+from repro.engine.kernels import kernel_availability
 from repro.errors import ReproError
 
 
@@ -119,7 +120,18 @@ def serve(
             print(f"[worker {os.getpid()}] {message}", file=sys.stderr)
 
     injector = active_injector()
-    send_msg(sock, {"type": "hello", "protocol": protocol, "pid": os.getpid()})
+    send_msg(
+        sock,
+        {
+            "type": "hello",
+            "protocol": protocol,
+            "pid": os.getpid(),
+            # advertised so the coordinator can warn on mixed-tier
+            # fleets (results are bit-identical either way; this is a
+            # performance heads-up, never a rejection)
+            "kernels": kernel_availability(),
+        },
+    )
     greeting = recv_msg(sock)
     injector.on_recv()
     if greeting is None:

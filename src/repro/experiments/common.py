@@ -76,6 +76,13 @@ class ExperimentSettings:
         stack_workers: thread-tiling knob for the stacked LUT inference
             (``"auto"`` / positive int / ``None`` for the process
             default); every value returns bit-identical drops.
+        kernel_tier: compiled-kernel tier for the batched hot loops
+            (``auto`` / ``numpy`` / ``numba`` / ``c`` / ``None`` for
+            the ambient ``REPRO_KERNEL_TIER`` default; see
+            :mod:`repro.engine.kernels`).  Every tier returns
+            bit-identical results; an unavailable tier degrades to
+            numpy with a warning, so it is not part of any cache or
+            checkpoint key.
         accuracy_mode: execution backend for the behavioural accuracy
             stage (``auto`` / ``serial`` / ``thread`` / ``process`` /
             ``remote``) — library scoring shards multiplier sub-stacks
@@ -107,6 +114,7 @@ class ExperimentSettings:
     grid_shards: Optional[int] = None
     grid_coordinator: Optional[str] = None
     stack_workers: Optional[Union[int, str]] = None
+    kernel_tier: Optional[str] = None
     accuracy_mode: str = "auto"
     accuracy_workers: Optional[int] = None
     accuracy_shards: Optional[int] = None
@@ -119,6 +127,9 @@ class ExperimentSettings:
             raise ExperimentError("settings need thresholds and tiers")
         if self.stack_workers is not None:
             resolve_stack_workers(self.stack_workers)  # fail fast on typos
+        from repro.engine.kernels import validate_kernel_tier
+
+        validate_kernel_tier(self.kernel_tier)  # fail fast on typos
         if self.resume and self.checkpoint_dir is None:
             raise ExperimentError(
                 "resume=True needs checkpoint_dir: there is nowhere to "
@@ -152,7 +163,7 @@ class ExperimentSettings:
 
     def engine(self) -> EngineConfig:
         """Population-evaluation policy for the GA runs."""
-        return EngineConfig(mode=self.engine_mode)
+        return EngineConfig(mode=self.engine_mode, kernel_tier=self.kernel_tier)
 
     def designer_kwargs(self) -> dict:
         """Engine/cache/checkpoint kwargs shared by every GA-CDP run."""
@@ -211,6 +222,7 @@ class ExperimentSettings:
         return BehavioralValidator(
             task=task,
             stack_workers=self.stack_workers,
+            kernel_tier=self.kernel_tier,
             runner=self.accuracy_runner(),
         )
 

@@ -36,6 +36,7 @@ zoo networks are never executed here — see DESIGN.md for why.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
@@ -43,6 +44,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.approx.lut import LutMultiplier
+from repro.engine import kernels as _kernels
 from repro.errors import AccuracyModelError
 from repro.nn.quantize import (
     INT8_MAX,
@@ -372,22 +374,63 @@ def _stack_tiles(
     ]
 
 
+class _SlabPool(threading.local):
+    """Per-thread pool of reusable scratch slabs, keyed (tag, shape, dtype).
+
+    ``forward_stack`` reallocates the same per-tile gather scratch
+    (``sub_tables``) and accumulator slabs on every layer of every
+    call; pooling them per thread removes that churn without any
+    locking.  Only slabs that never escape their tile are pooled — the
+    returned ``out`` arrays are always fresh.  The pool is bounded: an
+    unfamiliar key set (e.g. a sweep over many network shapes) clears
+    it rather than growing without bound.
+    """
+
+    MAX_SLABS = 16
+
+    def __init__(self) -> None:
+        self.slabs: dict = {}
+
+    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (tag, shape, np.dtype(dtype))
+        slab = self.slabs.get(key)
+        if slab is None:
+            if len(self.slabs) >= self.MAX_SLABS:
+                self.slabs.clear()
+            slab = np.empty(shape, dtype=dtype)
+            self.slabs[key] = slab
+        return slab
+
+
+_SLAB_POOL = _SlabPool()
+
+
+def clear_slab_pool() -> None:
+    """Drop the calling thread's pooled scratch slabs (test hook)."""
+    _SLAB_POOL.slabs.clear()
+
+
 def _lut_matmul_stack(
     activations: np.ndarray,
     w_index: np.ndarray,
     stack: _LutStack,
     workers: int = 1,
+    kernel_tier: Optional[str] = None,
 ) -> np.ndarray:
     """Matrix product of M LUT multipliers in one pass.
 
     Args:
-        activations: (Ma, rows, k) signed int codes, where Ma is either
-            1 (all multipliers still see identical activations — the
-            first layer) or M (diverged activations per multiplier).
+        activations: (Ma, rows, k) signed int16 codes, where Ma is
+            either 1 (all multipliers still see identical activations —
+            the first layer) or M (diverged activations per multiplier).
         w_index: (k, cols) pre-shifted weight-byte indices.
         stack: the stacked signed-product tables.
         workers: resolved thread count for the tiled fan-out; ``1``
             keeps the serial reference loop.
+        kernel_tier: compiled-kernel tier request for the tile loop
+            (``None`` = ambient default); see
+            :mod:`repro.engine.kernels`.  Every tier returns
+            bit-identical accumulators.
 
     Returns:
         (M, rows, cols) int64 accumulators; slice ``[i]`` is identical
@@ -401,9 +444,10 @@ def _lut_matmul_stack(
     add instead of index arithmetic plus a scalar gather from the full
     64 K-entry LUT.  The extra leading axis selects the multiplier.
     Integer accumulation is exact, so neither the iteration order, the
-    (narrowest-exact) accumulator dtype, nor the thread tiling can
-    change the result: parallel tiles compute the same per-element
-    gather+add chains into disjoint slabs of one preallocated output.
+    (narrowest-exact) accumulator dtype, the thread tiling, nor a
+    compiled kernel tier can change the result: every variant computes
+    the same per-element gather+add chains into disjoint slabs of one
+    preallocated output.
     """
     m_count = stack.count
     ma, rows, k = activations.shape
@@ -413,6 +457,36 @@ def _lut_matmul_stack(
             f"activation stack of {ma} does not match {m_count} multipliers"
         )
 
+    out = np.empty((m_count, rows, cols), dtype=np.int64)
+    tiles = _stack_tiles(m_count, rows, workers) if workers > 1 else []
+
+    impl = _kernels.get_kernel(kernel_tier)
+    if impl.lut_tile is not None:
+        # compiled tile kernel: gathers straight from the full table,
+        # no (k, 256, cols) sub-table materialisation
+        acts = np.ascontiguousarray(activations, dtype=np.int16)
+        w_idx = np.ascontiguousarray(w_index, dtype=np.int64)
+        lut_tile = impl.lut_tile
+
+        def run_kernel_tile(tile: Tuple[int, int, int]) -> None:
+            m, start, stop = tile
+            src = acts[0] if ma == 1 else acts[m]
+            lut_tile(
+                stack.tables[m], w_idx, src[start:stop], out[m, start:stop]
+            )
+
+        if len(tiles) > 1:
+            # ctypes/numba calls release the GIL, so the existing
+            # thread tiling composes with the compiled kernel
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(tiles))
+            ) as pool:
+                list(pool.map(run_kernel_tile, tiles))
+        else:
+            for m in range(m_count):
+                run_kernel_tile((m, 0, rows))
+        return out
+
     # (k, 256, cols) product sub-tables: entry [kk, byte, c] is the
     # product of activation `byte` with weight position (kk, c)
     gather_index = (
@@ -420,9 +494,9 @@ def _lut_matmul_stack(
         + w_index[:, np.newaxis, :]
     )
     sum_dtype = stack.accum_dtype(k)
-    out = np.empty((m_count, rows, cols), dtype=np.int64)
+    sub_shape = (k, _LutStack.BYTE_SPAN, cols)
+    table_dtype = stack.tables.dtype
 
-    tiles = _stack_tiles(m_count, rows, workers) if workers > 1 else []
     if len(tiles) > 1:
         # hoisted once when all multipliers share activations — tiles
         # slice it read-only instead of re-deriving it per multiplier
@@ -432,12 +506,16 @@ def _lut_matmul_stack(
 
         def run_tile(tile: Tuple[int, int, int]) -> None:
             m, start, stop = tile
-            sub_tables = stack.tables[m][gather_index]
+            sub_tables = _SLAB_POOL.get("lut_sub", sub_shape, table_dtype)
+            np.take(stack.tables[m], gather_index, out=sub_tables)
             if shared_tile_bytes is not None:
                 a_bytes = shared_tile_bytes[start:stop]
             else:
                 a_bytes = (activations[m][start:stop] & 0xFF).astype(np.intp)
-            accum = np.zeros((stop - start, cols), dtype=sum_dtype)
+            accum = _SLAB_POOL.get(
+                "lut_accum", (stop - start, cols), sum_dtype
+            )
+            accum.fill(0)
             for position in range(k):
                 accum += sub_tables[position][a_bytes[:, position]]
             out[m, start:stop] = accum
@@ -455,13 +533,15 @@ def _lut_matmul_stack(
         (activations[0] & 0xFF).astype(np.intp) if ma == 1 else None
     )
     for m in range(m_count):
-        sub_tables = stack.tables[m][gather_index]
+        sub_tables = _SLAB_POOL.get("lut_sub", sub_shape, table_dtype)
+        np.take(stack.tables[m], gather_index, out=sub_tables)
         a_bytes = (
             shared_bytes
             if shared_bytes is not None
             else (activations[m] & 0xFF).astype(np.intp)
         )
-        accum = np.zeros((rows, cols), dtype=sum_dtype)
+        accum = _SLAB_POOL.get("lut_accum", (rows, cols), sum_dtype)
+        accum.fill(0)
         for position in range(k):
             accum += sub_tables[position][a_bytes[:, position]]
         out[m] = accum
@@ -624,6 +704,7 @@ class QuantCNN:
         x: np.ndarray,
         multipliers: Sequence[LutMultiplier],
         stack_workers: Optional[Union[int, str]] = None,
+        kernel_tier: Optional[str] = None,
     ) -> np.ndarray:
         """Run a float batch under a stack of M LUT multipliers at once.
 
@@ -635,6 +716,9 @@ class QuantCNN:
                 ``None`` to defer to :data:`DEFAULT_STACK_WORKERS` /
                 ``REPRO_STACK_WORKERS``.  ``1`` is the serial
                 reference; every value returns bit-identical logits.
+            kernel_tier: compiled-kernel tier for the gather loop
+                (``None`` = ambient default, ``REPRO_KERNEL_TIER`` then
+                ``auto``); every tier returns bit-identical logits.
 
         Returns:
             Float logits (M, N, classes); slice ``[i]`` is bit-identical
@@ -658,13 +742,13 @@ class QuantCNN:
         for layer in self.prepared_layers():
             if isinstance(layer, _PreparedConv):
                 value, scales = self._conv_stack(
-                    value, scales, layer, stack, workers
+                    value, scales, layer, stack, workers, kernel_tier
                 )
             elif isinstance(layer, PoolSpec):
                 value = self._pool_stack(value, layer)
             else:
                 value, scales = self._dense_stack(
-                    value, scales, layer, stack, workers
+                    value, scales, layer, stack, workers, kernel_tier
                 )
         tail = (scales.shape[0],) + (1,) * (value.ndim - 1)
         return value.astype(np.float64) * scales.reshape(tail)
@@ -674,10 +758,16 @@ class QuantCNN:
         x: np.ndarray,
         multipliers: Sequence[LutMultiplier],
         stack_workers: Optional[Union[int, str]] = None,
+        kernel_tier: Optional[str] = None,
     ) -> np.ndarray:
         """Argmax predictions (M, N) under a stack of LUT multipliers."""
         return np.argmax(
-            self.forward_stack(x, multipliers, stack_workers=stack_workers),
+            self.forward_stack(
+                x,
+                multipliers,
+                stack_workers=stack_workers,
+                kernel_tier=kernel_tier,
+            ),
             axis=2,
         )
 
@@ -735,6 +825,7 @@ class QuantCNN:
         layer: _PreparedConv,
         stack: _LutStack,
         workers: int = 1,
+        kernel_tier: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         ma, n = value.shape[0], value.shape[1]
         if value.shape[2] != layer.in_c:
@@ -747,7 +838,9 @@ class QuantCNN:
         )
         cols = cols.reshape(ma, n * out_h * out_w, cols.shape[2])
 
-        accum = _lut_matmul_stack(cols, layer.w_index, stack, workers)
+        accum = _lut_matmul_stack(
+            cols, layer.w_index, stack, workers, kernel_tier
+        )
         m_count = stack.count
         accum = accum.reshape(m_count, n, out_h * out_w, layer.out_c)
 
@@ -819,6 +912,7 @@ class QuantCNN:
         layer: _PreparedDense,
         stack: _LutStack,
         workers: int = 1,
+        kernel_tier: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         ma, n = value.shape[0], value.shape[1]
         flat = value.reshape(ma, n, -1)
@@ -826,7 +920,9 @@ class QuantCNN:
             raise AccuracyModelError(
                 f"dense expects {layer.in_f} features, got {flat.shape[2]}"
             )
-        accum = _lut_matmul_stack(flat, layer.w_index, stack, workers)
+        accum = _lut_matmul_stack(
+            flat, layer.w_index, stack, workers, kernel_tier
+        )
         if layer.bias is not None:
             factors = scales * layer.w_scale
             bias_codes = np.round(

@@ -62,7 +62,9 @@ class SyntheticTask:
         predictions = self.model.predict(self.test_x, fn)
         return float(np.mean(predictions == self.test_y))
 
-    def accuracy_batch(self, multipliers, stack_workers=None) -> np.ndarray:
+    def accuracy_batch(
+        self, multipliers, stack_workers=None, kernel_tier=None
+    ) -> np.ndarray:
         """Top-1 accuracy under a stack of LUT multipliers, one pass.
 
         Args:
@@ -72,13 +74,19 @@ class SyntheticTask:
                 :meth:`~repro.nn.inference.QuantCNN.predict_stack`
                 (``"auto"``, a positive integer, or ``None`` for the
                 process default; every value is bit-identical).
+            kernel_tier: compiled-kernel tier for the gather loop
+                (``None`` = ambient default; every tier is
+                bit-identical, see :mod:`repro.engine.kernels`).
 
         Returns:
             Float accuracies (M,); entry ``i`` equals
             ``accuracy(multipliers[i])`` bit for bit.
         """
         predictions = self.model.predict_stack(
-            self.test_x, multipliers, stack_workers=stack_workers
+            self.test_x,
+            multipliers,
+            stack_workers=stack_workers,
+            kernel_tier=kernel_tier,
         )
         return np.mean(predictions == self.test_y[np.newaxis, :], axis=1)
 
