@@ -35,6 +35,12 @@ notice* instead of failing — "nothing to compare" is a provisioning
 condition, not a perf regression.  Reports without the field, or
 benchmarks without a bar in per-benchmark form, are likewise skipped.
 
+Reports from the task-graph overlap benchmark (``bench_overlap.py``)
+carry ``overlap_speedup`` — barriered two-stage dispatch vs pipelined
+:class:`~repro.engine.taskgraph.TaskGraph` dispatch on the same work;
+pass ``--min-overlap-speedup`` to gate it.  Reports without the field
+are skipped by that gate.
+
 The default speedup bar is deliberately loose (1.5x): smoke runs on
 shared CI runners see multi-x timer noise, so identity is enforced
 strictly and throughput only sanity-checked.  Nightly paper-scale runs
@@ -55,6 +61,7 @@ def check_report(
     min_speedup: float,
     max_checkpoint_overhead: Optional[float] = None,
     min_kernel_speedup=None,
+    min_overlap_speedup: Optional[float] = None,
 ) -> List[str]:
     """Validate one BENCH report; returns a list of failure messages."""
     failures: List[str] = []
@@ -119,11 +126,22 @@ def check_report(
                 f"({report.get('kernel_tier')})"
             )
 
+    overlap_speedup = report.get("overlap_speedup")
+    overlap_extra = ""
+    if min_overlap_speedup is not None and overlap_speedup is not None:
+        if overlap_speedup < min_overlap_speedup:
+            failures.append(
+                f"{name}: overlap_speedup {overlap_speedup} below the "
+                f"{min_overlap_speedup}x gate"
+            )
+        else:
+            overlap_extra = f", overlap_speedup={overlap_speedup}"
+
     if not failures:
         extra = "" if overhead is None else f", checkpoint_overhead={overhead}"
         print(
             f"ok: {name} — identical=True, speedup={speedup}"
-            f"{extra}{kernel_extra}"
+            f"{extra}{kernel_extra}{overlap_extra}"
         )
     return failures
 
@@ -157,6 +175,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "when the report shows only the numpy tier was available, or "
         "carries no kernel_speedup field",
     )
+    parser.add_argument(
+        "--min-overlap-speedup", type=float, default=None, metavar="X",
+        help="minimum acceptable task-graph overlap speedup (barriered "
+        "waves vs pipelined dispatch, see bench_overlap.py); off by "
+        "default, reports without the overlap_speedup field are "
+        "skipped",
+    )
     args = parser.parse_args(argv)
 
     min_kernel_speedup = None
@@ -183,6 +208,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.min_speedup,
                 args.max_checkpoint_overhead,
                 min_kernel_speedup,
+                args.min_overlap_speedup,
             )
         )
     for failure in failures:

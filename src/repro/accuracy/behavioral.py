@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.approx.library import ApproxMultiplier
-from repro.engine.grid import GridRunner
+from repro.engine.grid import ExecutionPlan, GridRunner
 from repro.errors import AccuracyModelError
 from repro.nn.synthetic import SyntheticTask, make_task
 
@@ -147,10 +147,12 @@ class BehavioralValidator:
                         luts, task, self.stack_workers, self.kernel_tier
                     )
                 else:
-                    accuracies = self.runner.map_batches(
-                        _accuracy_batch_cell,
-                        luts,
-                        extra=(task, self.stack_workers, self.kernel_tier),
+                    accuracies = self.runner.run(
+                        ExecutionPlan.for_batches(
+                            _accuracy_batch_cell,
+                            luts,
+                            extra=(task, self.stack_workers, self.kernel_tier),
+                        )
                     )
             else:  # mixed geometries have no shared stack index space
                 accuracies = np.array([task.accuracy(lut) for lut in luts])

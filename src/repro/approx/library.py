@@ -17,7 +17,7 @@ process, so the accelerator DSE can call :func:`build_library` freely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,12 +33,14 @@ from repro.approx.pruning import BatchedPruningObjectives, PruningSpace
 from repro.circuits.area import netlist_area_um2, netlist_delay_ps, netlist_ge
 from repro.engine.backends import (
     ThreadBackend,
+    in_pool_worker,
     register_pool_context_provider,
 )
 from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
 from repro.engine.checkpoint import CheckpointStore, checkpoint_fingerprint
 from repro.engine.diskcache import FitnessDiskCache, context_fingerprint
 from repro.engine.population import EngineConfig
+from repro.engine.taskgraph import EngineSession
 from repro.engine.vectorized import pareto_front_np
 from repro.errors import OptimizationError
 
@@ -403,7 +405,12 @@ def build_library(
             the reference path out per genome.  ``process`` is
             downgraded to ``thread``: the pruning evaluator closes
             over live circuit state that cannot cross a process
-            boundary.
+            boundary.  With more than one worker the search-free
+            precision/structural variants are additionally scored on a
+            concurrent :class:`~repro.engine.taskgraph.EngineSession`
+            *overlapping* the NSGA-II searches; their futures are
+            gathered in submission order, so the library stays
+            bit-identical to the serial build.
         cache_dir: optional directory for the on-disk objective cache,
             so rebuilding the same library in a fresh process (or a
             forked grid worker) skips re-simulating pruned circuits.
@@ -442,15 +449,19 @@ def build_library(
         _make_entry("exact", exact_circuit, "exact", width, dnn_weights)
     ]
 
+    # the search-free variants (precision truncations + structural
+    # cuts) are independent of the pruning searches, so their scoring
+    # can overlap the NSGA-II runs: build the specs now, dispatch them
+    # as futures, gather *in submission order* right before assembling
+    # the library — the entries list (and with it `_pareto_entries`'s
+    # insertion-order dedup) is bit-identical to the serial build
+    variant_specs: List[Tuple[str, Any, str]] = []
     for trunc_a, trunc_b in truncations:
-        circuit = truncate_inputs(exact_circuit, trunc_a, trunc_b)
-        entries.append(
-            _make_entry(
+        variant_specs.append(
+            (
                 f"trunc_a{trunc_a}b{trunc_b}",
-                circuit,
+                truncate_inputs(exact_circuit, trunc_a, trunc_b),
                 "precision",
-                width,
-                dnn_weights,
             )
         )
 
@@ -461,45 +472,75 @@ def build_library(
         )
 
         for cut in structural_cuts:
-            entries.append(
-                _make_entry(
+            variant_specs.append(
+                (
                     f"tpp{cut}",
                     truncated_pp_multiplier(width, cut, correction=True),
                     "structural",
-                    width,
-                    dnn_weights,
                 )
             )
-            entries.append(
-                _make_entry(
-                    f"loa{cut}",
-                    loa_multiplier(width, cut),
-                    "structural",
-                    width,
-                    dnn_weights,
-                )
+            variant_specs.append(
+                (f"loa{cut}", loa_multiplier(width, cut), "structural")
             )
 
-    entries.extend(
-        _pruning_pareto(
-            exact_circuit, width, dnn_weights, "pruned",
-            seed, population, generations, max_candidates,
-            kind=kind, engine=engine, cache_dir=cache_dir,
-            checkpoint_dir=checkpoint_dir, resume=resume,
-        )
-    )
+    overlap_workers = 0
+    if (
+        variant_specs
+        and engine is not None
+        and engine.mode != "serial"
+        and engine.resolved_workers() > 1
+        and not in_pool_worker()
+    ):
+        overlap_workers = min(engine.resolved_workers(), len(variant_specs))
 
-    if hybrid:
-        light_truncated = truncate_inputs(exact_circuit, 1, 1)
+    session: Optional[EngineSession] = None
+    variant_futures: List[Any] = []
+    if overlap_workers > 1:
+        session = EngineSession(ThreadBackend(overlap_workers))
+        variant_futures = [
+            session.submit(
+                _make_entry, [(name, circuit, origin, width, dnn_weights)]
+            )
+            for name, circuit, origin in variant_specs
+        ]
+    else:
         entries.extend(
+            _make_entry(name, circuit, origin, width, dnn_weights)
+            for name, circuit, origin in variant_specs
+        )
+
+    try:
+        search_entries = list(
             _pruning_pareto(
-                light_truncated, width, dnn_weights, "hybrid",
-                seed + 1, max(population // 2, 8), max(generations // 2, 6),
-                max_candidates,
+                exact_circuit, width, dnn_weights, "pruned",
+                seed, population, generations, max_candidates,
                 kind=kind, engine=engine, cache_dir=cache_dir,
                 checkpoint_dir=checkpoint_dir, resume=resume,
             )
         )
+
+        if hybrid:
+            light_truncated = truncate_inputs(exact_circuit, 1, 1)
+            search_entries.extend(
+                _pruning_pareto(
+                    light_truncated, width, dnn_weights, "hybrid",
+                    seed + 1, max(population // 2, 8),
+                    max(generations // 2, 6), max_candidates,
+                    kind=kind, engine=engine, cache_dir=cache_dir,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                )
+            )
+
+        if session is not None:
+            # splice the overlapped variants back into their serial
+            # position (after exact, before the search entries)
+            entries.extend(
+                future.result()[0] for future in variant_futures
+            )
+    finally:
+        if session is not None:
+            session.close()
+    entries.extend(search_entries)
 
     library = ApproxLibrary(_pareto_entries(entries), width)
     if use_cache:

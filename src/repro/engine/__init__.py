@@ -31,9 +31,17 @@ that make the searches fast without changing a single result:
 * :mod:`repro.engine.worker` — the remote worker daemon
   (``python -m repro.engine.worker --connect HOST:PORT``) that pulls
   pickled cell shards from a coordinator and streams results back;
+* :mod:`repro.engine.taskgraph` — the async task-graph layer:
+  :class:`EngineSession` (``submit(fn, cells) -> TaskFuture`` with
+  bounded backpressure over any backend), :class:`CoordinatorSession`
+  (a persistent remote session whose worker fleet outlives individual
+  jobs; concurrent jobs work-steal from one shared queue), and
+  :class:`TaskGraph` (dependency-ordered submission);
 * :mod:`repro.engine.grid` — :class:`GridRunner`: experiment cells
   sharded across the configured backend with deterministically ordered
   results regardless of shard count, worker count, or worker failures;
+  ``run(plan)`` over an :class:`ExecutionPlan` is the one execution
+  entry point;
 * :mod:`repro.engine.checkpoint` — :class:`CheckpointStore`:
   versioned, atomically-replaced per-generation search snapshots
   (population, objectives, exact RNG state) behind a settings
@@ -46,6 +54,31 @@ that make the searches fast without changing a single result:
 Every fast path keeps its serial counterpart in-tree as the reference
 implementation; the property tests under ``tests/engine`` assert exact
 agreement.
+
+Migrating from the blocking map calls (pre task-graph API)
+----------------------------------------------------------
+
+The blocking entry points still work but now route through the
+submit/future engine; new code should use the task-graph API directly:
+
+========================================  =================================================
+old call                                  new API
+========================================  =================================================
+``runner.map(fn, cells)``                 ``runner.run(ExecutionPlan.for_cells(fn, cells))``
+``runner.map_batches(fn, items, extra)``  ``runner.run(ExecutionPlan.for_batches(fn, items, extra))``
+``backend.map_shards(fn, shards)``        ``session = EngineSession(backend)``;
+                                          ``futures = [session.submit(fn, s) for s in shards]``;
+                                          ``session.gather(futures)``
+one coordinator per ``map_shards``        ``CoordinatorSession(...)`` — submit many jobs;
+                                          the fleet persists between them
+========================================  =================================================
+
+``GridRunner.map``/``map_batches`` emit :class:`DeprecationWarning` and
+delegate to ``run``.  ``ExecutorBackend.map_shards`` remains the
+determinism contract every backend is tested against (it is *not*
+deprecated); ``EngineSession.submit`` resolves each shard's future with
+exactly ``run_shard(fn, cells)``, gathered in submission order, so the
+future path inherits the same bit-identical guarantee.
 """
 
 from repro.engine.backends import (
@@ -80,8 +113,14 @@ from repro.engine.checkpoint import (
 )
 from repro.engine.diskcache import FitnessDiskCache
 from repro.engine.faults import FaultInjector, InjectedDrop, parse_faults
-from repro.engine.grid import GridConfig, GridRunner
+from repro.engine.grid import ExecutionPlan, GridConfig, GridRunner
 from repro.engine.population import EngineConfig, PopulationEvaluator
+from repro.engine.taskgraph import (
+    CoordinatorSession,
+    EngineSession,
+    TaskFuture,
+    TaskGraph,
+)
 from repro.engine.vectorized import (
     crowding_distance_np,
     dominance_matrix,
@@ -95,6 +134,11 @@ __all__ = [
     "Checkpoint",
     "CheckpointStore",
     "CoordinatorConfig",
+    "CoordinatorSession",
+    "EngineSession",
+    "ExecutionPlan",
+    "TaskFuture",
+    "TaskGraph",
     "FaultInjector",
     "FallbackBackend",
     "FitnessDiskCache",

@@ -36,12 +36,28 @@ The worker opens with ``{"type": "hello", "protocol": N}``; the
 coordinator answers ``welcome`` or ``reject`` (version mismatch, bad
 handshake) and then serves a pull loop: worker sends ``ready``,
 coordinator answers ``task`` (shard id + function + cells) or
-``shutdown``; worker answers ``result`` or ``error``.  A worker that
-dies holding a task has the task requeued (at most :data:`MAX_REQUEUES`
-times); a worker that connects mid-run simply starts pulling remaining
-tasks.  Pickle implies *trusted networks only* — the coordinator
-executes nothing, but workers unpickle and run what the coordinator
-sends, so treat the port like an SSH key, not a public API.
+``shutdown``; worker answers ``result`` — acknowledged by the
+coordinator with ``ack`` once the result is recorded, so a worker (or
+coordinator) going down right after a result lands can never requeue
+that shard spuriously — or ``error``.  A worker that dies holding a
+task has the task requeued (at most :data:`MAX_REQUEUES` times); a
+worker that connects mid-run simply starts pulling remaining tasks.
+Pickle implies *trusted networks only* — the coordinator executes
+nothing, but workers unpickle and run what the coordinator sends, so
+treat the port like an SSH key, not a public API.
+
+The coordinator is a *session*: it serves any number of concurrent
+jobs — blocking :meth:`RemoteCoordinator.map_shards` calls and
+asynchronous :meth:`RemoteCoordinator.submit_single` tasks (the
+futures entry point used by :class:`repro.engine.taskgraph.
+EngineSession`) — over one shared task queue.  Workers pull whatever
+task is next regardless of which job enqueued it, so shards from
+concurrent jobs are work-stolen by whichever worker frees up first;
+failure stays job-scoped (a deterministic cell exception fails its own
+job, never a co-tenant).  :meth:`RemoteCoordinator.close` drains
+in-flight tasks before tearing the fleet down (ack-then-close): the
+last shard of a session is recorded, acknowledged, and only then are
+workers shut down.
 """
 
 from __future__ import annotations
@@ -54,6 +70,7 @@ import struct
 import subprocess
 import sys
 import threading
+import time
 import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -68,7 +85,9 @@ Cell = Tuple[Any, ...]
 #: Version of the coordinator/worker wire protocol.  Bump on any change
 #: to the message shapes below; the coordinator rejects mismatched
 #: workers at handshake instead of failing mid-run on a bad unpickle.
-PROTOCOL_VERSION = 1
+#: Version 2 added the result ``ack`` (the coordinator confirms every
+#: recorded result before the worker asks for more work).
+PROTOCOL_VERSION = 2
 
 #: A shard is requeued at most this many times after worker deaths
 #: before the run fails — a cell that reliably kills its executor must
@@ -466,8 +485,51 @@ def spawn_local_worker(
     return subprocess.Popen(command, env=env)
 
 
+class _RemoteTask:
+    """One queued/assigned shard: its job, payload, and requeue count."""
+
+    __slots__ = ("wire_id", "job_id", "index", "fn", "cells", "requeues")
+
+    def __init__(
+        self,
+        wire_id: int,
+        job_id: int,
+        index: int,
+        fn: Callable[..., Any],
+        cells: List[Cell],
+    ):
+        self.wire_id = wire_id
+        self.job_id = job_id
+        self.index = index
+        self.fn = fn
+        self.cells = cells
+        self.requeues = 0
+
+
+class _RemoteJob:
+    """One client-visible submission (a blocking map or one future)."""
+
+    __slots__ = (
+        "job_id", "size", "results", "failure", "on_task_done", "liveness",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        size: int,
+        on_task_done: Optional[Callable[..., None]] = None,
+        liveness: Optional[Callable[[], bool]] = None,
+    ):
+        self.job_id = job_id
+        self.size = size
+        self.results: Dict[int, List[Any]] = {}
+        self.failure: Optional[RemoteRunError] = None
+        self.on_task_done = on_task_done
+        self.liveness = liveness
+
+
 class RemoteCoordinator:
-    """TCP work server: shards out, per-shard results back, in order.
+    """TCP work session: a shared task queue served to a worker fleet.
 
     Args:
         bind: ``HOST:PORT`` to listen on; port ``0`` picks an ephemeral
@@ -476,19 +538,27 @@ class RemoteCoordinator:
             :meth:`CoordinatorConfig.from_env`).
 
     The coordinator accepts workers for its whole lifetime and serves
-    any number of consecutive :meth:`map_shards` runs: daemons may
-    attach before a run starts or join mid-run and immediately pull
-    remaining shards, and between runs they idle on the connection
+    any number of *concurrent* jobs: blocking :meth:`map_shards` calls
+    and asynchronous :meth:`submit_single` tasks all feed one shared
+    FIFO queue, and every connected worker pulls whatever task is next
+    regardless of which job enqueued it — shards from concurrent jobs
+    are work-stolen by whichever worker frees up first.  Daemons may
+    attach before any job starts or join mid-run and immediately pull
+    remaining tasks, and between jobs they idle on the connection
     (workers are only shut down by :meth:`close`).  Per-connection
-    handler threads serve the pull loop; all run state is guarded by
-    one condition variable.
+    handler threads serve the pull loop; all session state is guarded
+    by one condition variable.
 
     Fault tolerance: a connection that drops while holding a shard has
     that shard requeued (bounded by :data:`MAX_REQUEUES`); because cells
     are pure functions, re-execution elsewhere returns the identical
     result.  A worker-side *exception* (as opposed to worker death) is
-    deterministic and therefore fatal to the run, exactly like the
-    serial reference.
+    deterministic and therefore fatal to the task's own job — exactly
+    like the serial reference — while co-tenant jobs keep running.
+    Every recorded result is acknowledged to the worker before it asks
+    for more work, and :meth:`close` drains assigned tasks before
+    shutting the fleet down, so the last shard of a session can neither
+    be dropped nor requeued spuriously.
     """
 
     def __init__(
@@ -503,15 +573,14 @@ class RemoteCoordinator:
         self.host = host
         self.port = self._server.getsockname()[1]
         self._state = threading.Condition()
-        self._fn: Optional[Callable[..., Any]] = None
-        self._shards: List[List[Cell]] = []
-        self._queue: "deque[int]" = deque()
-        self._results: Dict[int, List[Any]] = {}
-        self._requeues: Dict[int, int] = {}
-        self._failure: Optional[RemoteRunError] = None
-        self._active = False  # a run is in flight
-        self._generation = 0  # bumped per run; stale messages are dropped
+        self._jobs: Dict[int, _RemoteJob] = {}
+        self._tasks: Dict[int, _RemoteTask] = {}
+        self._queue: "deque[int]" = deque()  # wire ids, FIFO across jobs
+        self._next_job_id = 0
+        self._next_wire_id = 0
+        self._assigned = 0  # tasks currently held by workers
         self._active_workers = 0
+        self._closing = False  # stop assigning; drain in-flight tasks
         self._closed = False
         # kernel-availability maps already warned about, so a fleet of
         # identical numpy-only workers produces one heads-up, not one
@@ -529,11 +598,43 @@ class RemoteCoordinator:
 
     # -- lifecycle ------------------------------------------------------
 
-    def close(self) -> None:
-        """Stop accepting workers and release the port (idempotent)."""
+    def close(self, drain: bool = True) -> None:
+        """Stop the session and release the port (idempotent).
+
+        With ``drain`` (the default) the coordinator first stops
+        assigning new tasks, then waits up to
+        ``config.shutdown_timeout`` for tasks already held by workers
+        to return — their results are recorded and acknowledged, so the
+        last in-flight shard of a session is never lost to the
+        teardown race (ack-then-close).  Jobs still unfinished after
+        the drain fail with a *recoverable* :class:`RemoteRunError`
+        carrying everything that did complete.
+        """
+        callbacks: List[Tuple[Callable[..., None], int, None, RemoteRunError]]
         with self._state:
-            self._closed = True
+            if self._closed:
+                return
+            self._closing = True
             self._state.notify_all()
+            if drain:
+                deadline = time.monotonic() + self.config.shutdown_timeout
+                while self._assigned > 0 and time.monotonic() < deadline:
+                    self._state.wait(timeout=self.config.poll_interval)
+            self._closed = True
+            callbacks = []
+            for job in self._jobs.values():
+                if job.failure is None and len(job.results) < job.size:
+                    job.failure = RemoteRunError(
+                        "coordinator closed with the job unfinished",
+                        recoverable=True,
+                    )
+                    if job.on_task_done is not None:
+                        callbacks.append(
+                            (job.on_task_done, -1, None, job.failure)
+                        )
+            self._state.notify_all()
+        for on_task_done, index, result, failure in callbacks:
+            on_task_done(index, result, failure)
         try:
             self._server.close()
         except OSError:
@@ -545,7 +646,80 @@ class RemoteCoordinator:
     def __exit__(self, *_exc: Any) -> None:
         self.close()
 
-    # -- the run --------------------------------------------------------
+    # -- job submission -------------------------------------------------
+
+    def submit_job(
+        self,
+        fn: Callable[..., Any],
+        shards: Sequence[Sequence[Cell]],
+        on_task_done: Optional[Callable[..., None]] = None,
+        liveness: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Enqueue one job's shards on the shared queue; returns job id.
+
+        ``on_task_done(index, result, failure)`` — when given — fires
+        once per completed shard (``failure is None``) and once more,
+        with ``index == -1``, if the job fails (requeue budget, close,
+        or a deterministic cell exception); it is always invoked
+        outside the coordinator lock.  ``liveness`` is the stall probe
+        for callback-driven jobs (no ``wait_job`` caller to run one):
+        the accept loop aborts the job when no worker is connected and
+        the probe says none can ever return.
+        """
+        shards = [list(shard) for shard in shards]
+        with self._state:
+            if self._closed or self._closing:
+                raise ExperimentError("coordinator is closed")
+            job_id = self._next_job_id
+            self._next_job_id += 1
+            job = _RemoteJob(job_id, len(shards), on_task_done, liveness)
+            self._jobs[job_id] = job
+            for index, shard in enumerate(shards):
+                wire_id = self._next_wire_id
+                self._next_wire_id += 1
+                self._tasks[wire_id] = _RemoteTask(
+                    wire_id, job_id, index, fn, shard
+                )
+                self._queue.append(wire_id)
+            self._state.notify_all()
+        return job_id
+
+    def submit_single(
+        self,
+        fn: Callable[..., Any],
+        cells: Sequence[Cell],
+        on_done: Callable[
+            [Optional[List[Any]], Optional[RemoteRunError]], None
+        ],
+        liveness: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Enqueue one shard as its own job (the futures entry point).
+
+        ``on_done(result, failure)`` fires exactly once — with the
+        per-cell result list on success, or a :class:`RemoteRunError`
+        on failure — outside the coordinator lock.  Single-shard jobs
+        share the session queue with every other job, so concurrent
+        clients' shards interleave onto whichever workers free up
+        first.
+        """
+        fired = []  # on_task_done can see completion AND job failure
+
+        def on_task_done(
+            _index: int,
+            result: Optional[List[Any]],
+            failure: Optional[RemoteRunError],
+        ) -> None:
+            if fired:
+                return
+            fired.append(True)
+            on_done(result, failure)
+
+        return self.submit_job(
+            fn,
+            [list(cells)],
+            on_task_done=on_task_done,
+            liveness=liveness,
+        )
 
     def map_shards(
         self,
@@ -560,64 +734,62 @@ class RemoteCoordinator:
             shards: picklable cell tuples, grouped into tasks.
             liveness: optional probe for backend-managed workers; when
                 no worker is connected and the probe says none can ever
-                return, the run aborts instead of waiting forever.
+                return, the job aborts instead of waiting forever.
+
+        Several ``map_shards`` calls may be in flight at once (from
+        different threads); their shards share the session queue and
+        the worker fleet, and each call fails or completes on its own.
         """
         shards = [list(shard) for shard in shards]
         if not shards:
             return []
-        with self._state:
-            if self._closed:
-                raise ExperimentError("coordinator is closed")
-            if self._active:
-                raise ExperimentError("coordinator already has a run in flight")
-            self._fn = fn
-            self._shards = shards
-            self._results = {}
-            self._requeues = {}
-            self._failure = None
-            self._queue = deque(range(len(shards)))
-            self._active = True
-            self._generation += 1
-            self._state.notify_all()
-        return self._wait(liveness)
+        job_id = self.submit_job(fn, shards)
+        return self.wait_job(job_id, liveness=liveness)
 
-    def _done_locked(self) -> bool:
-        return bool(self._shards) and len(self._results) == len(self._shards)
+    def _drop_job_tasks_locked(self, job_id: int) -> None:
+        """Forget a finished/failed job's unassigned tasks (lock held)."""
+        for wire_id in [
+            wire_id
+            for wire_id, task in self._tasks.items()
+            if task.job_id == job_id
+        ]:
+            del self._tasks[wire_id]
 
-    def _wait(
-        self, liveness: Optional[Callable[[], bool]]
+    def wait_job(
+        self, job_id: int, liveness: Optional[Callable[[], bool]] = None
     ) -> List[List[Any]]:
+        """Block until a submitted job completes; per-shard results in order."""
         with self._state:
+            job = self._jobs[job_id]
             while True:
-                if self._failure is not None:
-                    self._active = False  # stop assigning leftovers
-                    failure = self._failure
+                if job.failure is not None:
+                    self._jobs.pop(job_id, None)
+                    self._drop_job_tasks_locked(job_id)
+                    failure = job.failure
                     # attach what did finish so FallbackBackend (or a
                     # caller) can drain only the missing shards
                     failure.completed = {
                         index: list(result)
-                        for index, result in self._results.items()
+                        for index, result in job.results.items()
                     }
                     raise failure
-                if self._done_locked():
-                    self._active = False  # idle until the next run
-                    return [
-                        self._results[index]
-                        for index in range(len(self._shards))
-                    ]
+                if len(job.results) == job.size:
+                    self._jobs.pop(job_id, None)
+                    return [job.results[index] for index in range(job.size)]
                 if (
                     liveness is not None
                     and self._active_workers == 0
                     and not liveness()
                 ):
-                    self._active = False  # unwedge for the next run
+                    self._jobs.pop(job_id, None)
+                    self._drop_job_tasks_locked(job_id)
                     raise RemoteRunError(
                         "remote run stalled: every worker exited with "
-                        f"{len(self._shards) - len(self._results)} "
+                        f"{job.size - len(job.results)} "
                         "shard(s) unfinished",
                         completed={
                             index: list(result)
-                            for index, result in self._results.items()
+                            for index, result in job.results.items()
                         },
                         recoverable=True,
                     )
@@ -630,6 +802,7 @@ class RemoteCoordinator:
             with self._state:
                 if self._closed:
                     return
+            self._sweep_stalled_jobs()
             try:
                 conn, _peer = self._server.accept()
             except socket.timeout:
@@ -639,6 +812,41 @@ class RemoteCoordinator:
             threading.Thread(
                 target=self._serve_worker, args=(conn,), daemon=True
             ).start()
+
+    def _sweep_stalled_jobs(self) -> None:
+        """Abort callback-driven jobs whose fleet can never return.
+
+        Blocking ``wait_job`` callers run their own liveness probe;
+        futures resolved by ``on_task_done`` have no waiter, so the
+        accept loop (which already ticks every ``poll_interval``)
+        sweeps jobs carrying a probe and fails them — recoverable, like
+        the blocking stall abort — once no worker is connected and the
+        probe reports none can come back.
+        """
+        callbacks: List[Tuple[Callable[..., None], RemoteRunError]] = []
+        with self._state:
+            if self._active_workers > 0:
+                return
+            for job in list(self._jobs.values()):
+                if (
+                    job.liveness is None
+                    or job.on_task_done is None
+                    or job.failure is not None
+                    or job.liveness()
+                ):
+                    continue
+                job.failure = RemoteRunError(
+                    "remote run stalled: every worker exited with "
+                    f"{job.size - len(job.results)} shard(s) unfinished",
+                    recoverable=True,
+                )
+                callbacks.append((job.on_task_done, job.failure))
+                del self._jobs[job.job_id]
+                self._drop_job_tasks_locked(job.job_id)
+            if callbacks:
+                self._state.notify_all()
+        for on_task_done, failure in callbacks:
+            on_task_done(-1, None, failure)
 
     def _handshake(self, conn: socket.socket) -> bool:
         hello = recv_msg(conn)
@@ -697,36 +905,81 @@ class RemoteCoordinator:
             stacklevel=2,
         )
 
-    def _next_task(
-        self,
-    ) -> Optional[Tuple[int, int, Callable[..., Any], List[Cell]]]:
-        """Block until a shard is assignable; ``None`` means shut down.
+    def _next_task(self) -> Optional[_RemoteTask]:
+        """Block until a task is assignable; ``None`` means shut down.
 
-        Between runs (and while a failed run unwinds) workers idle here
+        Between jobs (and while a failed job unwinds) workers idle here
         rather than being shut down, so a persistent backend reuses the
-        connected fleet across consecutive ``map_shards`` calls.
-        Returns ``(generation, task_id, fn, cells)``; the generation
-        stamp lets the handler drop results of, and skip requeues for,
-        a run that has since been superseded.
+        connected fleet across consecutive jobs.  The queue is shared
+        session-wide: entries whose job has since finished or failed
+        are skipped lazily, everything else is handed out FIFO
+        regardless of which job enqueued it (work-stealing).
         """
         with self._state:
             while True:
-                if self._closed:
+                if self._closed or self._closing:
                     return None
-                if self._active and self._failure is None and self._queue:
-                    task_id = self._queue.popleft()
-                    assert self._fn is not None
-                    return (
-                        self._generation,
-                        task_id,
-                        self._fn,
-                        self._shards[task_id],
-                    )
+                while self._queue:
+                    wire_id = self._queue.popleft()
+                    task = self._tasks.get(wire_id)
+                    if task is None:
+                        continue  # job finished/failed; stale entry
+                    job = self._jobs.get(task.job_id)
+                    if job is None or job.failure is not None:
+                        del self._tasks[wire_id]
+                        continue
+                    self._assigned += 1
+                    return task
                 self._state.wait(timeout=self.config.poll_interval)
 
+    def _record_result(
+        self, wire_id: int, result: List[Any]
+    ) -> Optional[Tuple[Callable[..., None], int, List[Any]]]:
+        """Record one task's result; returns the done-callback to fire."""
+        with self._state:
+            self._assigned -= 1
+            task = self._tasks.pop(wire_id, None)
+            callback = None
+            if task is not None:
+                job = self._jobs.get(task.job_id)
+                if job is not None and job.failure is None:
+                    job.results[task.index] = result
+                    if job.on_task_done is not None:
+                        callback = (job.on_task_done, task.index, result)
+                        if len(job.results) == job.size:
+                            # callback-driven jobs have no wait_job
+                            # caller to reap them — reap on completion
+                            del self._jobs[job.job_id]
+            self._state.notify_all()
+        return callback
+
+    def _record_error(
+        self, wire_id: int, error: str
+    ) -> Optional[Tuple[Callable[..., None], RemoteRunError]]:
+        """Fail one task's job; returns the failure callback to fire."""
+        with self._state:
+            self._assigned -= 1
+            task = self._tasks.pop(wire_id, None)
+            callback = None
+            if task is not None:
+                job = self._jobs.get(task.job_id)
+                if job is not None and job.failure is None:
+                    # a worker-side exception is deterministic — the
+                    # cell would fail anywhere, so draining elsewhere
+                    # cannot help; co-tenant jobs are unaffected
+                    job.failure = RemoteRunError(
+                        f"remote worker failed on shard "
+                        f"{task.index}: {error}",
+                        recoverable=False,
+                    )
+                    if job.on_task_done is not None:
+                        callback = (job.on_task_done, job.failure)
+                        del self._jobs[job.job_id]
+            self._state.notify_all()
+        return callback
+
     def _serve_worker(self, conn: socket.socket) -> None:
-        task_id: Optional[int] = None
-        task_gen = 0
+        held: Optional[_RemoteTask] = None
         registered = False
         try:
             if not self._handshake(conn):
@@ -741,64 +994,88 @@ class RemoteCoordinator:
                     return  # peer closed; finally-block requeues
                 kind = message.get("type")
                 if kind == "ready":
-                    assignment = self._next_task()
-                    if assignment is None:
+                    task = self._next_task()
+                    if task is None:
                         send_msg(conn, {"type": "shutdown"})
                         return
-                    task_gen, task_id, fn, cells = assignment
+                    held = task
                     send_msg(
                         conn,
                         {
                             "type": "task",
-                            "task_id": task_id,
-                            "fn": fn,
-                            "cells": cells,
+                            "task_id": task.wire_id,
+                            "fn": task.fn,
+                            "cells": task.cells,
                         },
                     )
                 elif kind == "result":
-                    with self._state:
-                        if task_gen == self._generation:
-                            self._results[message["task_id"]] = (
-                                message["result"]
-                            )
-                        task_id = None
-                        self._state.notify_all()
+                    # clear the held task *before* acking: once the
+                    # result is recorded, this worker dying can no
+                    # longer requeue (and thus double-run) the shard
+                    wire_id = message["task_id"]
+                    held = None
+                    callback = self._record_result(
+                        wire_id, message["result"]
+                    )
+                    if callback is not None:
+                        on_task_done, index, result = callback
+                        on_task_done(index, result, None)
+                    send_msg(conn, {"type": "ack", "task_id": wire_id})
                 elif kind == "error":
-                    with self._state:
-                        if task_gen == self._generation:
-                            # a worker-side exception is deterministic —
-                            # the cell would fail anywhere, so draining
-                            # elsewhere cannot help
-                            self._failure = RemoteRunError(
-                                f"remote worker failed on shard "
-                                f"{message['task_id']}: {message['error']}",
-                                recoverable=False,
-                            )
-                        task_id = None
-                        self._state.notify_all()
-                    return
+                    # deterministic failure is job-scoped: fail that
+                    # job, keep serving the connection so co-tenant
+                    # jobs keep their worker
+                    wire_id = message["task_id"]
+                    held = None
+                    fail_callback = self._record_error(
+                        wire_id, message["error"]
+                    )
+                    if fail_callback is not None:
+                        on_task_done, run_error = fail_callback
+                        on_task_done(-1, None, run_error)
                 else:
                     return  # protocol confusion: drop the connection
         except (OSError, pickle.PickleError, EOFError, ConnectionError):
             pass  # connection-level failure; finally-block requeues
         finally:
+            fail_callback = None
             with self._state:
                 if registered:
                     self._active_workers -= 1
-                if task_id is not None and task_gen == self._generation:
-                    count = self._requeues.get(task_id, 0) + 1
-                    self._requeues[task_id] = count
-                    if count > MAX_REQUEUES:
-                        # worker *death* is an infrastructure failure;
-                        # the surviving shards can still run elsewhere
-                        self._failure = RemoteRunError(
-                            f"shard {task_id} killed {count} workers; "
-                            "giving up instead of consuming the fleet",
-                            recoverable=True,
-                        )
-                    else:
-                        self._queue.append(task_id)
+                if held is not None:
+                    self._assigned -= 1
+                    task = self._tasks.get(held.wire_id)
+                    job = (
+                        self._jobs.get(task.job_id)
+                        if task is not None
+                        else None
+                    )
+                    if task is not None and job is not None:
+                        task.requeues += 1
+                        if task.requeues > MAX_REQUEUES:
+                            # worker *death* is an infrastructure
+                            # failure; the surviving shards can still
+                            # run elsewhere
+                            if job.failure is None:
+                                job.failure = RemoteRunError(
+                                    f"shard {task.index} killed "
+                                    f"{task.requeues} workers; giving up "
+                                    "instead of consuming the fleet",
+                                    recoverable=True,
+                                )
+                                if job.on_task_done is not None:
+                                    fail_callback = (
+                                        job.on_task_done,
+                                        job.failure,
+                                    )
+                                    del self._jobs[job.job_id]
+                            del self._tasks[held.wire_id]
+                        else:
+                            self._queue.append(held.wire_id)
                 self._state.notify_all()
+            if fail_callback is not None:
+                on_task_done, run_error = fail_callback
+                on_task_done(-1, None, run_error)
             try:
                 conn.close()
             except OSError:
@@ -871,11 +1148,34 @@ class RemoteBackend(ExecutorBackend):
         liveness = spawned_alive if workers else None
         return coordinator.map_shards(fn, shards, liveness=liveness)
 
+    def submit_cells(
+        self,
+        fn: Callable[..., Any],
+        cells: Sequence[Cell],
+        on_done: Callable[
+            [Optional[List[Any]], Optional[RemoteRunError]], None
+        ],
+    ) -> None:
+        """Enqueue one shard asynchronously (the futures entry point).
+
+        The shard joins the coordinator session's shared queue, so
+        concurrent clients' cells interleave onto whichever worker
+        frees up first; ``on_done(result, failure)`` fires exactly once
+        from a coordinator thread.
+        """
+        coordinator, workers = self._ensure_up()
+
+        def spawned_alive() -> bool:
+            return any(proc.poll() is None for proc in workers)
+
+        liveness = spawned_alive if workers else None
+        coordinator.submit_single(fn, cells, on_done, liveness=liveness)
+
     def close(self) -> None:
-        """Shut down the coordinator and reap spawned daemons."""
+        """Drain in-flight tasks, shut the coordinator, reap daemons."""
         with self._lock:
             if self._coordinator is not None:
-                self._coordinator.close()
+                self._coordinator.close(drain=True)
             self._coordinator = None
             procs, self._procs = self._procs, []
         for proc in procs:

@@ -30,8 +30,9 @@ compatibility.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.backends import (  # noqa: F401  (compat re-exports)
     Cell,
@@ -44,6 +45,7 @@ from repro.engine.backends import (  # noqa: F401  (compat re-exports)
     shared_process_pool,
     shutdown_shared_pools,
 )
+from repro.engine.taskgraph import EngineSession
 from repro.errors import ExperimentError
 
 
@@ -115,19 +117,87 @@ class GridConfig:
         return self.workers if self.workers is not None else (os.cpu_count() or 1)
 
 
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One declarative unit of grid work: what to run, over what.
+
+    The consolidated :meth:`GridRunner.run` entry point executes plans;
+    the two shapes correspond to the legacy ``map``/``map_batches``
+    pair:
+
+    - ``ExecutionPlan.for_cells(fn, cells)`` — evaluate ``fn(*cell)``
+      per cell; ``run`` returns ``[fn(*cell) for cell in cells]``.
+    - ``ExecutionPlan.for_batches(fn, items, extra)`` — ``fn`` is
+      *batch-decomposable* (``fn(a + b) == fn(a) + fn(b)``, one result
+      per item); ``run`` returns ``list(fn(items, *extra))`` computed
+      as contiguous sub-batches.
+
+    Plans are inert data: building one performs no work and implies no
+    execution policy — mode, workers, and sharding stay on the runner's
+    :class:`GridConfig`, so the same plan can be handed to a serial
+    reference runner and a remote-session runner for an identity check.
+    """
+
+    kind: str
+    fn: Callable[..., Any]
+    items: Tuple[Any, ...]
+    extra: Tuple[Any, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cells", "batches"):
+            raise ExperimentError(
+                f"unknown plan kind {self.kind!r}; "
+                "expected 'cells' or 'batches'"
+            )
+        if self.kind == "cells" and self.extra:
+            raise ExperimentError(
+                "extra arguments are only meaningful for batch plans "
+                "(cells carry their own arguments)"
+            )
+
+    @classmethod
+    def for_cells(
+        cls, fn: Callable[..., Any], cells: Sequence[Cell]
+    ) -> "ExecutionPlan":
+        """A per-cell plan: ``fn(*cell)`` for every cell, in order."""
+        return cls(
+            kind="cells", fn=fn, items=tuple(tuple(c) for c in cells)
+        )
+
+    @classmethod
+    def for_batches(
+        cls,
+        fn: Callable[..., List[Any]],
+        items: Sequence[Any],
+        extra: Sequence[Any] = (),
+    ) -> "ExecutionPlan":
+        """A batch plan: ``fn(sub_batch, *extra)`` over contiguous splits."""
+        return cls(
+            kind="batches", fn=fn, items=tuple(items), extra=tuple(extra)
+        )
+
+
 class GridRunner:
-    """Deterministically ordered map over independent experiment cells.
+    """Deterministically ordered execution over independent grid cells.
 
     Args:
         config: execution policy (defaults to ``auto``).
 
-    ``map(fn, cells)`` returns ``[fn(*cell) for cell in cells]`` in cell
-    order for every mode and shard count; sharding can only change
-    *where* and *when* a cell runs, never what is returned or in which
-    slot.  A broken process pool degrades to the serial reference, and
-    a remote worker dying mid-cell has the cell reassigned (results are
-    a pure function of the cells, so the answer is the same — only
-    slower).
+    :meth:`run` is the single entry point: build an
+    :class:`ExecutionPlan` (per-cell or batch-decomposable) and the
+    runner executes it over the configured backend through the
+    submit/future engine (:class:`~repro.engine.taskgraph
+    .EngineSession`), returning results in item order for every mode
+    and shard count — sharding can only change *where* and *when* a
+    cell runs, never what is returned or in which slot.  A broken
+    process pool degrades to the serial reference, and a remote worker
+    dying mid-cell has the cell reassigned (results are a pure function
+    of the cells, so the answer is the same — only slower).
+
+    Long-lived clients that want to overlap stages can skip the
+    blocking entry point and drive a :meth:`session` directly:
+    ``submit`` shards as their inputs become available, gather futures
+    when (and only when) the results are needed.
     """
 
     def __init__(self, config: Optional[GridConfig] = None):
@@ -183,14 +253,44 @@ class GridRunner:
             spawn=self.config.workers if mode in REMOTE_MODES else None,
         )
 
-    def map(self, fn: Callable[..., Any], cells: Sequence[Cell]) -> List[Any]:
-        """Evaluate ``fn(*cell)`` for every cell, results in cell order.
+    def session(
+        self, n_tasks: int = 0, max_inflight: Optional[int] = None
+    ) -> EngineSession:
+        """An :class:`EngineSession` over this runner's resolved backend.
 
-        ``fn`` must be a module-level callable and cells picklable
-        tuples (the process and remote backends ship both to the
-        workers).
+        ``n_tasks`` is the expected task count, used only for mode
+        resolution (``auto`` picks serial for a single local task);
+        ``0`` means "unknown, assume many".  The caller owns the
+        session (``with runner.session() as session:``); closing it
+        leaves shared backends (warm pool, coordinator fleet) up.
         """
-        cells = [tuple(cell) for cell in cells]
+        n_tasks = n_tasks or (self.config.resolved_workers() + 1)
+        mode = self.resolved_mode(n_tasks)
+        if (mode == "process" or mode in REMOTE_MODES) and in_pool_worker():
+            mode = "serial"  # no nested fan-out — see in_pool_worker()
+        backend = self.backend(mode, n_shards=n_tasks)
+        return EngineSession(backend, max_inflight=max_inflight)
+
+    def run(self, plan: ExecutionPlan) -> List[Any]:
+        """Execute one plan; results in item order (the single entry point).
+
+        Per-cell plans return ``[fn(*cell) for cell in cells]``; batch
+        plans return ``list(fn(items, *extra))`` computed over
+        contiguous sub-batches (sized by ``config.shards`` or one per
+        resolved worker — the batched accuracy stage uses this to shard
+        a multiplier stack into sub-stacks that each keep the one-pass
+        :meth:`~repro.nn.inference.QuantCNN.forward_stack` advantage).
+        Identical — values and ordering — for every mode, shard count,
+        and backend; serial resolution short-circuits to the direct
+        reference call without touching an executor.
+        """
+        if plan.kind == "cells":
+            return self._run_cells(plan.fn, list(plan.items))
+        return self._run_batches(plan.fn, list(plan.items), plan.extra)
+
+    def _run_cells(
+        self, fn: Callable[..., Any], cells: List[Cell]
+    ) -> List[Any]:
         if not cells:
             return []
         mode = self.resolved_mode(len(cells))
@@ -203,35 +303,19 @@ class GridRunner:
             cells, default_count=len(cells) if mode in REMOTE_MODES else None
         )
         backend = self.backend(mode, n_shards=len(shards))
-        shard_results = backend.map_shards(fn, shards)
+        with EngineSession(backend) as session:
+            futures = [session.submit(fn, shard) for shard in shards]
+            shard_results = session.gather(futures)
         return [result for shard in shard_results for result in shard]
 
-    def map_batches(
+    def _run_batches(
         self,
         fn: Callable[..., List[Any]],
-        items: Sequence[Any],
-        extra: Sequence[Any] = (),
+        items: List[Any],
+        extra: Tuple[Any, ...],
     ) -> List[Any]:
-        """Evaluate ``fn(batch, *extra)`` over contiguous item batches.
-
-        For callables that are *batch-decomposable* — ``fn`` returns one
-        result per item of its batch and ``fn(a + b) == fn(a) + fn(b)``
-        — this fans a single large batch out over the configured
-        backend as contiguous sub-batches (one cell per sub-batch,
-        sized by ``config.shards`` or one per resolved worker) and
-        concatenates the per-batch results in item order.  The batched
-        accuracy stage uses it to shard a multiplier stack into
-        sub-stacks that each keep the one-pass
-        :meth:`~repro.nn.inference.QuantCNN.forward_stack` advantage.
-
-        Returns exactly ``list(fn(items, *extra))`` for every mode,
-        batch count, and backend; in ``serial`` resolution the single
-        full-batch call is used directly.
-        """
-        items = list(items)
         if not items:
             return []
-        extra = tuple(extra)
         mode = self.resolved_mode(len(items))
         if (mode == "process" or mode in REMOTE_MODES) and in_pool_worker():
             mode = "serial"  # no nested fan-out — see in_pool_worker()
@@ -241,5 +325,32 @@ class GridRunner:
         if len(batches) == 1:
             return list(fn(items, *extra))
         cells = [(batch,) + extra for batch in batches]
-        results = self.map(fn, cells)
+        results = self._run_cells(fn, cells)
         return [value for batch_result in results for value in batch_result]
+
+    # -- deprecated map-style shims ------------------------------------
+
+    def map(self, fn: Callable[..., Any], cells: Sequence[Cell]) -> List[Any]:
+        """Deprecated: use ``run(ExecutionPlan.for_cells(fn, cells))``."""
+        warnings.warn(
+            "GridRunner.map is deprecated; use "
+            "GridRunner.run(ExecutionPlan.for_cells(fn, cells))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(ExecutionPlan.for_cells(fn, cells))
+
+    def map_batches(
+        self,
+        fn: Callable[..., List[Any]],
+        items: Sequence[Any],
+        extra: Sequence[Any] = (),
+    ) -> List[Any]:
+        """Deprecated: use ``run(ExecutionPlan.for_batches(fn, items))``."""
+        warnings.warn(
+            "GridRunner.map_batches is deprecated; use "
+            "GridRunner.run(ExecutionPlan.for_batches(fn, items, extra))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(ExecutionPlan.for_batches(fn, items, extra))

@@ -12,9 +12,10 @@ identical results:
   :meth:`repro.ga.fitness.FitnessEvaluator.evaluate_population` and
   :class:`repro.approx.pruning.BatchedPruningObjectives`);
 * ``thread`` / ``process`` — fan the cache misses out over the
-  matching :mod:`repro.engine.backends` executor; results are
-  re-assembled by index, so completion order cannot leak into the
-  outcome;
+  matching :mod:`repro.engine.backends` executor through the
+  submit/future engine (:class:`repro.engine.taskgraph.EngineSession`);
+  futures are gathered in submission order, so completion order cannot
+  leak into the outcome;
 * ``auto``   — ``batch`` when a batch callable exists, else ``thread``
   when the machine has more than one CPU, else ``serial``.
 
@@ -30,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.backends import ProcessBackend, ThreadBackend
+from repro.engine.taskgraph import EngineSession
 from repro.errors import OptimizationError
 
 Genome = Tuple[int, ...]
@@ -158,9 +160,12 @@ class PopulationEvaluator:
                 backend = ThreadBackend(
                     min(self.config.resolved_workers(), len(misses))
                 )
-                shard_results = backend.map_shards(
-                    self.evaluate, [[(genome,)] for genome in misses]
-                )
+                with EngineSession(backend) as session:
+                    futures = [
+                        session.submit(self.evaluate, [(genome,)])
+                        for genome in misses
+                    ]
+                    shard_results = session.gather(futures)
                 results = [shard[0] for shard in shard_results]
             else:  # process: warm shared pool, chunked dispatch
                 results = self._process_map(misses)
@@ -197,6 +202,7 @@ class PopulationEvaluator:
             [(genome,) for genome in misses[start : start + chunk]]
             for start in range(0, len(misses), chunk)
         ]
-        backend = ProcessBackend(workers)
-        shard_results = backend.map_shards(self.evaluate, shards)
+        with EngineSession(ProcessBackend(workers)) as session:
+            futures = [session.submit(self.evaluate, shard) for shard in shards]
+            shard_results = session.gather(futures)
         return [result for shard in shard_results for result in shard]

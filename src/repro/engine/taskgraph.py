@@ -1,0 +1,525 @@
+"""Async task graph over the execution backends: futures + backpressure.
+
+The map-style entry points (:meth:`GridRunner.map_shards`,
+:class:`PopulationEvaluator`) are synchronous barriers: every wave must
+fully complete before the next one is even *submitted*, so a run can
+never overlap its library build, accuracy stage, and search.  This
+module is the asynchronous layer underneath them:
+
+``EngineSession``
+    wraps any :class:`~repro.engine.backends.ExecutorBackend` and turns
+    it into a ``submit(fn, cells) -> TaskFuture`` surface with *bounded
+    backpressure* — at most ``max_inflight`` shards are outstanding,
+    and further ``submit`` calls block until a slot frees, so a
+    producer can stream millions of shards without buffering them all.
+    The serial backend stays the bit-identical reference: a serial
+    session executes each shard inline at ``submit`` time, in
+    submission order, on the calling thread.
+
+``CoordinatorSession``
+    an ``EngineSession`` over the *persistent* shared remote backend:
+    the TCP coordinator outlives individual maps, workers join/leave
+    mid-run, and shards submitted by concurrent sessions interleave
+    onto one shared work-stealing queue (see
+    ``RemoteCoordinator.submit_single``).  Closing the session drains
+    its own futures but leaves the coordinator and its warm fleet up
+    for the next client.
+
+``TaskGraph``
+    a thin dependency layer: ``add(fn, cells, after=...)`` nodes are
+    submitted the moment their dependencies resolve, from a dedicated
+    dispatch thread (never from a result-callback thread, which could
+    deadlock against the backpressure bound).  This is what lets
+    generation ``g+1``'s circuit evaluation overlap generation ``g``'s
+    streaming accuracy scores.
+
+Determinism contract: ``session.map_shards(fn, shards)`` equals
+``[[fn(*cell) for cell in shard] for shard in shards]`` for every
+backend, exactly like the blocking backend protocol — futures change
+*when* work runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine.backends import (
+    Cell,
+    ExecutorBackend,
+    RemoteRunError,
+    SerialBackend,
+    ThreadBackend,
+    run_shard,
+    shared_remote_backend,
+)
+from repro.errors import ExperimentError
+
+__all__ = [
+    "TaskFuture",
+    "EngineSession",
+    "CoordinatorSession",
+    "TaskGraph",
+]
+
+
+class TaskFuture:
+    """The result of one submitted shard: per-cell values, in order.
+
+    A minimal future — ``done`` / ``result`` / ``exception`` /
+    ``add_done_callback`` — resolved exactly once by the session that
+    created it.  ``result()`` blocks until resolution and re-raises the
+    shard's exception if it failed; callbacks added after resolution
+    fire immediately on the caller's thread.
+    """
+
+    __slots__ = ("_event", "_value", "_error", "_callbacks", "_lock", "label")
+
+    def __init__(self, label: Optional[str] = None):
+        self._event = threading.Event()
+        self._value: Optional[List[Any]] = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["TaskFuture"], None]] = []
+        self._lock = threading.Lock()
+        self.label = label
+
+    def done(self) -> bool:
+        """True once the shard has a result or an exception."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> List[Any]:
+        """Block for, then return, the shard's per-cell result list."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"shard result not ready within {timeout} s"
+                + (f" (task {self.label})" if self.label else "")
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        """Block for resolution; the stored exception or ``None``."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"shard result not ready within {timeout} s"
+                + (f" (task {self.label})" if self.label else "")
+            )
+        return self._error
+
+    def add_done_callback(
+        self, callback: Callable[["TaskFuture"], None]
+    ) -> None:
+        """Run ``callback(self)`` at resolution (immediately if done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _resolve(
+        self,
+        value: Optional[List[Any]],
+        error: Optional[BaseException] = None,
+    ) -> None:
+        with self._lock:
+            if self._event.is_set():  # resolved exactly once
+                return
+            self._value = value
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class EngineSession:
+    """``submit(fn, cells) -> TaskFuture`` over any executor backend.
+
+    Args:
+        backend: the executor strategy.  Serial backends run each shard
+            inline at ``submit`` (the bit-identical, in-order
+            reference); backends exposing ``submit_cells`` (the remote
+            backend) enqueue on the coordinator's shared queue; every
+            other backend is driven through a dispatcher thread pool
+            calling its blocking ``map_shards`` one shard at a time.
+        max_inflight: backpressure bound — ``submit`` blocks while this
+            many shards are outstanding (default: twice the backend's
+            worker width, at least 2).
+        close_backend: close the backend when the session closes
+            (default off: sessions over shared backends must leave the
+            fleet warm for the next client).
+
+    Sessions are thread-safe: any number of producer threads may
+    ``submit`` concurrently, and several sessions may share one
+    backend.  ``close`` (or the context manager) drains outstanding
+    futures first, so PR 6's checkpoint rule — a generation commits
+    only after all its futures resolve — holds by construction for any
+    client that gathers its futures before checkpointing.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutorBackend,
+        max_inflight: Optional[int] = None,
+        close_backend: bool = False,
+    ):
+        self.backend = backend
+        width = getattr(backend, "workers", None)
+        if width is None:
+            width = getattr(backend, "spawn", None) or 4
+        width = max(1, int(width))
+        self.max_inflight = (
+            max(2, 2 * width) if max_inflight is None else max(1, max_inflight)
+        )
+        self._close_backend = close_backend
+        self._serial = isinstance(backend, SerialBackend)
+        self._submit_cells = getattr(backend, "submit_cells", None)
+        self._inflight = threading.BoundedSemaphore(self.max_inflight)
+        self._outstanding = 0
+        self._state = threading.Condition()
+        self._closed = False
+        self._dispatcher: Optional[ThreadPoolExecutor] = None
+        if not self._serial and self._submit_cells is None:
+            # exactly the backend's width: max_inflight (>= width)
+            # bounds *queued* shards, the pool bounds *running* ones —
+            # a 2-worker thread backend must never run 4 shards at once
+            self._dispatcher = ThreadPoolExecutor(
+                max_workers=width,
+                thread_name_prefix="engine-session",
+            )
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        cells: Sequence[Cell],
+        label: Optional[str] = None,
+    ) -> TaskFuture:
+        """Enqueue one shard; blocks only when ``max_inflight`` is hit.
+
+        Returns a :class:`TaskFuture` resolving to
+        ``[fn(*cell) for cell in cells]``.
+        """
+        cells = [tuple(cell) for cell in cells]
+        future = TaskFuture(label=label)
+        self._inflight.acquire()
+        with self._state:
+            if self._closed:
+                self._inflight.release()
+                raise ExperimentError("engine session is closed")
+            self._outstanding += 1
+
+        def finish(
+            value: Optional[List[Any]], error: Optional[BaseException]
+        ) -> None:
+            with self._state:
+                self._outstanding -= 1
+                self._state.notify_all()
+            self._inflight.release()
+            future._resolve(value, error)
+
+        if self._serial:
+            # the reference path: inline, in submission order, on the
+            # calling thread — bit-identical to the blocking engine
+            try:
+                value = run_shard(fn, cells)
+            except Exception as exc:  # noqa: BLE001 - stored, re-raised
+                finish(None, exc)
+            else:
+                finish(value, None)
+            return future
+
+        if self._submit_cells is not None:
+
+            def on_done(
+                result: Optional[List[Any]],
+                failure: Optional[RemoteRunError],
+            ) -> None:
+                finish(result, failure)
+
+            try:
+                self._submit_cells(fn, cells, on_done)
+            except Exception as exc:  # noqa: BLE001 - stored, re-raised
+                finish(None, exc)
+            return future
+
+        def dispatch() -> None:
+            try:
+                if isinstance(self.backend, ThreadBackend):
+                    # already on a session thread; a nested
+                    # single-thread pool would add nothing
+                    value = run_shard(fn, cells)
+                else:
+                    value = self.backend.map_shards(fn, [cells])[0]
+            except Exception as exc:  # noqa: BLE001 - stored, re-raised
+                finish(None, exc)
+            else:
+                finish(value, None)
+
+        assert self._dispatcher is not None
+        self._dispatcher.submit(dispatch)
+        return future
+
+    def map_shards(
+        self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
+    ) -> List[List[Any]]:
+        """The blocking protocol, expressed as submit-then-gather.
+
+        Equals ``[[fn(*cell) for cell in shard] for shard in shards]``
+        — the backend determinism contract — for every backend.
+        """
+        futures = [self.submit(fn, shard) for shard in shards]
+        return self.gather(futures)
+
+    # -- gathering ------------------------------------------------------
+
+    @staticmethod
+    def gather(futures: Sequence[TaskFuture]) -> List[List[Any]]:
+        """Results of ``futures`` in the given (submission) order."""
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def as_completed(
+        futures: Iterable[TaskFuture],
+    ) -> Iterator[TaskFuture]:
+        """Yield futures in completion order (out-of-order streaming)."""
+        futures = list(futures)
+        ready: "deque[TaskFuture]" = deque()
+        signal = threading.Condition()
+
+        def on_done(future: TaskFuture) -> None:
+            with signal:
+                ready.append(future)
+                signal.notify()
+
+        for future in futures:
+            future.add_done_callback(on_done)
+        for _ in range(len(futures)):
+            with signal:
+                while not ready:
+                    signal.wait()
+                yield ready.popleft()
+
+    def drain(self) -> None:
+        """Block until every shard submitted so far has resolved."""
+        with self._state:
+            while self._outstanding > 0:
+                self._state.wait()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain outstanding futures and stop accepting new ones."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+        self.drain()
+        if self._dispatcher is not None:
+            self._dispatcher.shutdown(wait=True)
+        if self._close_backend:
+            close = getattr(self.backend, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+class CoordinatorSession(EngineSession):
+    """A session over the persistent shared remote coordinator.
+
+    Args:
+        coordinator: ``HOST:PORT`` bind for the shared coordinator
+            (default loopback/ephemeral — see
+            :func:`~repro.engine.backends.shared_remote_backend`).
+        spawn: local worker daemons the shared backend keeps attached.
+        max_inflight: backpressure bound (see :class:`EngineSession`).
+
+    Concurrent ``CoordinatorSession``\\ s over the same address share
+    one coordinator and one worker fleet; their shards interleave on
+    the coordinator's work-stealing queue, and workers may join or
+    leave at any point.  ``close`` drains this session's futures but
+    deliberately leaves the coordinator up — it belongs to the process,
+    not to any one session (``shutdown_remote_backends`` tears it
+    down).
+    """
+
+    def __init__(
+        self,
+        coordinator: Optional[str] = None,
+        spawn: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+    ):
+        super().__init__(
+            shared_remote_backend(coordinator, spawn),
+            max_inflight=max_inflight,
+            close_backend=False,
+        )
+
+
+class _GraphNode:
+    __slots__ = ("fn", "cells", "cells_from", "after", "future", "pending")
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        cells: Optional[Sequence[Cell]],
+        cells_from: Optional[Callable[[List[List[Any]]], Sequence[Cell]]],
+        after: Tuple[TaskFuture, ...],
+    ):
+        self.fn = fn
+        self.cells = cells
+        self.cells_from = cells_from
+        self.after = after
+        self.future = TaskFuture()
+        self.pending = len(after)
+
+
+class TaskGraph:
+    """Dependency-ordered submission onto an :class:`EngineSession`.
+
+    ``add(fn, cells)`` nodes with no dependencies are submitted
+    immediately; ``add(fn, after=(a, b), cells_from=build)`` nodes wait
+    until every dependency resolves, then ``build([a_result,
+    b_result])`` produces their cells and they join the session queue.
+    All submission happens on one dedicated dispatch thread — result
+    callbacks only flip dependency counters, so a full backpressure
+    bound can never deadlock the backend's own completion path.
+
+    A failed dependency fails its dependents (same exception) without
+    running them; independent branches are unaffected — the graph is
+    the async analogue of job-scoped failure in the coordinator.
+    """
+
+    def __init__(self, session: EngineSession):
+        self.session = session
+        self._ready: "deque[_GraphNode]" = deque()
+        self._state = threading.Condition()
+        self._open_nodes = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, daemon=True
+        )
+        self._thread.start()
+
+    def add(
+        self,
+        fn: Callable[..., Any],
+        cells: Optional[Sequence[Cell]] = None,
+        after: Sequence[TaskFuture] = (),
+        cells_from: Optional[
+            Callable[[List[List[Any]]], Sequence[Cell]]
+        ] = None,
+    ) -> TaskFuture:
+        """Register one node; returns the future of its shard.
+
+        Exactly one of ``cells`` (static shard) or ``cells_from``
+        (shard built from the dependencies' results, in ``after``
+        order) must be given.
+        """
+        if (cells is None) == (cells_from is None):
+            raise ExperimentError(
+                "TaskGraph.add takes exactly one of cells/cells_from"
+            )
+        if cells_from is not None and not after:
+            raise ExperimentError("cells_from requires dependencies (after)")
+        node = _GraphNode(fn, cells, cells_from, tuple(after))
+        with self._state:
+            if self._closed:
+                raise ExperimentError("task graph is closed")
+            self._open_nodes += 1
+            if node.pending == 0:
+                self._ready.append(node)
+                self._state.notify_all()
+        if node.pending:
+
+            def on_dep_done(_dep: TaskFuture) -> None:
+                with self._state:
+                    node.pending -= 1
+                    if node.pending == 0:
+                        self._ready.append(node)
+                        self._state.notify_all()
+
+            for dep in node.after:
+                dep.add_done_callback(on_dep_done)
+        return node.future
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._state:
+                while not self._ready and not self._closed:
+                    self._state.wait()
+                if not self._ready and self._closed:
+                    return
+                node = self._ready.popleft()
+            self._dispatch(node)
+            with self._state:
+                self._open_nodes -= 1
+                self._state.notify_all()
+
+    def _dispatch(self, node: _GraphNode) -> None:
+        failed = next(
+            (dep for dep in node.after if dep.exception() is not None), None
+        )
+        if failed is not None:
+            node.future._resolve(None, failed.exception())
+            return
+        try:
+            cells = (
+                node.cells
+                if node.cells is not None
+                else node.cells_from([dep.result() for dep in node.after])
+            )
+            submitted = self.session.submit(node.fn, cells)
+        except Exception as exc:  # noqa: BLE001 - stored, re-raised
+            node.future._resolve(None, exc)
+            return
+        submitted.add_done_callback(
+            lambda done: node.future._resolve(
+                done._value, done._error
+            )
+        )
+
+    def join(self) -> None:
+        """Block until every added node has been *submitted*.
+
+        Gather the returned futures (or ``session.drain()``) to wait
+        for the results themselves.
+        """
+        with self._state:
+            while self._open_nodes > 0:
+                self._state.wait()
+
+    def close(self) -> None:
+        """Wait for all nodes to dispatch, then stop the thread."""
+        self.join()
+        with self._state:
+            self._closed = True
+            self._state.notify_all()
+        self._thread.join()
+
+    def __enter__(self) -> "TaskGraph":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -8,7 +8,8 @@ objective/fitness caches) to a running coordinator::
 The daemon speaks the pull protocol of
 :class:`repro.engine.backends.RemoteCoordinator`: handshake (protocol
 version check), then ``ready`` -> ``task``/``shutdown`` -> ``result``
-until the coordinator shuts it down or the connection drops.  Cells are
+-> ``ack`` until the coordinator shuts it down or the connection
+drops.  Cells are
 pure functions, so a worker holds no run state: killing one mid-task
 only costs the re-execution of that task elsewhere, and starting one
 mid-run immediately adds capacity.
@@ -182,6 +183,19 @@ def serve(
             )
             continue
         send_msg(sock, {"type": "result", "task_id": task_id, "result": result})
+        # ack-then-close: the coordinator confirms the result was
+        # recorded before this worker asks for more work, so a session
+        # draining at shutdown can never drop (or spuriously requeue)
+        # the last in-flight shard
+        ack = recv_msg(sock)
+        injector.on_recv()
+        if ack is None:
+            log("coordinator gone before ack; exiting")
+            return 0
+        if ack.get("type") != "ack":
+            print(f"unexpected message {ack.get('type')!r} awaiting ack",
+                  file=sys.stderr)
+            return 1
 
 
 def run_worker(

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.baselines import approximate_only_sweep, exact_sweep
 from repro.core.results import DesignPoint
-from repro.engine.grid import GridRunner
+from repro.engine.grid import ExecutionPlan, GridRunner
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
@@ -98,7 +98,9 @@ def fig2_scatter(
         for index, min_fps in enumerate(settings.fps_thresholds)
     ]
     runner = runner if runner is not None else settings.grid_runner()
-    points["ga_cdp"] = tuple(runner.map(ga_cdp_point, cells))
+    points["ga_cdp"] = tuple(
+        runner.run(ExecutionPlan.for_cells(ga_cdp_point, cells))
+    )
 
     return Fig2Scatter(network=network, node_nm=node_nm, points=points)
 
@@ -186,7 +188,7 @@ def fig2_reduction_table(
     settings.library()  # build before any pool forks, so workers inherit
     cells = [(settings, network, node_nm) for node_nm in settings.nodes_nm]
     runner = runner if runner is not None else settings.grid_runner()
-    per_node = runner.map(_reduction_node_cell, cells)
+    per_node = runner.run(ExecutionPlan.for_cells(_reduction_node_cell, cells))
 
     reductions: Dict[Tuple[int, float], Tuple[float, float]] = {}
     for node_nm, rows in zip(settings.nodes_nm, per_node):

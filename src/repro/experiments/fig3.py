@@ -22,7 +22,7 @@ from repro.core.baselines import (
 )
 from repro.core.designer import CarbonAwareDesigner
 from repro.core.results import DesignPoint
-from repro.engine.grid import GridRunner
+from repro.engine.grid import ExecutionPlan, GridRunner
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
@@ -158,5 +158,5 @@ def fig3_comparison(
                 (network, node_nm, settings, net_index * 10 + node_index)
             )
     runner = runner if runner is not None else settings.grid_runner()
-    results = runner.map(_cell, grid_cells)
+    results = runner.run(ExecutionPlan.for_cells(_cell, grid_cells))
     return Fig3Bars(cells=dict(zip(keys, results)))

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.results import DesignPoint
-from repro.engine.grid import GridRunner
+from repro.engine.grid import ExecutionPlan, GridRunner
 from repro.engine.vectorized import pareto_front_np
 from repro.errors import ExperimentError
 from repro.experiments.common import (
@@ -108,7 +108,7 @@ def pareto_sweep(
                 )
             )
     runner = runner if runner is not None else settings.grid_runner()
-    results = runner.map(ga_cdp_point, grid_cells)
+    results = runner.run(ExecutionPlan.for_cells(ga_cdp_point, grid_cells))
     return ParetoSweep(
         network=network, node_nm=node_nm, cells=dict(zip(keys, results))
     )

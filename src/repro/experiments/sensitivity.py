@@ -24,7 +24,7 @@ from repro.core.baselines import smallest_exact_meeting_fps
 from repro.core.designer import CarbonAwareDesigner
 from repro.dataflow import performance as performance_module
 from repro.dataflow.performance import clear_performance_cache, evaluate_network
-from repro.engine.grid import GridConfig, GridRunner
+from repro.engine.grid import ExecutionPlan, GridConfig, GridRunner
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
@@ -213,7 +213,7 @@ def grid_sensitivity(
         for index, (name, _intensity) in enumerate(profiles)
     ]
     runner = runner if runner is not None else settings.grid_runner()
-    results = runner.map(_ga_vs_exact, cells)
+    results = runner.run(ExecutionPlan.for_cells(_ga_vs_exact, cells))
 
     rows = [
         (intensity, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
@@ -247,7 +247,9 @@ def yield_sensitivity(
         for index, multiplier in enumerate(defect_multipliers)
     ]
     runner = runner if runner is not None else settings.grid_runner()
-    results = _patch_safe_runner(runner, len(cells)).map(_yield_cell, cells)
+    results = _patch_safe_runner(runner, len(cells)).run(
+        ExecutionPlan.for_cells(_yield_cell, cells)
+    )
 
     rows = [
         (multiplier, round(exact_g, 3), round(ga_g, 3), round(saving, 1))
@@ -275,7 +277,9 @@ def bandwidth_sensitivity(
         for index, bandwidth in enumerate(bandwidths_gb_s)
     ]
     runner = runner if runner is not None else settings.grid_runner()
-    results = _patch_safe_runner(runner, len(cells)).map(_bandwidth_cell, cells)
+    results = _patch_safe_runner(runner, len(cells)).run(
+        ExecutionPlan.for_cells(_bandwidth_cell, cells)
+    )
 
     rows = [
         (bandwidth, round(exact_g, 3), round(ga_g, 3), round(saving, 1))

@@ -1,0 +1,50 @@
+"""Subprocess target for the kill-inside-the-overlap-window tests.
+
+Like ``chaos_runner.py`` but built to keep the async overlap window
+open: ``structural=True`` gives ``build_library`` a batch of
+search-free variant shards that it submits as
+:class:`repro.engine.taskgraph.EngineSession` futures over a thread
+backend *while* the NSGA-II pruning search runs.  A ``REPRO_FAULTS``
+kill that fires mid-search therefore lands while futures are in
+flight; the resumed run must still fingerprint identically to an
+uninterrupted one.
+
+Prints ``library <fingerprint>`` on success (same digest as
+``chaos_runner.library_fingerprint``).
+"""
+
+import sys
+
+from chaos_runner import library_fingerprint
+
+
+def build(checkpoint_dir, resume):
+    from repro.approx.library import build_library
+    from repro.engine.population import EngineConfig
+
+    return build_library(
+        width=4,
+        population=8,
+        generations=4,
+        max_candidates=24,
+        truncations=((1, 0), (0, 1)),
+        hybrid=False,
+        structural=True,
+        structural_cuts=(2, 3),
+        use_cache=False,
+        engine=EngineConfig(mode="thread", workers=2),
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+
+
+def main(argv):
+    checkpoint_dir = argv[1] if len(argv) > 1 else None
+    resume = "--resume" in argv
+    library = build(checkpoint_dir, resume)
+    print(f"library {library_fingerprint(library)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

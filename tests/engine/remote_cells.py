@@ -24,6 +24,12 @@ def tag_worker_pid(value):
     return value, os.getpid()
 
 
+def tag_worker_pid_slow(value, delay):
+    """Like :func:`tag_worker_pid`, slowed so queued work interleaves."""
+    time.sleep(delay)
+    return value, os.getpid()
+
+
 def raise_value_error(value):
     raise ValueError(f"deterministic cell failure for {value}")
 

@@ -1,0 +1,132 @@
+"""Tests for :class:`ExecutionProfile` and its merge into settings.
+
+The profile groups the ten execution knobs into one value with a
+parseable ``--profile`` spec.  Pinned here: the parse grammar
+(``[MODE][,key=value]*`` with both-stage shorthands), every rejection
+path, the merge rule (an explicitly-set legacy field beats the
+profile; everything else takes the profile's values), and the
+invariant that ``settings.profile`` is always a canonical
+:class:`ExecutionProfile` mirroring the resolved knobs.
+"""
+
+import pytest
+
+from repro.cli import build_parser, _settings
+from repro.errors import ExperimentError
+from repro.experiments.common import ExecutionProfile, ExperimentSettings
+
+
+class TestParse:
+    def test_bare_mode_sets_both_stages(self):
+        profile = ExecutionProfile.parse("process")
+        assert profile.grid_mode == "process"
+        assert profile.accuracy_mode == "process"
+
+    def test_shorthands_fan_out_to_both_stages(self):
+        profile = ExecutionProfile.parse(
+            "remote,workers=0,shards=4,coordinator=10.0.0.5:7777"
+        )
+        assert profile.grid_workers == profile.accuracy_workers == 0
+        assert profile.grid_shards == profile.accuracy_shards == 4
+        assert (
+            profile.grid_coordinator
+            == profile.accuracy_coordinator
+            == "10.0.0.5:7777"
+        )
+
+    def test_stage_qualified_keys_hit_one_field(self):
+        profile = ExecutionProfile.parse(
+            "process,accuracy_mode=thread,grid_workers=8"
+        )
+        assert profile.grid_mode == "process"
+        assert profile.accuracy_mode == "thread"
+        assert profile.grid_workers == 8
+        assert profile.accuracy_workers is None
+
+    def test_kernel_and_stack_abbreviations(self):
+        profile = ExecutionProfile.parse("kernel=numpy,stack=4")
+        assert profile.kernel_tier == "numpy"
+        assert profile.stack_workers == 4
+        assert ExecutionProfile.parse("stack=auto").stack_workers == "auto"
+
+    def test_rejections(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            ExecutionProfile.parse("  ,  ")
+        with pytest.raises(ExperimentError, match="key=value"):
+            ExecutionProfile.parse("process,workers")
+        with pytest.raises(ExperimentError, match="unknown profile key"):
+            ExecutionProfile.parse("process,frobs=2")
+        with pytest.raises(ExperimentError, match="integer"):
+            ExecutionProfile.parse("process,workers=lots")
+
+
+class TestMerge:
+    def test_profile_fills_unset_fields(self):
+        settings = ExperimentSettings(profile="process,workers=3")
+        assert settings.grid_mode == "process"
+        assert settings.accuracy_mode == "process"
+        assert settings.grid_workers == 3
+        assert settings.accuracy_workers == 3
+
+    def test_explicit_legacy_field_beats_profile(self):
+        settings = ExperimentSettings(
+            grid_workers=5, profile="process,workers=3"
+        )
+        assert settings.grid_workers == 5  # explicit keyword wins
+        assert settings.accuracy_workers == 3  # unset: profile applies
+
+    def test_profile_object_accepted(self):
+        profile = ExecutionProfile(grid_mode="thread", grid_workers=2)
+        settings = ExperimentSettings(profile=profile)
+        assert settings.grid_mode == "thread"
+        assert settings.grid_workers == 2
+
+    def test_canonical_profile_always_rebuilt(self):
+        """settings.profile mirrors the resolved knobs, profile or not."""
+        plain = ExperimentSettings(grid_mode="thread")
+        assert isinstance(plain.profile, ExecutionProfile)
+        assert plain.profile.grid_mode == "thread"
+        merged = ExperimentSettings(
+            grid_workers=5, profile="process,workers=3"
+        )
+        assert merged.profile.grid_workers == 5
+        assert merged.profile.accuracy_workers == 3
+
+    def test_invalid_profile_mode_rejected_by_validation(self):
+        # like the legacy grid_mode field, the mode is validated when
+        # the runner is built — which the CLI does eagerly (see
+        # ``repro.cli._settings``), so ``--profile bogus`` fails fast
+        with pytest.raises(ExperimentError, match="grid mode"):
+            ExperimentSettings(profile="bogus").grid_runner()
+
+
+class TestCliProfile:
+    def _settings_for(self, argv):
+        return _settings(build_parser().parse_args(argv))
+
+    def test_profile_flag_applies_to_both_stages(self):
+        settings = self._settings_for(
+            ["fig3", "--fast", "--profile", "thread,workers=2"]
+        )
+        assert settings.grid_mode == "thread"
+        assert settings.grid_workers == 2
+        assert settings.accuracy_mode == "thread"
+        assert settings.accuracy_workers == 2
+
+    def test_explicit_flags_override_profile(self):
+        settings = self._settings_for(
+            [
+                "fig3", "--fast",
+                "--profile", "thread,workers=2",
+                "--grid-workers", "4",
+            ]
+        )
+        assert settings.grid_workers == 4
+        assert settings.accuracy_workers == 2
+
+    def test_profile_available_on_every_command(self):
+        parser = build_parser()
+        for command in ["library", "design", "accuracy", "fig3",
+                        "pareto-sweep", "sensitivity"]:
+            args = parser.parse_args([command, "--profile", "serial"])
+            assert args.profile == "serial"
