@@ -51,12 +51,12 @@ import numpy as np
 from repro.accuracy.behavioral import BehavioralValidator
 from repro.approx.library import build_library
 from repro.engine.backends import shutdown_shared_pools
+from repro.engine.grid import GridConfig, GridRunner
 from repro.engine.kernels import (
     get_kernel,
     kernel_availability,
     resolve_kernel_tier,
 )
-from repro.engine.grid import GridConfig, GridRunner
 from repro.nn.synthetic import make_task
 
 TRIALS = 3  # best-of-N: shared runners have multi-x timer noise

@@ -35,11 +35,11 @@ from typing import Dict, List
 import numpy as np
 
 from repro.approx.library import build_library
+from repro.approx.nsga2 import fast_non_dominated_sort, pareto_front
 from repro.dataflow.performance import clear_performance_cache
 from repro.engine.checkpoint import CheckpointStore, checkpoint_fingerprint
 from repro.engine.population import EngineConfig, PopulationEvaluator
 from repro.engine.vectorized import fast_non_dominated_sort_np, pareto_front_np
-from repro.approx.nsga2 import fast_non_dominated_sort, pareto_front
 from repro.ga.chromosome import space_for_library
 from repro.ga.engine import GaConfig, GeneticAlgorithm
 from repro.ga.fitness import FitnessEvaluator

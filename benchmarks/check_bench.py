@@ -68,6 +68,14 @@ def check_report(
     try:
         with open(path, "r", encoding="utf-8") as handle:
             report = json.load(handle)
+    except FileNotFoundError:
+        # distinct from "unreadable": an absent report usually means the
+        # benchmark step itself crashed or was skipped, and the gate
+        # must say so instead of hinting at a parse problem
+        return [
+            f"{path}: missing report file — the benchmark that should "
+            "have written it did not run (or wrote elsewhere)"
+        ]
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path}: unreadable report ({exc})"]
 

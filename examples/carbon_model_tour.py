@@ -12,8 +12,8 @@ Usage::
 
 from __future__ import annotations
 
-from repro.approx import build_library
 from repro.accel import nvdla_config
+from repro.approx import build_library
 from repro.carbon import (
     GRID_PROFILES,
     cfpa_g_per_mm2,

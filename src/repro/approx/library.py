@@ -27,17 +27,21 @@ from repro.approx.metrics import (
     compute_error_metrics,
     gaussian_operand_distribution,
 )
-from repro.approx.nsga2 import Nsga2, Nsga2Config
+from repro.approx.nsga2 import NSGA2_TRAJECTORY_FIELDS, Nsga2, Nsga2Config
 from repro.approx.precision import truncate_inputs
 from repro.approx.pruning import BatchedPruningObjectives, PruningSpace
 from repro.circuits.area import netlist_area_um2, netlist_delay_ps, netlist_ge
+from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
 from repro.engine.backends import (
     ThreadBackend,
     in_pool_worker,
     register_pool_context_provider,
 )
-from repro.circuits.synthesis import ArithmeticCircuit, make_multiplier
-from repro.engine.checkpoint import CheckpointStore, checkpoint_fingerprint
+from repro.engine.checkpoint import (
+    CheckpointStore,
+    checkpoint_fingerprint,
+    trajectory_parts,
+)
 from repro.engine.diskcache import FitnessDiskCache, context_fingerprint
 from repro.engine.population import EngineConfig
 from repro.engine.taskgraph import EngineSession
@@ -221,9 +225,17 @@ def _pruning_pareto(
     """
     space = PruningSpace(base, max_candidates=max_candidates)
     artifacts: Dict[Tuple[int, ...], Tuple[ArithmeticCircuit, np.ndarray]] = {}
+    search_config = Nsga2Config(
+        population_size=population,
+        generations=generations,
+        seed=seed,
+    )
     disk = (
         FitnessDiskCache(
             cache_dir,
+            # a genome's objectives depend only on the circuit context,
+            # not on search hyper-parameters, so the objective cache
+            # deliberately keys on less than the checkpoint does
             context_fingerprint(
                 "library-pruning", width, kind, origin,
                 seed, population, generations, max_candidates,
@@ -236,9 +248,13 @@ def _pruning_pareto(
         CheckpointStore(
             checkpoint_dir,
             name=f"pruning-{origin}-{base.netlist.name}",
+            # the checkpoint, unlike the objective cache, protects the
+            # search *trajectory*: every Nsga2Config field must key it
+            # (trajectory_parts covers crossover/mutation rates, which
+            # the pre-FPR001 fingerprint silently omitted)
             fingerprint=checkpoint_fingerprint(
-                "library-pruning", width, kind, origin,
-                seed, population, generations, max_candidates,
+                "library-pruning", width, kind, origin, max_candidates,
+                trajectory_parts(search_config, NSGA2_TRAJECTORY_FIELDS),
             ),
         )
         if checkpoint_dir is not None
@@ -318,11 +334,7 @@ def _pruning_pareto(
     search = Nsga2(
         evaluate,
         random_genome,
-        Nsga2Config(
-            population_size=population,
-            generations=generations,
-            seed=seed,
-        ),
+        search_config,
         engine=engine_config,
         batch_evaluate=batch_evaluate,
         checkpoint=store,

@@ -38,9 +38,26 @@ Genome = Tuple[int, ...]
 Objectives = Tuple[float, ...]
 
 
+#: Trajectory declaration for :class:`Nsga2Config` (see the FPR001
+#: rule in :mod:`repro.analysis`): all five fields shape the search
+#: trajectory and must feed the checkpoint fingerprint via
+#: :func:`repro.engine.checkpoint.trajectory_parts`.
+NSGA2_TRAJECTORY_FIELDS = (
+    "population_size",
+    "generations",
+    "crossover_rate",
+    "mutation_rate",
+    "seed",
+)
+
+
 @dataclass(frozen=True)
-class Nsga2Config:
+class Nsga2Config:  # repro: fingerprinted[NSGA2_TRAJECTORY_FIELDS]
     """NSGA-II hyper-parameters.
+
+    Every field is trajectory-determining
+    (``NSGA2_TRAJECTORY_FIELDS``): changing any of them must refuse
+    to resume an old checkpoint.
 
     Attributes:
         population_size: individuals per generation (even, >= 4).
@@ -117,7 +134,7 @@ def crowding_distance(objectives: Sequence[Objectives], front: Sequence[int]) ->
         return {i: float("inf") for i in front}
     n_objectives = len(objectives[front[0]])
     for m in range(n_objectives):
-        ordered = sorted(front, key=lambda i: objectives[i][m])
+        ordered = sorted(front, key=lambda i, m=m: objectives[i][m])
         lo = objectives[ordered[0]][m]
         hi = objectives[ordered[-1]][m]
         distance[ordered[0]] = float("inf")

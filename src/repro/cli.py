@@ -307,6 +307,12 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint_invariants(args: argparse.Namespace) -> int:
+    from repro.analysis import main as analysis_main
+
+    return analysis_main(args.analysis_argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -466,13 +472,33 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["grid", "yield", "bandwidth"])
     p.set_defaults(handler=_cmd_sensitivity)
 
+    # passthrough (add_help=False): every flag after the subcommand,
+    # --help included, goes to the repro.analysis parser, so this stays
+    # one checker with two spellings (`repro lint-invariants` here,
+    # `python -m repro.analysis` on numpy-free interpreters)
+    p = sub.add_parser(
+        "lint-invariants",
+        help="statically check determinism/picklability/fingerprint "
+        "invariants (see repro.analysis)",
+        add_help=False,
+    )
+    p.add_argument("analysis_argv", nargs=argparse.REMAINDER)
+    p.set_defaults(handler=_cmd_lint_invariants)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["lint-invariants"]:
+        # dispatch before argparse: REMAINDER would swallow trailing
+        # paths but misparse leading flags like --list-rules
+        from repro.analysis import main as analysis_main
+
+        return analysis_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         return args.handler(args)
     except ReproError as exc:

@@ -20,11 +20,20 @@ from repro.approx.library import ApproxLibrary, build_library
 from repro.core.baselines import design_point_for
 from repro.core.results import DesignPoint
 from repro.dataflow.network import Network
-from repro.engine.checkpoint import CheckpointStore, checkpoint_fingerprint
+from repro.engine.checkpoint import (
+    CheckpointStore,
+    checkpoint_fingerprint,
+    trajectory_parts,
+)
 from repro.engine.population import EngineConfig, PopulationEvaluator
 from repro.errors import OptimizationError
 from repro.ga.chromosome import space_for_library
-from repro.ga.engine import GaConfig, GaOutcome, GeneticAlgorithm
+from repro.ga.engine import (
+    GA_TRAJECTORY_FIELDS,
+    GaConfig,
+    GaOutcome,
+    GeneticAlgorithm,
+)
 from repro.ga.fitness import FitnessEvaluator
 from repro.nn.zoo import workload
 
@@ -116,7 +125,7 @@ class CarbonAwareDesigner:
             self.max_drop_percent,
             str(self.grid),
             self.fitness_mode,
-            cfg,
+            trajectory_parts(cfg, GA_TRAJECTORY_FIELDS),
             tuple(m.name for m in library.multipliers),
         )
         return CheckpointStore(self.checkpoint_dir, name, fingerprint)

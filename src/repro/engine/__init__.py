@@ -55,6 +55,23 @@ Every fast path keeps its serial counterpart in-tree as the reference
 implementation; the property tests under ``tests/engine`` assert exact
 agreement.
 
+Static invariants
+-----------------
+
+The contracts this package lives by — seeded RNG only, no wall-clock
+or other nondeterministic inputs on engine paths, picklable callables
+at backend boundaries, complete settings fingerprints on checkpointed
+configs, all-or-none kernel-tier registrations, no new callers of the
+deprecated map shims — are enforced by an AST checker,
+:mod:`repro.analysis` (``python -m repro.analysis src benchmarks`` or
+``repro lint-invariants``), which CI runs as a required job.  Rule
+codes: RNG001, NDT001, PKL001, FPR001, KRN001, DEP001, SUP001; a
+finding is silenced with a trailing ``# repro: noqa[CODE]`` whose code
+must name a registered rule.  See the "Static invariants" section of
+``PERF.md`` for the full inventory and the fingerprint-declaration
+syntax (``# repro: fingerprinted[DECL]`` /
+``# repro: non-trajectory[reason]``).
+
 Migrating from the blocking map calls (pre task-graph API)
 ----------------------------------------------------------
 

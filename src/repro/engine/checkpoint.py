@@ -77,6 +77,42 @@ def checkpoint_fingerprint(*parts: Any) -> str:
     return digest.hexdigest()[:32]
 
 
+def trajectory_parts(config: Any, field_names: Any) -> tuple:
+    """``((name, value), ...)`` for a config's trajectory fields.
+
+    The runtime half of the ``FPR001`` fingerprint-completeness
+    contract (see :mod:`repro.analysis`): a config dataclass marked
+    ``# repro: fingerprinted[DECL]`` declares its
+    trajectory-determining fields in a module-level ``DECL`` tuple,
+    and its checkpoint fingerprint is built from exactly those fields
+    via this helper::
+
+        fingerprint = checkpoint_fingerprint(
+            "ga-search", trajectory_parts(cfg, GA_TRAJECTORY_FIELDS)
+        )
+
+    Fingerprinting *named* pairs (not bare values) means reordering
+    or renaming a declared field also changes the fingerprint, and
+    the static rule guarantees the declaration tracks the dataclass —
+    so a new knob cannot silently miss the resume-refusal check.
+
+    Raises:
+        CheckpointError: a declared name is not a field of ``config``
+            (stale declaration — the static checker catches this at
+            lint time, this raise catches it at run time).
+    """
+    parts = []
+    for name in field_names:
+        if not hasattr(config, name):
+            raise CheckpointError(
+                f"trajectory declaration names {name!r}, which is not "
+                f"a field of {type(config).__name__}; update the "
+                "declaration tuple alongside the dataclass"
+            )
+        parts.append((name, getattr(config, name)))
+    return tuple(parts)
+
+
 def capture_rng_state(rng: AnyRng) -> Dict[str, Any]:
     """Snapshot an RNG's exact state (numpy Generator or random.Random).
 

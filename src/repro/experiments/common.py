@@ -136,9 +136,31 @@ _PROFILE_FIELDS = tuple(
 )
 
 
+#: Trajectory declaration for :class:`ExperimentSettings` (see the
+#: FPR001 rule in :mod:`repro.analysis`).  These are the knobs that
+#: shape *what* the searches compute; everything else is execution
+#: policy (bit-identical results by the engine contract) or a
+#: per-cell grid axis keyed into fingerprints individually by the
+#: harnesses.
+SETTINGS_TRAJECTORY_FIELDS = (
+    "library_population",
+    "library_generations",
+    "ga_population",
+    "ga_generations",
+    "seed",
+    "grid",
+)
+
+
 @dataclass(frozen=True)
-class ExperimentSettings:
+class ExperimentSettings:  # repro: fingerprinted[SETTINGS_TRAJECTORY_FIELDS]
     """Knobs shared by all experiment harnesses.
+
+    The trajectory-determining subset is declared in
+    ``SETTINGS_TRAJECTORY_FIELDS`` and digested by
+    :meth:`trajectory_fingerprint`; every other field is annotated
+    non-trajectory in place (the ``repro.analysis`` FPR001 rule keeps
+    the split complete as fields come and go).
 
     Attributes:
         nodes_nm: technology nodes to evaluate.
@@ -208,9 +230,13 @@ class ExperimentSettings:
             execution policy, whichever spelling configured it.
     """
 
+    # repro: non-trajectory[grid axis: harnesses key fingerprints per cell]
     nodes_nm: Tuple[int, ...] = (7, 14, 28)
+    # repro: non-trajectory[grid axis: harnesses key fingerprints per cell]
     networks: Tuple[str, ...] = ("vgg16", "vgg19", "resnet50", "resnet152")
+    # repro: non-trajectory[grid axis: harnesses key fingerprints per cell]
     fps_thresholds: Tuple[float, ...] = (30.0, 40.0, 50.0)
+    # repro: non-trajectory[grid axis: harnesses key fingerprints per cell]
     drop_tiers_percent: Tuple[float, ...] = (0.5, 1.0, 2.0)
     library_population: int = 40
     library_generations: int = 36
@@ -218,20 +244,35 @@ class ExperimentSettings:
     ga_generations: int = 30
     seed: int = 0
     grid: str = "taiwan"
+    # repro: non-trajectory[execution policy: every mode is bit-identical]
     engine_mode: str = "auto"
+    # repro: non-trajectory[cache location: warm-start only, results equal]
     cache_dir: Optional[str] = None
+    # repro: non-trajectory[durability location: results bit-identical]
     checkpoint_dir: Optional[str] = None
+    # repro: non-trajectory[resume is bit-identical to an unkilled run]
     resume: bool = False
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     grid_mode: str = "auto"
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     grid_workers: Optional[int] = None
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     grid_shards: Optional[int] = None
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     grid_coordinator: Optional[str] = None
+    # repro: non-trajectory[execution policy: tiling is bit-identical]
     stack_workers: Optional[Union[int, str]] = None
+    # repro: non-trajectory[kernel tiers are bit-identical by contract]
     kernel_tier: Optional[str] = None
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     accuracy_mode: str = "auto"
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     accuracy_workers: Optional[int] = None
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     accuracy_shards: Optional[int] = None
+    # repro: non-trajectory[execution policy: every backend bit-identical]
     accuracy_coordinator: Optional[str] = None
+    # repro: non-trajectory[canonical grouping of the execution knobs]
     profile: Optional[Union[ExecutionProfile, str]] = None
 
     def __post_init__(self) -> None:
@@ -273,6 +314,26 @@ class ExperimentSettings:
                 "resume=True needs checkpoint_dir: there is nowhere to "
                 "resume from"
             )
+
+    def trajectory_fingerprint(self) -> str:
+        """Digest of every trajectory-determining setting.
+
+        Built from exactly ``SETTINGS_TRAJECTORY_FIELDS`` via
+        :func:`repro.engine.checkpoint.trajectory_parts`, so two
+        settings objects share a fingerprint iff they run the same
+        searches — execution policy (backends, workers, kernel tiers,
+        cache/checkpoint locations) never perturbs it.  This is the
+        stable job key for anything persisting results across runs.
+        """
+        from repro.engine.checkpoint import (
+            checkpoint_fingerprint,
+            trajectory_parts,
+        )
+
+        return checkpoint_fingerprint(
+            "experiment-settings",
+            trajectory_parts(self, SETTINGS_TRAJECTORY_FIELDS),
+        )
 
     def library(self) -> ApproxLibrary:
         """The (cached) step-1 multiplier library for these settings.

@@ -27,9 +27,26 @@ from repro.ga.chromosome import ChromosomeSpace, Genome
 from repro.ga.fitness import FitnessResult
 
 
+#: Trajectory declaration for :class:`GaConfig` (see the FPR001 rule
+#: in :mod:`repro.analysis`): every one of these fields shapes the
+#: search trajectory, so all of them feed the checkpoint fingerprint
+#: through :func:`repro.engine.checkpoint.trajectory_parts`.
+GA_TRAJECTORY_FIELDS = (
+    "population_size",
+    "generations",
+    "crossover_rate",
+    "mutation_rate",
+    "tournament_size",
+    "seed",
+)
+
+
 @dataclass(frozen=True)
-class GaConfig:
+class GaConfig:  # repro: fingerprinted[GA_TRAJECTORY_FIELDS]
     """GA hyper-parameters.
+
+    Every field is trajectory-determining (``GA_TRAJECTORY_FIELDS``):
+    changing any of them must refuse to resume an old checkpoint.
 
     Attributes:
         population_size: individuals per generation.

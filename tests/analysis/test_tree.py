@@ -1,0 +1,113 @@
+"""Whole-tree gates: the shipped tree is clean, and the static
+fingerprint contract is honored by the runtime helpers it documents."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.engine.checkpoint import (
+    checkpoint_fingerprint,
+    trajectory_parts,
+)
+from repro.errors import CheckpointError
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestTreeIsClean:
+    def test_src_and_benchmarks_have_zero_unsuppressed_findings(self):
+        report = run_analysis(
+            [str(REPO / "src"), str(REPO / "benchmarks")]
+        )
+        assert report.unsuppressed == [], "\n" + report.render_human()
+        assert report.exit_code() == 0
+
+    def test_every_suppression_in_tree_names_a_rule_code(self):
+        # SUP001 findings are exactly the malformed suppressions; the
+        # clean gate above already fails on them, this pins the intent
+        report = run_analysis(
+            [str(REPO / "src"), str(REPO / "benchmarks")],
+            codes=["SUP001"],
+        )
+        assert report.findings == []
+
+
+class TestTrajectoryParts:
+    def test_parts_are_named_pairs(self):
+        from repro.ga.engine import GA_TRAJECTORY_FIELDS, GaConfig
+
+        parts = trajectory_parts(GaConfig(seed=5), GA_TRAJECTORY_FIELDS)
+        assert ("seed", 5) in parts
+        assert [name for name, _value in parts] == list(
+            GA_TRAJECTORY_FIELDS
+        )
+
+    def test_unknown_field_raises(self):
+        from repro.ga.engine import GaConfig
+
+        with pytest.raises(CheckpointError, match="not a field"):
+            trajectory_parts(GaConfig(), ("population_size", "vanished"))
+
+    def test_every_declared_field_perturbs_the_fingerprint(self):
+        # the runtime half of FPR001: change any declared field, get a
+        # different fingerprint (and therefore a refused resume)
+        from repro.approx.nsga2 import NSGA2_TRAJECTORY_FIELDS, Nsga2Config
+
+        perturbed = {
+            "population_size": 34,
+            "generations": 25,
+            "crossover_rate": 0.8,
+            "mutation_rate": 0.5,
+            "seed": 1,
+        }
+        assert set(perturbed) == set(NSGA2_TRAJECTORY_FIELDS)
+        base = checkpoint_fingerprint(
+            trajectory_parts(Nsga2Config(), NSGA2_TRAJECTORY_FIELDS)
+        )
+        for field, value in perturbed.items():
+            changed = checkpoint_fingerprint(
+                trajectory_parts(
+                    Nsga2Config(**{field: value}), NSGA2_TRAJECTORY_FIELDS
+                )
+            )
+            assert changed != base, field
+
+
+class TestSettingsTrajectoryFingerprint:
+    def test_execution_policy_never_perturbs(self):
+        from repro.experiments.common import ExperimentSettings
+
+        base = ExperimentSettings().trajectory_fingerprint()
+        assert (
+            ExperimentSettings(
+                grid_mode="thread",
+                grid_workers=4,
+                kernel_tier="numpy",
+                cache_dir="/tmp/cache",
+                accuracy_mode="serial",
+            ).trajectory_fingerprint()
+            == base
+        )
+
+    def test_every_trajectory_setting_perturbs(self):
+        from repro.experiments.common import (
+            SETTINGS_TRAJECTORY_FIELDS,
+            ExperimentSettings,
+        )
+
+        perturbed = {
+            "library_population": 42,
+            "library_generations": 37,
+            "ga_population": 26,
+            "ga_generations": 31,
+            "seed": 9,
+            "grid": "france",
+        }
+        assert set(perturbed) == set(SETTINGS_TRAJECTORY_FIELDS)
+        base = ExperimentSettings().trajectory_fingerprint()
+        for field, value in perturbed.items():
+            changed = ExperimentSettings(
+                **{field: value}
+            ).trajectory_fingerprint()
+            assert changed != base, field

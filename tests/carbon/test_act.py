@@ -2,14 +2,14 @@
 
 import pytest
 
+from repro.carbon.accelerator_carbon import (
+    DieAreaBreakdown,
+    accelerator_embodied_carbon,
+)
 from repro.carbon.act import (
     GRID_PROFILES,
     cfpa_g_per_mm2,
     embodied_carbon,
-)
-from repro.carbon.accelerator_carbon import (
-    DieAreaBreakdown,
-    accelerator_embodied_carbon,
 )
 from repro.carbon.nodes import technology_node
 from repro.carbon.operational import (

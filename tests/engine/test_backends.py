@@ -32,7 +32,7 @@ from repro.engine.backends import (
     send_msg,
     spawn_local_worker,
 )
-from repro.engine.grid import GridConfig, GridRunner
+from repro.engine.grid import ExecutionPlan, GridConfig, GridRunner
 from repro.errors import ExperimentError
 
 HERE = os.path.dirname(os.path.abspath(__file__))
@@ -93,7 +93,8 @@ class TestLocalBackends:
         )
         try:
             runner = GridRunner(GridConfig(mode="echo", workers=2))
-            assert runner.map(remote_cells.square_offset, CELLS) == [
+            plan = ExecutionPlan.for_cells(remote_cells.square_offset, CELLS)
+            assert runner.run(plan) == [
                 value * value + 100 for value, _ in CELLS
             ]
         finally:
@@ -135,7 +136,7 @@ class TestGridConfigRemote:
 
 
 class TestRemoteBackend:
-    def test_map_batches_remote_identical_to_serial(self):
+    def test_batch_plan_remote_identical_to_serial(self):
         """Batched dispatch over the remote fleet == the serial call."""
         from repro.engine.backends import shutdown_remote_backends
 
@@ -143,8 +144,10 @@ class TestRemoteBackend:
         expected = remote_cells.square_batch(items, 100)
         runner = GridRunner(GridConfig(mode="remote", workers=2))
         try:
-            got = runner.map_batches(
-                remote_cells.square_batch, items, extra=(100,)
+            got = runner.run(
+                ExecutionPlan.for_batches(
+                    remote_cells.square_batch, items, extra=(100,)
+                )
             )
             assert got == expected
         finally:
@@ -155,8 +158,9 @@ class TestRemoteBackend:
         remote = GridRunner(
             GridConfig(mode="remote", workers=2, coordinator="127.0.0.1:0")
         )
-        expected = serial.map(remote_cells.square_offset, CELLS)
-        assert remote.map(remote_cells.square_offset, CELLS) == expected
+        plan = ExecutionPlan.for_cells(remote_cells.square_offset, CELLS)
+        expected = serial.run(plan)
+        assert remote.run(plan) == expected
 
     def test_worker_death_reassigns_shard(self, tmp_path):
         """Kill a worker mid-grid; the run completes, results serial-equal."""
@@ -166,7 +170,10 @@ class TestRemoteBackend:
         remote = GridRunner(
             GridConfig(mode="remote", workers=2, coordinator="127.0.0.1:0")
         )
-        assert remote.map(remote_cells.die_once_at, cells) == serial_results
+        assert (
+            remote.run(ExecutionPlan.for_cells(remote_cells.die_once_at, cells))
+            == serial_results
+        )
         # the fault actually fired: one worker died holding a cell
         assert os.path.exists(sentinel)
 
@@ -212,7 +219,11 @@ class TestRemoteBackend:
             GridConfig(mode="remote", workers=1, coordinator="127.0.0.1:0")
         )
         with pytest.raises(ExperimentError, match="deterministic cell failure"):
-            remote.map(remote_cells.raise_value_error, [(1,), (2,)])
+            remote.run(
+                ExecutionPlan.for_cells(
+                    remote_cells.raise_value_error, [(1,), (2,)]
+                )
+            )
 
     def test_poison_shard_gives_up_after_requeue_cap(self):
         """A cell that always kills its worker must not loop forever."""

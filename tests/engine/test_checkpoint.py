@@ -16,6 +16,7 @@ import random
 import numpy as np
 import pytest
 
+from repro.approx.nsga2 import Nsga2, Nsga2Config
 from repro.engine.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointStore,
@@ -32,7 +33,6 @@ from repro.errors import CheckpointError
 from repro.ga.chromosome import ChromosomeSpace
 from repro.ga.engine import GaConfig, GeneticAlgorithm
 from repro.ga.fitness import FitnessResult
-from repro.approx.nsga2 import Nsga2, Nsga2Config
 
 
 class TestRngSnapshots:

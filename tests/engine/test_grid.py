@@ -1,6 +1,6 @@
 """Property tests for the sharded experiment-grid runner.
 
-The contract under test: ``GridRunner.map`` returns the same values in
+The contract under test: ``GridRunner.run`` returns the same values in
 the same order for every mode (serial/thread/process) and every shard
 count — sharding changes scheduling only, never results.
 """
@@ -10,6 +10,7 @@ import os
 import pytest
 
 from repro.engine.grid import (
+    ExecutionPlan,
     GridConfig,
     GridRunner,
     shared_process_pool,
@@ -29,7 +30,7 @@ def tag_pid(value):
 
 
 def square_batch(values, offset):
-    """Batch-decomposable callable for map_batches tests."""
+    """Batch-decomposable callable for the for_batches plan tests."""
     return [value * value + offset for value in values]
 
 
@@ -74,23 +75,23 @@ class TestSharding:
 class TestDeterministicResults:
     def test_serial_reference(self):
         runner = GridRunner(GridConfig(mode="serial"))
-        assert runner.map(square_offset, CELLS) == EXPECTED
+        assert runner.run(ExecutionPlan.for_cells(square_offset, CELLS)) == EXPECTED
 
     @pytest.mark.parametrize("shards", [1, 2, 3, 11])
     def test_thread_mode_identical_any_shards(self, shards):
         runner = GridRunner(GridConfig(mode="thread", workers=4, shards=shards))
-        assert runner.map(square_offset, CELLS) == EXPECTED
+        assert runner.run(ExecutionPlan.for_cells(square_offset, CELLS)) == EXPECTED
 
     @pytest.mark.parametrize("shards", [1, 2, 11])
     def test_process_mode_identical_any_shards(self, shards):
         runner = GridRunner(
             GridConfig(mode="process", workers=2, shards=shards)
         )
-        assert runner.map(square_offset, CELLS) == EXPECTED
+        assert runner.run(ExecutionPlan.for_cells(square_offset, CELLS)) == EXPECTED
 
     def test_empty_cells(self):
         runner = GridRunner(GridConfig(mode="process", workers=2))
-        assert runner.map(square_offset, []) == []
+        assert runner.run(ExecutionPlan.for_cells(square_offset, [])) == []
 
     def test_auto_resolution(self):
         runner = GridRunner(GridConfig(mode="auto", workers=1))
@@ -109,8 +110,8 @@ class TestWarmPoolReuse:
     def test_workers_reused_across_maps(self):
         # single-cell grids run in-process by design, so use two cells
         runner = GridRunner(GridConfig(mode="process", workers=1, shards=1))
-        first = runner.map(tag_pid, [(1,), (2,)])
-        second = runner.map(tag_pid, [(3,), (4,)])
+        first = runner.run(ExecutionPlan.for_cells(tag_pid, [(1,), (2,)]))
+        second = runner.run(ExecutionPlan.for_cells(tag_pid, [(3,), (4,)]))
         assert first[0][1] == second[0][1]  # same worker process
         assert first[0][1] != os.getpid()
 
@@ -167,29 +168,37 @@ class TestPoolContextRefork:
             assert pool_b is not pool_a
             # results through the reforked pool stay the reference's
             runner = GridRunner(GridConfig(mode="process", workers=2))
-            assert runner.map(square_offset, CELLS) == EXPECTED
+            assert runner.run(ExecutionPlan.for_cells(square_offset, CELLS)) == EXPECTED
         finally:
             shutdown_shared_pools()
 
 
-class TestMapBatches:
-    """map_batches == fn(items) for every mode and batch count."""
+class TestBatchPlans:
+    """for_batches plans == fn(items) for every mode and batch count."""
 
     def test_serial_reference(self):
         runner = GridRunner(GridConfig(mode="serial"))
-        assert runner.map_batches(square_batch, ITEMS, extra=(100,)) == EXPECTED
+        assert runner.run(
+            ExecutionPlan.for_batches(square_batch, ITEMS, extra=(100,))
+        ) == EXPECTED
 
     @pytest.mark.parametrize("mode", ["thread", "process"])
     @pytest.mark.parametrize("shards", [1, 2, 5, 11])
     def test_parallel_modes_identical(self, mode, shards):
         runner = GridRunner(GridConfig(mode=mode, workers=2, shards=shards))
-        assert runner.map_batches(square_batch, ITEMS, extra=(100,)) == EXPECTED
+        assert runner.run(
+            ExecutionPlan.for_batches(square_batch, ITEMS, extra=(100,))
+        ) == EXPECTED
         shutdown_shared_pools()
 
     def test_empty_items(self):
         runner = GridRunner(GridConfig(mode="thread", workers=2))
-        assert runner.map_batches(square_batch, [], extra=(100,)) == []
+        assert runner.run(
+            ExecutionPlan.for_batches(square_batch, [], extra=(100,))
+        ) == []
 
     def test_single_item(self):
         runner = GridRunner(GridConfig(mode="thread", workers=4))
-        assert runner.map_batches(square_batch, [3], extra=(7,)) == [16]
+        assert runner.run(
+            ExecutionPlan.for_batches(square_batch, [3], extra=(7,))
+        ) == [16]

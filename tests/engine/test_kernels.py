@@ -178,8 +178,10 @@ class TestRegistry:
             out.fill(0)  # wrong on the self-test fixture
 
         with pytest.raises(KernelError):
+            # deliberately partial impl: the subject under test is the
+            # self-test rejecting it, so the parity rule is suppressed
             self_test_kernel(
-                KernelImpl(
+                KernelImpl(  # repro: noqa[KRN001]
                     name="bad", version="bad", lut_tile=bad_lut_tile
                 )
             )
