@@ -1,0 +1,21 @@
+"""Cell functions for the remote-backend benchmarks.
+
+A top-level module (not the benchmark script itself, whose functions
+would pickle as ``__main__`` and fail to resolve in a worker) so
+spawned worker daemons can import the cells by ``module.qualname``
+reference — the benchmark passes this directory to
+``spawn_local_worker(extra_path=...)``.
+"""
+
+
+def spin_probe(value, spins):
+    """A compute-weighted pure cell: ``spins`` LCG rounds over ``value``.
+
+    Mimics the shape of real search shards — milliseconds of CPU per
+    cell, a single small integer result — so protocol and journal costs
+    are priced against representative work, not against no-ops.
+    """
+    acc = value & 0xFFFFFFFF
+    for _ in range(spins):
+        acc = (acc * 1664525 + 1013904223) & 0xFFFFFFFF
+    return acc

@@ -41,6 +41,14 @@ carry ``overlap_speedup`` — barriered two-stage dispatch vs pipelined
 pass ``--min-overlap-speedup`` to gate it.  Reports without the field
 are skipped by that gate.
 
+Reports that price the self-healing remote fleet carry
+``recovery_overhead`` (relative slowdown of a hardened coordinator —
+per-task deadlines armed, results journalled — over a plain one on
+the same fleet and workload); pass ``--max-recovery-overhead`` to
+gate it.  Reports without the field are skipped by that gate.  Like
+the checkpoint gate, the bar is loose in CI smoke (short maps make
+the ratio noisy) and tight (0.10) in the nightly paper-scale run.
+
 The default speedup bar is deliberately loose (1.5x): smoke runs on
 shared CI runners see multi-x timer noise, so identity is enforced
 strictly and throughput only sanity-checked.  Nightly paper-scale runs
@@ -62,6 +70,7 @@ def check_report(
     max_checkpoint_overhead: Optional[float] = None,
     min_kernel_speedup=None,
     min_overlap_speedup: Optional[float] = None,
+    max_recovery_overhead: Optional[float] = None,
 ) -> List[str]:
     """Validate one BENCH report; returns a list of failure messages."""
     failures: List[str] = []
@@ -145,11 +154,22 @@ def check_report(
         else:
             overlap_extra = f", overlap_speedup={overlap_speedup}"
 
+    recovery_overhead = report.get("recovery_overhead")
+    recovery_extra = ""
+    if max_recovery_overhead is not None and recovery_overhead is not None:
+        if recovery_overhead > max_recovery_overhead:
+            failures.append(
+                f"{name}: recovery_overhead {recovery_overhead} above the "
+                f"{max_recovery_overhead} gate"
+            )
+        else:
+            recovery_extra = f", recovery_overhead={recovery_overhead}"
+
     if not failures:
         extra = "" if overhead is None else f", checkpoint_overhead={overhead}"
         print(
             f"ok: {name} — identical=True, speedup={speedup}"
-            f"{extra}{kernel_extra}{overlap_extra}"
+            f"{extra}{kernel_extra}{overlap_extra}{recovery_extra}"
         )
     return failures
 
@@ -190,6 +210,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default, reports without the overlap_speedup field are "
         "skipped",
     )
+    parser.add_argument(
+        "--max-recovery-overhead", type=float, default=None,
+        metavar="FRACTION",
+        help="maximum acceptable self-healing coordinator overhead as a "
+        "fraction (e.g. 0.10 = 10%%, the nightly bar); off by "
+        "default, reports without the recovery_overhead field are "
+        "skipped",
+    )
     args = parser.parse_args(argv)
 
     min_kernel_speedup = None
@@ -217,6 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.max_checkpoint_overhead,
                 min_kernel_speedup,
                 args.min_overlap_speedup,
+                args.max_recovery_overhead,
             )
         )
     for failure in failures:

@@ -68,6 +68,17 @@ Rule inventory
     shims; use ``runner.run(ExecutionPlan.for_cells(...))`` /
     ``for_batches(...)``.
 
+``TMO001`` — bounded blocking in engine code (error)
+    Scoped to modules under an ``engine/`` directory: ``.wait()``
+    calls must pass a timeout (bare ``Event.wait()`` /
+    ``Condition.wait()`` / ``proc.wait()`` are flagged),
+    ``socket.create_connection`` must pass a dial timeout, and
+    ``settimeout(None)`` — unbounded socket blocking — is flagged.
+    Unbounded blocking is how a hung peer becomes a hung fleet; the
+    self-healing layer (per-task deadlines, redial, deadline sweeps)
+    only works because every engine wait eventually returns.  A
+    deliberately unbounded wait carries a noqa with its reason.
+
 ``SUP001`` — suppression hygiene (error)
     Every suppression comment must name known rule codes.  A bare
     ``# repro: noqa`` or an unknown code is itself a finding, so the

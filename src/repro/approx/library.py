@@ -391,6 +391,7 @@ def build_library(
     cache_dir: Optional[str] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    overlap_session: Optional[EngineSession] = None,
 ) -> ApproxLibrary:
     """Run the full step-1 flow and return the Pareto library.
 
@@ -436,6 +437,13 @@ def build_library(
             slots; the finished library is bit-identical to an
             uninterrupted build (mismatched settings refuse with
             :class:`~repro.errors.CheckpointError`).
+        overlap_session: caller-owned
+            :class:`~repro.engine.taskgraph.EngineSession` to score the
+            search-free variants on (e.g. a ``CoordinatorSession`` over
+            a remote fleet — the variant cells are pure and picklable).
+            Overrides the engine-derived thread session; the caller
+            keeps ownership and closes it.  Futures are still gathered
+            in submission order, so the library stays bit-identical.
     """
     key = (
         width, kind, seed, population, generations, max_candidates,
@@ -506,9 +514,14 @@ def build_library(
         overlap_workers = min(engine.resolved_workers(), len(variant_specs))
 
     session: Optional[EngineSession] = None
+    owns_session = False
     variant_futures: List[Any] = []
-    if overlap_workers > 1:
+    if variant_specs and overlap_session is not None:
+        session = overlap_session
+    elif overlap_workers > 1:
         session = EngineSession(ThreadBackend(overlap_workers))
+        owns_session = True
+    if session is not None:
         variant_futures = [
             session.submit(
                 _make_entry, [(name, circuit, origin, width, dnn_weights)]
@@ -550,7 +563,7 @@ def build_library(
                 future.result()[0] for future in variant_futures
             )
     finally:
-        if session is not None:
+        if session is not None and owns_session:
             session.close()
     entries.extend(search_entries)
 

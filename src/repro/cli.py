@@ -104,6 +104,8 @@ def _settings(args: argparse.Namespace):
         accuracy_overrides["accuracy_shards"] = args.accuracy_shards
     if getattr(args, "accuracy_coordinator", None) is not None:
         accuracy_overrides["accuracy_coordinator"] = args.accuracy_coordinator
+    if getattr(args, "task_deadline", None) is not None:
+        grid_overrides["task_deadline_s"] = args.task_deadline
     if profile_overrides or grid_overrides or accuracy_overrides:
         # profile and explicit flags merge in one replace():
         # __post_init__ lets any legacy field set away from its default
@@ -360,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
             "grid_*/accuracy_* keys target one, and kernel/stack set "
             "kernel_tier/stack_workers.  Explicit --grid-*/--accuracy-* "
             "flags override the profile",
+        )
+        p.add_argument(
+            "--task-deadline", type=float, default=None, metavar="SECONDS",
+            help="per-task deadline for the remote modes: a shard "
+            "unacked past this is revoked from its (presumably hung) "
+            "worker and requeued, the late result discarded "
+            "(default: $REPRO_TASK_DEADLINE_S or wait forever)",
         )
         if json_out:
             p.add_argument("--json", default=None, help="write results JSON")

@@ -58,11 +58,33 @@ job, never a co-tenant).  :meth:`RemoteCoordinator.close` drains
 in-flight tasks before tearing the fleet down (ack-then-close): the
 last shard of a session is recorded, acknowledged, and only then are
 workers shut down.
+
+Self-healing (fleet fault tolerance): the coordinator optionally
+enforces a *per-task deadline* (``CoordinatorConfig.task_deadline_s``)
+— a shard unacknowledged past the deadline is revoked from its
+presumed-hung worker and requeued; the hung worker's eventual late
+result is acknowledged but discarded, so the ack protocol keeps every
+shard at-most-once even under revocation.  A per-worker *health
+ledger* scores deaths and deadline timeouts and quarantines workers
+past a threshold; a quarantined worker is re-admitted on probation
+after a cooldown and must complete one canary task before real shards
+resume (:meth:`RemoteCoordinator.fleet_health` snapshots the ledger).
+With ``CoordinatorConfig.journal_path`` set the coordinator journals
+every recorded result (atomically, keyed by a content digest of the
+task) plus a monotonically increasing *epoch*: a coordinator restarted
+after a crash replays journalled results instead of redoing them, and
+the epoch — advertised in the ``welcome`` message — tells redialing
+workers they have rebound to a new incarnation.
 """
 
 from __future__ import annotations
 
 import atexit
+import dataclasses
+import errno
+import hashlib
+import inspect
+import logging
 import os
 import pickle
 import socket
@@ -72,13 +94,17 @@ import sys
 import threading
 import time
 import warnings
+import weakref
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.diskcache import atomic_write_bytes, quarantine_corrupt_file
 from repro.errors import ExperimentError
+
+_LOG = logging.getLogger("repro.engine.fleet")
 
 Cell = Tuple[Any, ...]
 
@@ -89,9 +115,9 @@ Cell = Tuple[Any, ...]
 #: recorded result before the worker asks for more work).
 PROTOCOL_VERSION = 2
 
-#: A shard is requeued at most this many times after worker deaths
-#: before the run fails — a cell that reliably kills its executor must
-#: not consume workers forever.
+#: Deprecated alias: the default shard-requeue budget.  The live knob
+#: is :attr:`CoordinatorConfig.max_requeues` (env ``REPRO_MAX_REQUEUES``);
+#: this constant only survives as its default value.
 MAX_REQUEUES = 3
 
 
@@ -110,6 +136,36 @@ def _env_float(name: str, default: float) -> float:
     return value if value > 0 else default
 
 
+def _env_optional_float(name: str) -> Optional[float]:
+    """A positive float from the environment, or None when unset/junk."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {name}={raw!r}", RuntimeWarning, stacklevel=3
+        )
+        return None
+    return value if value > 0 else None
+
+
+def _env_int(name: str, default: int) -> int:
+    """A non-negative int from the environment, or the default on junk."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {name}={raw!r}", RuntimeWarning, stacklevel=3
+        )
+        return default
+    return value if value >= 0 else default
+
+
 @dataclass(frozen=True)
 class CoordinatorConfig:
     """Timing knobs for the remote coordinator and its worker fleet.
@@ -125,15 +181,48 @@ class CoordinatorConfig:
             polls).  Smaller = snappier scheduling, more idle wake-ups.
         shutdown_timeout: seconds :meth:`RemoteBackend.close` waits for
             a spawned worker daemon to exit before killing it.
+        task_deadline_s: optional per-task deadline.  A task still
+            unacknowledged this many seconds after assignment is
+            revoked from its (presumed hung) worker and requeued
+            against ``max_requeues``; a late result from the original
+            worker is acknowledged but discarded, so a shard can never
+            record twice.  ``None`` (the default) disables deadlines —
+            only worker *death* requeues, exactly the pre-deadline
+            behaviour.
+        max_requeues: how many times one shard may be requeued after
+            worker deaths or deadline revocations before the job fails
+            with a recoverable error (default: the deprecated module
+            constant :data:`MAX_REQUEUES` = 3).
+        quarantine_threshold: a worker accumulating this many failures
+            plus timeouts is quarantined — it gets no new assignments
+            until ``quarantine_cooldown_s`` elapses, after which it is
+            put on probation and must complete one canary task before
+            real shards resume.  ``0`` disables the circuit breaker.
+        quarantine_cooldown_s: seconds a quarantined worker sits out
+            before its probation canary.
+        journal_path: optional path of the coordinator's crash journal.
+            Every recorded result is journalled (atomically, keyed by a
+            content digest of the task) so a restarted coordinator
+            replays finished work instead of redoing it; the journal
+            also persists the coordinator epoch that workers rebind to
+            in the handshake.  ``None`` disables journalling.
 
     Environment overrides (read by :meth:`from_env`):
-    ``REPRO_COORDINATOR_POLL_S`` and
-    ``REPRO_COORDINATOR_SHUTDOWN_S``.  Timing knobs can change how
-    long runs and teardowns take, never their results.
+    ``REPRO_COORDINATOR_POLL_S``, ``REPRO_COORDINATOR_SHUTDOWN_S``,
+    ``REPRO_TASK_DEADLINE_S``, ``REPRO_MAX_REQUEUES``,
+    ``REPRO_QUARANTINE_THRESHOLD``, ``REPRO_QUARANTINE_COOLDOWN_S``,
+    and ``REPRO_COORDINATOR_JOURNAL``.  Timing and health knobs can
+    change how long runs take and which worker executes a shard, never
+    the results (cells are pure).
     """
 
     poll_interval: float = 0.2
     shutdown_timeout: float = 5.0
+    task_deadline_s: Optional[float] = None
+    max_requeues: int = MAX_REQUEUES
+    quarantine_threshold: int = 3
+    quarantine_cooldown_s: float = 30.0
+    journal_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
@@ -144,13 +233,37 @@ class CoordinatorConfig:
             raise ExperimentError(
                 f"shutdown_timeout must be positive, got {self.shutdown_timeout}"
             )
+        if self.task_deadline_s is not None and self.task_deadline_s <= 0:
+            raise ExperimentError(
+                f"task_deadline_s must be positive, got {self.task_deadline_s}"
+            )
+        if self.max_requeues < 0:
+            raise ExperimentError(
+                f"max_requeues must be >= 0, got {self.max_requeues}"
+            )
+        if self.quarantine_threshold < 0:
+            raise ExperimentError(
+                "quarantine_threshold must be >= 0, got "
+                f"{self.quarantine_threshold}"
+            )
+        if self.quarantine_cooldown_s <= 0:
+            raise ExperimentError(
+                "quarantine_cooldown_s must be positive, got "
+                f"{self.quarantine_cooldown_s}"
+            )
 
     @classmethod
     def from_env(cls) -> "CoordinatorConfig":
-        """Defaults overridden by the ``REPRO_COORDINATOR_*`` variables."""
+        """Defaults overridden by the ``REPRO_*`` variables."""
+        journal = os.environ.get("REPRO_COORDINATOR_JOURNAL", "").strip()
         return cls(
             poll_interval=_env_float("REPRO_COORDINATOR_POLL_S", 0.2),
             shutdown_timeout=_env_float("REPRO_COORDINATOR_SHUTDOWN_S", 5.0),
+            task_deadline_s=_env_optional_float("REPRO_TASK_DEADLINE_S"),
+            max_requeues=_env_int("REPRO_MAX_REQUEUES", MAX_REQUEUES),
+            quarantine_threshold=_env_int("REPRO_QUARANTINE_THRESHOLD", 3),
+            quarantine_cooldown_s=_env_float("REPRO_QUARANTINE_COOLDOWN_S", 30.0),
+            journal_path=journal or None,
         )
 
 
@@ -485,10 +598,34 @@ def spawn_local_worker(
     return subprocess.Popen(command, env=env)
 
 
-class _RemoteTask:
-    """One queued/assigned shard: its job, payload, and requeue count."""
+#: Sentinel job id for synthetic canary tasks (worker probation probes)
+#: — they belong to no client job and are never requeued.
+_CANARY_JOB = -1
 
-    __slots__ = ("wire_id", "job_id", "index", "fn", "cells", "requeues")
+
+def canary_probe(value: int) -> int:
+    """The probation canary cell: trivial, deterministic, checkable.
+
+    A worker re-admitted from quarantine must return the expected
+    value for one canary shard before it is handed real work again.
+    """
+    return value * 2 + 1
+
+
+class _RemoteTask:
+    """One queued/assigned shard: its job, payload, and requeue count.
+
+    ``holder`` is the serving connection's identity token while the
+    task is assigned (None while queued); ``assigned_at`` is the
+    monotonic assignment time the deadline sweep checks; ``worker_id``
+    is the holder's health-ledger key; ``key`` is the journal digest
+    (None when journalling is off or for canaries).
+    """
+
+    __slots__ = (
+        "wire_id", "job_id", "index", "fn", "cells", "requeues",
+        "holder", "assigned_at", "worker_id", "key",
+    )
 
     def __init__(
         self,
@@ -497,6 +634,7 @@ class _RemoteTask:
         index: int,
         fn: Callable[..., Any],
         cells: List[Cell],
+        key: Optional[str] = None,
     ):
         self.wire_id = wire_id
         self.job_id = job_id
@@ -504,6 +642,45 @@ class _RemoteTask:
         self.fn = fn
         self.cells = cells
         self.requeues = 0
+        self.holder: Optional[object] = None
+        self.assigned_at: Optional[float] = None
+        self.worker_id: Optional[str] = None
+        self.key = key
+
+
+class _WorkerHealth:
+    """Health-ledger entry for one worker identity (usually a pid).
+
+    ``state`` is one of ``active`` (normal service), ``quarantined``
+    (no assignments until the cooldown passes) and ``probation``
+    (exactly one canary task in flight).  Failures are deaths while
+    holding a task; timeouts are deadline revocations.
+    """
+
+    __slots__ = (
+        "worker_id", "state", "failures", "timeouts", "completed",
+        "canaries_passed", "quarantines", "quarantined_at",
+    )
+
+    def __init__(self, worker_id: str):
+        self.worker_id = worker_id
+        self.state = "active"
+        self.failures = 0
+        self.timeouts = 0
+        self.completed = 0
+        self.canaries_passed = 0
+        self.quarantines = 0
+        self.quarantined_at = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "completed": self.completed,
+            "canaries_passed": self.canaries_passed,
+            "quarantines": self.quarantines,
+        }
 
 
 class _RemoteJob:
@@ -528,6 +705,19 @@ class _RemoteJob:
         self.liveness = liveness
 
 
+#: Open in-process coordinators.  ``coordkill`` faults consult this so
+#: one inherited ``REPRO_FAULTS`` value only kills coordinator hosts.
+_LIVE_COORDINATORS: "weakref.WeakSet[RemoteCoordinator]" = weakref.WeakSet()
+
+#: On-disk journal format version (see ``CoordinatorConfig.journal_path``).
+_JOURNAL_VERSION = 1
+
+
+def live_coordinator_count() -> int:
+    """How many open coordinators this process currently hosts."""
+    return sum(1 for coord in _LIVE_COORDINATORS if not coord._closed)
+
+
 class RemoteCoordinator:
     """TCP work session: a shared task queue served to a worker fleet.
 
@@ -550,15 +740,22 @@ class RemoteCoordinator:
     by one condition variable.
 
     Fault tolerance: a connection that drops while holding a shard has
-    that shard requeued (bounded by :data:`MAX_REQUEUES`); because cells
-    are pure functions, re-execution elsewhere returns the identical
-    result.  A worker-side *exception* (as opposed to worker death) is
-    deterministic and therefore fatal to the task's own job — exactly
-    like the serial reference — while co-tenant jobs keep running.
-    Every recorded result is acknowledged to the worker before it asks
-    for more work, and :meth:`close` drains assigned tasks before
-    shutting the fleet down, so the last shard of a session can neither
-    be dropped nor requeued spuriously.
+    that shard requeued (bounded by ``config.max_requeues``); because
+    cells are pure functions, re-execution elsewhere returns the
+    identical result.  With ``config.task_deadline_s`` set, a shard a
+    worker *holds* past the deadline is likewise revoked and requeued
+    — the hung worker's eventual late result is acknowledged but
+    discarded, so no shard records twice.  A worker-side *exception*
+    (as opposed to worker death) is deterministic and therefore fatal
+    to the task's own job — exactly like the serial reference — while
+    co-tenant jobs keep running.  Every recorded result is acknowledged
+    to the worker before it asks for more work, and :meth:`close`
+    drains assigned tasks before shutting the fleet down, so the last
+    shard of a session can neither be dropped nor requeued spuriously.
+    Chronic offenders are quarantined via the per-worker health ledger
+    (see :meth:`fleet_health`), and with ``config.journal_path`` set a
+    restarted coordinator replays journalled results and announces a
+    bumped epoch to redialing workers.
     """
 
     def __init__(
@@ -586,6 +783,21 @@ class RemoteCoordinator:
         # identical numpy-only workers produces one heads-up, not one
         # per connection
         self._warned_kernel_maps: set = set()
+        #: health ledger, keyed by worker identity (pid when advertised)
+        self._health: Dict[str, _WorkerHealth] = {}
+        #: connection tokens whose assignment the deadline sweep revoked
+        #: — their next slot event (late result, error, or death) is
+        #: discarded instead of double-accounted
+        self._revoked_tokens: set = set()
+        #: open worker connections, so :meth:`kill` can sever them
+        self._conns: set = set()
+        #: journalled results keyed by task digest; replayed on submit
+        self._journal_results: Dict[str, List[Any]] = {}
+        self.epoch = 0
+        if self.config.journal_path:
+            self._journal_load()
+            self._journal_write_locked()  # persist the epoch bump
+        _LIVE_COORDINATORS.add(self)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True
         )
@@ -646,6 +858,155 @@ class RemoteCoordinator:
     def __exit__(self, *_exc: Any) -> None:
         self.close()
 
+    def kill(self) -> None:
+        """Drain-free teardown simulating a coordinator crash (tests).
+
+        Closes the server socket and every worker connection abruptly —
+        no shutdown messages, no drain — so workers observe exactly
+        what a SIGKILLed coordinator process looks like and enter their
+        redial loop.  In-process clients blocked in :meth:`wait_job`
+        fail with a *recoverable* error; a :class:`RemoteBackend` will
+        stand up a fresh coordinator (same journal, bumped epoch) on
+        its next call.
+        """
+        callbacks: List[Tuple[Callable[..., None], RemoteRunError]] = []
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            for job in self._jobs.values():
+                if job.failure is None and len(job.results) < job.size:
+                    job.failure = RemoteRunError(
+                        "coordinator killed with the job unfinished",
+                        recoverable=True,
+                    )
+                    if job.on_task_done is not None:
+                        callbacks.append((job.on_task_done, job.failure))
+            conns = list(self._conns)
+            self._state.notify_all()
+        for on_task_done, failure in callbacks:
+            on_task_done(-1, None, failure)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    def alive(self) -> bool:
+        """True while the coordinator can still accept workers."""
+        return not self._closed and self._accept_thread.is_alive()
+
+    # -- crash journal --------------------------------------------------
+
+    @staticmethod
+    def _task_key(fn: Callable[..., Any], cells: Sequence[Cell]) -> str:
+        """Content digest of one task (pure cells ⇒ stable across runs)."""
+        payload = pickle.dumps(
+            (getattr(fn, "__module__", None), getattr(fn, "__qualname__", None),
+             list(cells)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return hashlib.sha256(payload).hexdigest()
+
+    def _journal_load(self) -> None:
+        """Read a prior incarnation's journal; bump the epoch past it."""
+        path = self.config.journal_path
+        assert path is not None
+        try:
+            with open(path, "rb") as handle:
+                data = pickle.loads(handle.read())
+            if (
+                not isinstance(data, dict)
+                or data.get("version") != _JOURNAL_VERSION
+            ):
+                raise ValueError(f"unsupported journal payload in {path}")
+            self._journal_results = dict(data.get("results", {}))
+            self.epoch = int(data.get("epoch", -1)) + 1
+            _LOG.info(
+                "coordinator recovered journal %s: epoch %d, %d result(s) "
+                "replayable", path, self.epoch, len(self._journal_results),
+            )
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError, pickle.PickleError, EOFError) as exc:
+            quarantine_corrupt_file(path, f"unreadable coordinator journal: {exc}")
+            self._journal_results = {}
+
+    def _journal_write_locked(self) -> None:
+        """Durably rewrite the journal (caller holds ``_state`` or init)."""
+        path = self.config.journal_path
+        if not path:
+            return
+        payload = pickle.dumps(
+            {
+                "version": _JOURNAL_VERSION,
+                "epoch": self.epoch,
+                "results": self._journal_results,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        atomic_write_bytes(path, payload)
+
+    # -- fleet health ----------------------------------------------------
+
+    def fleet_health(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of the per-worker health ledger.
+
+        Keys are worker identities (``pid:N`` for workers advertising a
+        pid, ``conn:N`` otherwise); values carry ``state`` (``active`` /
+        ``quarantined`` / ``probation``) and the failure / timeout /
+        completed / canary counters.  Purely observational — reading it
+        never changes scheduling.
+        """
+        with self._state:
+            return {
+                worker_id: health.snapshot()
+                for worker_id, health in self._health.items()
+            }
+
+    def _health_for_locked(self, worker_id: str) -> _WorkerHealth:
+        health = self._health.get(worker_id)
+        if health is None:
+            health = _WorkerHealth(worker_id)
+            self._health[worker_id] = health
+        return health
+
+    def _note_offense_locked(self, worker_id: Optional[str], kind: str) -> None:
+        """Score a death (``failures``) or revocation (``timeouts``)."""
+        if worker_id is None:
+            return
+        health = self._health_for_locked(worker_id)
+        if kind == "failure":
+            health.failures += 1
+        else:
+            health.timeouts += 1
+        threshold = self.config.quarantine_threshold
+        if (
+            threshold > 0
+            and health.state == "active"
+            and health.failures + health.timeouts >= threshold
+        ):
+            self._quarantine_locked(health, reason=kind)
+
+    def _quarantine_locked(self, health: _WorkerHealth, reason: str) -> None:
+        health.state = "quarantined"
+        health.quarantines += 1
+        health.quarantined_at = time.monotonic()
+        _LOG.warning(
+            "worker %s quarantined after %d failure(s) + %d timeout(s) "
+            "(last offense: %s); cooldown %.1fs",
+            health.worker_id, health.failures, health.timeouts, reason,
+            self.config.quarantine_cooldown_s,
+        )
+
     # -- job submission -------------------------------------------------
 
     def submit_job(
@@ -667,6 +1028,8 @@ class RemoteCoordinator:
         the probe says none can ever return.
         """
         shards = [list(shard) for shard in shards]
+        journaling = bool(self.config.journal_path)
+        callbacks: List[Tuple[Callable[..., None], int, List[Any]]] = []
         with self._state:
             if self._closed or self._closing:
                 raise ExperimentError("coordinator is closed")
@@ -675,13 +1038,30 @@ class RemoteCoordinator:
             job = _RemoteJob(job_id, len(shards), on_task_done, liveness)
             self._jobs[job_id] = job
             for index, shard in enumerate(shards):
+                key = self._task_key(fn, shard) if journaling else None
+                if key is not None and key in self._journal_results:
+                    # a prior incarnation already ran this exact task —
+                    # replay its journalled result instead of redoing it
+                    result = list(self._journal_results[key])
+                    job.results[index] = result
+                    if job.on_task_done is not None:
+                        callbacks.append((job.on_task_done, index, result))
+                    continue
                 wire_id = self._next_wire_id
                 self._next_wire_id += 1
                 self._tasks[wire_id] = _RemoteTask(
-                    wire_id, job_id, index, fn, shard
+                    wire_id, job_id, index, fn, shard, key=key
                 )
                 self._queue.append(wire_id)
+            if (
+                len(job.results) == job.size
+                and job.on_task_done is not None
+            ):
+                # fully replayed callback-driven job: reap immediately
+                del self._jobs[job_id]
             self._state.notify_all()
+        for replay_callback, index, result in callbacks:
+            replay_callback(index, result, None)
         return job_id
 
     def submit_single(
@@ -803,6 +1183,7 @@ class RemoteCoordinator:
                 if self._closed:
                     return
             self._sweep_stalled_jobs()
+            self._sweep_deadlines()
             try:
                 conn, _peer = self._server.accept()
             except socket.timeout:
@@ -848,11 +1229,18 @@ class RemoteCoordinator:
         for on_task_done, failure in callbacks:
             on_task_done(-1, None, failure)
 
-    def _handshake(self, conn: socket.socket) -> bool:
+    def _handshake(self, conn: socket.socket) -> Optional[str]:
+        """Run the hello/welcome exchange; returns the worker identity.
+
+        ``None`` means the connection was rejected.  The ``welcome``
+        carries the coordinator epoch so a redialing worker can tell a
+        reconnect (same epoch) from a rebind to a restarted
+        incarnation (higher epoch).
+        """
         hello = recv_msg(conn)
         if not isinstance(hello, dict) or hello.get("type") != "hello":
             send_msg(conn, {"type": "reject", "reason": "bad handshake"})
-            return False
+            return None
         if hello.get("protocol") != PROTOCOL_VERSION:
             send_msg(
                 conn,
@@ -864,10 +1252,20 @@ class RemoteCoordinator:
                     ),
                 },
             )
-            return False
+            return None
         self._check_worker_kernels(hello)
-        send_msg(conn, {"type": "welcome", "protocol": PROTOCOL_VERSION})
-        return True
+        send_msg(
+            conn,
+            {
+                "type": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "epoch": self.epoch,
+            },
+        )
+        pid = hello.get("pid")
+        if pid is not None:
+            return f"pid:{pid}"
+        return f"conn:{id(conn)}"
 
     def _check_worker_kernels(self, hello: Dict[str, Any]) -> None:
         """Warn (never reject) when a worker lacks a local kernel tier.
@@ -905,7 +1303,9 @@ class RemoteCoordinator:
             stacklevel=2,
         )
 
-    def _next_task(self) -> Optional[_RemoteTask]:
+    def _next_task(
+        self, worker_id: str, token: object
+    ) -> Optional[_RemoteTask]:
         """Block until a task is assignable; ``None`` means shut down.
 
         Between jobs (and while a failed job unwinds) workers idle here
@@ -914,11 +1314,44 @@ class RemoteCoordinator:
         session-wide: entries whose job has since finished or failed
         are skipped lazily, everything else is handed out FIFO
         regardless of which job enqueued it (work-stealing).
+
+        Health gating happens here: a quarantined worker idles without
+        assignments until its cooldown passes, then receives exactly
+        one synthetic canary task (probation); only a correct canary
+        result re-admits it to the real queue.
         """
         with self._state:
             while True:
                 if self._closed or self._closing:
                     return None
+                health = self._health.get(worker_id)
+                if (
+                    health is not None
+                    and health.state != "active"
+                    and self.config.quarantine_threshold > 0
+                ):
+                    if health.state == "quarantined" and (
+                        time.monotonic() - health.quarantined_at
+                        >= self.config.quarantine_cooldown_s
+                    ):
+                        health.state = "probation"
+                        _LOG.warning(
+                            "worker %s re-admitted on probation; issuing "
+                            "canary task", worker_id,
+                        )
+                        wire_id = self._next_wire_id
+                        self._next_wire_id += 1
+                        canary = _RemoteTask(
+                            wire_id, _CANARY_JOB, 0, canary_probe,
+                            [(wire_id,)],
+                        )
+                        self._tasks[wire_id] = canary
+                        self._assign_locked(canary, worker_id, token)
+                        return canary
+                    # quarantined (cooling down) or probation (canary
+                    # already in flight): no real work yet
+                    self._state.wait(timeout=self.config.poll_interval)
+                    continue
                 while self._queue:
                     wire_id = self._queue.popleft()
                     task = self._tasks.get(wire_id)
@@ -928,22 +1361,54 @@ class RemoteCoordinator:
                     if job is None or job.failure is not None:
                         del self._tasks[wire_id]
                         continue
-                    self._assigned += 1
+                    self._assign_locked(task, worker_id, token)
                     return task
                 self._state.wait(timeout=self.config.poll_interval)
 
+    def _assign_locked(
+        self, task: _RemoteTask, worker_id: str, token: object
+    ) -> None:
+        task.holder = token
+        task.worker_id = worker_id
+        task.assigned_at = time.monotonic()
+        self._assigned += 1
+
     def _record_result(
-        self, wire_id: int, result: List[Any]
+        self, wire_id: int, result: List[Any], token: object
     ) -> Optional[Tuple[Callable[..., None], int, List[Any]]]:
-        """Record one task's result; returns the done-callback to fire."""
+        """Record one task's result; returns the done-callback to fire.
+
+        A result from a connection whose assignment the deadline sweep
+        revoked is *discarded* (the sweep already re-accounted the
+        assignment slot and requeued the shard — recording here would
+        double-record); the worker still gets its ack so the protocol
+        stays in step.
+        """
         with self._state:
+            if token in self._revoked_tokens:
+                self._revoked_tokens.discard(token)
+                _LOG.warning(
+                    "discarding late result for task %d from a "
+                    "deadline-revoked assignment", wire_id,
+                )
+                self._state.notify_all()
+                return None
             self._assigned -= 1
             task = self._tasks.pop(wire_id, None)
             callback = None
             if task is not None:
+                if task.worker_id is not None:
+                    self._health_for_locked(task.worker_id).completed += 1
+                if task.job_id == _CANARY_JOB:
+                    self._finish_canary_locked(task, result)
+                    self._state.notify_all()
+                    return None
                 job = self._jobs.get(task.job_id)
                 if job is not None and job.failure is None:
                     job.results[task.index] = result
+                    if task.key is not None:
+                        self._journal_results[task.key] = list(result)
+                        self._journal_write_locked()
                     if job.on_task_done is not None:
                         callback = (job.on_task_done, task.index, result)
                         if len(job.results) == job.size:
@@ -953,15 +1418,50 @@ class RemoteCoordinator:
             self._state.notify_all()
         return callback
 
+    def _finish_canary_locked(
+        self, task: _RemoteTask, result: List[Any]
+    ) -> None:
+        """Grade a probation canary: correct ⇒ active, wrong ⇒ back out."""
+        worker_id = task.worker_id
+        if worker_id is None:
+            return
+        health = self._health_for_locked(worker_id)
+        expected = [canary_probe(*cell) for cell in task.cells]
+        if result == expected:
+            health.state = "active"
+            health.failures = 0
+            health.timeouts = 0
+            health.canaries_passed += 1
+            _LOG.warning(
+                "worker %s passed its canary; resuming real assignments",
+                worker_id,
+            )
+        else:
+            self._quarantine_locked(health, reason="wrong canary result")
+
     def _record_error(
-        self, wire_id: int, error: str
+        self, wire_id: int, error: str, token: object
     ) -> Optional[Tuple[Callable[..., None], RemoteRunError]]:
         """Fail one task's job; returns the failure callback to fire."""
         with self._state:
+            if token in self._revoked_tokens:
+                # the shard was revoked and requeued; it will either
+                # succeed elsewhere or fail there identically
+                self._revoked_tokens.discard(token)
+                self._state.notify_all()
+                return None
             self._assigned -= 1
             task = self._tasks.pop(wire_id, None)
             callback = None
             if task is not None:
+                if task.job_id == _CANARY_JOB:
+                    if task.worker_id is not None:
+                        self._quarantine_locked(
+                            self._health_for_locked(task.worker_id),
+                            reason="canary error",
+                        )
+                    self._state.notify_all()
+                    return None
                 job = self._jobs.get(task.job_id)
                 if job is not None and job.failure is None:
                     # a worker-side exception is deterministic — the
@@ -978,13 +1478,91 @@ class RemoteCoordinator:
             self._state.notify_all()
         return callback
 
+    def _sweep_deadlines(self) -> None:
+        """Revoke and requeue tasks held past ``config.task_deadline_s``.
+
+        Runs from the accept loop every poll tick.  Revocation marks
+        the holding connection's token so the worker's *next* slot
+        event (late result, late error, or death) is discarded instead
+        of double-accounted, scores a timeout against the worker's
+        health ledger, and requeues the shard against the job's requeue
+        budget — a hung worker therefore only ever consumes its *own*
+        task's budget, never another job's.
+        """
+        deadline = self.config.task_deadline_s
+        if deadline is None:
+            return
+        now = time.monotonic()
+        callbacks: List[Tuple[Callable[..., None], RemoteRunError]] = []
+        with self._state:
+            for task in list(self._tasks.values()):
+                if task.holder is None or task.assigned_at is None:
+                    continue
+                if now - task.assigned_at < deadline:
+                    continue
+                worker_id = task.worker_id
+                self._revoked_tokens.add(task.holder)
+                task.holder = None
+                task.assigned_at = None
+                task.worker_id = None
+                self._assigned -= 1
+                self._note_offense_locked(worker_id, "timeout")
+                if task.job_id == _CANARY_JOB:
+                    # a hung canary sends its worker straight back out
+                    del self._tasks[task.wire_id]
+                    if worker_id is not None:
+                        self._quarantine_locked(
+                            self._health_for_locked(worker_id),
+                            reason="canary timeout",
+                        )
+                    continue
+                job = self._jobs.get(task.job_id)
+                if job is None or job.failure is not None:
+                    del self._tasks[task.wire_id]
+                    continue
+                task.requeues += 1
+                _LOG.warning(
+                    "task %d (shard %d of job %d) exceeded its %.1fs "
+                    "deadline on worker %s; requeue %d/%d",
+                    task.wire_id, task.index, task.job_id, deadline,
+                    worker_id, task.requeues, self.config.max_requeues,
+                )
+                if task.requeues > self.config.max_requeues:
+                    job.failure = RemoteRunError(
+                        f"shard {task.index} timed out on "
+                        f"{task.requeues} workers; giving up instead of "
+                        "consuming the fleet",
+                        recoverable=True,
+                    )
+                    if job.on_task_done is not None:
+                        callbacks.append((job.on_task_done, job.failure))
+                        del self._jobs[job.job_id]
+                    del self._tasks[task.wire_id]
+                else:
+                    self._queue.append(task.wire_id)
+            self._state.notify_all()
+        for on_task_done, failure in callbacks:
+            on_task_done(-1, None, failure)
+
     def _serve_worker(self, conn: socket.socket) -> None:
         held: Optional[_RemoteTask] = None
         registered = False
+        token = object()  # this connection's assignment identity
+        worker_id: Optional[str] = None
+        with self._state:
+            if self._closed:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
+            self._conns.add(conn)
         try:
-            if not self._handshake(conn):
+            worker_id = self._handshake(conn)
+            if worker_id is None:
                 return
             with self._state:
+                self._health_for_locked(worker_id)
                 self._active_workers += 1
                 self._state.notify_all()
             registered = True
@@ -994,7 +1572,7 @@ class RemoteCoordinator:
                     return  # peer closed; finally-block requeues
                 kind = message.get("type")
                 if kind == "ready":
-                    task = self._next_task()
+                    task = self._next_task(worker_id, token)
                     if task is None:
                         send_msg(conn, {"type": "shutdown"})
                         return
@@ -1015,7 +1593,7 @@ class RemoteCoordinator:
                     wire_id = message["task_id"]
                     held = None
                     callback = self._record_result(
-                        wire_id, message["result"]
+                        wire_id, message["result"], token
                     )
                     if callback is not None:
                         on_task_done, index, result = callback
@@ -1028,7 +1606,7 @@ class RemoteCoordinator:
                     wire_id = message["task_id"]
                     held = None
                     fail_callback = self._record_error(
-                        wire_id, message["error"]
+                        wire_id, message["error"], token
                     )
                     if fail_callback is not None:
                         on_task_done, run_error = fail_callback
@@ -1040,19 +1618,44 @@ class RemoteCoordinator:
         finally:
             fail_callback = None
             with self._state:
+                self._conns.discard(conn)
                 if registered:
                     self._active_workers -= 1
+                if held is not None and token in self._revoked_tokens:
+                    # the deadline sweep already revoked (and
+                    # re-accounted) this assignment — a dead hung
+                    # worker must not requeue the shard a second time
+                    self._revoked_tokens.discard(token)
+                    held = None
                 if held is not None:
                     self._assigned -= 1
+                    if registered and held.worker_id is not None:
+                        self._note_offense_locked(
+                            held.worker_id, "failure"
+                        )
                     task = self._tasks.get(held.wire_id)
+                    if task is not None and task.holder is not token:
+                        task = None  # reassigned elsewhere; not ours
+                    if task is not None and task.job_id == _CANARY_JOB:
+                        # death during probation: straight back out
+                        del self._tasks[task.wire_id]
+                        if task.worker_id is not None:
+                            self._quarantine_locked(
+                                self._health_for_locked(task.worker_id),
+                                reason="died holding canary",
+                            )
+                        task = None
                     job = (
                         self._jobs.get(task.job_id)
                         if task is not None
                         else None
                     )
                     if task is not None and job is not None:
+                        task.holder = None
+                        task.assigned_at = None
+                        task.worker_id = None
                         task.requeues += 1
-                        if task.requeues > MAX_REQUEUES:
+                        if task.requeues > self.config.max_requeues:
                             # worker *death* is an infrastructure
                             # failure; the surviving shards can still
                             # run elsewhere
@@ -1109,10 +1712,15 @@ class RemoteBackend(ExecutorBackend):
         coordinator: Optional[str] = None,
         spawn: Optional[int] = None,
         config: Optional[CoordinatorConfig] = None,
+        task_deadline_s: Optional[float] = None,
     ):
         self.bind = coordinator if coordinator else "127.0.0.1:0"
         self.spawn = 2 if spawn is None else max(0, spawn)
         self.config = config or CoordinatorConfig.from_env()
+        if task_deadline_s is not None:
+            self.config = dataclasses.replace(
+                self.config, task_deadline_s=task_deadline_s
+            )
         self._lock = threading.Lock()
         self._coordinator: Optional[RemoteCoordinator] = None
         self._procs: List["subprocess.Popen[bytes]"] = []
@@ -1120,12 +1728,42 @@ class RemoteBackend(ExecutorBackend):
     def _ensure_up(
         self,
     ) -> Tuple[RemoteCoordinator, List["subprocess.Popen[bytes]"]]:
-        """Bind the coordinator once; top up daemons that have died."""
+        """Bind the coordinator once; top up daemons that have died.
+
+        A coordinator that died ungracefully (see
+        :meth:`RemoteCoordinator.kill`) is replaced by a fresh
+        incarnation on the same bind — with a journal configured it
+        replays recorded results and bumps the epoch, and surviving
+        workers redial into it — so a persistent client session heals
+        across coordinator crashes instead of erroring forever.
+        """
         with self._lock:
-            if self._coordinator is None:
-                self._coordinator = RemoteCoordinator(
-                    self.bind, config=self.config
+            if self._coordinator is not None and not self._coordinator.alive():
+                _LOG.warning(
+                    "coordinator on %s died; rebinding a fresh incarnation",
+                    self.bind,
                 )
+                self._coordinator = None
+            if self._coordinator is None:
+                # a dead incarnation's accept thread releases the port
+                # only on its next poll tick, so rebinding the same
+                # HOST:PORT right after a crash can transiently hit
+                # EADDRINUSE — wait it out (bounded) instead of failing
+                # the healing path
+                deadline = time.monotonic() + self.config.shutdown_timeout
+                while True:
+                    try:
+                        self._coordinator = RemoteCoordinator(
+                            self.bind, config=self.config
+                        )
+                        break
+                    except OSError as exc:
+                        if (
+                            exc.errno != errno.EADDRINUSE
+                            or time.monotonic() >= deadline
+                        ):
+                            raise
+                        time.sleep(self.config.poll_interval)
             self._procs = [
                 proc for proc in self._procs if proc.poll() is None
             ]
@@ -1134,6 +1772,14 @@ class RemoteBackend(ExecutorBackend):
                     spawn_local_worker(self._coordinator.address)
                 )
             return self._coordinator, list(self._procs)
+
+    def fleet_health(self) -> Dict[str, Dict[str, Any]]:
+        """The live coordinator's health ledger ({} before first use)."""
+        with self._lock:
+            coordinator = self._coordinator
+        if coordinator is None:
+            return {}
+        return coordinator.fleet_health()
 
     def map_shards(
         self, fn: Callable[..., Any], shards: Sequence[Sequence[Cell]]
@@ -1183,7 +1829,8 @@ class RemoteBackend(ExecutorBackend):
                 proc.wait(timeout=self.config.shutdown_timeout)
             except subprocess.TimeoutExpired:
                 proc.kill()
-                proc.wait()
+                # reaping a SIGKILLed child is bounded by the kernel
+                proc.wait()  # repro: noqa[TMO001]
 
 
 class FallbackBackend(ExecutorBackend):
@@ -1201,6 +1848,10 @@ class FallbackBackend(ExecutorBackend):
     Deterministic cell exceptions (``recoverable=False``) re-raise
     unchanged — they would fail identically on the fallback, and
     papering over them would turn a real bug into a slow mystery.
+
+    A coordinator unreachable at *connect* time (the bind or dial
+    raises a plain :class:`OSError` before any shard ran) degrades the
+    same way: all shards drain locally with a warning.
 
     Args:
         primary: the backend to try first.
@@ -1224,6 +1875,17 @@ class FallbackBackend(ExecutorBackend):
         shards = [list(shard) for shard in shards]
         try:
             return self.primary.map_shards(fn, shards)
+        except OSError as exc:
+            # the coordinator could not even be reached (bind/dial
+            # failure before any shard ran): drain everything locally
+            warnings.warn(
+                f"remote backend unreachable at connect time ({exc}); "
+                f"draining all {len(shards)} shard(s) on the local "
+                f"{type(self.fallback).__name__}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self.fallback.map_shards(fn, shards)
         except RemoteRunError as exc:
             if not exc.recoverable:
                 raise
@@ -1257,15 +1919,20 @@ class FallbackBackend(ExecutorBackend):
             close()
 
 
-#: Persistent remote backends, keyed by (bind, spawn, worker env) so a
-#: run never reuses a fleet spawned with a different PYTHONPATH.
-_REMOTE_BACKENDS: Dict[Tuple[str, int, str], RemoteBackend] = {}
+#: Persistent remote backends, keyed by (bind, spawn, deadline, worker
+#: env) so a run never reuses a fleet spawned with a different
+#: PYTHONPATH or a different revocation policy.
+_REMOTE_BACKENDS: Dict[
+    Tuple[str, int, Optional[float], str], RemoteBackend
+] = {}
 _REMOTE_LOCK = threading.Lock()
 _REMOTE_OWNER_PID: Optional[int] = None
 
 
 def shared_remote_backend(
-    coordinator: Optional[str] = None, spawn: Optional[int] = None
+    coordinator: Optional[str] = None,
+    spawn: Optional[int] = None,
+    task_deadline_s: Optional[float] = None,
 ) -> RemoteBackend:
     """The persistent remote backend for an address/fleet spec.
 
@@ -1277,7 +1944,7 @@ def shared_remote_backend(
     global _REMOTE_OWNER_PID
     bind = coordinator if coordinator else "127.0.0.1:0"
     count = 2 if spawn is None else max(0, spawn)
-    key = (bind, count, os.environ.get("PYTHONPATH", ""))
+    key = (bind, count, task_deadline_s, os.environ.get("PYTHONPATH", ""))
     with _REMOTE_LOCK:
         pid = os.getpid()
         if _REMOTE_OWNER_PID != pid:
@@ -1285,7 +1952,9 @@ def shared_remote_backend(
             _REMOTE_OWNER_PID = pid
         backend = _REMOTE_BACKENDS.get(key)
         if backend is None:
-            backend = RemoteBackend(coordinator=bind, spawn=count)
+            backend = RemoteBackend(
+                coordinator=bind, spawn=count, task_deadline_s=task_deadline_s
+            )
             _REMOTE_BACKENDS[key] = backend
         return backend
 
@@ -1317,7 +1986,8 @@ def register_backend(name: str, factory: BackendFactory) -> None:
     """Register a dispatch strategy under a ``--grid-mode`` name.
 
     ``factory`` is called with the keyword options ``workers``,
-    ``coordinator`` and ``spawn`` and may ignore whichever do not apply.
+    ``coordinator``, ``spawn`` and ``task_deadline_s`` and may ignore
+    whichever do not apply.
     """
     _BACKEND_FACTORIES[name] = factory
 
@@ -1332,6 +2002,7 @@ def create_backend(
     workers: int = 1,
     coordinator: Optional[str] = None,
     spawn: Optional[int] = None,
+    task_deadline_s: Optional[float] = None,
 ) -> ExecutorBackend:
     """Instantiate a registered backend by name."""
     factory = _BACKEND_FACTORIES.get(name)
@@ -1340,25 +2011,59 @@ def create_backend(
             f"unknown execution backend {name!r}; "
             f"registered: {backend_names()}"
         )
-    return factory(workers=workers, coordinator=coordinator, spawn=spawn)
+    kwargs = {
+        "workers": workers,
+        "coordinator": coordinator,
+        "spawn": spawn,
+        "task_deadline_s": task_deadline_s,
+    }
+    # factories registered before task_deadline_s existed take three
+    # keywords; pass each factory exactly what it declares so the
+    # registry contract stays additive
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        parameters = None
+    if parameters is not None and not any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    ):
+        kwargs = {k: v for k, v in kwargs.items() if k in parameters}
+    return factory(**kwargs)
 
 
-register_backend("serial", lambda workers, coordinator, spawn: SerialBackend())
 register_backend(
-    "thread", lambda workers, coordinator, spawn: ThreadBackend(workers)
+    "serial",
+    lambda workers, coordinator, spawn, task_deadline_s: SerialBackend(),
 )
 register_backend(
-    "process", lambda workers, coordinator, spawn: ProcessBackend(workers)
+    "thread",
+    lambda workers, coordinator, spawn, task_deadline_s: ThreadBackend(
+        workers
+    ),
+)
+register_backend(
+    "process",
+    lambda workers, coordinator, spawn, task_deadline_s: ProcessBackend(
+        workers
+    ),
 )
 register_backend(
     "remote",
-    lambda workers, coordinator, spawn: shared_remote_backend(
-        coordinator=coordinator, spawn=spawn
+    lambda workers, coordinator, spawn, task_deadline_s: (
+        shared_remote_backend(
+            coordinator=coordinator,
+            spawn=spawn,
+            task_deadline_s=task_deadline_s,
+        )
     ),
 )
 register_backend(
     "remote-fallback",
-    lambda workers, coordinator, spawn: FallbackBackend(
-        shared_remote_backend(coordinator=coordinator, spawn=spawn)
+    lambda workers, coordinator, spawn, task_deadline_s: FallbackBackend(
+        shared_remote_backend(
+            coordinator=coordinator,
+            spawn=spawn,
+            task_deadline_s=task_deadline_s,
+        )
     ),
 )

@@ -26,10 +26,21 @@ Spec grammar (comma-separated)::
     drop@shard:N     close the coordinator connection at shard N
     drop@recv:N      close the connection at the Nth protocol message
     slow@task:S      sleep S seconds before executing every task
+    hang@task:N      hang forever executing the worker's Nth task
+    corrupt@recv:N   reply with a garbage frame at the Nth message
+    coordkill@gen:N  SIGKILL the process after checkpoint N, but only
+                     if it hosts a live in-process coordinator
 
 ``N`` may be a literal integer or ``rand:SEED:HI`` — a seeded uniform
 draw from ``[0, HI)`` resolved once at parse time, so "kill at a random
 generation" is reproducible from the seed alone.
+
+``hang`` exercises the per-task deadline path: the coordinator must
+revoke and requeue the shard instead of waiting forever.  ``corrupt``
+exercises the framing layer: the coordinator must treat an unpicklable
+payload as a dead worker.  ``coordkill`` scopes a ``kill@gen`` strike
+to the coordinator-hosting process, so one ``REPRO_FAULTS`` value can
+be inherited by spawned workers without also killing them.
 """
 
 from __future__ import annotations
@@ -46,8 +57,12 @@ from repro.errors import ExperimentError
 #: Environment variable carrying the fault spec for one process.
 FAULTS_ENV = "REPRO_FAULTS"
 
-_KINDS = ("kill", "drop", "slow")
+_KINDS = ("kill", "drop", "slow", "hang", "corrupt", "coordkill")
 _POINTS = ("shard", "recv", "gen", "task")
+
+#: (kind, required point) pairs for the kinds that only make sense at
+#: one hook — parse-time validation keeps chaos specs honest.
+_KIND_POINTS = {"hang": "task", "corrupt": "recv", "coordkill": "gen"}
 
 
 class InjectedDrop(Exception):
@@ -56,6 +71,16 @@ class InjectedDrop(Exception):
     The worker daemon treats it like a vanished coordinator: close the
     socket and exit cleanly.  Coordinator-side this is indistinguishable
     from a worker crash — the held shard is requeued.
+    """
+
+
+class InjectedCorrupt(Exception):
+    """Raised by the injector to make a worker emit a garbage frame.
+
+    The worker daemon sends a correctly length-prefixed but unpicklable
+    payload and drops the connection, so the coordinator's framing
+    layer — not the worker — must contain the damage (requeue the held
+    shard, keep serving the rest of the fleet).
     """
 
 
@@ -105,7 +130,12 @@ class FaultSpec:
             )
         if self.kind == "slow" and self.point != "task":
             raise ExperimentError("slow faults only support the 'task' point")
-        if self.kind in ("kill", "drop") and self.at != int(self.at):
+        required = _KIND_POINTS.get(self.kind)
+        if required is not None and self.point != required:
+            raise ExperimentError(
+                f"{self.kind} faults only support the {required!r} point"
+            )
+        if self.kind != "slow" and self.at != int(self.at):
             raise ExperimentError(
                 f"{self.kind} faults need an integer event ordinal, got {self.at}"
             )
@@ -126,6 +156,19 @@ def parse_faults(spec: str) -> Tuple[FaultSpec, ...]:
             )
         faults.append(FaultSpec(kind=kind, point=point, at=_resolve_ordinal(arg)))
     return tuple(faults)
+
+
+def _coordinator_alive() -> bool:
+    """True when this process hosts at least one open coordinator.
+
+    Imported lazily so the injector stays importable from worker
+    processes that never load the backends module.
+    """
+    try:
+        from repro.engine.backends import live_coordinator_count
+    except ImportError:  # pragma: no cover - circular-import guard
+        return False
+    return live_coordinator_count() > 0
 
 
 def _sigkill_self() -> None:  # pragma: no cover - the process dies here
@@ -164,8 +207,15 @@ class FaultInjector:
                 continue
             if fault.kind == "kill":
                 _sigkill_self()
+            if fault.kind == "coordkill" and _coordinator_alive():
+                _sigkill_self()
             if fault.kind == "drop":
                 raise InjectedDrop(f"injected drop at {point}:{ordinal}")
+            if fault.kind == "corrupt":
+                raise InjectedCorrupt(f"injected corruption at {point}:{ordinal}")
+            if fault.kind == "hang":  # pragma: no cover - only dies by SIGKILL
+                while True:
+                    time.sleep(60)
 
     def on_recv(self) -> None:
         """Hook: the worker received one protocol message."""
@@ -178,7 +228,14 @@ class FaultInjector:
         self._fire("shard", int(shard_id))
 
     def on_task_execute(self) -> None:
-        """Hook: the worker is about to run a task (slow-worker point)."""
+        """Hook: the worker is about to run a task.
+
+        Counts tasks (the ``task`` point for ``hang``/``kill``/``drop``
+        ordinals) and applies any ``slow`` delay.
+        """
+        ordinal = self._counters.get("task", 0)
+        self._counters["task"] = ordinal + 1
+        self._fire("task", ordinal)
         for fault in self.faults:
             if fault.kind == "slow" and fault.point == "task" and fault.at > 0:
                 time.sleep(fault.at)

@@ -87,12 +87,18 @@ class GridConfig:
         coordinator: ``HOST:PORT`` the remote coordinator binds
             (default ``127.0.0.1:0`` — loopback, ephemeral port).  Bind
             a routable host to accept workers from other machines.
+        task_deadline_s: per-task deadline in seconds for the remote
+            modes — a shard unacked past this is revoked from its
+            (presumably hung) worker and requeued against the requeue
+            budget; the worker's late result is discarded (``None`` =
+            wait forever, the pre-deadline behaviour).
     """
 
     mode: str = "auto"
     workers: Optional[int] = None
     shards: Optional[int] = None
     coordinator: Optional[str] = None
+    task_deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         modes = grid_modes()
@@ -112,6 +118,16 @@ class GridConfig:
                 f"coordinator is only meaningful with modes {REMOTE_MODES}, "
                 f"got mode={self.mode!r}"
             )
+        if self.task_deadline_s is not None:
+            if self.mode not in REMOTE_MODES:
+                raise ExperimentError(
+                    "task_deadline_s is only meaningful with modes "
+                    f"{REMOTE_MODES}, got mode={self.mode!r}"
+                )
+            if self.task_deadline_s <= 0:
+                raise ExperimentError(
+                    f"task_deadline_s must be > 0, got {self.task_deadline_s}"
+                )
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers is not None else (os.cpu_count() or 1)
@@ -251,6 +267,7 @@ class GridRunner:
             # remote: spawn exactly the configured count (0 = external
             # workers only); None falls back to the backend default of 2
             spawn=self.config.workers if mode in REMOTE_MODES else None,
+            task_deadline_s=self.config.task_deadline_s,
         )
 
     def session(

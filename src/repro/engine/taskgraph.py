@@ -47,6 +47,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import (
     Any,
     Callable,
+    Dict,
     Iterable,
     Iterator,
     List,
@@ -65,6 +66,12 @@ from repro.engine.backends import (
     shared_remote_backend,
 )
 from repro.errors import ExperimentError
+
+#: Poll interval for internal condition waits.  Engine code never
+#: blocks unboundedly (invariant TMO001): a bounded wait re-checks its
+#: predicate so a lost notify — or a coordinator that died without one
+#: — degrades to a short poll instead of a hang.
+POLL_INTERVAL_S = 0.2
 
 __all__ = [
     "TaskFuture",
@@ -313,14 +320,14 @@ class EngineSession:
         for _ in range(len(futures)):
             with signal:
                 while not ready:
-                    signal.wait()
+                    signal.wait(POLL_INTERVAL_S)
                 yield ready.popleft()
 
     def drain(self) -> None:
         """Block until every shard submitted so far has resolved."""
         with self._state:
             while self._outstanding > 0:
-                self._state.wait()
+                self._state.wait(POLL_INTERVAL_S)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -354,6 +361,9 @@ class CoordinatorSession(EngineSession):
             :func:`~repro.engine.backends.shared_remote_backend`).
         spawn: local worker daemons the shared backend keeps attached.
         max_inflight: backpressure bound (see :class:`EngineSession`).
+        task_deadline_s: per-task deadline in seconds — a shard unacked
+            past it is revoked from its (presumably hung) worker and
+            requeued (see ``CoordinatorConfig.task_deadline_s``).
 
     Concurrent ``CoordinatorSession``\\ s over the same address share
     one coordinator and one worker fleet; their shards interleave on
@@ -369,12 +379,24 @@ class CoordinatorSession(EngineSession):
         coordinator: Optional[str] = None,
         spawn: Optional[int] = None,
         max_inflight: Optional[int] = None,
+        task_deadline_s: Optional[float] = None,
     ):
         super().__init__(
-            shared_remote_backend(coordinator, spawn),
+            shared_remote_backend(coordinator, spawn, task_deadline_s),
             max_inflight=max_inflight,
             close_backend=False,
         )
+
+    def fleet_health(self) -> Dict[str, Dict[str, Any]]:
+        """Per-worker health snapshots from the shared coordinator.
+
+        Maps worker identity (``pid:N`` / ``conn:N``) to its ledger
+        snapshot (``state``, ``failures``, ``timeouts``, ``completed``,
+        ... — see ``RemoteCoordinator.fleet_health``); empty before any
+        worker has connected.
+        """
+        health = getattr(self.backend, "fleet_health", None)
+        return health() if health is not None else {}
 
 
 class _GraphNode:
@@ -468,7 +490,7 @@ class TaskGraph:
         while True:
             with self._state:
                 while not self._ready and not self._closed:
-                    self._state.wait()
+                    self._state.wait(POLL_INTERVAL_S)
                 if not self._ready and self._closed:
                     return
                 node = self._ready.popleft()
@@ -508,7 +530,7 @@ class TaskGraph:
         """
         with self._state:
             while self._open_nodes > 0:
-                self._state.wait()
+                self._state.wait(POLL_INTERVAL_S)
 
     def close(self) -> None:
         """Wait for all nodes to dispatch, then stop the thread."""

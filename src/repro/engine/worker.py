@@ -18,11 +18,16 @@ A worker may be started *before* its coordinator binds: the dial
 retries with bounded exponential backoff (``--retry`` attempts,
 ``--retry-interval`` seed pause doubling per ``--retry-backoff`` up to
 ``--retry-max-interval``) instead of dying on the first refused
-connection.
+connection.  A connection that *drops* outside a clean ``shutdown``
+(the coordinator crashed or was killed) is redialed with the same
+bounded backoff up to ``--redial`` times: a restarted coordinator
+announces a higher epoch in its ``welcome`` and the worker simply
+rebinds — any task it held was revoked or requeued coordinator-side.
 
-Exit codes: ``0`` normal shutdown, ``1`` connection/protocol failure
-(including an unreachable coordinator after the retry budget), ``2``
-rejected at handshake (e.g. protocol-version mismatch).
+Exit codes: ``0`` normal shutdown (including a coordinator that stays
+gone after the redial budget), ``1`` connection/protocol failure
+(including an unreachable coordinator after the first retry budget),
+``2`` rejected at handshake (e.g. protocol-version mismatch).
 """
 
 from __future__ import annotations
@@ -30,10 +35,11 @@ from __future__ import annotations
 import argparse
 import os
 import socket
+import struct
 import sys
 import time
 import traceback
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.engine.backends import (
     PROTOCOL_VERSION,
@@ -42,9 +48,17 @@ from repro.engine.backends import (
     run_shard,
     send_msg,
 )
-from repro.engine.faults import InjectedDrop, active_injector
+from repro.engine.faults import InjectedCorrupt, InjectedDrop, active_injector
 from repro.engine.kernels import kernel_availability
 from repro.errors import ReproError
+
+#: Ceiling on establishing one TCP connection (handshake excluded) —
+#: a dial that hangs past this counts as one failed attempt.
+DIAL_TIMEOUT_S = 10.0
+
+
+class CoordinatorLost(ConnectionError):
+    """The connection dropped outside a clean ``shutdown`` exchange."""
 
 
 def backoff_intervals(
@@ -92,7 +106,13 @@ def connect(
     last_error: Optional[OSError] = None
     for attempt in range(max(1, attempts)):
         try:
-            return socket.create_connection((host, port))
+            sock = socket.create_connection((host, port), timeout=DIAL_TIMEOUT_S)
+            # the dial timeout must not bleed into the serve loop: a
+            # worker legitimately idles for unbounded stretches waiting
+            # for its next task between jobs (a dead coordinator is
+            # detected as recv() returning EOF, not by a read timeout)
+            sock.settimeout(None)  # repro: noqa[TMO001]
+            return sock
         except OSError as exc:
             last_error = exc
             if attempt < len(pauses):
@@ -107,13 +127,22 @@ def serve(
     sock: socket.socket,
     protocol: int = PROTOCOL_VERSION,
     verbose: bool = False,
+    epoch_state: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Run the pull loop on an open coordinator connection.
 
     Fault-injection hooks (active only when :data:`FAULTS_ENV` is set
     in *this worker's* environment) fire after every received protocol
     message (``recv`` ordinals count from the handshake greeting), on
-    task receipt (``shard``), and before task execution (``slow``).
+    task receipt (``shard``), and before task execution (``task`` /
+    ``slow``).
+
+    ``epoch_state`` (a mutable dict owned by :func:`run_worker`)
+    remembers the last coordinator epoch seen across redials; a higher
+    epoch in the ``welcome`` means this worker rebound to a restarted
+    coordinator incarnation, which is logged to stderr.  A connection
+    that drops outside a clean ``shutdown`` raises
+    :class:`CoordinatorLost` so the caller can redial.
     """
 
     def log(message: str) -> None:
@@ -136,8 +165,7 @@ def serve(
     greeting = recv_msg(sock)
     injector.on_recv()
     if greeting is None:
-        print("coordinator closed during handshake", file=sys.stderr)
-        return 1
+        raise CoordinatorLost("coordinator closed during handshake")
     if greeting.get("type") == "reject":
         print(f"rejected by coordinator: {greeting.get('reason')}",
               file=sys.stderr)
@@ -145,6 +173,16 @@ def serve(
     if greeting.get("type") != "welcome":
         print(f"unexpected greeting {greeting.get('type')!r}", file=sys.stderr)
         return 1
+    epoch = greeting.get("epoch")
+    if epoch_state is not None and epoch is not None:
+        previous = epoch_state.get("epoch")
+        if previous is not None and epoch != previous:
+            print(
+                f"[worker {os.getpid()}] rebound to coordinator epoch "
+                f"{epoch} (was {previous})",
+                file=sys.stderr,
+            )
+        epoch_state["epoch"] = epoch
     log("connected")
 
     while True:
@@ -152,8 +190,7 @@ def serve(
         message = recv_msg(sock)
         injector.on_recv()
         if message is None:
-            log("coordinator gone; exiting")
-            return 0
+            raise CoordinatorLost("coordinator gone awaiting a task")
         kind = message.get("type")
         if kind == "shutdown":
             log("shutdown received")
@@ -190,8 +227,7 @@ def serve(
         ack = recv_msg(sock)
         injector.on_recv()
         if ack is None:
-            log("coordinator gone before ack; exiting")
-            return 0
+            raise CoordinatorLost("coordinator gone before ack")
         if ack.get("type") != "ack":
             print(f"unexpected message {ack.get('type')!r} awaiting ack",
                   file=sys.stderr)
@@ -206,34 +242,77 @@ def run_worker(
     max_interval: float = 5.0,
     protocol: int = PROTOCOL_VERSION,
     verbose: bool = False,
+    redials: int = 5,
 ) -> int:
-    """Connect and serve; returns the process exit code."""
-    try:
-        sock = connect(
-            address,
-            attempts=attempts,
-            retry_interval=retry_interval,
-            backoff=backoff,
-            max_interval=max_interval,
-        )
-    except (OSError, ReproError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    try:
-        return serve(sock, protocol=protocol, verbose=verbose)
-    except InjectedDrop:
-        # chaos harness: behave exactly like a crashed worker — close
-        # the socket (finally-block) so the coordinator requeues
-        return 0
-    except (OSError, ConnectionError, EOFError):
-        # the coordinator vanished mid-exchange; nothing to clean up —
-        # any task this worker held is requeued coordinator-side
-        return 0
-    finally:
+    """Connect and serve (redialing on drops); returns the exit code.
+
+    A clean ``shutdown`` from the coordinator retires the worker
+    (exit 0).  A dropped connection — coordinator crash, kill, or
+    network fault — is redialed up to ``redials`` times with the full
+    bounded-backoff budget each; a restarted coordinator incarnation
+    is joined transparently (its ``welcome`` carries a higher epoch).
+    A coordinator that never comes back retires the worker cleanly
+    (exit 0) once the redial budget is spent.
+    """
+    epoch_state: Dict[str, Any] = {}
+    connected_once = False
+    remaining = max(0, redials)
+    while True:
         try:
-            sock.close()
-        except OSError:
-            pass
+            sock = connect(
+                address,
+                attempts=attempts,
+                retry_interval=retry_interval,
+                backoff=backoff,
+                max_interval=max_interval,
+            )
+        except (OSError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            # an address that never answered is an operator error
+            # (exit 1); one that answered before and stays gone means
+            # the session is simply over — retire cleanly
+            return 0 if connected_once else 1
+        connected_once = True
+        try:
+            return serve(
+                sock,
+                protocol=protocol,
+                verbose=verbose,
+                epoch_state=epoch_state,
+            )
+        except InjectedDrop:
+            # chaos harness: behave exactly like a crashed worker —
+            # close the socket (finally-block) so the coordinator
+            # requeues
+            return 0
+        except InjectedCorrupt as exc:
+            # chaos harness: a correctly framed but unpicklable payload
+            # — the coordinator's framing layer must contain this
+            print(f"injected corruption: {exc}", file=sys.stderr)
+            try:
+                sock.sendall(struct.pack(">Q", 8) + b"!garbage")
+            except OSError:
+                pass
+            return 0
+        except (CoordinatorLost, OSError, ConnectionError, EOFError) as exc:
+            if remaining <= 0:
+                print(
+                    f"coordinator connection lost ({exc}); redial budget "
+                    "exhausted, retiring",
+                    file=sys.stderr,
+                )
+                return 0
+            remaining -= 1
+            print(
+                f"coordinator connection lost ({exc}); redialing "
+                f"({remaining} redial(s) left)",
+                file=sys.stderr,
+            )
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="ceiling for the backed-off retry pause (default: 5.0)",
     )
     parser.add_argument(
+        "--redial",
+        type=int,
+        default=5,
+        metavar="N",
+        help="reconnection budget after a dropped coordinator "
+        "connection (default: 5; 0 = die with the coordinator)",
+    )
+    parser.add_argument(
         "--protocol",
         type=int,
         default=PROTOCOL_VERSION,
@@ -299,6 +386,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_interval=args.retry_max_interval,
         protocol=args.protocol,
         verbose=args.verbose,
+        redials=args.redial,
     )
 
 

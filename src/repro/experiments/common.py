@@ -23,7 +23,7 @@ from repro.accuracy.predictor import AccuracyPredictor
 from repro.approx.library import ApproxLibrary, build_library
 from repro.core.designer import CarbonAwareDesigner
 from repro.core.results import DesignPoint
-from repro.engine.grid import GridConfig, GridRunner
+from repro.engine.grid import REMOTE_MODES, GridConfig, GridRunner
 from repro.engine.population import EngineConfig
 from repro.errors import ExperimentError
 from repro.ga.engine import GaConfig
@@ -60,6 +60,7 @@ class ExecutionProfile:
     accuracy_coordinator: Optional[str] = None
     stack_workers: Optional[Union[int, str]] = None
     kernel_tier: Optional[str] = None
+    task_deadline_s: Optional[float] = None
 
     #: keys accepted by :meth:`parse`; shorthands fan out to both stages
     _SHORTHANDS = {
@@ -68,10 +69,12 @@ class ExecutionProfile:
         "coordinator": ("grid_coordinator", "accuracy_coordinator"),
         "kernel": ("kernel_tier",),
         "stack": ("stack_workers",),
+        "deadline": ("task_deadline_s",),
     }
     _INT_FIELDS = (
         "grid_workers", "grid_shards", "accuracy_workers", "accuracy_shards",
     )
+    _FLOAT_FIELDS = ("task_deadline_s",)
 
     @classmethod
     def parse(cls, spec: str) -> "ExecutionProfile":
@@ -123,6 +126,14 @@ class ExecutionProfile:
                     except ValueError as exc:
                         raise ExperimentError(
                             f"profile key {key!r} needs an integer, "
+                            f"got {raw!r}"
+                        ) from exc
+                elif target in cls._FLOAT_FIELDS:
+                    try:
+                        values[target] = float(raw)
+                    except ValueError as exc:
+                        raise ExperimentError(
+                            f"profile key {key!r} needs a number, "
                             f"got {raw!r}"
                         ) from exc
                 else:
@@ -221,6 +232,12 @@ class ExperimentSettings:  # repro: fingerprinted[SETTINGS_TRAJECTORY_FIELDS]
             stage (default: one per worker).
         accuracy_coordinator: ``HOST:PORT`` for a ``remote`` accuracy
             stage (falls back to ``grid_coordinator``).
+        task_deadline_s: per-task deadline in seconds for the remote
+            stages (CLI ``--task-deadline``) — a shard unacked past it
+            is revoked from its (presumably hung) worker and requeued;
+            the late result is discarded, so results stay bit-identical
+            to serial.  Ignored by the local modes; ``None`` (default)
+            waits forever.
         profile: the ten execution knobs above, grouped as one
             :class:`ExecutionProfile` (e.g. from ``--profile``).  Merge
             rule: a legacy field set away from its default wins over
@@ -272,6 +289,8 @@ class ExperimentSettings:  # repro: fingerprinted[SETTINGS_TRAJECTORY_FIELDS]
     accuracy_shards: Optional[int] = None
     # repro: non-trajectory[execution policy: every backend bit-identical]
     accuracy_coordinator: Optional[str] = None
+    # repro: non-trajectory[recovery policy: late results are discarded]
+    task_deadline_s: Optional[float] = None
     # repro: non-trajectory[canonical grouping of the execution knobs]
     profile: Optional[Union[ExecutionProfile, str]] = None
 
@@ -309,6 +328,10 @@ class ExperimentSettings:  # repro: fingerprinted[SETTINGS_TRAJECTORY_FIELDS]
         from repro.engine.kernels import validate_kernel_tier
 
         validate_kernel_tier(self.kernel_tier)  # fail fast on typos
+        if self.task_deadline_s is not None and self.task_deadline_s <= 0:
+            raise ExperimentError(
+                f"task_deadline_s must be > 0, got {self.task_deadline_s}"
+            )
         if self.resume and self.checkpoint_dir is None:
             raise ExperimentError(
                 "resume=True needs checkpoint_dir: there is nowhere to "
@@ -381,6 +404,13 @@ class ExperimentSettings:  # repro: fingerprinted[SETTINGS_TRAJECTORY_FIELDS]
                 workers=self.grid_workers,
                 shards=self.grid_shards,
                 coordinator=self.grid_coordinator,
+                # a deadline only makes sense where work can hang on a
+                # remote worker; local modes ignore it
+                task_deadline_s=(
+                    self.task_deadline_s
+                    if self.grid_mode in REMOTE_MODES
+                    else None
+                ),
             )
         )
 
@@ -404,6 +434,11 @@ class ExperimentSettings:  # repro: fingerprinted[SETTINGS_TRAJECTORY_FIELDS]
                 shards=self.accuracy_shards,
                 coordinator=(
                     coordinator if self.accuracy_mode == "remote" else None
+                ),
+                task_deadline_s=(
+                    self.task_deadline_s
+                    if self.accuracy_mode in REMOTE_MODES
+                    else None
                 ),
             )
         )

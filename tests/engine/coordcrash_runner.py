@@ -1,0 +1,70 @@
+"""Subprocess target for the coordinator-SIGKILL chaos tests.
+
+Runs the same small ``build_library`` as ``chaos_runner``, but scores
+the search-free variants on a :class:`CoordinatorSession` over a
+*fixed* port with a crash journal — so this process hosts a live
+in-process coordinator, and a ``coordkill@gen:N`` fault SIGKILLs
+exactly this process mid-build (spawned workers inherit the same
+``REPRO_FAULTS`` value but never host a coordinator, so the strike is
+scoped to the coordinator host).
+
+A restart with ``--resume`` and the *same* checkpoint dir, port and
+journal must converge bit-identically to a cold run: the search
+checkpoints resume the NSGA-II generations, the journal replays
+already-recorded variant results and bumps the coordinator epoch, and
+orphaned workers from the killed incarnation redial into the new one.
+
+Prints ``epoch <n>`` and ``library <fingerprint>`` on success.
+"""
+
+import argparse
+import os
+import sys
+
+from chaos_runner import library_fingerprint
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("checkpoint_dir")
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--journal", required=True)
+    parser.add_argument("--spawn", type=int, default=2)
+    args = parser.parse_args(argv[1:])
+
+    # the shared backend builds its CoordinatorConfig from the
+    # environment; route the journal through it so the coordinator
+    # this session stands up is crash-recoverable
+    os.environ["REPRO_COORDINATOR_JOURNAL"] = args.journal
+
+    from repro.approx.library import build_library
+    from repro.engine.taskgraph import CoordinatorSession
+
+    session = CoordinatorSession(
+        coordinator=f"127.0.0.1:{args.port}", spawn=args.spawn
+    )
+    try:
+        library = build_library(
+            width=4,
+            population=8,
+            generations=4,
+            max_candidates=24,
+            truncations=((1, 0), (0, 1), (1, 1)),
+            hybrid=False,
+            structural=False,
+            use_cache=False,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            overlap_session=session,
+        )
+    finally:
+        session.close()
+    coordinator = session.backend._coordinator
+    print(f"epoch {coordinator.epoch if coordinator is not None else 0}")
+    print(f"library {library_fingerprint(library)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -56,6 +56,25 @@ def die_always(value):
     os._exit(21)
 
 
+def hang_once_at(value, trigger, sentinel_path, hang_s):
+    """Hang (sleep well past the deadline) the first trigger execution.
+
+    The first worker to pick up the ``value == trigger`` cell writes
+    the sentinel and sleeps ``hang_s`` seconds — long enough for the
+    coordinator's deadline sweep to revoke the task — then returns a
+    *poisoned* result (``-1``); the reassigned execution finds the
+    sentinel and returns the real square immediately.  If the late
+    poisoned result were ever recorded, the job output would differ
+    from serial, so the test catches double-recording for free.
+    """
+    if value == trigger and not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        time.sleep(hang_s)
+        return -1
+    return value * value
+
+
 def square_batch(values, offset):
     """Batch-decomposable cell for ``GridRunner.map_batches`` tests."""
     return [value * value + offset for value in values]

@@ -19,8 +19,10 @@ wedges a loop fails loudly instead of hanging CI.
 
 import os
 import signal
+import socket
 import subprocess
 import sys
+import time
 import warnings
 
 import pytest
@@ -36,7 +38,12 @@ from repro.engine.backends import (
     backend_names,
     spawn_local_worker,
 )
-from repro.engine.faults import FAULTS_ENV, reset_active_injector
+from repro.engine.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    parse_faults,
+    reset_active_injector,
+)
 from repro.errors import ExperimentError
 
 HERE = os.path.dirname(os.path.abspath(__file__))
@@ -95,6 +102,60 @@ def _run_chaos_runner(checkpoint_dir, resume=False, faults=None, seed=None):
     return subprocess.run(
         command, env=env, capture_output=True, text=True, timeout=100
     )
+
+
+def _run_coordcrash_runner(
+    checkpoint_dir, port, journal, resume=False, faults=None
+):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if faults is not None:
+        env[FAULTS_ENV] = faults
+    else:
+        env.pop(FAULTS_ENV, None)
+    command = [
+        sys.executable,
+        os.path.join(HERE, "coordcrash_runner.py"),
+        str(checkpoint_dir),
+        "--port",
+        str(port),
+        "--journal",
+        str(journal),
+    ]
+    if resume:
+        command.append("--resume")
+    # the runner's spawned worker daemons inherit its stdio; after a
+    # SIGKILL the orphans keep a capture *pipe* open long past the
+    # runner's death (wedging subprocess.run), so collect output
+    # through files, which only need the runner itself to exit
+    out_path = str(checkpoint_dir) + ".stdout"
+    err_path = str(checkpoint_dir) + ".stderr"
+    with open(out_path, "w") as out, open(err_path, "w") as err:
+        completed = subprocess.run(
+            command, env=env, stdout=out, stderr=err, timeout=100
+        )
+    with open(out_path) as out, open(err_path) as err:
+        return subprocess.CompletedProcess(
+            completed.args, completed.returncode,
+            stdout=out.read(), stderr=err.read(),
+        )
+
+
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _wait_until(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
 
 
 def _fingerprint(completed: subprocess.CompletedProcess) -> str:
@@ -295,6 +356,180 @@ class TestFallbackBackend:
         finally:
             monkeypatch.delenv(FAULTS_ENV, raising=False)
             backend.close()
+
+
+class TestCoordinatorSigkillRestart:
+    """SIGKILL the coordinator *host* mid-build, restart, compare."""
+
+    def test_coordkill_midbuild_restart_bit_identical(self, tmp_path):
+        reference = _run_chaos_runner(tmp_path / "ref")
+        assert reference.returncode == 0, reference.stderr
+
+        port = _free_port()
+        journal = tmp_path / "coordinator.journal"
+        chaos_dir = tmp_path / "chaos"
+        killed = _run_coordcrash_runner(
+            chaos_dir, port, journal, faults="coordkill@gen:2"
+        )
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+        assert "library" not in killed.stdout  # died mid-build
+        assert os.path.exists(journal), "no journal survived the crash"
+
+        # same checkpoint dir, same port, same journal: the restarted
+        # incarnation resumes the search, replays journalled variant
+        # scores under a bumped epoch, and adopts redialing workers
+        resumed = _run_coordcrash_runner(
+            chaos_dir, port, journal, resume=True
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert _fingerprint(resumed) == _fingerprint(reference)
+        epochs = [
+            line for line in resumed.stdout.splitlines()
+            if line.startswith("epoch ")
+        ]
+        assert epochs and int(epochs[0].split()[1]) >= 1
+
+    def test_cold_coordinator_run_matches_local_reference(self, tmp_path):
+        """No faults: the remote-scored build equals the local build."""
+        reference = _run_chaos_runner(tmp_path / "ref")
+        assert reference.returncode == 0, reference.stderr
+        remote = _run_coordcrash_runner(
+            tmp_path / "cold", _free_port(), tmp_path / "cold.journal"
+        )
+        assert remote.returncode == 0, remote.stderr
+        assert _fingerprint(remote) == _fingerprint(reference)
+
+
+class TestHungWorker:
+    def test_hang_fault_is_revoked_requeued_and_quarantined(
+        self, monkeypatch
+    ):
+        """``hang@task`` end to end: the deadline sweep revokes the
+        hung worker's shard, a healthy worker completes it with
+        unchanged results, and the hung worker is quarantined."""
+        import threading
+
+        config = CoordinatorConfig(
+            poll_interval=0.05,
+            task_deadline_s=0.6,
+            quarantine_threshold=1,
+            quarantine_cooldown_s=60.0,
+        )
+        with RemoteCoordinator("127.0.0.1:0", config=config) as coordinator:
+            outcome = {}
+
+            def run():
+                outcome["result"] = coordinator.map_shards(
+                    remote_cells.square_offset, SHARDS
+                )
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            # solo worker: its first task deterministically hangs
+            monkeypatch.setenv(FAULTS_ENV, "hang@task:0")
+            hung = spawn_local_worker(coordinator.address)
+            monkeypatch.delenv(FAULTS_ENV)
+            healthy = None
+            try:
+                assert _wait_until(
+                    lambda: any(
+                        snap["timeouts"] >= 1
+                        for snap in coordinator.fleet_health().values()
+                    )
+                ), "deadline sweep never revoked the hung task"
+                healthy = spawn_local_worker(coordinator.address)
+                thread.join(timeout=60)
+                assert outcome.get("result") == EXPECTED
+                assert any(
+                    snap["state"] == "quarantined" and snap["timeouts"] >= 1
+                    for snap in coordinator.fleet_health().values()
+                )
+            finally:
+                coordinator.close()
+                if healthy is not None:
+                    healthy.wait(timeout=10)
+                hung.kill()  # hangs by design; reap it
+                hung.wait()
+
+
+class TestInjectedCorruption:
+    def test_corrupt_frame_is_contained_by_the_coordinator(
+        self, monkeypatch
+    ):
+        """``corrupt@recv``: the worker answers with a garbage frame
+        and exits cleanly; the coordinator treats it as a dead worker
+        and requeues the held shard."""
+        import threading
+
+        with RemoteCoordinator("127.0.0.1:0") as coordinator:
+            outcome = {}
+
+            def run():
+                outcome["result"] = coordinator.map_shards(
+                    remote_cells.square_offset, SHARDS
+                )
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            # solo worker: recv ordinal 1 is its first task message
+            monkeypatch.setenv(FAULTS_ENV, "corrupt@recv:1")
+            corrupting = spawn_local_worker(coordinator.address)
+            monkeypatch.delenv(FAULTS_ENV)
+            healthy = None
+            try:
+                assert corrupting.wait(timeout=30) == 0
+                healthy = spawn_local_worker(coordinator.address)
+                thread.join(timeout=60)
+                assert outcome.get("result") == EXPECTED
+            finally:
+                coordinator.close()
+                for proc in (corrupting, healthy):
+                    if proc is None:
+                        continue
+                    try:
+                        proc.wait(timeout=10)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+
+
+class TestFaultGrammar:
+    def test_new_kinds_parse(self):
+        specs = parse_faults("hang@task:2,corrupt@recv:1,coordkill@gen:3")
+        assert [(f.kind, f.point, f.at) for f in specs] == [
+            ("hang", "task", 2.0),
+            ("corrupt", "recv", 1.0),
+            ("coordkill", "gen", 3.0),
+        ]
+
+    def test_kind_point_constraints(self):
+        for bad in ("hang@recv:0", "corrupt@task:0", "coordkill@recv:0"):
+            with pytest.raises(ExperimentError, match="only support"):
+                parse_faults(bad)
+
+    def test_coordkill_is_inert_without_a_live_coordinator(self):
+        # probed in a subprocess: other tests in the same pytest run
+        # legitimately leave the persistent shared_remote_backend
+        # coordinator warm, and a live coordinator is exactly what arms
+        # coordkill — firing the injector in-process would SIGKILL the
+        # whole test run if anything before us touched that singleton
+        probe = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.engine.faults import FaultInjector, "
+                "parse_faults\n"
+                "injector = FaultInjector(parse_faults('coordkill@gen:0'))\n"
+                "injector.on_checkpoint_saved(0)\n"
+                "print('inert')\n",
+            ],
+            env={**os.environ, "PYTHONPATH": SRC},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert probe.returncode == 0, probe.stderr
+        assert "inert" in probe.stdout
 
 
 class TestCoordinatorConfig:
